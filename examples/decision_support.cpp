@@ -1,0 +1,73 @@
+// Decision-support walkthrough: loads the TPC-D database and runs the
+// paper's three evaluation queries under every applicable strategy,
+// printing a timing/row/invocation comparison — a miniature of Section 5.
+//
+//   $ DECORR_SF=0.05 ./build/examples/decision_support
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "decorr/runtime/database.h"
+#include "decorr/tpcd/queries.h"
+#include "decorr/tpcd/tpcd.h"
+
+using namespace decorr;
+
+namespace {
+
+void RunAll(Database& db, const char* title, const std::string& sql) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-8s %10s %8s %14s\n", "strategy", "time(ms)", "rows",
+              "subq-invocations");
+  for (Strategy s : {Strategy::kNestedIteration, Strategy::kKim,
+                     Strategy::kDayal, Strategy::kMagic,
+                     Strategy::kOptMagic}) {
+    QueryOptions options;
+    options.strategy = s;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = db.Execute(sql, options);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (!result.ok()) {
+      std::printf("%-8s %10s  (%s)\n", StrategyName(s), "n/a",
+                  result.status().message().c_str());
+      continue;
+    }
+    std::printf("%-8s %10.2f %8zu %14lld\n", StrategyName(s), ms,
+                result->rows.size(),
+                (long long)result->stats.subquery_invocations);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const char* env = std::getenv("DECORR_SF");
+  TpcdConfig config;
+  config.scale_factor = env ? std::atof(env) : 0.02;
+
+  Database db;
+  std::printf("loading TPC-D at scale factor %.3g ...\n",
+              config.scale_factor);
+  Status st = LoadTpcd(&db, config);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto table = db.catalog().GetTable(name);
+    std::printf("  %-10s %8zu rows\n", name.c_str(), (*table)->num_rows());
+  }
+
+  RunAll(db, "Query 1: minimum-cost supplier (Figure 5)", TpcdQuery1());
+  RunAll(db, "Query 1 variant: wide region, duplicates (Figure 6)",
+         TpcdQuery1Variant());
+  RunAll(db, "Query 2: small-order revenue loss (Figure 8)", TpcdQuery2());
+  RunAll(db, "Query 3: non-linear UNION query (Figure 9)", TpcdQuery3());
+  std::printf(
+      "\nNote: Kim and Dayal correctly refuse Query 3 — it is outside the\n"
+      "linear class those methods handle; magic decorrelation is the only\n"
+      "rewrite that applies (the paper's central claim).\n");
+  return 0;
+}

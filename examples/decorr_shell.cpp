@@ -1,0 +1,178 @@
+// Interactive SQL shell over the decorr engine.
+//
+//   $ ./build/examples/decorr_shell
+//   decorr> \load tpcd 0.01
+//   decorr> \strategy mag
+//   decorr> SELECT COUNT(*) FROM parts WHERE p_type LIKE '%BRASS';
+//
+// Meta commands:
+//   \load tpcd [sf]   load the TPC-D database at a scale factor
+//   \load empdept     load the paper's EMP/DEPT example
+//   \strategy X       ni | kim | dayal | ganski | mag | optmag
+//   \explain SQL      show the physical plan instead of executing
+//   \qgm SQL          show the query graph before/after the rewrite
+//   \tables           list tables
+//   \timing on|off    toggle wall-clock reporting
+//   \quit
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "decorr/runtime/database.h"
+#include "decorr/tpcd/tpcd.h"
+
+using namespace decorr;
+
+namespace {
+
+Status LoadEmpDept(Database* db) {
+  DECORR_RETURN_IF_ERROR(
+      db->CreateTable(TableSchema("dept",
+                                  {{"name", TypeId::kString, false},
+                                   {"budget", TypeId::kInt64, false},
+                                   {"num_emps", TypeId::kInt64, false},
+                                   {"building", TypeId::kInt64, false}},
+                                  {0})));
+  DECORR_RETURN_IF_ERROR(
+      db->CreateTable(TableSchema("emp",
+                                  {{"emp_id", TypeId::kInt64, false},
+                                   {"name", TypeId::kString, false},
+                                   {"building", TypeId::kInt64, false},
+                                   {"salary", TypeId::kInt64, false}},
+                                  {0})));
+  DECORR_RETURN_IF_ERROR(db->Insert(
+      "dept", {{Value::String("math"), Value::Int64(5000), Value::Int64(4),
+                Value::Int64(10)},
+               {Value::String("cs"), Value::Int64(8000), Value::Int64(6),
+                Value::Int64(10)},
+               {Value::String("physics"), Value::Int64(500), Value::Int64(1),
+                Value::Int64(30)}}));
+  DECORR_RETURN_IF_ERROR(db->Insert(
+      "emp", {{Value::Int64(1), Value::String("ann"), Value::Int64(10),
+               Value::Int64(50)},
+              {Value::Int64(2), Value::String("bob"), Value::Int64(10),
+               Value::Int64(60)},
+              {Value::Int64(3), Value::String("cat"), Value::Int64(10),
+               Value::Int64(70)}}));
+  return db->AnalyzeAll();
+}
+
+bool ParseStrategy(const std::string& name, Strategy* out) {
+  if (name == "ni") *out = Strategy::kNestedIteration;
+  else if (name == "kim") *out = Strategy::kKim;
+  else if (name == "dayal") *out = Strategy::kDayal;
+  else if (name == "ganski") *out = Strategy::kGanskiWong;
+  else if (name == "mag") *out = Strategy::kMagic;
+  else if (name == "optmag") *out = Strategy::kOptMagic;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  Strategy strategy = Strategy::kMagic;
+  bool timing = true;
+
+  std::printf("decorr shell — magic decorrelation engine\n");
+  std::printf("type SQL (end with ;), or \\load tpcd 0.01, \\strategy mag, "
+              "\\quit\n");
+
+  std::string buffer;
+  std::string line;
+  std::printf("decorr> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      std::istringstream iss(line.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "load") {
+        std::string what;
+        iss >> what;
+        Status st;
+        if (what == "tpcd") {
+          TpcdConfig config;
+          double sf = 0.01;
+          if (iss >> sf) config.scale_factor = sf;
+          st = LoadTpcd(&db, config);
+        } else if (what == "empdept") {
+          st = LoadEmpDept(&db);
+        } else {
+          std::printf("usage: \\load tpcd [sf] | \\load empdept\n");
+        }
+        if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == "strategy") {
+        std::string name;
+        iss >> name;
+        if (!ParseStrategy(name, &strategy)) {
+          std::printf("strategies: ni kim dayal ganski mag optmag\n");
+        } else {
+          std::printf("strategy = %s\n", StrategyName(strategy));
+        }
+      } else if (cmd == "tables") {
+        std::printf("%s", db.catalog().ToString().c_str());
+      } else if (cmd == "timing") {
+        std::string v;
+        iss >> v;
+        timing = (v != "off");
+      } else if (cmd == "explain" || cmd == "qgm") {
+        std::string sql;
+        std::getline(iss, sql);
+        QueryOptions options;
+        options.strategy = strategy;
+        options.capture_qgm = (cmd == "qgm");
+        auto result = db.Explain(sql, options);
+        if (!result.ok()) {
+          std::printf("%s\n", result.status().ToString().c_str());
+        } else if (cmd == "qgm") {
+          std::printf("--- before ---\n%s--- after %s ---\n%s",
+                      result->qgm_before.c_str(), StrategyName(strategy),
+                      result->qgm_after.c_str());
+        } else {
+          std::printf("%s", result->plan_text.c_str());
+        }
+      } else {
+        std::printf("unknown meta command: \\%s\n", cmd.c_str());
+      }
+      std::printf("decorr> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) {
+      std::printf("   ...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    QueryOptions options;
+    options.strategy = strategy;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = db.Execute(buffer, options);
+    const auto stop = std::chrono::steady_clock::now();
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+    } else {
+      std::printf("%s", result->ToString().c_str());
+      if (timing) {
+        std::printf(
+            "(%zu rows, %.2f ms, %lld subquery invocations, %s)\n",
+            result->rows.size(),
+            std::chrono::duration<double, std::milli>(stop - start).count(),
+            (long long)result->stats.subquery_invocations,
+            StrategyName(strategy));
+      }
+    }
+    std::printf("decorr> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared-nothing parallelism (Section 6): why decorrelation is *crucial* —
+// not merely useful — in a parallel database. Prints the fragment, message
+// and elapsed-cost curves for nested iteration vs a decorrelated plan as
+// the node count grows.
+//
+//   $ ./build/examples/parallel_speedup
+#include <cstdio>
+
+#include "decorr/parallel/parallel.h"
+
+using namespace decorr;
+
+int main() {
+  auto workload = MakeBuildingWorkload(/*num_outer=*/10000,
+                                       /*num_inner=*/100000,
+                                       /*num_buildings=*/200, /*seed=*/1);
+  if (!workload.ok()) {
+    std::printf("%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("correlated aggregate over %zu outer x %zu inner tuples "
+              "(%zu invocations)\n\n",
+              workload->outer->num_rows(), workload->inner->num_rows(),
+              workload->qualifying_outer_rows.size());
+
+  std::printf("%5s  %14s %14s %12s   %14s %14s %12s\n", "nodes", "NI-frags",
+              "NI-msgs", "NI-elapsed", "Mag-frags", "Mag-msgs",
+              "Mag-elapsed");
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    ParallelConfig config;
+    config.num_nodes = nodes;
+    ParallelStats ni = SimulateNestedIteration(*workload, config);
+    ParallelStats mag = SimulateMagicDecorrelation(*workload, config);
+    std::printf("%5d  %14lld %14lld %12.0f   %14lld %14lld %12.0f\n", nodes,
+                (long long)ni.fragments, (long long)ni.messages, ni.elapsed,
+                (long long)mag.fragments, (long long)mag.messages,
+                mag.elapsed);
+  }
+
+  std::printf(
+      "\nNested iteration schedules O(invocations x nodes) fragments and a\n"
+      "message pair per invocation per node; the decorrelated plan\n"
+      "repartitions once and works locally. When both tables happen to be\n"
+      "partitioned on the correlation attribute, NI parallelizes fine\n"
+      "(Section 6.1 'Case 1'):\n\n");
+  ParallelConfig co;
+  co.num_nodes = 16;
+  co.copartitioned = true;
+  std::printf("  co-partitioned, 16 nodes: NI  %s\n",
+              SimulateNestedIteration(*workload, co).ToString().c_str());
+  std::printf("                            Mag %s\n",
+              SimulateMagicDecorrelation(*workload, co).ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,792 @@
+#include "decorr/binder/binder.h"
+
+#include <algorithm>
+
+#include "decorr/common/string_util.h"
+#include "decorr/parser/parser.h"
+#include "decorr/qgm/validate.h"
+
+namespace decorr {
+
+namespace {
+
+// One visible range variable during name resolution.
+struct ScopeEntry {
+  Quantifier* quantifier = nullptr;
+  std::string alias;                 // as written (matched case-insensitively)
+  std::vector<std::string> columns;  // visible column names
+};
+
+// A lexical scope; lookups that fall through to `parent` produce
+// correlations.
+struct Scope {
+  const Scope* parent = nullptr;
+  std::vector<ScopeEntry> entries;
+};
+
+bool IsAggregateName(const std::string& upper) {
+  return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+         upper == "MIN" || upper == "MAX";
+}
+
+// Does this AST expression contain an aggregate call (not descending into
+// subqueries, which aggregate independently)?
+bool AstHasAggregate(const AstExpr& expr) {
+  if (expr.kind == AstExprKind::kFuncCall && IsAggregateName(expr.func_name)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (AstHasAggregate(*child)) return true;
+  }
+  return false;
+}
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> BindTop(const AstQuery& query) {
+    auto bound = std::make_unique<BoundQuery>();
+    bound->graph = std::make_unique<QueryGraph>();
+    graph_ = bound->graph.get();
+    DECORR_ASSIGN_OR_RETURN(Box * root, BindQuery(query, nullptr));
+    graph_->set_root(root);
+
+    // ORDER BY: resolve against root output names / 1-based ordinals.
+    for (const AstOrderItem& item : query.order_by) {
+      int ordinal = -1;
+      if (item.expr->kind == AstExprKind::kLiteral &&
+          item.expr->literal.type() == TypeId::kInt64) {
+        ordinal = static_cast<int>(item.expr->literal.int64_value()) - 1;
+      } else if (item.expr->kind == AstExprKind::kColumnRef) {
+        // Qualified ORDER BY items match by output-column name; the
+        // qualifier is informational once projection has happened.
+        for (int i = 0; i < root->num_outputs(); ++i) {
+          if (EqualsIgnoreCase(root->OutputName(i), item.expr->column)) {
+            ordinal = i;
+            break;
+          }
+        }
+      }
+      if (ordinal < 0 || ordinal >= root->num_outputs()) {
+        return Status::BindError("cannot resolve ORDER BY item " +
+                                 item.expr->ToString());
+      }
+      bound->order_by.emplace_back(ordinal, item.ascending);
+    }
+    bound->limit = query.limit;
+    DECORR_RETURN_IF_ERROR(Validate(graph_));
+    return bound;
+  }
+
+ private:
+  // ---- query / select ----
+
+  Result<Box*> BindQuery(const AstQuery& query, const Scope* outer) {
+    if (query.branches.size() == 1) {
+      return BindSelect(*query.branches[0], outer);
+    }
+    Box* union_box = graph_->NewBox(BoxKind::kUnion);
+    // UNION (distinct) anywhere makes the whole chain distinct, matching the
+    // left-associative SQL semantics closely enough for this dialect.
+    union_box->union_all =
+        std::all_of(query.union_all.begin(), query.union_all.end(),
+                    [](bool b) { return b; });
+    std::vector<Quantifier*> quantifiers;
+    for (const auto& branch : query.branches) {
+      DECORR_ASSIGN_OR_RETURN(Box * child, BindSelect(*branch, outer));
+      quantifiers.push_back(graph_->NewQuantifier(
+          union_box, child, QuantifierKind::kForeach, ""));
+    }
+    const int arity = quantifiers[0]->child->num_outputs();
+    for (const Quantifier* q : quantifiers) {
+      if (q->child->num_outputs() != arity) {
+        return Status::BindError("UNION branches have different arities");
+      }
+    }
+    for (int i = 0; i < arity; ++i) {
+      TypeId common = quantifiers[0]->child->OutputType(i);
+      for (const Quantifier* q : quantifiers) {
+        bool ok = false;
+        common = CommonType(common, q->child->OutputType(i), &ok);
+        if (!ok) {
+          return Status::BindError(
+              StrFormat("UNION branch column %d types are incompatible", i));
+        }
+      }
+      ExprPtr ref = MakeColumnRef(quantifiers[0]->id, i, common,
+                                  quantifiers[0]->child->OutputName(i));
+      union_box->outputs.push_back(
+          {quantifiers[0]->child->OutputName(i), std::move(ref)});
+    }
+    return union_box;
+  }
+
+  Result<Box*> BindSelect(const AstSelect& select, const Scope* outer) {
+    Box* spj = graph_->NewBox(BoxKind::kSelect);
+    Scope scope;
+    scope.parent = outer;
+
+    // FROM items bind left to right; earlier items are visible to later
+    // derived tables (lateral-style, as the paper's Query 3 requires).
+    for (const AstTableRef& ref : select.from) {
+      DECORR_RETURN_IF_ERROR(BindTableRef(ref, spj, &scope));
+      if (ref.join_condition) {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr cond, BindExpr(*ref.join_condition, scope, spj, false));
+        AppendPredicates(spj, std::move(cond));
+      }
+    }
+
+    if (select.where) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr where,
+                              BindExpr(*select.where, scope, spj, false));
+      AppendPredicates(spj, std::move(where));
+    }
+
+    const bool has_group_by = !select.group_by.empty();
+    bool has_aggregates = false;
+    for (const AstSelectItem& item : select.items) {
+      if (item.expr && AstHasAggregate(*item.expr)) has_aggregates = true;
+    }
+    if (select.having && AstHasAggregate(*select.having)) {
+      has_aggregates = true;
+    }
+    if (select.having && !has_group_by && !has_aggregates) {
+      return Status::BindError("HAVING without GROUP BY or aggregates");
+    }
+
+    if (!has_group_by && !has_aggregates) {
+      DECORR_RETURN_IF_ERROR(BindPlainSelectList(select, scope, spj));
+      spj->distinct = select.distinct;
+      return spj;
+    }
+    return BindAggregation(select, scope, spj);
+  }
+
+  // Select list without aggregation: star expansion + plain expressions.
+  Status BindPlainSelectList(const AstSelect& select, const Scope& scope,
+                             Box* spj) {
+    for (const AstSelectItem& item : select.items) {
+      if (item.star) {
+        DECORR_RETURN_IF_ERROR(ExpandStar(item.star_table, scope, spj));
+        continue;
+      }
+      DECORR_ASSIGN_OR_RETURN(ExprPtr bound,
+                              BindExpr(*item.expr, scope, spj, false));
+      std::string name = item.alias;
+      if (name.empty()) name = DeriveOutputName(*item.expr, spj->num_outputs());
+      spj->outputs.push_back({std::move(name), std::move(bound)});
+    }
+    return Status::OK();
+  }
+
+  // SELECT with GROUP BY and/or aggregates. Builds, per the QGM canonical
+  // form: spj (FROM/WHERE) -> GroupBy -> optional Select (HAVING /
+  // projection). The trailing Select is elided when the select list maps
+  // 1:1 onto group-by keys and aggregates (keeps the aggregate box directly
+  // under its consumer, as in the paper's figures).
+  Result<Box*> BindAggregation(const AstSelect& select, const Scope& scope,
+                               Box* spj) {
+    for (const AstSelectItem& item : select.items) {
+      if (item.star) {
+        return Status::BindError("* not allowed with GROUP BY / aggregates");
+      }
+    }
+
+    // Bind group-by keys against the FROM scope.
+    std::vector<ExprPtr> keys;
+    for (const AstExprPtr& key_ast : select.group_by) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr key,
+                              BindExpr(*key_ast, scope, spj, false));
+      keys.push_back(std::move(key));
+    }
+
+    Box* group = graph_->NewBox(BoxKind::kGroupBy);
+    Quantifier* q_spj =
+        graph_->NewQuantifier(group, spj, QuantifierKind::kForeach, "");
+
+    // Key ordinals in the group box output (keys are always emitted so an
+    // enclosing HAVING box can reference them).
+    std::vector<int> key_out_ordinal;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const int spj_ord = EnsureOutput(spj, keys[i]->Clone(),
+                                       StrFormat("gk%zu", i));
+      group->group_by.push_back(MakeColumnRef(q_spj->id, spj_ord,
+                                              spj->OutputType(spj_ord),
+                                              spj->OutputName(spj_ord)));
+      key_out_ordinal.push_back(AppendGroupOutput(
+          group, q_spj, spj_ord, spj->OutputName(spj_ord)));
+    }
+
+    // Lift the bound select items / HAVING into expressions over the group
+    // box: aggregates become group outputs, group keys become key refs.
+    struct Lifted {
+      ExprPtr expr;  // references group outputs through a placeholder qid
+      std::string name;
+    };
+    const int kGroupPlaceholderQid = -2;  // rewritten once we know the parent
+
+    std::vector<Lifted> lifted_items;
+    bool needs_parent = select.having != nullptr || select.distinct;
+
+    for (const AstSelectItem& item : select.items) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr bound,
+                              BindExpr(*item.expr, scope, spj, true));
+      DECORR_RETURN_IF_ERROR(LiftToGroup(&bound, keys, key_out_ordinal, spj,
+                                         q_spj, group, kGroupPlaceholderQid));
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = DeriveOutputName(*item.expr,
+                                static_cast<int>(lifted_items.size()));
+      }
+      lifted_items.push_back({std::move(bound), std::move(name)});
+    }
+
+    ExprPtr having_bound;
+    if (select.having) {
+      DECORR_ASSIGN_OR_RETURN(having_bound,
+                              BindExpr(*select.having, scope, spj, true));
+      DECORR_RETURN_IF_ERROR(LiftToGroup(&having_bound, keys, key_out_ordinal,
+                                         spj, q_spj, group,
+                                         kGroupPlaceholderQid));
+    }
+
+    // Fast path: every item is a direct reference to a group output and they
+    // are in a position where renaming group outputs suffices.
+    if (!needs_parent) {
+      bool direct = true;
+      for (const Lifted& item : lifted_items) {
+        if (item.expr->kind != ExprKind::kColumnRef) direct = false;
+      }
+      if (direct) {
+        // Reorder/rename group outputs to match the select list exactly.
+        std::vector<OutputColumn> new_outputs;
+        for (const Lifted& item : lifted_items) {
+          OutputColumn col;
+          col.name = item.name;
+          col.expr = group->outputs[item.expr->col].expr->Clone();
+          new_outputs.push_back(std::move(col));
+        }
+        group->outputs = std::move(new_outputs);
+        return group;
+      }
+    }
+
+    // General path: Select box over the group box.
+    Box* top = graph_->NewBox(BoxKind::kSelect);
+    Quantifier* q_group =
+        graph_->NewQuantifier(top, group, QuantifierKind::kForeach, "");
+    auto patch = [&](Expr* root_expr) {
+      VisitExprMutable(root_expr, [&](Expr* node) {
+        if (node->kind == ExprKind::kColumnRef &&
+            node->qid == kGroupPlaceholderQid) {
+          node->qid = q_group->id;
+        }
+      });
+    };
+    for (Lifted& item : lifted_items) {
+      patch(item.expr.get());
+      top->outputs.push_back({item.name, std::move(item.expr)});
+    }
+    if (having_bound) {
+      patch(having_bound.get());
+      AppendPredicates(top, std::move(having_bound));
+    }
+    top->distinct = select.distinct;
+    return top;
+  }
+
+  // Rewrites a bound expression (over the FROM scope, aggregates included)
+  // into one over the group box. Group outputs are referenced through
+  // `placeholder_qid` since the consuming quantifier may not exist yet.
+  Status LiftToGroup(ExprPtr* expr, const std::vector<ExprPtr>& keys,
+                     const std::vector<int>& key_out_ordinal, Box* spj,
+                     Quantifier* q_spj, Box* group, int placeholder_qid) {
+    // Whole expression equals a group key?
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (ExprEquals(**expr, *keys[i])) {
+        const int ord = key_out_ordinal[i];
+        *expr = MakeColumnRef(placeholder_qid, ord, group->OutputType(ord),
+                              group->OutputName(ord));
+        return Status::OK();
+      }
+    }
+    Expr* node = expr->get();
+    if (node->kind == ExprKind::kAggregate) {
+      // Rebase the aggregate argument onto an spj output, then emit the
+      // aggregate as a group output.
+      ExprPtr agg = std::move(*expr);
+      if (!agg->children.empty()) {
+        const int arg_ord =
+            EnsureOutput(spj, std::move(agg->children[0]),
+                         StrFormat("a%d", spj->num_outputs()));
+        agg->children[0] =
+            MakeColumnRef(q_spj->id, arg_ord, spj->OutputType(arg_ord),
+                          spj->OutputName(arg_ord));
+      }
+      DECORR_RETURN_IF_ERROR(InferTypes(agg.get()));
+      // Reuse an identical existing aggregate output.
+      int ord = -1;
+      for (size_t i = 0; i < group->outputs.size(); ++i) {
+        if (group->outputs[i].expr &&
+            ExprEquals(*group->outputs[i].expr, *agg)) {
+          ord = static_cast<int>(i);
+          break;
+        }
+      }
+      if (ord < 0) {
+        ord = group->num_outputs();
+        group->outputs.push_back({StrFormat("agg%d", ord), std::move(agg)});
+      }
+      *expr = MakeColumnRef(placeholder_qid, ord, group->OutputType(ord),
+                            group->OutputName(ord));
+      return Status::OK();
+    }
+    if (node->kind == ExprKind::kColumnRef) {
+      // A bare column that is not a group key: allowed only if it references
+      // an outer (correlated) quantifier.
+      if (spj->OwnsQuantifier(node->qid)) {
+        return Status::BindError(
+            "column " + node->ToString() +
+            " must appear in GROUP BY or inside an aggregate");
+      }
+      return Status::OK();  // correlated reference, leave untouched
+    }
+    if (node->sub_qid >= 0) {
+      return Status::NotImplemented(
+          "subqueries combined with aggregation in the same block");
+    }
+    for (ExprPtr& child : node->children) {
+      DECORR_RETURN_IF_ERROR(LiftToGroup(&child, keys, key_out_ordinal, spj,
+                                         q_spj, group, placeholder_qid));
+    }
+    return InferTypes(node);
+  }
+
+  // Appends `expr` as an output of `box` unless an equal output exists;
+  // returns the output ordinal.
+  int EnsureOutput(Box* box, ExprPtr expr, std::string name) {
+    for (size_t i = 0; i < box->outputs.size(); ++i) {
+      if (box->outputs[i].expr && ExprEquals(*box->outputs[i].expr, *expr)) {
+        return static_cast<int>(i);
+      }
+    }
+    box->outputs.push_back({std::move(name), std::move(expr)});
+    return box->num_outputs() - 1;
+  }
+
+  int AppendGroupOutput(Box* group, Quantifier* q_spj, int spj_ordinal,
+                        const std::string& name) {
+    group->outputs.push_back(
+        {name, MakeColumnRef(q_spj->id, spj_ordinal,
+                             q_spj->child->OutputType(spj_ordinal), name)});
+    return group->num_outputs() - 1;
+  }
+
+  void AppendPredicates(Box* box, ExprPtr pred) {
+    std::vector<ExprPtr> conjuncts;
+    SplitConjunctsLocal(std::move(pred), &conjuncts);
+    for (ExprPtr& c : conjuncts) box->predicates.push_back(std::move(c));
+  }
+
+  static void SplitConjunctsLocal(ExprPtr expr, std::vector<ExprPtr>* out) {
+    if (expr->kind == ExprKind::kAnd) {
+      SplitConjunctsLocal(std::move(expr->children[0]), out);
+      SplitConjunctsLocal(std::move(expr->children[1]), out);
+      return;
+    }
+    out->push_back(std::move(expr));
+  }
+
+  // ---- FROM ----
+
+  Status BindTableRef(const AstTableRef& ref, Box* owner, Scope* scope) {
+    Box* child = nullptr;
+    std::string alias = ref.alias;
+    std::vector<std::string> columns;
+
+    if (ref.derived) {
+      DECORR_ASSIGN_OR_RETURN(child, BindQuery(*ref.derived, scope));
+      for (int i = 0; i < child->num_outputs(); ++i) {
+        columns.push_back(child->OutputName(i));
+      }
+    } else {
+      auto table = catalog_.GetTable(ref.table_name);
+      if (!table.ok()) return table.status();
+      child = graph_->NewBaseTableBox(table.MoveValue());
+      if (alias.empty()) alias = ref.table_name;
+      for (const ColumnDef& col : child->table->schema().columns()) {
+        columns.push_back(col.name);
+      }
+    }
+
+    if (!ref.column_aliases.empty()) {
+      if (ref.column_aliases.size() != columns.size()) {
+        return Status::BindError(
+            StrFormat("table %s has %zu columns but %zu aliases given",
+                      alias.c_str(), columns.size(),
+                      ref.column_aliases.size()));
+      }
+      columns = ref.column_aliases;
+    }
+
+    // Duplicate alias check within this scope.
+    for (const ScopeEntry& entry : scope->entries) {
+      if (!alias.empty() && EqualsIgnoreCase(entry.alias, alias)) {
+        return Status::BindError("duplicate range variable: " + alias);
+      }
+    }
+
+    Quantifier* q =
+        graph_->NewQuantifier(owner, child, QuantifierKind::kForeach, alias);
+    scope->entries.push_back({q, alias, std::move(columns)});
+    return Status::OK();
+  }
+
+  Status ExpandStar(const std::string& qualifier, const Scope& scope,
+                    Box* spj) {
+    bool matched = false;
+    for (const ScopeEntry& entry : scope.entries) {
+      if (!qualifier.empty() && !EqualsIgnoreCase(entry.alias, qualifier)) {
+        continue;
+      }
+      matched = true;
+      for (size_t i = 0; i < entry.columns.size(); ++i) {
+        spj->outputs.push_back(
+            {entry.columns[i],
+             MakeColumnRef(entry.quantifier->id, static_cast<int>(i),
+                           entry.quantifier->child->OutputType(
+                               static_cast<int>(i)),
+                           entry.columns[i])});
+      }
+    }
+    if (!matched) {
+      return Status::BindError("unknown table in star expansion: " +
+                               qualifier);
+    }
+    return Status::OK();
+  }
+
+  static std::string DeriveOutputName(const AstExpr& expr, int ordinal) {
+    if (expr.kind == AstExprKind::kColumnRef) return expr.column;
+    if (expr.kind == AstExprKind::kFuncCall) return ToLower(expr.func_name);
+    return StrFormat("col%d", ordinal);
+  }
+
+  // ---- expressions ----
+
+  // Binds `ast` in `scope`. `owner` is the box that owns subquery
+  // quantifiers created here. `allow_aggregates` permits aggregate calls
+  // (select list / HAVING of an aggregation block).
+  Result<ExprPtr> BindExpr(const AstExpr& ast, const Scope& scope, Box* owner,
+                           bool allow_aggregates) {
+    switch (ast.kind) {
+      case AstExprKind::kLiteral:
+        return MakeConstant(ast.literal);
+      case AstExprKind::kColumnRef:
+        return ResolveColumn(ast.table, ast.column, scope);
+      case AstExprKind::kBinary: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr rhs,
+            BindExpr(*ast.children[1], scope, owner, allow_aggregates));
+        ExprPtr out;
+        if (ast.op == BinaryOp::kAdd || ast.op == BinaryOp::kSub ||
+            ast.op == BinaryOp::kMul || ast.op == BinaryOp::kDiv) {
+          out = MakeArithmetic(ast.op, std::move(lhs), std::move(rhs));
+        } else {
+          out = MakeComparison(ast.op, std::move(lhs), std::move(rhs));
+        }
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kAnd:
+      case AstExprKind::kOr: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr rhs,
+            BindExpr(*ast.children[1], scope, owner, allow_aggregates));
+        ExprPtr out = ast.kind == AstExprKind::kAnd
+                          ? MakeAnd(std::move(lhs), std::move(rhs))
+                          : MakeOr(std::move(lhs), std::move(rhs));
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kNot: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr child,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        return NegateBound(std::move(child));
+      }
+      case AstExprKind::kNegate: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr child,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        ExprPtr out = MakeNegate(std::move(child));
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kIsNull: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr child,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        return MakeIsNull(std::move(child), ast.negated);
+      }
+      case AstExprKind::kBetween: {
+        // x BETWEEN a AND b  =>  x >= a AND x <= b.
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr x,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr low,
+            BindExpr(*ast.children[1], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr high,
+            BindExpr(*ast.children[2], scope, owner, allow_aggregates));
+        ExprPtr ge = MakeComparison(BinaryOp::kGe, x->Clone(), std::move(low));
+        ExprPtr le = MakeComparison(BinaryOp::kLe, std::move(x),
+                                    std::move(high));
+        ExprPtr out = MakeAnd(std::move(ge), std::move(le));
+        if (ast.negated) out = MakeNot(std::move(out));
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kInList: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        std::vector<ExprPtr> items;
+        for (size_t i = 1; i < ast.children.size(); ++i) {
+          DECORR_ASSIGN_OR_RETURN(
+              ExprPtr item,
+              BindExpr(*ast.children[i], scope, owner, allow_aggregates));
+          items.push_back(std::move(item));
+        }
+        ExprPtr out = MakeInList(std::move(lhs), std::move(items),
+                                 ast.negated);
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kCase: {
+        std::vector<ExprPtr> children;
+        for (const auto& child : ast.children) {
+          DECORR_ASSIGN_OR_RETURN(
+              ExprPtr bound, BindExpr(*child, scope, owner, allow_aggregates));
+          children.push_back(std::move(bound));
+        }
+        ExprPtr out = MakeCase(std::move(children));
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kLike: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr pattern,
+            BindExpr(*ast.children[1], scope, owner, allow_aggregates));
+        ExprPtr out = MakeLike(std::move(lhs), std::move(pattern),
+                               ast.negated);
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+      case AstExprKind::kExists: {
+        DECORR_ASSIGN_OR_RETURN(
+            Quantifier * q,
+            BindSubquery(*ast.subquery, scope, owner,
+                         QuantifierKind::kExistential, -1));
+        return MakeExists(q->id, ast.negated);
+      }
+      case AstExprKind::kInSubquery: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        DECORR_ASSIGN_OR_RETURN(
+            Quantifier * q,
+            BindSubquery(*ast.subquery, scope, owner,
+                         QuantifierKind::kExistential, 1));
+        return MakeInSubquery(std::move(lhs), q->id, ast.negated);
+      }
+      case AstExprKind::kQuantifiedCmp: {
+        DECORR_ASSIGN_OR_RETURN(
+            ExprPtr lhs,
+            BindExpr(*ast.children[0], scope, owner, allow_aggregates));
+        const QuantifierKind qkind = ast.quant == Quantification::kAll
+                                         ? QuantifierKind::kUniversal
+                                         : QuantifierKind::kExistential;
+        DECORR_ASSIGN_OR_RETURN(
+            Quantifier * q, BindSubquery(*ast.subquery, scope, owner, qkind,
+                                         1));
+        return MakeQuantifiedComparison(ast.op, ast.quant, std::move(lhs),
+                                        q->id);
+      }
+      case AstExprKind::kScalarSubquery: {
+        DECORR_ASSIGN_OR_RETURN(
+            Quantifier * q, BindSubquery(*ast.subquery, scope, owner,
+                                         QuantifierKind::kScalar, 1));
+        return MakeScalarSubquery(q->id, q->child->OutputType(0));
+      }
+      case AstExprKind::kFuncCall:
+        return BindFuncCall(ast, scope, owner, allow_aggregates);
+    }
+    return Status::Internal("unhandled AST node");
+  }
+
+  Result<ExprPtr> BindFuncCall(const AstExpr& ast, const Scope& scope,
+                               Box* owner, bool allow_aggregates) {
+    const std::string& name = ast.func_name;
+    if (IsAggregateName(name)) {
+      if (!allow_aggregates) {
+        return Status::BindError("aggregate " + name +
+                                 " not allowed in this clause");
+      }
+      AggKind agg;
+      if (name == "COUNT") {
+        agg = ast.func_star ? AggKind::kCountStar : AggKind::kCount;
+      } else if (name == "SUM") {
+        agg = AggKind::kSum;
+      } else if (name == "AVG") {
+        agg = AggKind::kAvg;
+      } else if (name == "MIN") {
+        agg = AggKind::kMin;
+      } else {
+        agg = AggKind::kMax;
+      }
+      ExprPtr arg;
+      if (!ast.func_star) {
+        if (ast.children.size() != 1) {
+          return Status::BindError(name + " expects exactly one argument");
+        }
+        // Aggregate arguments may not nest aggregates.
+        DECORR_ASSIGN_OR_RETURN(
+            arg, BindExpr(*ast.children[0], scope, owner, false));
+      }
+      ExprPtr out = MakeAggregate(agg, std::move(arg), ast.func_distinct);
+      DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+      return out;
+    }
+    FuncKind func;
+    if (name == "COALESCE") {
+      func = FuncKind::kCoalesce;
+    } else if (name == "ABS") {
+      func = FuncKind::kAbs;
+    } else if (name == "UPPER") {
+      func = FuncKind::kUpper;
+    } else if (name == "LOWER") {
+      func = FuncKind::kLower;
+    } else if (name == "LENGTH") {
+      func = FuncKind::kLength;
+    } else {
+      return Status::BindError("unknown function: " + name);
+    }
+    std::vector<ExprPtr> args;
+    for (const auto& child : ast.children) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr arg,
+                              BindExpr(*child, scope, owner,
+                                       allow_aggregates));
+      args.push_back(std::move(arg));
+    }
+    ExprPtr out = MakeFunction(func, std::move(args));
+    DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+    return out;
+  }
+
+  Result<Quantifier*> BindSubquery(const AstQuery& query, const Scope& scope,
+                                   Box* owner, QuantifierKind kind,
+                                   int required_arity) {
+    DECORR_ASSIGN_OR_RETURN(Box * child, BindQuery(query, &scope));
+    if (required_arity > 0 && child->num_outputs() != required_arity) {
+      return Status::BindError(
+          StrFormat("subquery must return %d column(s), got %d",
+                    required_arity, child->num_outputs()));
+    }
+    return graph_->NewQuantifier(owner, child, kind, "");
+  }
+
+  // Folds NOT into the bound predicate where a cheaper form exists.
+  Result<ExprPtr> NegateBound(ExprPtr bound) {
+    switch (bound->kind) {
+      case ExprKind::kComparison:
+        bound->op = NegateComparison(bound->op);
+        return bound;
+      case ExprKind::kIsNull:
+      case ExprKind::kExists:
+      case ExprKind::kInSubquery:
+      case ExprKind::kInList:
+      case ExprKind::kLike:
+        bound->negated = !bound->negated;
+        return bound;
+      case ExprKind::kNot:
+        return std::move(bound->children[0]);
+      case ExprKind::kQuantifiedComparison:
+        // NOT (x op ANY q)  ==  x negop ALL q, and vice versa.
+        bound->op = NegateComparison(bound->op);
+        bound->quant = bound->quant == Quantification::kAny
+                           ? Quantification::kAll
+                           : Quantification::kAny;
+        return bound;
+      default: {
+        ExprPtr out = MakeNot(std::move(bound));
+        DECORR_RETURN_IF_ERROR(InferTypes(out.get()));
+        return out;
+      }
+    }
+  }
+
+  Result<ExprPtr> ResolveColumn(const std::string& qualifier,
+                                const std::string& column,
+                                const Scope& scope) {
+    const Scope* cur = &scope;
+    while (cur != nullptr) {
+      const ScopeEntry* found_entry = nullptr;
+      int found_col = -1;
+      for (const ScopeEntry& entry : cur->entries) {
+        if (!qualifier.empty() && !EqualsIgnoreCase(entry.alias, qualifier)) {
+          continue;
+        }
+        for (size_t i = 0; i < entry.columns.size(); ++i) {
+          if (EqualsIgnoreCase(entry.columns[i], column)) {
+            if (found_entry != nullptr) {
+              return Status::BindError("ambiguous column: " + column);
+            }
+            found_entry = &entry;
+            found_col = static_cast<int>(i);
+          }
+        }
+      }
+      if (found_entry != nullptr) {
+        return MakeColumnRef(
+            found_entry->quantifier->id, found_col,
+            found_entry->quantifier->child->OutputType(found_col), column);
+      }
+      cur = cur->parent;
+    }
+    return Status::BindError(
+        "cannot resolve column: " +
+        (qualifier.empty() ? column : qualifier + "." + column));
+  }
+
+  const Catalog& catalog_;
+  QueryGraph* graph_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> Bind(const AstQuery& query,
+                                         const Catalog& catalog) {
+  Binder binder(catalog);
+  return binder.BindTop(query);
+}
+
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
+                                                 const Catalog& catalog) {
+  DECORR_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
+  return Bind(*ast, catalog);
+}
+
+}  // namespace decorr

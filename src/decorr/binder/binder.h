@@ -1,0 +1,44 @@
+// The binder turns a parsed AST into a Query Graph Model:
+//   * name resolution against the catalog with nested scopes — a reference
+//     that resolves to an outer scope becomes a *correlation*;
+//   * FROM items bind left to right, so derived tables may reference earlier
+//     tables in the same FROM list (the paper's Query 3 style);
+//   * SELECT blocks with aggregation split into the canonical QGM stack
+//     Select(HAVING/projection) over GroupBy over Select(FROM/WHERE);
+//   * subqueries in predicates become E/A/S quantifiers plus marker
+//     expressions;
+//   * BETWEEN, NOT and `<> ALL`-style forms are normalized.
+#ifndef DECORR_BINDER_BINDER_H_
+#define DECORR_BINDER_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/parser/ast.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// A bound query: the QGM plus the ORDER BY / LIMIT decoration, which is not
+// part of the graph (it does not interact with decorrelation).
+struct BoundQuery {
+  std::unique_ptr<QueryGraph> graph;
+  // Output ordinals of the root box to sort by, with direction.
+  std::vector<std::pair<int, bool>> order_by;  // (ordinal, ascending)
+  int64_t limit = -1;                          // -1 = none
+};
+
+// Binds `query` against `catalog`.
+Result<std::unique_ptr<BoundQuery>> Bind(const AstQuery& query,
+                                         const Catalog& catalog);
+
+// Convenience: parse + bind.
+Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
+                                                 const Catalog& catalog);
+
+}  // namespace decorr
+
+#endif  // DECORR_BINDER_BINDER_H_

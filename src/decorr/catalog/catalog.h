@@ -1,0 +1,66 @@
+// The catalog maps table names to stored tables, their statistics and their
+// indexes. It is the single source of truth the binder and planner consult.
+#ifndef DECORR_CATALOG_CATALOG_H_
+#define DECORR_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/catalog/schema.h"
+#include "decorr/catalog/statistics.h"
+#include "decorr/common/status.h"
+#include "decorr/storage/hash_index.h"
+#include "decorr/storage/table.h"
+
+namespace decorr {
+
+// A registered table plus its derived metadata.
+struct CatalogEntry {
+  TablePtr table;
+  TableStats stats;
+  // Indexes by name. Index names are case-insensitive, stored lowercased.
+  std::map<std::string, std::shared_ptr<HashIndex>> indexes;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers `table` under its schema name; computes statistics eagerly.
+  Status RegisterTable(TablePtr table);
+
+  // Drops a table (and its indexes).
+  Status DropTable(const std::string& name);
+
+  // Recomputes statistics (call after bulk-appending rows).
+  Status RefreshStats(const std::string& name);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  const CatalogEntry* FindEntry(const std::string& name) const;
+
+  // Builds a hash index named `index_name` on `table`(`column_names`).
+  Status CreateIndex(const std::string& table, const std::string& index_name,
+                     const std::vector<std::string>& column_names);
+  Status DropIndex(const std::string& table, const std::string& index_name);
+
+  // An index whose key columns are a subset of `columns` — the planner uses
+  // it to serve conjunctive equality predicates. Returns nullptr if none.
+  std::shared_ptr<HashIndex> FindIndexCoveredBy(
+      const std::string& table, const std::vector<int>& columns) const;
+
+  std::vector<std::string> TableNames() const;
+
+  std::string ToString() const;
+
+ private:
+  // Keyed by lowercased table name.
+  std::map<std::string, CatalogEntry> tables_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_CATALOG_CATALOG_H_

@@ -1,0 +1,44 @@
+#include "decorr/catalog/schema.h"
+
+#include <algorithm>
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns,
+                         std::vector<int> primary_key)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      primary_key_(std::move(primary_key)) {}
+
+std::optional<int> TableSchema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+bool TableSchema::IsKey(const std::vector<int>& columns) const {
+  if (primary_key_.empty()) return false;
+  for (int key_col : primary_key_) {
+    if (std::find(columns.begin(), columns.end(), key_col) == columns.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace decorr

@@ -1,0 +1,53 @@
+// Table schemas: column definitions, primary keys, lookup helpers.
+#ifndef DECORR_CATALOG_SCHEMA_H_
+#define DECORR_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decorr/common/types.h"
+
+namespace decorr {
+
+// One column of a stored table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool nullable = true;
+};
+
+// Schema of a stored (base) table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              std::vector<int> primary_key = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+
+  // Column ordinals forming the primary key; empty if none declared.
+  const std::vector<int>& primary_key() const { return primary_key_; }
+
+  // Case-insensitive lookup; nullopt when absent.
+  std::optional<int> FindColumn(const std::string& name) const;
+
+  // True iff `columns` is a superset of the primary key (and a key exists).
+  // Used by OptMag: "when the correlation attributes form a key of the
+  // supplementary table".
+  bool IsKey(const std::vector<int>& columns) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<int> primary_key_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_CATALOG_SCHEMA_H_

@@ -1,0 +1,41 @@
+// Per-table / per-column statistics used by the planner's cardinality
+// estimates (join ordering, nested-iteration apply placement).
+#ifndef DECORR_CATALOG_STATISTICS_H_
+#define DECORR_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+class Table;
+
+struct ColumnStats {
+  uint64_t distinct_count = 0;
+  uint64_t null_count = 0;
+  Value min;  // NULL when the column is all-NULL or empty
+  Value max;
+};
+
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  // Estimated selectivity of `col = const` (1/distinct, clamped).
+  double EqualitySelectivity(int col) const;
+
+  // Estimated selectivity of a range predicate on `col` (heuristic 1/3).
+  double RangeSelectivity(int col) const;
+
+  std::string ToString() const;
+};
+
+// Exact single-pass statistics over the current table contents.
+TableStats ComputeStats(const Table& table);
+
+}  // namespace decorr
+
+#endif  // DECORR_CATALOG_STATISTICS_H_

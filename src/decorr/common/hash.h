@@ -1,0 +1,17 @@
+// Hash combinators shared by Value, Row and the hash index.
+#ifndef DECORR_COMMON_HASH_H_
+#define DECORR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace decorr {
+
+// boost::hash_combine-style mixing.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_HASH_H_

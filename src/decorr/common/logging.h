@@ -1,0 +1,28 @@
+// Invariant-check macros. DECORR_CHECK aborts with a message on violation;
+// it guards internal invariants (never user input — user input produces
+// Status errors).
+#ifndef DECORR_COMMON_LOGGING_H_
+#define DECORR_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DECORR_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DECORR_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define DECORR_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DECORR_CHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // DECORR_COMMON_LOGGING_H_

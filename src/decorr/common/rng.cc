@@ -1,0 +1,49 @@
+#include "decorr/common/rng.h"
+
+namespace decorr {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+}  // namespace decorr

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generator used by the TPC-D data
+// generator and by property-based tests. xoshiro256** — fast, good quality,
+// reproducible across platforms (unlike std::default_random_engine).
+#ifndef DECORR_COMMON_RNG_H_
+#define DECORR_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace decorr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t Next();
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_RNG_H_

@@ -1,0 +1,73 @@
+#include "decorr/common/status.h"
+
+namespace decorr {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ ? rep_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+Status Status::BindError(std::string msg) {
+  return Status(StatusCode::kBindError, std::move(msg));
+}
+Status Status::NotImplemented(std::string msg) {
+  return Status(StatusCode::kNotImplemented, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::ExecutionError(std::string msg) {
+  return Status(StatusCode::kExecutionError, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+}  // namespace decorr

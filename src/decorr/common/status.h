@@ -1,0 +1,113 @@
+// Status / Result error model for decorr.
+//
+// decorr does not use C++ exceptions. Every fallible operation returns a
+// Status (or a Result<T> which carries either a value or a Status). This
+// mirrors the error-handling style of Arrow and Abseil.
+#ifndef DECORR_COMMON_STATUS_H_
+#define DECORR_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace decorr {
+
+// Broad classification of errors. Kept deliberately small: callers almost
+// always either propagate or print.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kParseError,        // SQL text failed to lex/parse
+  kBindError,         // name resolution / semantic analysis failed
+  kNotImplemented,    // recognized but unsupported construct
+  kNotFound,          // missing table/column/index
+  kAlreadyExists,     // duplicate table/index name
+  kExecutionError,    // runtime failure while evaluating a plan
+  kInternal,          // invariant violation inside decorr itself
+};
+
+// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error outcome. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status BindError(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status ExecutionError(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+// A value-or-error. Holds T on success, Status on failure.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(T value) : var_(std::move(value)) {}
+  Result(Status status) : var_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  T& value() { return std::get<T>(var_); }
+  const T& value() const { return std::get<T>(var_); }
+  T&& MoveValue() { return std::move(std::get<T>(var_)); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate a non-OK Status from the current function.
+#define DECORR_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::decorr::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error propagate, else bind the value.
+#define DECORR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.MoveValue();
+
+#define DECORR_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DECORR_ASSIGN_OR_RETURN_NAME(a, b) DECORR_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define DECORR_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  DECORR_ASSIGN_OR_RETURN_IMPL(                                               \
+      DECORR_ASSIGN_OR_RETURN_NAME(_decorr_result_, __LINE__), lhs, expr)
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers used across modules (no locale dependence).
+#ifndef DECORR_COMMON_STRING_UTIL_H_
+#define DECORR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decorr {
+
+// ASCII-only case conversion (SQL identifiers/keywords are ASCII).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Repeats `s` `n` times (used by tree printers for indentation).
+std::string Repeat(std::string_view s, int n);
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,46 @@
+#include "decorr/common/types.h"
+
+namespace decorr {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+bool IsNumeric(TypeId type) {
+  return type == TypeId::kInt64 || type == TypeId::kDouble ||
+         type == TypeId::kNull;
+}
+
+bool IsImplicitlyCoercible(TypeId from, TypeId to) {
+  if (from == to) return true;
+  if (from == TypeId::kNull) return true;
+  if (from == TypeId::kInt64 && to == TypeId::kDouble) return true;
+  return false;
+}
+
+TypeId CommonType(TypeId a, TypeId b, bool* ok) {
+  *ok = true;
+  if (a == b) return a;
+  if (a == TypeId::kNull) return b;
+  if (b == TypeId::kNull) return a;
+  if ((a == TypeId::kInt64 && b == TypeId::kDouble) ||
+      (a == TypeId::kDouble && b == TypeId::kInt64)) {
+    return TypeId::kDouble;
+  }
+  *ok = false;
+  return TypeId::kNull;
+}
+
+}  // namespace decorr

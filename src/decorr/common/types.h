@@ -1,0 +1,37 @@
+// Logical SQL types supported by decorr.
+#ifndef DECORR_COMMON_TYPES_H_
+#define DECORR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace decorr {
+
+// Logical column / expression types. kNull is the type of the NULL literal
+// before coercion; it unifies with every other type.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+// Human-readable name ("INT64", ...).
+const char* TypeName(TypeId type);
+
+// True if `from` may be used where `to` is expected without an explicit
+// cast (NULL -> anything, INT64 -> DOUBLE, exact match).
+bool IsImplicitlyCoercible(TypeId from, TypeId to);
+
+// The common type of two operands in an arithmetic / comparison context,
+// e.g. (INT64, DOUBLE) -> DOUBLE. Returns kNull only if both are kNull.
+// Sets *ok=false when the pair is incompatible (e.g. STRING vs INT64).
+TypeId CommonType(TypeId a, TypeId b, bool* ok);
+
+// True for INT64 / DOUBLE (and kNull, which unifies with numerics).
+bool IsNumeric(TypeId type);
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_TYPES_H_

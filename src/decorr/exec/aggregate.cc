@@ -1,0 +1,177 @@
+#include "decorr/exec/aggregate.h"
+
+#include "decorr/expr/eval.h"
+
+namespace decorr {
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<ExprPtr> group_keys,
+                                 std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_keys_(std::move(group_keys)),
+      aggs_(std::move(aggs)) {}
+
+void HashAggregateOp::Accumulate(const Row& in,
+                                 std::vector<AggState>* states) {
+  EvalContext ectx;
+  ectx.row = &in;
+  ectx.params = ctx_->params;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    AggState& state = (*states)[i];
+    if (spec.kind == AggKind::kCountStar) {
+      ++state.count;
+      continue;
+    }
+    Value v = Eval(*spec.arg, ectx);
+    if (v.is_null()) continue;  // aggregates ignore NULL inputs
+    if (spec.distinct) {
+      std::string key = v.ToString();
+      if (!state.distinct_seen.insert(std::move(key)).second) continue;
+    }
+    ++state.count;
+    switch (spec.kind) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        state.sum += v.AsDouble();
+        if (v.type() == TypeId::kInt64) state.isum += v.int64_value();
+        break;
+      case AggKind::kMin:
+        if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
+        break;
+      case AggKind::kMax:
+        if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+Value HashAggregateOp::Finalize(const AggSpec& spec,
+                                const AggState& state) const {
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int64(state.count);
+    case AggKind::kSum:
+      if (state.count == 0) return Value::Null();
+      if (spec.result_type == TypeId::kInt64) return Value::Int64(state.isum);
+      return Value::Double(state.sum);
+    case AggKind::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.sum / static_cast<double>(state.count));
+    case AggKind::kMin:
+      return state.min;
+    case AggKind::kMax:
+      return state.max;
+  }
+  return Value::Null();
+}
+
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  result_rows_.clear();
+  cursor_ = 0;
+
+  // Group states keyed by the group-key row; insertion order retained for
+  // deterministic output.
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+
+  DECORR_RETURN_IF_ERROR(child_->Open(ctx));
+  while (true) {
+    Row in;
+    bool eof = false;
+    Status st = child_->Next(&in, &eof);
+    if (!st.ok()) {
+      child_->Close();
+      return st;
+    }
+    if (eof) break;
+    EvalContext ectx;
+    ectx.row = &in;
+    ectx.params = ctx->params;
+    Row key;
+    key.reserve(group_keys_.size());
+    for (const ExprPtr& expr : group_keys_) key.push_back(Eval(*expr, ectx));
+    auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key));
+      group_states.emplace_back(aggs_.size());
+    }
+    Accumulate(in, &group_states[it->second]);
+  }
+  child_->Close();
+
+  // Scalar aggregation produces exactly one (possibly empty-input) group.
+  if (group_keys_.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    group_states.emplace_back(aggs_.size());
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row out = group_keys[g];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      out.push_back(Finalize(aggs_[i], group_states[g][i]));
+    }
+    result_rows_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOp::Next(Row* out, bool* eof) {
+  if (cursor_ >= result_rows_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = std::move(result_rows_[cursor_++]);
+  *eof = false;
+  return Status::OK();
+}
+
+void HashAggregateOp::Close() { result_rows_.clear(); }
+
+std::string HashAggregateOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "HashAggregate keys=[";
+  for (size_t i = 0; i < group_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_keys_[i]->ToString();
+  }
+  out += "] aggs=[";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggKindName(aggs_[i].kind);
+    if (aggs_[i].arg) out += "(" + aggs_[i].arg->ToString() + ")";
+  }
+  return out + "]\n" + child_->ToString(indent + 1);
+}
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+
+Status DistinctOp::Open(ExecContext* ctx) {
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Status DistinctOp::Next(Row* out, bool* eof) {
+  while (true) {
+    DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    if (seen_.insert(*out).second) return Status::OK();
+  }
+}
+
+void DistinctOp::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+std::string DistinctOp::ToString(int indent) const {
+  return Indent(indent) + "Distinct\n" + child_->ToString(indent + 1);
+}
+
+}  // namespace decorr

@@ -1,0 +1,83 @@
+// Hash aggregation and duplicate elimination.
+#ifndef DECORR_EXEC_AGGREGATE_H_
+#define DECORR_EXEC_AGGREGATE_H_
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "decorr/exec/operator.h"
+#include "decorr/expr/expr.h"
+
+namespace decorr {
+
+// One aggregate computation.
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  ExprPtr arg;           // null for COUNT(*)
+  bool distinct = false;
+  TypeId result_type = TypeId::kInt64;
+};
+
+// Hash aggregation: groups by `group_keys` (expressions over input rows) and
+// computes `aggs`. Output row layout: group key values, then aggregate
+// values. With no group keys exactly one row is produced even for empty
+// input (COUNT(*)=0, SUM/AVG/MIN/MAX=NULL) — the semantics at the heart of
+// the COUNT bug.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_keys,
+                  std::vector<AggSpec> aggs);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "HashAggregate"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return static_cast<int>(group_keys_.size() + aggs_.size());
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;       // rows accumulated (non-null for COUNT(x))
+    double sum = 0.0;
+    int64_t isum = 0;
+    Value min;
+    Value max;
+    std::set<std::string> distinct_seen;  // serialized values for DISTINCT
+  };
+
+  void Accumulate(const Row& in, std::vector<AggState>* states);
+  Value Finalize(const AggSpec& spec, const AggState& state) const;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_keys_;
+  std::vector<AggSpec> aggs_;
+
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> result_rows_;
+  size_t cursor_ = 0;
+};
+
+// DISTINCT over full rows (order-preserving on first occurrence).
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "Distinct"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return child_->output_width(); }
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_AGGREGATE_H_

@@ -1,0 +1,65 @@
+#include "decorr/exec/filter_project.h"
+
+#include "decorr/expr/eval.h"
+
+namespace decorr {
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Status FilterOp::Next(Row* out, bool* eof) {
+  while (true) {
+    DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    EvalContext ectx;
+    ectx.row = out;
+    ectx.params = ctx_->params;
+    if (EvalPredicate(*predicate_, ectx)) return Status::OK();
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+std::string FilterOp::ToString(int indent) const {
+  return Indent(indent) + "Filter " + predicate_->ToString() + "\n" +
+         child_->ToString(indent + 1);
+}
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Status ProjectOp::Next(Row* out, bool* eof) {
+  Row in;
+  DECORR_RETURN_IF_ERROR(child_->Next(&in, eof));
+  if (*eof) return Status::OK();
+  EvalContext ectx;
+  ectx.row = &in;
+  ectx.params = ctx_->params;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& expr : exprs_) out->push_back(Eval(*expr, ectx));
+  return Status::OK();
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+std::string ProjectOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "Project [";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + "]\n" + child_->ToString(indent + 1);
+}
+
+}  // namespace decorr

@@ -1,0 +1,49 @@
+// Filter and projection operators.
+#ifndef DECORR_EXEC_FILTER_PROJECT_H_
+#define DECORR_EXEC_FILTER_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "decorr/exec/operator.h"
+#include "decorr/expr/expr.h"
+
+namespace decorr {
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "Filter"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return child_->output_width(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  ExecContext* ctx_ = nullptr;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "Project"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return static_cast<int>(exprs_.size()); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_FILTER_PROJECT_H_

@@ -1,0 +1,314 @@
+#include "decorr/exec/join.h"
+
+#include "decorr/expr/eval.h"
+
+namespace decorr {
+
+namespace {
+
+// Evaluates key expressions over `row`; returns false if any key is NULL
+// (SQL equality join keys never match NULL).
+bool EvalKeys(const std::vector<ExprPtr>& exprs, const Row& row,
+              const Row* params, Row* out) {
+  EvalContext ectx;
+  ectx.row = &row;
+  ectx.params = params;
+  out->clear();
+  out->reserve(exprs.size());
+  for (const ExprPtr& expr : exprs) {
+    Value v = Eval(*expr, ectx);
+    if (v.is_null()) return false;
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+void AppendNullPadding(Row* row, int width) {
+  for (int i = 0; i < width; ++i) row->push_back(Value::Null());
+}
+
+}  // namespace
+
+// ---- HashJoinOp ----
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys, ExprPtr residual,
+                       JoinType join_type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      join_type_(join_type) {}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  table_.clear();
+  matches_ = nullptr;
+  left_eof_ = false;
+
+  // Build phase over the right child.
+  DECORR_RETURN_IF_ERROR(right_->Open(ctx));
+  while (true) {
+    Row row;
+    bool eof = false;
+    Status st = right_->Next(&row, &eof);
+    if (!st.ok()) {
+      right_->Close();
+      return st;
+    }
+    if (eof) break;
+    Row key;
+    if (!EvalKeys(right_keys_, row, ctx->params, &key)) continue;
+    table_[std::move(key)].push_back(std::move(row));
+  }
+  right_->Close();
+  return left_->Open(ctx);
+}
+
+Status HashJoinOp::Next(Row* out, bool* eof) {
+  while (true) {
+    // Drain matches for the current probe row.
+    if (matches_ != nullptr) {
+      while (match_cursor_ < matches_->size()) {
+        const Row& right_row = (*matches_)[match_cursor_++];
+        Row combined = current_left_;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        if (residual_) {
+          EvalContext ectx;
+          ectx.row = &combined;
+          ectx.params = ctx_->params;
+          if (!EvalPredicate(*residual_, ectx)) continue;
+        }
+        emitted_match_ = true;
+        *out = std::move(combined);
+        *eof = false;
+        return Status::OK();
+      }
+      // Matches exhausted; LOJ null padding if nothing survived.
+      matches_ = nullptr;
+      if (join_type_ == JoinType::kLeftOuter && !emitted_match_) {
+        *out = current_left_;
+        AppendNullPadding(out, right_->output_width());
+        *eof = false;
+        return Status::OK();
+      }
+    }
+    if (left_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    // Fetch the next probe row.
+    bool child_eof = false;
+    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    if (child_eof) {
+      left_eof_ = true;
+      continue;
+    }
+    emitted_match_ = false;
+    Row key;
+    if (!EvalKeys(left_keys_, current_left_, ctx_->params, &key)) {
+      // NULL key: no match possible.
+      if (join_type_ == JoinType::kLeftOuter) {
+        *out = current_left_;
+        AppendNullPadding(out, right_->output_width());
+        *eof = false;
+        return Status::OK();
+      }
+      continue;
+    }
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      matches_ = &it->second;
+      match_cursor_ = 0;
+    } else if (join_type_ == JoinType::kLeftOuter) {
+      *out = current_left_;
+      AppendNullPadding(out, right_->output_width());
+      *eof = false;
+      return Status::OK();
+    }
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  table_.clear();
+  matches_ = nullptr;
+}
+
+std::string HashJoinOp::name() const {
+  return join_type_ == JoinType::kInner ? "HashJoin" : "HashLeftOuterJoin";
+}
+
+std::string HashJoinOp::ToString(int indent) const {
+  std::string out = Indent(indent) + name() + " on ";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += left_keys_[i]->ToString() + "=" + right_keys_[i]->ToString();
+  }
+  if (residual_) out += " residual=" + residual_->ToString();
+  out += "\n";
+  out += left_->ToString(indent + 1);
+  out += right_->ToString(indent + 1);
+  return out;
+}
+
+// ---- NestedLoopJoinOp ----
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr predicate, JoinType join_type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      join_type_(join_type) {}
+
+Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  DECORR_ASSIGN_OR_RETURN(right_rows_, CollectRows(right_.get(), ctx));
+  left_eof_ = false;
+  right_cursor_ = right_rows_.size();  // force first left fetch
+  emitted_match_ = true;
+  return left_->Open(ctx);
+}
+
+Status NestedLoopJoinOp::Next(Row* out, bool* eof) {
+  while (true) {
+    while (right_cursor_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_cursor_++];
+      Row combined = current_left_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      if (predicate_) {
+        EvalContext ectx;
+        ectx.row = &combined;
+        ectx.params = ctx_->params;
+        if (!EvalPredicate(*predicate_, ectx)) continue;
+      }
+      emitted_match_ = true;
+      *out = std::move(combined);
+      *eof = false;
+      return Status::OK();
+    }
+    if (!emitted_match_ && join_type_ == JoinType::kLeftOuter) {
+      emitted_match_ = true;
+      *out = current_left_;
+      AppendNullPadding(out, right_->output_width());
+      *eof = false;
+      return Status::OK();
+    }
+    if (left_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    bool child_eof = false;
+    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    if (child_eof) {
+      left_eof_ = true;
+      continue;
+    }
+    emitted_match_ = false;
+    right_cursor_ = 0;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+std::string NestedLoopJoinOp::ToString(int indent) const {
+  std::string out = Indent(indent) + name();
+  if (predicate_) out += " on " + predicate_->ToString();
+  if (join_type_ == JoinType::kLeftOuter) out += " (left outer)";
+  out += "\n";
+  out += left_->ToString(indent + 1);
+  out += right_->ToString(indent + 1);
+  return out;
+}
+
+// ---- IndexJoinOp ----
+
+IndexJoinOp::IndexJoinOp(OperatorPtr left, TablePtr table,
+                         std::shared_ptr<HashIndex> index,
+                         std::vector<ExprPtr> key_exprs, ExprPtr residual)
+    : left_(std::move(left)),
+      table_(std::move(table)),
+      index_(std::move(index)),
+      key_exprs_(std::move(key_exprs)),
+      residual_(std::move(residual)) {}
+
+Status IndexJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  matches_ = nullptr;
+  left_eof_ = false;
+  return left_->Open(ctx);
+}
+
+Status IndexJoinOp::Next(Row* out, bool* eof) {
+  while (true) {
+    if (matches_ != nullptr) {
+      while (match_cursor_ < matches_->size()) {
+        const size_t r = (*matches_)[match_cursor_++];
+        ++ctx_->stats->rows_scanned;
+        Row combined = current_left_;
+        for (int c = 0; c < table_->num_columns(); ++c) {
+          combined.push_back(table_->GetValue(r, c));
+        }
+        if (residual_) {
+          EvalContext ectx;
+          ectx.row = &combined;
+          ectx.params = ctx_->params;
+          if (!EvalPredicate(*residual_, ectx)) continue;
+        }
+        *out = std::move(combined);
+        *eof = false;
+        return Status::OK();
+      }
+      matches_ = nullptr;
+    }
+    if (left_eof_) {
+      *eof = true;
+      return Status::OK();
+    }
+    bool child_eof = false;
+    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    if (child_eof) {
+      left_eof_ = true;
+      continue;
+    }
+    EvalContext ectx;
+    ectx.row = &current_left_;
+    ectx.params = ctx_->params;
+    Row key;
+    key.reserve(key_exprs_.size());
+    bool null_key = false;
+    for (const ExprPtr& expr : key_exprs_) {
+      Value v = Eval(*expr, ectx);
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (null_key) continue;
+    ++ctx_->stats->index_lookups;
+    matches_ = &index_->Lookup(key);
+    match_cursor_ = 0;
+  }
+}
+
+void IndexJoinOp::Close() {
+  left_->Close();
+  matches_ = nullptr;
+}
+
+std::string IndexJoinOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "IndexJoin(" + table_->schema().name() +
+                    ") key=(";
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += key_exprs_[i]->ToString();
+  }
+  out += ")";
+  if (residual_) out += " residual=" + residual_->ToString();
+  return out + "\n" + left_->ToString(indent + 1);
+}
+
+}  // namespace decorr

@@ -1,0 +1,125 @@
+// Join operators: hash join (inner / left outer) on equality keys with an
+// optional residual predicate, and a materializing nested-loop join for
+// non-equality predicates (degenerate case: cross product).
+//
+// Output rows are the concatenation left ++ right; for left-outer joins the
+// right side is NULL-padded when no match survives.
+#ifndef DECORR_EXEC_JOIN_H_
+#define DECORR_EXEC_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "decorr/exec/operator.h"
+#include "decorr/expr/expr.h"
+#include "decorr/storage/hash_index.h"
+#include "decorr/storage/table.h"
+
+namespace decorr {
+
+enum class JoinType : uint8_t { kInner, kLeftOuter };
+
+class HashJoinOp : public Operator {
+ public:
+  // `left_keys` are evaluated over left rows, `right_keys` over right rows
+  // (same arity). `residual` (may be null) is evaluated over the combined
+  // row. The right side is built into the hash table.
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr>
+             left_keys, std::vector<ExprPtr> right_keys, ExprPtr residual,
+             JoinType join_type);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return left_->output_width() + right_->output_width();
+  }
+
+ private:
+  // SQL join keys never match on NULL; such build/probe rows are skipped
+  // (LOJ probe rows with a NULL key emit the NULL-padded row directly).
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;
+  JoinType join_type_;
+
+  ExecContext* ctx_ = nullptr;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
+  Row current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_cursor_ = 0;
+  bool emitted_match_ = false;  // for LOJ null padding
+  bool left_eof_ = true;
+};
+
+class NestedLoopJoinOp : public Operator {
+ public:
+  // Materializes the right side once; `predicate` (may be null = cross
+  // product) is evaluated over the combined row.
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
+                   JoinType join_type);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "NestedLoopJoin"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return left_->output_width() + right_->output_width();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  JoinType join_type_;
+
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  size_t right_cursor_ = 0;
+  bool emitted_match_ = false;
+  bool left_eof_ = true;
+};
+
+// Index nested-loop join: for each left row, evaluates `key_exprs` (over
+// the left row) and probes `index` on `table`; matching table rows pass the
+// residual filter (over the combined row) and are emitted concatenated.
+// Inner-join semantics. The access path of choice when the outer side is
+// tiny (magic/supplementary tables) and the inner side is indexed.
+class IndexJoinOp : public Operator {
+ public:
+  IndexJoinOp(OperatorPtr left, TablePtr table,
+              std::shared_ptr<HashIndex> index, std::vector<ExprPtr>
+              key_exprs, ExprPtr residual);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "IndexJoin"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return left_->output_width() + table_->num_columns();
+  }
+
+ private:
+  OperatorPtr left_;
+  TablePtr table_;
+  std::shared_ptr<HashIndex> index_;
+  std::vector<ExprPtr> key_exprs_;
+  ExprPtr residual_;
+
+  ExecContext* ctx_ = nullptr;
+  Row current_left_;
+  const std::vector<uint32_t>* matches_ = nullptr;
+  size_t match_cursor_ = 0;
+  bool left_eof_ = true;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_JOIN_H_

@@ -1,0 +1,152 @@
+#include "decorr/exec/misc_ops.h"
+
+#include <algorithm>
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+// ---- UnionAllOp ----
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {}
+
+Status UnionAllOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_ = 0;
+  if (!children_.empty()) return children_[0]->Open(ctx);
+  return Status::OK();
+}
+
+Status UnionAllOp::Next(Row* out, bool* eof) {
+  while (current_ < children_.size()) {
+    bool child_eof = false;
+    DECORR_RETURN_IF_ERROR(children_[current_]->Next(out, &child_eof));
+    if (!child_eof) {
+      *eof = false;
+      return Status::OK();
+    }
+    children_[current_]->Close();
+    ++current_;
+    if (current_ < children_.size()) {
+      DECORR_RETURN_IF_ERROR(children_[current_]->Open(ctx_));
+    }
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+void UnionAllOp::Close() {
+  // Children past `current_` were never opened; the current one (if any)
+  // may still be open.
+  if (current_ < children_.size()) children_[current_]->Close();
+}
+
+std::string UnionAllOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "UnionAll\n";
+  for (const OperatorPtr& child : children_) out += child->ToString(indent + 1);
+  return out;
+}
+
+// ---- SortOp ----
+
+SortOp::SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> sort_keys)
+    : child_(std::move(child)), sort_keys_(std::move(sort_keys)) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  DECORR_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get(), ctx));
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const auto& [col, asc] : sort_keys_) {
+                       const int cmp = a[col].Compare(b[col]);
+                       if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+                     }
+                     return false;
+                   });
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status SortOp::Next(Row* out, bool* eof) {
+  if (cursor_ >= rows_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = std::move(rows_[cursor_++]);
+  *eof = false;
+  return Status::OK();
+}
+
+void SortOp::Close() { rows_.clear(); }
+
+std::string SortOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "Sort [";
+  for (size_t i = 0; i < sort_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("$%d %s", sort_keys_[i].first,
+                     sort_keys_[i].second ? "ASC" : "DESC");
+  }
+  return out + "]\n" + child_->ToString(indent + 1);
+}
+
+// ---- LimitOp ----
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open(ExecContext* ctx) {
+  produced_ = 0;
+  return child_->Open(ctx);
+}
+
+Status LimitOp::Next(Row* out, bool* eof) {
+  if (produced_ >= limit_) {
+    *eof = true;
+    return Status::OK();
+  }
+  DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
+  if (!*eof) ++produced_;
+  return Status::OK();
+}
+
+void LimitOp::Close() { child_->Close(); }
+
+std::string LimitOp::ToString(int indent) const {
+  return Indent(indent) + StrFormat("Limit %lld", (long long)limit_) + "\n" +
+         child_->ToString(indent + 1);
+}
+
+// ---- CachedMaterializeOp ----
+
+CachedMaterializeOp::CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared)
+    : shared_(std::move(shared)) {}
+
+Status CachedMaterializeOp::Open(ExecContext* ctx) {
+  cursor_ = 0;
+  if (!shared_->computed) {
+    DECORR_ASSIGN_OR_RETURN(shared_->rows,
+                            CollectRows(shared_->plan.get(), ctx));
+    shared_->computed = true;
+  }
+  return Status::OK();
+}
+
+Status CachedMaterializeOp::Next(Row* out, bool* eof) {
+  if (cursor_ >= shared_->rows.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = shared_->rows[cursor_++];
+  *eof = false;
+  return Status::OK();
+}
+
+void CachedMaterializeOp::Close() {}
+
+std::string CachedMaterializeOp::ToString(int indent) const {
+  std::string out = Indent(indent) + "CachedMaterialize\n";
+  if (shared_->plan) out += shared_->plan->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace decorr

@@ -1,0 +1,96 @@
+// Union, sort, limit and shared-result materialization operators.
+#ifndef DECORR_EXEC_MISC_OPS_H_
+#define DECORR_EXEC_MISC_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "decorr/exec/operator.h"
+
+namespace decorr {
+
+// Concatenates children (UNION ALL; wrap in DistinctOp for UNION).
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "UnionAll"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return children_[0]->output_width(); }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  ExecContext* ctx_ = nullptr;
+  size_t current_ = 0;
+};
+
+// Full sort on (ordinal, ascending) keys using the Value total order.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> sort_keys);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "Sort"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return child_->output_width(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::pair<int, bool>> sort_keys_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "Limit"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return child_->output_width(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+// Shared materialization of a common subexpression: whichever consumer
+// Opens first computes the subplan once; every consumer then iterates the
+// cached rows. This is the "materialize the supplementary table"
+// alternative the paper wishes Starburst had (Sections 5.1/5.3); without
+// it, plans simply embed duplicate subtrees and recompute.
+struct SharedSubplan {
+  OperatorPtr plan;
+  int width = 0;
+  bool computed = false;
+  std::vector<Row> rows;
+};
+
+class CachedMaterializeOp : public Operator {
+ public:
+  explicit CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "CachedMaterialize"; }
+  std::string ToString(int indent) const override;
+  int output_width() const override { return shared_->width; }
+
+ private:
+  std::shared_ptr<SharedSubplan> shared_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_MISC_OPS_H_

@@ -1,0 +1,31 @@
+#include "decorr/exec/operator.h"
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+std::string Operator::ToString(int indent) const {
+  return Indent(indent) + name() + "\n";
+}
+
+std::string Operator::Indent(int n) { return Repeat("  ", n); }
+
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx) {
+  DECORR_RETURN_IF_ERROR(op->Open(ctx));
+  std::vector<Row> rows;
+  while (true) {
+    Row row;
+    bool eof = false;
+    Status st = op->Next(&row, &eof);
+    if (!st.ok()) {
+      op->Close();
+      return st;
+    }
+    if (eof) break;
+    rows.push_back(std::move(row));
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace decorr

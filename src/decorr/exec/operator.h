@@ -1,0 +1,68 @@
+// Physical operator interface: a tuple-at-a-time (Volcano-style) iterator
+// tree. Operators are produced by the planner (decorr/planner); expressions
+// inside operators are planned (column refs carry flat slots, correlated
+// references are parameter refs).
+#ifndef DECORR_EXEC_OPERATOR_H_
+#define DECORR_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+// Counters used by tests (invocation counts mirror the paper's reported
+// numbers) and by the EXPLAIN ANALYZE-style output.
+struct ExecStats {
+  int64_t rows_scanned = 0;          // base-table rows visited
+  int64_t index_lookups = 0;         // index probes
+  int64_t subquery_invocations = 0;  // Apply inner executions (paper metric)
+  int64_t rows_output = 0;           // rows produced at the root
+};
+
+// Per-execution context threaded through Open(). `params` carries the
+// correlation bindings of the innermost enclosing Apply.
+struct ExecContext {
+  const Row* params = nullptr;
+  ExecStats* stats = nullptr;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Prepares for iteration. May be called again after Close() — Apply
+  // re-opens its inner plan once per outer row.
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  // Produces the next row. Sets *eof=true (and leaves *out untouched) at
+  // end of stream.
+  virtual Status Next(Row* out, bool* eof) = 0;
+
+  virtual void Close() = 0;
+
+  virtual std::string name() const = 0;
+
+  // Indented plan rendering (EXPLAIN).
+  virtual std::string ToString(int indent) const;
+
+  // Number of columns produced.
+  virtual int output_width() const = 0;
+
+ protected:
+  // Children pretty-printing helper.
+  static std::string Indent(int n);
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Drains `op` into a vector of rows (Open/Next/Close).
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx);
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_OPERATOR_H_

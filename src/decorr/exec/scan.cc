@@ -1,0 +1,177 @@
+#include "decorr/exec/scan.h"
+
+#include <algorithm>
+
+#include "decorr/common/string_util.h"
+#include "decorr/expr/eval.h"
+
+namespace decorr {
+
+namespace {
+
+std::vector<int> FilterColumns(const Expr* filter) {
+  std::vector<int> cols;
+  if (filter == nullptr) return cols;
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(*filter, &refs);
+  for (const Expr* ref : refs) {
+    if (std::find(cols.begin(), cols.end(), ref->slot) == cols.end()) {
+      cols.push_back(ref->slot);
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+// ---- SeqScanOp ----
+
+SeqScanOp::SeqScanOp(TablePtr table, std::vector<int> projection,
+                     ExprPtr filter)
+    : table_(std::move(table)),
+      projection_(std::move(projection)),
+      filter_(std::move(filter)) {
+  filter_columns_ = FilterColumns(filter_.get());
+}
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  scratch_.assign(table_->num_columns(), Value());
+  return Status::OK();
+}
+
+Status SeqScanOp::Next(Row* out, bool* eof) {
+  const size_t n = table_->num_rows();
+  EvalContext ectx;
+  ectx.row = &scratch_;
+  ectx.params = ctx_->params;
+  while (cursor_ < n) {
+    const size_t r = cursor_++;
+    ++ctx_->stats->rows_scanned;
+    if (filter_) {
+      for (int c : filter_columns_) scratch_[c] = table_->GetValue(r, c);
+      if (!EvalPredicate(*filter_, ectx)) continue;
+    }
+    out->clear();
+    out->reserve(projection_.size());
+    for (int c : projection_) out->push_back(table_->GetValue(r, c));
+    *eof = false;
+    return Status::OK();
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+void SeqScanOp::Close() {}
+
+std::string SeqScanOp::name() const {
+  return "SeqScan(" + table_->schema().name() + ")";
+}
+
+std::string SeqScanOp::ToString(int indent) const {
+  std::string out = Indent(indent) + name();
+  if (filter_) out += " filter=" + filter_->ToString();
+  return out + "\n";
+}
+
+// ---- IndexLookupOp ----
+
+IndexLookupOp::IndexLookupOp(TablePtr table, std::shared_ptr<HashIndex> index,
+                             std::vector<ExprPtr> key_exprs,
+                             std::vector<int> projection,
+                             ExprPtr residual_filter)
+    : table_(std::move(table)),
+      index_(std::move(index)),
+      key_exprs_(std::move(key_exprs)),
+      projection_(std::move(projection)),
+      filter_(std::move(residual_filter)) {
+  filter_columns_ = FilterColumns(filter_.get());
+}
+
+Status IndexLookupOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  scratch_.assign(table_->num_columns(), Value());
+  Row key;
+  key.reserve(key_exprs_.size());
+  EvalContext ectx;
+  ectx.row = nullptr;
+  ectx.params = ctx->params;
+  null_key_ = false;
+  for (const ExprPtr& expr : key_exprs_) {
+    Value v = Eval(*expr, ectx);
+    if (v.is_null()) null_key_ = true;
+    key.push_back(std::move(v));
+  }
+  ++ctx->stats->index_lookups;
+  matches_ = null_key_ ? nullptr : &index_->Lookup(key);
+  return Status::OK();
+}
+
+Status IndexLookupOp::Next(Row* out, bool* eof) {
+  if (matches_ == nullptr) {
+    *eof = true;
+    return Status::OK();
+  }
+  EvalContext ectx;
+  ectx.row = &scratch_;
+  ectx.params = ctx_->params;
+  while (cursor_ < matches_->size()) {
+    const size_t r = (*matches_)[cursor_++];
+    ++ctx_->stats->rows_scanned;
+    if (filter_) {
+      for (int c : filter_columns_) scratch_[c] = table_->GetValue(r, c);
+      if (!EvalPredicate(*filter_, ectx)) continue;
+    }
+    out->clear();
+    out->reserve(projection_.size());
+    for (int c : projection_) out->push_back(table_->GetValue(r, c));
+    *eof = false;
+    return Status::OK();
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+void IndexLookupOp::Close() { matches_ = nullptr; }
+
+std::string IndexLookupOp::name() const {
+  return "IndexLookup(" + table_->schema().name() + ")";
+}
+
+std::string IndexLookupOp::ToString(int indent) const {
+  std::string out = Indent(indent) + name() + " key=(";
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += key_exprs_[i]->ToString();
+  }
+  out += ")";
+  if (filter_) out += " filter=" + filter_->ToString();
+  return out + "\n";
+}
+
+// ---- RowsScanOp ----
+
+RowsScanOp::RowsScanOp(std::shared_ptr<const std::vector<Row>> rows, int width)
+    : rows_(std::move(rows)), width_(width) {}
+
+Status RowsScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status RowsScanOp::Next(Row* out, bool* eof) {
+  if (cursor_ >= rows_->size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *out = (*rows_)[cursor_++];
+  *eof = false;
+  return Status::OK();
+}
+
+void RowsScanOp::Close() {}
+
+}  // namespace decorr

@@ -1,0 +1,96 @@
+// Base-table access: sequential scan with fused filter, and hash-index
+// lookup (the key may depend on correlation parameters, which is how nested
+// iteration exploits indexes inside subqueries).
+#ifndef DECORR_EXEC_SCAN_H_
+#define DECORR_EXEC_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "decorr/expr/expr.h"
+#include "decorr/exec/operator.h"
+#include "decorr/storage/hash_index.h"
+#include "decorr/storage/table.h"
+
+namespace decorr {
+
+// Sequential scan producing `projection` columns of `table`, restricted by
+// an optional `filter` whose column refs are slots into the FULL table row.
+// The filter is evaluated against a scratch row holding only the columns it
+// references, so non-matching rows never materialize strings they don't
+// need.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(TablePtr table, std::vector<int> projection, ExprPtr filter);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return static_cast<int>(projection_.size());
+  }
+
+ private:
+  TablePtr table_;
+  std::vector<int> projection_;
+  ExprPtr filter_;
+  std::vector<int> filter_columns_;  // table columns the filter touches
+  Row scratch_;                      // full-width scratch row for the filter
+  ExecContext* ctx_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+// Hash-index lookup: evaluates `key_exprs` (constants and/or parameter
+// references) once per Open, probes the index, then applies the residual
+// filter and projection like SeqScanOp.
+class IndexLookupOp : public Operator {
+ public:
+  IndexLookupOp(TablePtr table, std::shared_ptr<HashIndex> index,
+                std::vector<ExprPtr> key_exprs, std::vector<int> projection,
+                ExprPtr residual_filter);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+  int output_width() const override {
+    return static_cast<int>(projection_.size());
+  }
+
+ private:
+  TablePtr table_;
+  std::shared_ptr<HashIndex> index_;
+  std::vector<ExprPtr> key_exprs_;
+  std::vector<int> projection_;
+  ExprPtr filter_;
+  std::vector<int> filter_columns_;
+  Row scratch_;
+  ExecContext* ctx_ = nullptr;
+  const std::vector<uint32_t>* matches_ = nullptr;
+  size_t cursor_ = 0;
+  bool null_key_ = false;  // NULL key matches nothing
+};
+
+// Scan over an in-memory row vector (materialized intermediate results).
+class RowsScanOp : public Operator {
+ public:
+  RowsScanOp(std::shared_ptr<const std::vector<Row>> rows, int width);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override { return "RowsScan"; }
+  int output_width() const override { return width_; }
+
+ private:
+  std::shared_ptr<const std::vector<Row>> rows_;
+  int width_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_SCAN_H_

@@ -1,0 +1,722 @@
+#include "decorr/expr/expr.h"
+
+#include "decorr/common/logging.h"
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* AggKindName(AggKind agg) {
+  switch (agg) {
+    case AggKind::kCountStar:
+      return "COUNT(*)";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+const char* FuncKindName(FuncKind func) {
+  switch (func) {
+    case FuncKind::kCoalesce:
+      return "COALESCE";
+    case FuncKind::kAbs:
+      return "ABS";
+    case FuncKind::kUpper:
+      return "UPPER";
+    case FuncKind::kLower:
+      return "LOWER";
+    case FuncKind::kLength:
+      return "LENGTH";
+  }
+  return "?";
+}
+
+BinaryOp NegateComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return BinaryOp::kNe;
+    case BinaryOp::kNe:
+      return BinaryOp::kEq;
+    case BinaryOp::kLt:
+      return BinaryOp::kGe;
+    case BinaryOp::kLe:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLt;
+    default:
+      DECORR_CHECK_MSG(false, "not a comparison operator");
+      return op;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+      return op;
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      DECORR_CHECK_MSG(false, "not a comparison operator");
+      return op;
+  }
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->type = type;
+  out->value = value;
+  out->qid = qid;
+  out->col = col;
+  out->slot = slot;
+  out->name = name;
+  out->param = param;
+  out->op = op;
+  out->agg = agg;
+  out->distinct = distinct;
+  out->func = func;
+  out->sub_qid = sub_qid;
+  out->quant = quant;
+  out->negated = negated;
+  out->children.reserve(children.size());
+  for (const ExprPtr& child : children) out->children.push_back(child->Clone());
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kConstant:
+      return value.ToString();
+    case ExprKind::kColumnRef: {
+      std::string label = name.empty() ? StrFormat("c%d", col) : name;
+      if (slot >= 0) return StrFormat("$%d:%s", slot, label.c_str());
+      return StrFormat("Q%d.%s", qid, label.c_str());
+    }
+    case ExprKind::kParamRef:
+      return StrFormat(":p%d%s", param,
+                       name.empty() ? "" : ("(" + name + ")").c_str());
+    case ExprKind::kComparison:
+    case ExprKind::kArithmetic:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " + children[1]->ToString() +
+             ")";
+    case ExprKind::kNot:
+      return "NOT " + children[0]->ToString();
+    case ExprKind::kNegate:
+      return "-" + children[0]->ToString();
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kInList: {
+      std::string out = children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      const size_t pairs = children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (children.size() % 2 == 1) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case ExprKind::kFunction: {
+      std::string out = FuncKindName(func);
+      out += "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate: {
+      if (agg == AggKind::kCountStar) return "COUNT(*)";
+      std::string out = AggKindName(agg);
+      out += "(";
+      if (distinct) out += "DISTINCT ";
+      out += children[0]->ToString();
+      return out + ")";
+    }
+    case ExprKind::kScalarSubquery:
+      return StrFormat("SUBQUERY(Q%d)", sub_qid);
+    case ExprKind::kExists:
+      return StrFormat("%sEXISTS(Q%d)", negated ? "NOT " : "", sub_qid);
+    case ExprKind::kInSubquery:
+      return children[0]->ToString() +
+             StrFormat("%s IN SUBQUERY(Q%d)", negated ? " NOT" : "", sub_qid);
+    case ExprKind::kQuantifiedComparison:
+      return children[0]->ToString() + " " + BinaryOpName(op) +
+             StrFormat(" %s SUBQUERY(Q%d)",
+                       quant == Quantification::kAny ? "ANY" : "ALL", sub_qid);
+  }
+  return "?";
+}
+
+ExprPtr MakeConstant(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConstant;
+  e->type = v.type();
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(int qid, int col, TypeId type, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qid = qid;
+  e->col = col;
+  e->type = type;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeSlotRef(int slot, TypeId type, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->slot = slot;
+  e->type = type;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeParamRef(int param, TypeId type, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParamRef;
+  e->param = param;
+  e->type = type;
+  e->name = std::move(name);
+  return e;
+}
+
+namespace {
+ExprPtr MakeBinary(ExprKind kind, BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+}  // namespace
+
+ExprPtr MakeComparison(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e = MakeBinary(ExprKind::kComparison, op, std::move(lhs),
+                         std::move(rhs));
+  e->type = TypeId::kBool;
+  return e;
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e =
+      MakeBinary(ExprKind::kAnd, BinaryOp::kEq, std::move(lhs), std::move(rhs));
+  e->type = TypeId::kBool;
+  return e;
+}
+
+ExprPtr MakeAnd(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return MakeConstant(Value::Bool(true));
+  ExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = MakeAnd(std::move(out), std::move(conjuncts[i]));
+  }
+  return out;
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e =
+      MakeBinary(ExprKind::kOr, BinaryOp::kEq, std::move(lhs), std::move(rhs));
+  e->type = TypeId::kBool;
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->type = TypeId::kBool;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeArithmetic(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return MakeBinary(ExprKind::kArithmetic, op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeNegate(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNegate;
+  e->type = child->type;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr child, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr lhs, std::vector<ExprPtr> list, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInList;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  e->children.push_back(std::move(lhs));
+  for (ExprPtr& item : list) e->children.push_back(std::move(item));
+  return e;
+}
+
+ExprPtr MakeLike(ExprPtr lhs, ExprPtr pattern, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLike;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(pattern));
+  return e;
+}
+
+ExprPtr MakeCase(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr MakeFunction(FuncKind func, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->func = func;
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakeAggregate(AggKind agg, ExprPtr arg, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = agg;
+  e->distinct = distinct;
+  if (arg) e->children.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeScalarSubquery(int sub_qid, TypeId type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kScalarSubquery;
+  e->sub_qid = sub_qid;
+  e->type = type;
+  return e;
+}
+
+ExprPtr MakeExists(int sub_qid, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kExists;
+  e->sub_qid = sub_qid;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeInSubquery(ExprPtr lhs, int sub_qid, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInSubquery;
+  e->sub_qid = sub_qid;
+  e->type = TypeId::kBool;
+  e->negated = negated;
+  e->children.push_back(std::move(lhs));
+  return e;
+}
+
+ExprPtr MakeQuantifiedComparison(BinaryOp op, Quantification quant,
+                                 ExprPtr lhs, int sub_qid) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kQuantifiedComparison;
+  e->op = op;
+  e->quant = quant;
+  e->sub_qid = sub_qid;
+  e->type = TypeId::kBool;
+  e->children.push_back(std::move(lhs));
+  return e;
+}
+
+void VisitExpr(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  for (const ExprPtr& child : expr.children) VisitExpr(*child, fn);
+}
+
+void VisitExprMutable(Expr* expr, const std::function<void(Expr*)>& fn) {
+  fn(expr);
+  for (ExprPtr& child : expr->children) VisitExprMutable(child.get(), fn);
+}
+
+void CollectColumnRefs(Expr* expr, std::vector<Expr*>* refs) {
+  VisitExprMutable(expr, [refs](Expr* node) {
+    if (node->kind == ExprKind::kColumnRef) refs->push_back(node);
+  });
+}
+
+void CollectColumnRefs(const Expr& expr, std::vector<const Expr*>* refs) {
+  VisitExpr(expr, [refs](const Expr& node) {
+    if (node.kind == ExprKind::kColumnRef) refs->push_back(&node);
+  });
+}
+
+bool AnyNode(const Expr& expr, const std::function<bool(const Expr&)>& pred) {
+  if (pred(expr)) return true;
+  for (const ExprPtr& child : expr.children) {
+    if (AnyNode(*child, pred)) return true;
+  }
+  return false;
+}
+
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kAnd) {
+    SplitConjuncts(std::move(expr->children[0]), out);
+    SplitConjuncts(std::move(expr->children[1]), out);
+    return;
+  }
+  out->push_back(std::move(expr));
+}
+
+Status InferTypes(Expr* expr) {
+  for (ExprPtr& child : expr->children) {
+    DECORR_RETURN_IF_ERROR(InferTypes(child.get()));
+  }
+  switch (expr->kind) {
+    case ExprKind::kConstant:
+    case ExprKind::kColumnRef:
+    case ExprKind::kParamRef:
+    case ExprKind::kScalarSubquery:
+      return Status::OK();  // types assigned at creation/binding
+    case ExprKind::kComparison: {
+      bool ok = false;
+      CommonType(expr->children[0]->type, expr->children[1]->type, &ok);
+      if (!ok) {
+        return Status::BindError("incomparable types in " + expr->ToString());
+      }
+      expr->type = TypeId::kBool;
+      return Status::OK();
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      for (const ExprPtr& child : expr->children) {
+        if (child->type != TypeId::kBool && child->type != TypeId::kNull) {
+          return Status::BindError("boolean operand expected in " +
+                                   expr->ToString());
+        }
+      }
+      expr->type = TypeId::kBool;
+      return Status::OK();
+    case ExprKind::kArithmetic: {
+      const TypeId lt = expr->children[0]->type;
+      const TypeId rt = expr->children[1]->type;
+      if (!IsNumeric(lt) || !IsNumeric(rt)) {
+        return Status::BindError("numeric operands expected in " +
+                                 expr->ToString());
+      }
+      bool ok = false;
+      TypeId common = CommonType(lt, rt, &ok);
+      // Division always yields DOUBLE (AVG-style semantics).
+      expr->type = expr->op == BinaryOp::kDiv ? TypeId::kDouble : common;
+      if (expr->type == TypeId::kNull) expr->type = TypeId::kInt64;
+      return Status::OK();
+    }
+    case ExprKind::kNegate:
+      if (!IsNumeric(expr->children[0]->type)) {
+        return Status::BindError("numeric operand expected in " +
+                                 expr->ToString());
+      }
+      expr->type = expr->children[0]->type == TypeId::kNull
+                       ? TypeId::kInt64
+                       : expr->children[0]->type;
+      return Status::OK();
+    case ExprKind::kIsNull:
+      expr->type = TypeId::kBool;
+      return Status::OK();
+    case ExprKind::kCase: {
+      if (expr->children.size() < 2) {
+        return Status::BindError("CASE needs at least one WHEN branch");
+      }
+      const size_t pairs = expr->children.size() / 2;
+      TypeId common = TypeId::kNull;
+      for (size_t i = 0; i < pairs; ++i) {
+        const TypeId cond = expr->children[2 * i]->type;
+        if (cond != TypeId::kBool && cond != TypeId::kNull) {
+          return Status::BindError("CASE WHEN condition must be boolean");
+        }
+        bool ok = false;
+        common = CommonType(common, expr->children[2 * i + 1]->type, &ok);
+        if (!ok) {
+          return Status::BindError("incompatible CASE branch types in " +
+                                   expr->ToString());
+        }
+      }
+      if (expr->children.size() % 2 == 1) {
+        bool ok = false;
+        common = CommonType(common, expr->children.back()->type, &ok);
+        if (!ok) {
+          return Status::BindError("incompatible CASE ELSE type in " +
+                                   expr->ToString());
+        }
+      }
+      expr->type = common;
+      return Status::OK();
+    }
+    case ExprKind::kLike:
+      for (const ExprPtr& child : expr->children) {
+        if (child->type != TypeId::kString && child->type != TypeId::kNull) {
+          return Status::BindError("LIKE expects string operands in " +
+                                   expr->ToString());
+        }
+      }
+      expr->type = TypeId::kBool;
+      return Status::OK();
+    case ExprKind::kInList: {
+      for (size_t i = 1; i < expr->children.size(); ++i) {
+        bool ok = false;
+        CommonType(expr->children[0]->type, expr->children[i]->type, &ok);
+        if (!ok) {
+          return Status::BindError("incomparable IN-list item in " +
+                                   expr->ToString());
+        }
+      }
+      expr->type = TypeId::kBool;
+      return Status::OK();
+    }
+    case ExprKind::kFunction:
+      switch (expr->func) {
+        case FuncKind::kCoalesce: {
+          if (expr->children.empty()) {
+            return Status::BindError("COALESCE needs at least one argument");
+          }
+          TypeId common = TypeId::kNull;
+          for (const ExprPtr& child : expr->children) {
+            bool ok = false;
+            common = CommonType(common, child->type, &ok);
+            if (!ok) {
+              return Status::BindError("incompatible COALESCE arguments in " +
+                                       expr->ToString());
+            }
+          }
+          expr->type = common;
+          return Status::OK();
+        }
+        case FuncKind::kAbs:
+          if (expr->children.size() != 1 ||
+              !IsNumeric(expr->children[0]->type)) {
+            return Status::BindError("ABS expects one numeric argument");
+          }
+          expr->type = expr->children[0]->type == TypeId::kNull
+                           ? TypeId::kDouble
+                           : expr->children[0]->type;
+          return Status::OK();
+        case FuncKind::kUpper:
+        case FuncKind::kLower:
+          if (expr->children.size() != 1 ||
+              (expr->children[0]->type != TypeId::kString &&
+               expr->children[0]->type != TypeId::kNull)) {
+            return Status::BindError("string argument expected in " +
+                                     expr->ToString());
+          }
+          expr->type = TypeId::kString;
+          return Status::OK();
+        case FuncKind::kLength:
+          if (expr->children.size() != 1 ||
+              (expr->children[0]->type != TypeId::kString &&
+               expr->children[0]->type != TypeId::kNull)) {
+            return Status::BindError("string argument expected in LENGTH");
+          }
+          expr->type = TypeId::kInt64;
+          return Status::OK();
+      }
+      return Status::Internal("unknown function");
+    case ExprKind::kAggregate:
+      switch (expr->agg) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          expr->type = TypeId::kInt64;
+          return Status::OK();
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (expr->agg == AggKind::kSum &&
+              !IsNumeric(expr->children[0]->type)) {
+            return Status::BindError("SUM expects a numeric argument");
+          }
+          expr->type = expr->children[0]->type;
+          return Status::OK();
+        case AggKind::kAvg:
+          if (!IsNumeric(expr->children[0]->type)) {
+            return Status::BindError("AVG expects a numeric argument");
+          }
+          expr->type = TypeId::kDouble;
+          return Status::OK();
+      }
+      return Status::Internal("unknown aggregate");
+    case ExprKind::kExists:
+    case ExprKind::kInSubquery:
+    case ExprKind::kQuantifiedComparison:
+      expr->type = TypeId::kBool;
+      return Status::OK();
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.children.size() != b.children.size()) return false;
+  switch (a.kind) {
+    case ExprKind::kConstant:
+      if (a.value.type() != b.value.type() || !a.value.Equals(b.value)) {
+        return false;
+      }
+      break;
+    case ExprKind::kColumnRef:
+      if (a.qid != b.qid || a.col != b.col || a.slot != b.slot) return false;
+      break;
+    case ExprKind::kParamRef:
+      if (a.param != b.param) return false;
+      break;
+    case ExprKind::kComparison:
+    case ExprKind::kArithmetic:
+      if (a.op != b.op) return false;
+      break;
+    case ExprKind::kAggregate:
+      if (a.agg != b.agg || a.distinct != b.distinct) return false;
+      break;
+    case ExprKind::kFunction:
+      if (a.func != b.func) return false;
+      break;
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kLike:
+      if (a.negated != b.negated) return false;
+      break;
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+      if (a.sub_qid != b.sub_qid || a.negated != b.negated) return false;
+      break;
+    case ExprKind::kInSubquery:
+      if (a.sub_qid != b.sub_qid || a.negated != b.negated) return false;
+      break;
+    case ExprKind::kQuantifiedComparison:
+      if (a.sub_qid != b.sub_qid || a.op != b.op || a.quant != b.quant) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Does evaluating `expr` yield NULL (or FALSE, for predicates) whenever all
+// columns of quantifier `qid` are NULL? We approximate with the standard
+// "strong operator" argument: comparisons, arithmetic and IN are strict, so a
+// NULL input yields UNKNOWN which a WHERE clause rejects. IS NULL, COALESCE
+// and OR break strictness.
+bool MentionsQid(const Expr& expr, int qid) {
+  return AnyNode(expr, [qid](const Expr& node) {
+    return node.kind == ExprKind::kColumnRef && node.qid == qid;
+  });
+}
+
+bool IsStrictPredicate(const Expr& expr, int qid) {
+  switch (expr.kind) {
+    case ExprKind::kComparison:
+    case ExprKind::kInList:
+    case ExprKind::kLike:
+      return true;  // strict: NULL operand -> UNKNOWN -> rejected
+    case ExprKind::kAnd:
+      // AND is null-rejecting if either side is.
+      return (MentionsQid(*expr.children[0], qid) &&
+              IsStrictPredicate(*expr.children[0], qid)) ||
+             (MentionsQid(*expr.children[1], qid) &&
+              IsStrictPredicate(*expr.children[1], qid));
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsNullRejecting(const Expr& expr, int qid) {
+  if (!MentionsQid(expr, qid)) return false;
+  // COALESCE / IS NULL anywhere over the qid's columns defeats strictness.
+  const bool has_null_tolerant = AnyNode(expr, [qid](const Expr& node) {
+    if (node.kind == ExprKind::kIsNull ||
+        (node.kind == ExprKind::kFunction &&
+         node.func == FuncKind::kCoalesce) ||
+        node.kind == ExprKind::kOr || node.kind == ExprKind::kNot) {
+      return MentionsQid(node, qid);
+    }
+    return false;
+  });
+  if (has_null_tolerant) return false;
+  return IsStrictPredicate(expr, qid);
+}
+
+}  // namespace decorr

@@ -1,0 +1,167 @@
+// Scalar expression trees.
+//
+// One Expr node type serves three lifetimes:
+//   1. Bound QGM expressions: column references carry (quantifier id,
+//      column ordinal) pairs — the form the rewrite rules manipulate.
+//   2. Planned expressions: the planner rewrites column references to flat
+//      runtime slots and correlated references to parameter indexes.
+//   3. Runtime: Eval() (see eval.h) interprets a planned expression against
+//      a row + parameter context with SQL three-valued logic.
+//
+// Subquery markers (kScalarSubquery / kExists / kInSubquery /
+// kQuantifiedComparison) reference a quantifier of the enclosing QGM box by
+// id; the planner eliminates them (Apply operators or joins) before
+// execution.
+#ifndef DECORR_EXPR_EXPR_H_
+#define DECORR_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+enum class ExprKind : uint8_t {
+  kConstant,
+  kColumnRef,   // (qid, col) in QGM form; slot >= 0 once planned
+  kParamRef,    // correlation parameter inside an Apply subplan
+  kComparison,  // op in {=, <>, <, <=, >, >=}
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,  // op in {+, -, *, /}
+  kNegate,      // unary minus
+  kIsNull,      // IS NULL (negated => IS NOT NULL)
+  kInList,      // lhs IN (e1, e2, ...), negated for NOT IN
+  kLike,        // lhs [NOT] LIKE pattern ('%' any run, '_' any char)
+  kCase,        // searched CASE; children = cond/value pairs + optional ELSE
+  kFunction,    // COALESCE, ABS, UPPER, LOWER, LENGTH
+  kAggregate,   // COUNT(*) / COUNT / SUM / AVG / MIN / MAX — only valid in
+                // group-by boxes / HAVING
+  kScalarSubquery,          // (SELECT ...) used as a value
+  kExists,                  // [NOT] EXISTS (SELECT ...)
+  kInSubquery,              // lhs [NOT] IN (SELECT ...)
+  kQuantifiedComparison,    // lhs op ANY/ALL (SELECT ...)
+};
+
+enum class BinaryOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe,
+                                kAdd, kSub, kMul, kDiv };
+enum class AggKind : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+enum class FuncKind : uint8_t { kCoalesce, kAbs, kUpper, kLower, kLength };
+enum class Quantification : uint8_t { kAny, kAll };
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggKindName(AggKind agg);
+const char* FuncKindName(FuncKind func);
+
+// Negates a comparison operator (kEq <-> kNe, kLt <-> kGe, ...). Only valid
+// for comparison operators.
+BinaryOp NegateComparison(BinaryOp op);
+// Mirrors a comparison (a op b  <=>  b mirror(op) a).
+BinaryOp MirrorComparison(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  TypeId type = TypeId::kNull;  // resolved result type
+
+  // kConstant
+  Value value;
+
+  // kColumnRef: QGM addressing + planned slot + display name.
+  int qid = -1;
+  int col = -1;
+  int slot = -1;
+  std::string name;
+
+  // kParamRef
+  int param = -1;
+
+  // kComparison / kArithmetic
+  BinaryOp op = BinaryOp::kEq;
+
+  // kAggregate
+  AggKind agg = AggKind::kCountStar;
+  bool distinct = false;
+
+  // kFunction
+  FuncKind func = FuncKind::kCoalesce;
+
+  // Subquery markers: id of the subquery quantifier in the enclosing box.
+  int sub_qid = -1;
+  Quantification quant = Quantification::kAny;
+
+  // kIsNull / kExists / kInList / kInSubquery: NOT variant.
+  bool negated = false;
+
+  std::vector<ExprPtr> children;
+
+  ExprPtr Clone() const;
+  std::string ToString() const;
+};
+
+// ---- Factory functions -----------------------------------------------------
+
+ExprPtr MakeConstant(Value v);
+ExprPtr MakeColumnRef(int qid, int col, TypeId type, std::string name);
+ExprPtr MakeSlotRef(int slot, TypeId type, std::string name = "");
+ExprPtr MakeParamRef(int param, TypeId type, std::string name = "");
+ExprPtr MakeComparison(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(std::vector<ExprPtr> conjuncts);  // empty -> TRUE constant
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr child);
+ExprPtr MakeArithmetic(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNegate(ExprPtr child);
+ExprPtr MakeIsNull(ExprPtr child, bool negated);
+ExprPtr MakeInList(ExprPtr lhs, std::vector<ExprPtr> list, bool negated);
+ExprPtr MakeLike(ExprPtr lhs, ExprPtr pattern, bool negated);
+// children = [c1, v1, c2, v2, ..., else?]; odd length means ELSE present.
+ExprPtr MakeCase(std::vector<ExprPtr> children);
+ExprPtr MakeFunction(FuncKind func, std::vector<ExprPtr> args);
+ExprPtr MakeAggregate(AggKind agg, ExprPtr arg, bool distinct);  // arg may be
+                                                                 // null for *
+ExprPtr MakeScalarSubquery(int sub_qid, TypeId type);
+ExprPtr MakeExists(int sub_qid, bool negated);
+ExprPtr MakeInSubquery(ExprPtr lhs, int sub_qid, bool negated);
+ExprPtr MakeQuantifiedComparison(BinaryOp op, Quantification quant,
+                                 ExprPtr lhs, int sub_qid);
+
+// ---- Traversal & rewrite utilities ----------------------------------------
+
+// Invokes `fn` on every node (pre-order), including subquery markers.
+void VisitExpr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+void VisitExprMutable(Expr* expr, const std::function<void(Expr*)>& fn);
+
+// Collects pointers to every kColumnRef node in the tree.
+void CollectColumnRefs(Expr* expr, std::vector<Expr*>* refs);
+void CollectColumnRefs(const Expr& expr, std::vector<const Expr*>* refs);
+
+// True if any node satisfies `pred`.
+bool AnyNode(const Expr& expr, const std::function<bool(const Expr&)>& pred);
+
+// Splits an AND tree into its conjuncts (moves out of `expr`).
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
+
+// Bottom-up type resolution. Column refs/params must already carry types.
+// Fails on incompatible operand types (e.g. STRING + INT64).
+Status InferTypes(Expr* expr);
+
+// Deep structural equality (kinds, operators, values, reference targets).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+// True if the predicate is null-rejecting in the columns of quantifier `qid`:
+// a NULL produced for that quantifier's columns cannot make the predicate
+// TRUE. Conservative (may return false when true). Used to decide whether an
+// outer join is required for COUNT-bug removal (Section 4.1 of the paper).
+bool IsNullRejecting(const Expr& expr, int qid);
+
+}  // namespace decorr
+
+#endif  // DECORR_EXPR_EXPR_H_

@@ -1,0 +1,79 @@
+// Shared-nothing parallel execution cost simulator (Section 6 of the paper).
+//
+// The paper argues qualitatively that nested iteration in a shared-nothing
+// system produces O(n^2) computation fragments — each subquery invocation
+// at any node triggers work on all nodes — while a magic-decorrelated plan
+// repartitions once and proceeds with purely local joins and aggregations.
+// This module makes that argument measurable: it hash-partitions real
+// tables across simulated nodes and counts messages, computation fragments
+// and tuples moved for both strategies, deriving a simple elapsed-time
+// estimate (critical path over nodes plus messaging latency).
+#ifndef DECORR_PARALLEL_PARALLEL_H_
+#define DECORR_PARALLEL_PARALLEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/storage/table.h"
+
+namespace decorr {
+
+struct ParallelConfig {
+  int num_nodes = 8;
+  // Are both tables already partitioned on the correlation attribute
+  // (Section 6.1's "Case 1", where NI parallelizes fine)?
+  bool copartitioned = false;
+  // Cost model (arbitrary units; defaults approximate LAN messaging being
+  // ~1000x more expensive than touching a local tuple).
+  double tuple_cost = 1.0;      // process one tuple locally
+  double transfer_cost = 5.0;   // move one tuple to another node
+  double message_cost = 1000.0; // fixed per-message latency
+};
+
+struct ParallelStats {
+  int64_t messages = 0;        // control + result messages
+  int64_t fragments = 0;       // scheduled computation fragments
+  int64_t tuples_moved = 0;    // repartition/broadcast traffic
+  double elapsed = 0.0;        // critical-path cost units
+  std::string ToString() const;
+};
+
+// The workload: a correlated aggregate query
+//   SELECT ... FROM outer o WHERE <o qualifies> AND
+//     f(SELECT agg FROM inner i WHERE i.corr = o.corr)
+// described by the two tables, their correlation column ordinals, and the
+// subset of outer rows that qualify (invoke the subquery).
+struct CorrelatedWorkload {
+  TablePtr outer;
+  int outer_corr_col = 0;
+  std::vector<uint32_t> qualifying_outer_rows;
+  TablePtr inner;
+  int inner_corr_col = 0;
+};
+
+// Nested iteration (Section 6.1): each qualifying outer tuple broadcasts
+// its binding to all nodes, every node computes a local partial aggregate
+// (one fragment each), and replies to the requesting node.
+ParallelStats SimulateNestedIteration(const CorrelatedWorkload& workload,
+                                      const ParallelConfig& config);
+
+// Magic decorrelation (Section 6.2): the supplementary and magic tables are
+// partitioned on the correlation attribute, the decoupled subquery is
+// evaluated with local joins and local aggregation, and the final join is
+// co-partitioned.
+ParallelStats SimulateMagicDecorrelation(const CorrelatedWorkload& workload,
+                                         const ParallelConfig& config);
+
+// Builds the paper's EMP/DEPT-style workload at a given size for the
+// Section 6 benchmark: `num_outer` departments over `num_buildings`
+// buildings, `num_inner` employees; all low-budget departments qualify.
+Result<CorrelatedWorkload> MakeBuildingWorkload(int64_t num_outer,
+                                                int64_t num_inner,
+                                                int64_t num_buildings,
+                                                uint64_t seed);
+
+}  // namespace decorr
+
+#endif  // DECORR_PARALLEL_PARALLEL_H_

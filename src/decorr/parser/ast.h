@@ -1,0 +1,111 @@
+// Abstract syntax tree for decorr's SQL dialect. The AST is untyped and
+// unresolved; the binder (decorr/binder) turns it into a QGM.
+#ifndef DECORR_PARSER_AST_H_
+#define DECORR_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/common/value.h"
+#include "decorr/expr/expr.h"  // reuses BinaryOp / Quantification enums
+
+namespace decorr {
+
+struct AstQuery;
+struct AstSelect;
+
+enum class AstExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,     // [table.]column
+  kBinary,        // comparisons and arithmetic
+  kAnd,
+  kOr,
+  kNot,
+  kNegate,
+  kIsNull,        // negated => IS NOT NULL
+  kBetween,       // lhs BETWEEN low AND high (negated for NOT BETWEEN)
+  kInList,        // negated for NOT IN
+  kLike,          // lhs [NOT] LIKE pattern
+  kCase,          // CASE WHEN c THEN v ... [ELSE v] END; children are
+                  // cond/value pairs, then the optional ELSE value
+  kInSubquery,
+  kExists,
+  kQuantifiedCmp,  // lhs op ANY/ALL (query)
+  kScalarSubquery,
+  kFuncCall,       // COUNT/SUM/AVG/MIN/MAX/COALESCE/ABS/UPPER/LOWER/LENGTH
+};
+
+struct AstExpr {
+  AstExprKind kind;
+
+  Value literal;                     // kLiteral
+  std::string table;                 // kColumnRef qualifier (may be empty)
+  std::string column;                // kColumnRef name
+  BinaryOp op = BinaryOp::kEq;       // kBinary / kQuantifiedCmp
+  Quantification quant = Quantification::kAny;
+  bool negated = false;              // IS NOT NULL / NOT IN / NOT EXISTS /
+                                     // NOT BETWEEN
+  std::string func_name;             // kFuncCall, upper-cased
+  bool func_distinct = false;        // COUNT(DISTINCT x) etc.
+  bool func_star = false;            // COUNT(*)
+  std::vector<std::unique_ptr<AstExpr>> children;
+  std::unique_ptr<AstQuery> subquery;  // subquery-bearing kinds
+
+  std::string ToString() const;
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+// One FROM-clause entry: a named table or a parenthesized derived table.
+struct AstTableRef {
+  std::string table_name;             // empty for derived tables
+  std::unique_ptr<AstQuery> derived;  // non-null for derived tables
+  std::string alias;                  // may be empty for plain tables
+  std::vector<std::string> column_aliases;  // AS d(x, y) style
+  // Explicit JOIN ... ON predicate attached to this table ref (desugared to
+  // a WHERE conjunct by the binder).
+  AstExprPtr join_condition;
+};
+
+// An item of the select list.
+struct AstSelectItem {
+  bool star = false;          // `*` or `t.*`
+  std::string star_table;     // qualifier for `t.*`, empty for bare `*`
+  AstExprPtr expr;            // null when star
+  std::string alias;
+};
+
+// One SELECT block.
+struct AstSelect {
+  bool distinct = false;
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> from;
+  AstExprPtr where;            // may be null
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;           // may be null
+
+  std::string ToString() const;
+};
+
+struct AstOrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+// A full query: one or more SELECT blocks combined by UNION [ALL], plus an
+// optional ORDER BY / LIMIT applying to the combined result.
+struct AstQuery {
+  std::vector<std::unique_ptr<AstSelect>> branches;
+  std::vector<bool> union_all;  // union_all[i]: branches[i] vs branches[i+1]
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+
+  std::string ToString() const;
+};
+
+using AstQueryPtr = std::unique_ptr<AstQuery>;
+
+}  // namespace decorr
+
+#endif  // DECORR_PARSER_AST_H_

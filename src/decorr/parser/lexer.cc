@@ -1,0 +1,190 @@
+#include "decorr/parser/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+namespace {
+
+constexpr std::array<const char*, 40> kKeywords = {
+    "SELECT", "DISTINCT", "FROM",  "WHERE",  "GROUP",   "BY",     "HAVING",
+    "ORDER",  "ASC",      "DESC",  "LIMIT",  "UNION",   "ALL",    "ANY",
+    "SOME",   "EXISTS",   "IN",    "NOT",    "AND",     "OR",     "IS",
+    "NULL",   "TRUE",     "FALSE", "AS",     "BETWEEN", "COUNT",  "SUM",
+    "AVG",    "MIN",      "MAX",   "INNER",  "JOIN",    "ON",
+    "LIKE",   "CASE",     "WHEN",  "THEN",   "ELSE",    "END",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  const std::string upper = ToUpper(word);
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.text = sql.substr(start, i - start);
+      if (IsKeyword(tok.text)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = ToUpper(tok.text);
+      } else {
+        tok.kind = TokenKind::kIdent;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      } else if (i < n && sql[i] == '.' &&
+                 (i + 1 == n || !IsIdentStart(sql[i + 1]))) {
+        // "12." with no following identifier: treat as float.
+        is_float = true;
+        ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i])))
+            ++i;
+        }
+      }
+      tok.text = sql.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            contents += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat(
+            "unterminated string literal at offset %d", tok.position));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(contents);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* sym) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = sym;
+      i += 2;
+      out.push_back(tok);
+    };
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      two("<=");
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      two(">=");
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      two("<>");
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";
+      i += 2;
+      out.push_back(tok);
+      continue;
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case ';':
+      case '*':
+      case '+':
+      case '-':
+      case '/':
+      case '=':
+      case '<':
+      case '>':
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+        out.push_back(std::move(tok));
+        continue;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %d", c,
+                      tok.position));
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.position = static_cast<int>(n);
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace decorr

@@ -1,0 +1,40 @@
+// SQL lexer: identifiers, keywords, numeric and string literals, operators.
+// `--` line comments are skipped. Keywords are case-insensitive.
+#ifndef DECORR_PARSER_LEXER_H_
+#define DECORR_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+
+namespace decorr {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,     // bare identifier (not a keyword)
+  kKeyword,   // normalized to upper case in `text`
+  kInteger,
+  kFloat,
+  kString,    // text holds the unescaped contents
+  kSymbol,    // one of ( ) , . ; * + - / = < > <= >= <> !=
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int position = 0;  // byte offset in the input, for error messages
+};
+
+// Tokenizes `sql`. The returned vector always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+// True if `word` (any case) is a reserved SQL keyword of decorr's dialect.
+bool IsKeyword(const std::string& word);
+
+}  // namespace decorr
+
+#endif  // DECORR_PARSER_LEXER_H_

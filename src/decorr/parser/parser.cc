@@ -1,0 +1,587 @@
+#include "decorr/parser/parser.h"
+
+#include "decorr/common/string_util.h"
+#include "decorr/parser/lexer.h"
+
+namespace decorr {
+
+namespace {
+
+// Aggregate and scalar function names understood by the binder.
+bool IsFunctionName(const std::string& upper) {
+  return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+         upper == "MIN" || upper == "MAX" || upper == "COALESCE" ||
+         upper == "ABS" || upper == "UPPER" || upper == "LOWER" ||
+         upper == "LENGTH";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstQueryPtr> ParseTopLevel() {
+    DECORR_ASSIGN_OR_RETURN(AstQueryPtr query, ParseQueryExpr());
+    if (MatchSymbol(";")) {
+      // trailing semicolon ok
+    }
+    if (!AtEof()) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  // ---- token plumbing ----
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+
+  bool CheckKeyword(const char* kw, int ahead = 0) const {
+    const Token& tok = Peek(ahead);
+    return tok.kind == TokenKind::kKeyword && tok.text == kw;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool CheckSymbol(const char* sym, int ahead = 0) const {
+    const Token& tok = Peek(ahead);
+    return tok.kind == TokenKind::kSymbol && tok.text == sym;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (!CheckSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(StrFormat("expected %s", kw));
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(StrFormat("expected '%s'", sym));
+  }
+  Status Error(const std::string& msg) const {
+    const Token& tok = Peek();
+    return Status::ParseError(StrFormat(
+        "%s at offset %d (near '%s')", msg.c_str(), tok.position,
+        tok.kind == TokenKind::kEof ? "<eof>" : tok.text.c_str()));
+  }
+
+  // ---- grammar ----
+
+  Result<AstQueryPtr> ParseQueryExpr() {
+    auto query = std::make_unique<AstQuery>();
+    DECORR_ASSIGN_OR_RETURN(auto first, ParseSelect());
+    query->branches.push_back(std::move(first));
+    while (MatchKeyword("UNION")) {
+      const bool all = MatchKeyword("ALL");
+      query->union_all.push_back(all);
+      DECORR_ASSIGN_OR_RETURN(auto branch, ParseSelectMaybeParen());
+      query->branches.push_back(std::move(branch));
+    }
+    if (MatchKeyword("ORDER")) {
+      DECORR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        AstOrderItem item;
+        DECORR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        query->order_by.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      query->limit = Advance().int_value;
+    }
+    return query;
+  }
+
+  // A UNION branch may be a plain SELECT or a parenthesized SELECT.
+  Result<std::unique_ptr<AstSelect>> ParseSelectMaybeParen() {
+    if (MatchSymbol("(")) {
+      DECORR_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return select;
+    }
+    return ParseSelect();
+  }
+
+  Result<std::unique_ptr<AstSelect>> ParseSelect() {
+    // Tolerate one extra level of parens around the whole SELECT.
+    if (CheckSymbol("(") && CheckKeyword("SELECT", 1)) {
+      Advance();
+      DECORR_ASSIGN_OR_RETURN(auto inner, ParseSelect());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    DECORR_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto select = std::make_unique<AstSelect>();
+    select->distinct = MatchKeyword("DISTINCT");
+
+    // Select list.
+    while (true) {
+      AstSelectItem item;
+      if (MatchSymbol("*")) {
+        item.star = true;
+      } else if (Peek().kind == TokenKind::kIdent && CheckSymbol(".", 1) &&
+                 CheckSymbol("*", 2)) {
+        item.star = true;
+        item.star_table = Advance().text;
+        Advance();  // '.'
+        Advance();  // '*'
+      } else {
+        DECORR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("AS")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Error("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().kind == TokenKind::kIdent) {
+          item.alias = Advance().text;
+        }
+      }
+      select->items.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+
+    DECORR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DECORR_ASSIGN_OR_RETURN(AstTableRef first_ref, ParseTableRef());
+    select->from.push_back(std::move(first_ref));
+    while (true) {
+      if (MatchSymbol(",")) {
+        DECORR_ASSIGN_OR_RETURN(AstTableRef ref, ParseTableRef());
+        select->from.push_back(std::move(ref));
+        continue;
+      }
+      if (CheckKeyword("JOIN") || CheckKeyword("INNER")) {
+        MatchKeyword("INNER");
+        DECORR_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        DECORR_ASSIGN_OR_RETURN(AstTableRef ref, ParseTableRef());
+        DECORR_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        DECORR_ASSIGN_OR_RETURN(ref.join_condition, ParseExpr());
+        select->from.push_back(std::move(ref));
+        continue;
+      }
+      break;
+    }
+
+    if (MatchKeyword("WHERE")) {
+      DECORR_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      DECORR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr key, ParseExpr());
+        select->group_by.push_back(std::move(key));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("HAVING")) {
+      DECORR_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    return select;
+  }
+
+  Result<AstTableRef> ParseTableRef() {
+    AstTableRef ref;
+    if (MatchSymbol("(")) {
+      DECORR_ASSIGN_OR_RETURN(ref.derived, ParseQueryExpr());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      MatchKeyword("AS");
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("derived table requires an alias");
+      }
+      ref.alias = Advance().text;
+    } else {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected table name");
+      }
+      ref.table_name = Advance().text;
+      if (MatchKeyword("AS")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdent) {
+        ref.alias = Advance().text;
+      }
+    }
+    // Optional column alias list: alias(c1, c2, ...).
+    if (CheckSymbol("(") && Peek(1).kind == TokenKind::kIdent &&
+        (CheckSymbol(",", 2) || CheckSymbol(")", 2))) {
+      Advance();  // '('
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected column alias");
+        }
+        ref.column_aliases.push_back(Advance().text);
+        if (MatchSymbol(",")) continue;
+        DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+    }
+    return ref;
+  }
+
+  // ---- expressions ----
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAnd());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kOr;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kAnd;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr child, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePredicate();
+  }
+
+  // Comparison / IS NULL / IN / BETWEEN layer.
+  Result<AstExprPtr> ParsePredicate() {
+    // NOT EXISTS is handled by ParseNot; bare EXISTS here.
+    if (CheckKeyword("EXISTS") && CheckSymbol("(", 1)) {
+      Advance();
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kExists;
+      DECORR_ASSIGN_OR_RETURN(node->subquery, ParseQueryExpr());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return node;
+    }
+
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (MatchKeyword("IS")) {
+      const bool negated = MatchKeyword("NOT");
+      DECORR_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kIsNull;
+      node->negated = negated;
+      node->children.push_back(std::move(lhs));
+      return node;
+    }
+
+    // [NOT] BETWEEN a AND b / [NOT] IN (...)
+    bool negated = false;
+    if (CheckKeyword("NOT") && (CheckKeyword("BETWEEN", 1) ||
+                                CheckKeyword("IN", 1) ||
+                                CheckKeyword("LIKE", 1))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("LIKE")) {
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLike;
+      node->negated = negated;
+      node->children.push_back(std::move(lhs));
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr pattern, ParseAdditive());
+      node->children.push_back(std::move(pattern));
+      return node;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kBetween;
+      node->negated = negated;
+      node->children.push_back(std::move(lhs));
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr low, ParseAdditive());
+      DECORR_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr high, ParseAdditive());
+      node->children.push_back(std::move(low));
+      node->children.push_back(std::move(high));
+      return node;
+    }
+    if (MatchKeyword("IN")) {
+      DECORR_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (CheckKeyword("SELECT")) {
+        auto node = std::make_unique<AstExpr>();
+        node->kind = AstExprKind::kInSubquery;
+        node->negated = negated;
+        node->children.push_back(std::move(lhs));
+        DECORR_ASSIGN_OR_RETURN(node->subquery, ParseQueryExpr());
+        DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return node;
+      }
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kInList;
+      node->negated = negated;
+      node->children.push_back(std::move(lhs));
+      while (true) {
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr item, ParseAdditive());
+        node->children.push_back(std::move(item));
+        if (!MatchSymbol(",")) break;
+      }
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return node;
+    }
+    if (negated) return Error("expected BETWEEN, IN or LIKE after NOT");
+
+    // Comparison operators, possibly quantified.
+    BinaryOp op;
+    if (MatchSymbol("=")) {
+      op = BinaryOp::kEq;
+    } else if (MatchSymbol("<>")) {
+      op = BinaryOp::kNe;
+    } else if (MatchSymbol("<=")) {
+      op = BinaryOp::kLe;
+    } else if (MatchSymbol(">=")) {
+      op = BinaryOp::kGe;
+    } else if (MatchSymbol("<")) {
+      op = BinaryOp::kLt;
+    } else if (MatchSymbol(">")) {
+      op = BinaryOp::kGt;
+    } else {
+      return lhs;  // plain scalar expression
+    }
+
+    if (CheckKeyword("ANY") || CheckKeyword("SOME") || CheckKeyword("ALL")) {
+      const bool is_all = CheckKeyword("ALL");
+      Advance();
+      DECORR_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kQuantifiedCmp;
+      node->op = op;
+      node->quant = is_all ? Quantification::kAll : Quantification::kAny;
+      node->children.push_back(std::move(lhs));
+      DECORR_ASSIGN_OR_RETURN(node->subquery, ParseQueryExpr());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return node;
+    }
+
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAdditive());
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExprKind::kBinary;
+    node->op = op;
+    node->children.push_back(std::move(lhs));
+    node->children.push_back(std::move(rhs));
+    return node;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseMultiplicative());
+    while (CheckSymbol("+") || CheckSymbol("-")) {
+      const BinaryOp op =
+          Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseMultiplicative());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    DECORR_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseUnary());
+    while (CheckSymbol("*") || CheckSymbol("/")) {
+      const BinaryOp op =
+          Peek().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseUnary());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kBinary;
+      node->op = op;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr child, ParseUnary());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kNegate;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    MatchSymbol("+");  // unary plus is a no-op
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    // Literals.
+    if (tok.kind == TokenKind::kInteger) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLiteral;
+      node->literal = Value::Int64(tok.int_value);
+      return node;
+    }
+    if (tok.kind == TokenKind::kFloat) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLiteral;
+      node->literal = Value::Double(tok.float_value);
+      return node;
+    }
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLiteral;
+      node->literal = Value::String(tok.text);
+      return node;
+    }
+    if (CheckKeyword("NULL")) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLiteral;
+      node->literal = Value::Null();
+      return node;
+    }
+    if (CheckKeyword("TRUE") || CheckKeyword("FALSE")) {
+      const bool v = CheckKeyword("TRUE");
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kLiteral;
+      node->literal = Value::Bool(v);
+      return node;
+    }
+
+    if (CheckKeyword("CASE")) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kCase;
+      while (MatchKeyword("WHEN")) {
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr cond, ParseExpr());
+        DECORR_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr value, ParseExpr());
+        node->children.push_back(std::move(cond));
+        node->children.push_back(std::move(value));
+      }
+      if (node->children.empty()) {
+        return Error("CASE requires at least one WHEN branch");
+      }
+      if (MatchKeyword("ELSE")) {
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr other, ParseExpr());
+        node->children.push_back(std::move(other));
+      }
+      DECORR_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return node;
+    }
+
+    // Aggregate keywords used as function names (COUNT/SUM/AVG/MIN/MAX).
+    if (tok.kind == TokenKind::kKeyword && IsFunctionName(tok.text) &&
+        CheckSymbol("(", 1)) {
+      return ParseFuncCall(tok.text);
+    }
+
+    // Parenthesized scalar subquery or expression.
+    if (CheckSymbol("(")) {
+      if (CheckKeyword("SELECT", 1)) {
+        Advance();
+        auto node = std::make_unique<AstExpr>();
+        node->kind = AstExprKind::kScalarSubquery;
+        DECORR_ASSIGN_OR_RETURN(node->subquery, ParseQueryExpr());
+        DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return node;
+      }
+      Advance();
+      DECORR_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+
+    if (tok.kind == TokenKind::kIdent) {
+      // Function call with identifier name (COALESCE, ABS, ...).
+      if (IsFunctionName(ToUpper(tok.text)) && CheckSymbol("(", 1)) {
+        const std::string name = ToUpper(tok.text);
+        return ParseFuncCall(name);
+      }
+      // Column reference, possibly qualified.
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExprKind::kColumnRef;
+      if (CheckSymbol(".") && Peek(1).kind == TokenKind::kIdent) {
+        node->table = tok.text;
+        Advance();  // '.'
+        node->column = Advance().text;
+      } else {
+        node->column = tok.text;
+      }
+      return node;
+    }
+    return Error("expected expression");
+  }
+
+  Result<AstExprPtr> ParseFuncCall(const std::string& name_in) {
+    const std::string name = ToUpper(name_in);
+    Advance();  // function name
+    DECORR_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExprKind::kFuncCall;
+    node->func_name = name;
+    if (name == "COUNT" && MatchSymbol("*")) {
+      node->func_star = true;
+      DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return node;
+    }
+    node->func_distinct = MatchKeyword("DISTINCT");
+    if (!CheckSymbol(")")) {
+      while (true) {
+        DECORR_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+        node->children.push_back(std::move(arg));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    DECORR_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstQueryPtr> ParseQuery(const std::string& sql) {
+  DECORR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevel();
+}
+
+}  // namespace decorr

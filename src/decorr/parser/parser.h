@@ -1,0 +1,32 @@
+// Recursive-descent parser for decorr's SQL dialect.
+//
+// Supported grammar (the subset needed for the paper's workloads plus common
+// conveniences):
+//
+//   query      := select (UNION [ALL] select)* [ORDER BY ...] [LIMIT n]
+//   select     := SELECT [DISTINCT] items FROM refs [WHERE e]
+//                 [GROUP BY e,*] [HAVING e]
+//   refs       := ref (',' ref | [INNER] JOIN ref ON e)*
+//   ref        := ident [[AS] alias] | '(' query ')' [AS] alias ['(' cols ')']
+//   predicates := comparisons, [NOT] BETWEEN, [NOT] IN (list | query),
+//                 [NOT] EXISTS (query), cmp ANY/ALL/SOME (query),
+//                 IS [NOT] NULL, AND/OR/NOT
+//   scalars    := arithmetic, unary minus, literals, column refs,
+//                 aggregate calls (incl. DISTINCT and COUNT(*)),
+//                 COALESCE/ABS/UPPER/LOWER/LENGTH, scalar subqueries
+#ifndef DECORR_PARSER_PARSER_H_
+#define DECORR_PARSER_PARSER_H_
+
+#include <string>
+
+#include "decorr/common/status.h"
+#include "decorr/parser/ast.h"
+
+namespace decorr {
+
+// Parses one SQL query (an optional trailing ';' is accepted).
+Result<AstQueryPtr> ParseQuery(const std::string& sql);
+
+}  // namespace decorr
+
+#endif  // DECORR_PARSER_PARSER_H_

@@ -1,0 +1,187 @@
+#include "decorr/planner/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decorr {
+
+namespace {
+
+// Is the predicate `<ref> op <non-row-dependent>` over a single local
+// quantifier? Returns the ref if so.
+const Expr* SingleLocalRef(const Box* box, const Expr& pred) {
+  if (pred.kind != ExprKind::kComparison) return nullptr;
+  const Expr* lhs = pred.children[0].get();
+  const Expr* rhs = pred.children[1].get();
+  auto is_local_ref = [box](const Expr* e) {
+    return e->kind == ExprKind::kColumnRef && box->OwnsQuantifier(e->qid);
+  };
+  auto is_const_like = [box](const Expr& e) {
+    return !AnyNode(e, [box](const Expr& node) {
+      return node.kind == ExprKind::kColumnRef && box->OwnsQuantifier(node.qid);
+    });
+  };
+  if (is_local_ref(lhs) && is_const_like(*rhs)) return lhs;
+  if (is_local_ref(rhs) && is_const_like(*lhs)) return rhs;
+  return nullptr;
+}
+
+}  // namespace
+
+const ColumnStats* CardEstimator::TraceBaseColumn(Box* box, int col,
+                                                  double* rows) {
+  if (box->kind() == BoxKind::kBaseTable) {
+    const CatalogEntry* entry = catalog_.FindEntry(box->table->schema().name());
+    if (entry == nullptr) return nullptr;
+    if (rows) *rows = static_cast<double>(entry->stats.row_count);
+    if (col < static_cast<int>(entry->stats.columns.size())) {
+      return &entry->stats.columns[col];
+    }
+    return nullptr;
+  }
+  if (col >= static_cast<int>(box->outputs.size())) return nullptr;
+  const Expr* expr = box->outputs[col].expr.get();
+  if (expr == nullptr || expr->kind != ExprKind::kColumnRef) return nullptr;
+  const Quantifier* q = box->graph()->FindQuantifier(expr->qid);
+  if (q == nullptr) return nullptr;
+  return TraceBaseColumn(q->child, expr->col, rows);
+}
+
+double CardEstimator::PredicateSelectivity(const Box* box, const Expr& pred) {
+  // Subquery markers: treat existential checks as moderately selective and
+  // scalar comparisons like ordinary comparisons.
+  if (pred.kind == ExprKind::kExists) return 0.5;
+  if (pred.kind == ExprKind::kInSubquery ||
+      pred.kind == ExprKind::kQuantifiedComparison) {
+    return 0.3;
+  }
+  if (pred.kind == ExprKind::kInList) {
+    const Expr* lhs = pred.children[0].get();
+    if (lhs->kind == ExprKind::kColumnRef && box->OwnsQuantifier(lhs->qid)) {
+      const Quantifier* q = box->graph()->FindQuantifier(lhs->qid);
+      const ColumnStats* stats = TraceBaseColumn(q->child, lhs->col, nullptr);
+      if (stats && stats->distinct_count > 0) {
+        double sel = static_cast<double>(pred.children.size() - 1) /
+                     static_cast<double>(stats->distinct_count);
+        return std::min(sel, 1.0);
+      }
+    }
+    return 0.2;
+  }
+  const Expr* ref = SingleLocalRef(box, pred);
+  if (ref == nullptr) return 0.5;  // complex / multi-quantifier predicate
+  const Quantifier* q = box->graph()->FindQuantifier(ref->qid);
+  const ColumnStats* stats = TraceBaseColumn(q->child, ref->col, nullptr);
+  if (pred.op == BinaryOp::kEq) {
+    if (stats && stats->distinct_count > 0) {
+      return 1.0 / static_cast<double>(stats->distinct_count);
+    }
+    return 0.1;
+  }
+  if (pred.op == BinaryOp::kNe) return 0.9;
+  return 1.0 / 3.0;  // range comparison
+}
+
+double CardEstimator::EstimateBoxRows(Box* box) {
+  auto it = memo_.find(box->id());
+  if (it != memo_.end()) return it->second;
+  double rows = 1.0;
+  switch (box->kind()) {
+    case BoxKind::kBaseTable: {
+      const CatalogEntry* entry =
+          catalog_.FindEntry(box->table->schema().name());
+      rows = entry ? static_cast<double>(entry->stats.row_count)
+                   : static_cast<double>(box->table->num_rows());
+      break;
+    }
+    case BoxKind::kSelect: {
+      rows = 1.0;
+      for (const Quantifier* q : box->quantifiers()) {
+        if (q->kind != QuantifierKind::kForeach) continue;
+        rows *= std::max(EstimateBoxRows(q->child), 1.0);
+      }
+      double selectivity = 1.0;
+      int equi_joins = 0;
+      for (const ExprPtr& pred : box->predicates) {
+        // Join predicates between two local refs: handled via the join
+        // formula below; everything else via PredicateSelectivity.
+        const Expr* lhs = pred->children.empty() ? nullptr
+                                                 : pred->children[0].get();
+        const Expr* rhs = pred->children.size() > 1 ? pred->children[1].get()
+                                                    : nullptr;
+        const bool is_equi_join =
+            pred->kind == ExprKind::kComparison && pred->op == BinaryOp::kEq &&
+            lhs && rhs && lhs->kind == ExprKind::kColumnRef &&
+            rhs->kind == ExprKind::kColumnRef &&
+            box->OwnsQuantifier(lhs->qid) && box->OwnsQuantifier(rhs->qid) &&
+            lhs->qid != rhs->qid;
+        if (is_equi_join) {
+          const Quantifier* lq = box->graph()->FindQuantifier(lhs->qid);
+          const Quantifier* rq = box->graph()->FindQuantifier(rhs->qid);
+          const ColumnStats* ls = TraceBaseColumn(lq->child, lhs->col, nullptr);
+          const ColumnStats* rs = TraceBaseColumn(rq->child, rhs->col, nullptr);
+          double ndv = 10.0;
+          if (ls && ls->distinct_count > 0) {
+            ndv = static_cast<double>(ls->distinct_count);
+          }
+          if (rs && rs->distinct_count > 0) {
+            ndv = std::max(ndv, static_cast<double>(rs->distinct_count));
+          }
+          selectivity /= ndv;
+          ++equi_joins;
+          continue;
+        }
+        selectivity *= PredicateSelectivity(box, *pred);
+      }
+      (void)equi_joins;
+      rows = std::max(rows * selectivity, 1.0);
+      if (box->distinct) rows = std::max(rows * 0.5, 1.0);
+      break;
+    }
+    case BoxKind::kGroupBy: {
+      const double input = EstimateBoxRows(box->quantifiers()[0]->child);
+      if (box->group_by.empty()) {
+        rows = 1.0;
+        break;
+      }
+      double groups = 1.0;
+      for (const ExprPtr& key : box->group_by) {
+        if (key->kind == ExprKind::kColumnRef) {
+          const Quantifier* q = box->graph()->FindQuantifier(key->qid);
+          const ColumnStats* stats = q ? TraceBaseColumn(q->child, key->col,
+                                                         nullptr)
+                                       : nullptr;
+          groups *= stats && stats->distinct_count > 0
+                        ? static_cast<double>(stats->distinct_count)
+                        : std::sqrt(std::max(input, 1.0));
+        } else {
+          groups *= std::sqrt(std::max(input, 1.0));
+        }
+      }
+      rows = std::min(groups, input);
+      break;
+    }
+    case BoxKind::kUnion: {
+      rows = 0.0;
+      for (const Quantifier* q : box->quantifiers()) {
+        rows += EstimateBoxRows(q->child);
+      }
+      if (!box->union_all) rows = std::max(rows * 0.7, 1.0);
+      break;
+    }
+  }
+  rows = std::max(rows, 1.0);
+  memo_[box->id()] = rows;
+  return rows;
+}
+
+double CardEstimator::EstimateDistinct(Box* box, int col) {
+  double rows = EstimateBoxRows(box);
+  const ColumnStats* stats = TraceBaseColumn(box, col, nullptr);
+  if (stats && stats->distinct_count > 0) {
+    return std::min(static_cast<double>(stats->distinct_count), rows);
+  }
+  return rows;
+}
+
+}  // namespace decorr

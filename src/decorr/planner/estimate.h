@@ -1,0 +1,43 @@
+// Cardinality estimation for the planner's heuristics: greedy join ordering
+// and the nested-iteration apply-placement choice (which mirrors the plan
+// differences the paper reports between Query 1 — subquery applied after the
+// outer joins, 6 invocations — and Query 2 — subquery applied before the
+// Parts x Lineitem join, 209 invocations).
+//
+// Classic System-R style: equality selectivity 1/ndv, range 1/3, equi-join
+// size |L||R| / max(ndv_l, ndv_r).
+#ifndef DECORR_PLANNER_ESTIMATE_H_
+#define DECORR_PLANNER_ESTIMATE_H_
+
+#include <map>
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+class CardEstimator {
+ public:
+  explicit CardEstimator(const Catalog& catalog) : catalog_(catalog) {}
+
+  // Estimated output rows of a box (memoized per box id).
+  double EstimateBoxRows(Box* box);
+
+  // Estimated distinct values of output `col` of `box`. Falls back to the
+  // row estimate when the column's provenance cannot be traced to a base
+  // column.
+  double EstimateDistinct(Box* box, int col);
+
+  // Selectivity of one predicate local to a Select box.
+  double PredicateSelectivity(const Box* box, const Expr& pred);
+
+ private:
+  const ColumnStats* TraceBaseColumn(Box* box, int col, double* rows);
+
+  const Catalog& catalog_;
+  std::map<int, double> memo_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_PLANNER_ESTIMATE_H_

@@ -1,0 +1,1332 @@
+#include "decorr/planner/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "decorr/common/logging.h"
+#include "decorr/common/string_util.h"
+#include "decorr/exec/aggregate.h"
+#include "decorr/exec/apply.h"
+#include "decorr/exec/filter_project.h"
+#include "decorr/exec/join.h"
+#include "decorr/exec/misc_ops.h"
+#include "decorr/exec/scan.h"
+#include "decorr/planner/estimate.h"
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+using SlotKey = std::pair<int, int>;  // (quantifier id, output ordinal)
+
+// Placeholder quantifier ids for subquery verdict/value columns injected
+// into predicates during planning.
+constexpr int kPlaceholderBase = -1000;
+
+// Correlation-parameter environment for one correlated inner plan. Resolving
+// a reference that is not locally bound walks outward: first the slots of
+// the Apply's input row, then the enclosing environment (yielding chained
+// ParamSources).
+struct ParamEnv {
+  ParamEnv* parent = nullptr;
+  const std::map<SlotKey, int>* outer_slots = nullptr;  // Apply input row
+  std::vector<ParamSource> sources;
+  std::map<SlotKey, int> param_map;
+
+  Result<int> RequireParam(const SlotKey& key) {
+    auto it = param_map.find(key);
+    if (it != param_map.end()) return it->second;
+    ParamSource src;
+    if (outer_slots != nullptr) {
+      auto slot_it = outer_slots->find(key);
+      if (slot_it != outer_slots->end()) {
+        src.from_outer = false;
+        src.index = slot_it->second;
+        sources.push_back(src);
+        const int idx = static_cast<int>(sources.size()) - 1;
+        param_map[key] = idx;
+        return idx;
+      }
+    }
+    if (parent != nullptr) {
+      DECORR_ASSIGN_OR_RETURN(int outer_idx, parent->RequireParam(key));
+      src.from_outer = true;
+      src.index = outer_idx;
+      sources.push_back(src);
+      const int idx = static_cast<int>(sources.size()) - 1;
+      param_map[key] = idx;
+      return idx;
+    }
+    return Status::Internal(
+        StrFormat("unresolvable column reference Q%d.%d during planning",
+                  key.first, key.second));
+  }
+};
+
+struct SlotContext {
+  const std::map<SlotKey, int>* slots = nullptr;
+  const std::map<int, int>* placeholder_slots = nullptr;  // qid -> slot
+  ParamEnv* env = nullptr;
+};
+
+// Rewrites (a clone of) `expr`, turning column refs into slot refs or
+// parameter refs.
+Status SlotifyInPlace(Expr* expr, const SlotContext& sctx) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    if (sctx.placeholder_slots != nullptr && expr->qid <= kPlaceholderBase) {
+      auto it = sctx.placeholder_slots->find(expr->qid);
+      if (it == sctx.placeholder_slots->end()) {
+        return Status::Internal("unbound subquery placeholder in planning");
+      }
+      expr->slot = it->second;
+      expr->qid = -1;
+      return Status::OK();
+    }
+    if (sctx.slots != nullptr) {
+      auto it = sctx.slots->find({expr->qid, expr->col});
+      if (it != sctx.slots->end()) {
+        expr->slot = it->second;
+        expr->qid = -1;
+        return Status::OK();
+      }
+    }
+    if (sctx.env == nullptr) {
+      return Status::Internal("correlated reference with no environment");
+    }
+    DECORR_ASSIGN_OR_RETURN(int param, sctx.env->RequireParam(
+                                           {expr->qid, expr->col}));
+    expr->kind = ExprKind::kParamRef;
+    expr->param = param;
+    return Status::OK();
+  }
+  for (ExprPtr& child : expr->children) {
+    DECORR_RETURN_IF_ERROR(SlotifyInPlace(child.get(), sctx));
+  }
+  return Status::OK();
+}
+
+Result<ExprPtr> Slotify(const Expr& expr, const SlotContext& sctx) {
+  ExprPtr clone = expr.Clone();
+  DECORR_RETURN_IF_ERROR(SlotifyInPlace(clone.get(), sctx));
+  return clone;
+}
+
+// Local quantifier ids (of `box`) referenced by the expression, plus the
+// placeholder ids, written into the two out-sets.
+void CollectRequirements(const Expr& expr, const Box* box,
+                         std::set<int>* qids, std::set<int>* placeholders) {
+  VisitExpr(expr, [&](const Expr& node) {
+    if (node.kind != ExprKind::kColumnRef) return;
+    if (node.qid <= kPlaceholderBase) {
+      placeholders->insert(node.qid);
+    } else if (box->OwnsQuantifier(node.qid)) {
+      qids->insert(node.qid);
+    }
+  });
+}
+
+// A subquery unit extracted from predicates / outputs.
+struct SubUnit {
+  int placeholder_qid = 0;
+  Quantifier* quantifier = nullptr;
+  SubqueryMode mode = SubqueryMode::kScalar;
+  ExprPtr lhs;  // unslotted (over box quantifiers); may be null
+  BinaryOp op = BinaryOp::kEq;
+  bool negated = false;
+  std::set<int> required_qids;  // correlation sources + lhs references
+};
+
+// Replaces subquery marker nodes in `expr` with placeholder column refs,
+// appending the extracted units.
+void ExtractSubqueryMarkers(Expr* expr, Box* box,
+                            std::vector<SubUnit>* units) {
+  const bool is_marker = expr->kind == ExprKind::kScalarSubquery ||
+                         expr->kind == ExprKind::kExists ||
+                         expr->kind == ExprKind::kInSubquery ||
+                         expr->kind == ExprKind::kQuantifiedComparison;
+  if (is_marker) {
+    SubUnit unit;
+    unit.quantifier = box->graph()->FindQuantifier(expr->sub_qid);
+    DECORR_CHECK(unit.quantifier != nullptr);
+    switch (expr->kind) {
+      case ExprKind::kScalarSubquery:
+        unit.mode = SubqueryMode::kScalar;
+        break;
+      case ExprKind::kExists:
+        unit.mode = SubqueryMode::kExists;
+        unit.negated = expr->negated;
+        break;
+      case ExprKind::kInSubquery:
+        unit.mode = SubqueryMode::kIn;
+        unit.negated = expr->negated;
+        unit.lhs = std::move(expr->children[0]);
+        break;
+      case ExprKind::kQuantifiedComparison:
+        unit.mode = expr->quant == Quantification::kAny ? SubqueryMode::kAny
+                                                        : SubqueryMode::kAll;
+        unit.op = expr->op;
+        unit.lhs = std::move(expr->children[0]);
+        break;
+      default:
+        break;
+    }
+    // Correlation sources of the subquery within this box.
+    for (const auto& [qid, col] :
+         CorrelationColumnsFrom(unit.quantifier->child, box)) {
+      (void)col;
+      unit.required_qids.insert(qid);
+    }
+    if (unit.lhs) {
+      std::set<int> ph;
+      CollectRequirements(*unit.lhs, box, &unit.required_qids, &ph);
+    }
+    unit.placeholder_qid =
+        kPlaceholderBase - static_cast<int>(units->size());
+    // Mutate the marker node into a placeholder reference.
+    const TypeId type = expr->type;
+    const int placeholder = unit.placeholder_qid;
+    expr->children.clear();
+    expr->kind = ExprKind::kColumnRef;
+    expr->qid = placeholder;
+    expr->col = 0;
+    expr->type = type;
+    expr->name = "subq";
+    units->push_back(std::move(unit));
+    return;
+  }
+  for (ExprPtr& child : expr->children) {
+    ExtractSubqueryMarkers(child.get(), box, units);
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+
+class Planner::Impl {
+ public:
+  Impl(const Catalog& catalog, const PlannerOptions& options)
+      : catalog_(catalog), options_(options), estimator_(catalog) {}
+
+  Result<PhysicalPlan> PlanRoot(QueryGraph* graph) {
+    graph_ = graph;
+    ParamEnv root_env;
+    DECORR_ASSIGN_OR_RETURN(OperatorPtr op, PlanBox(graph->root(), &root_env));
+    if (!root_env.sources.empty()) {
+      return Status::Internal("root plan has unresolved correlations");
+    }
+    PhysicalPlan plan;
+    plan.root = std::move(op);
+    for (int i = 0; i < graph->root()->num_outputs(); ++i) {
+      plan.column_names.push_back(graph->root()->OutputName(i));
+    }
+    return plan;
+  }
+
+ private:
+  // ---- generic box dispatch ----
+
+  Result<OperatorPtr> PlanBox(Box* box, ParamEnv* env) {
+    // Common subexpression: share a materialized result when allowed.
+    if (options_.materialize_common_subexpressions &&
+        box->kind() != BoxKind::kBaseTable &&
+        graph_->UsesOf(box).size() > 1 && !HasCorrelation(box)) {
+      auto it = shared_.find(box->id());
+      if (it == shared_.end()) {
+        auto shared = std::make_shared<SharedSubplan>();
+        DECORR_ASSIGN_OR_RETURN(shared->plan, PlanBoxNoShare(box, env));
+        shared->width = box->num_outputs();
+        it = shared_.emplace(box->id(), std::move(shared)).first;
+      }
+      return OperatorPtr(std::make_unique<CachedMaterializeOp>(it->second));
+    }
+    return PlanBoxNoShare(box, env);
+  }
+
+  Result<OperatorPtr> PlanBoxNoShare(Box* box, ParamEnv* env) {
+    switch (box->kind()) {
+      case BoxKind::kBaseTable: {
+        std::vector<int> projection(box->table->schema().num_columns());
+        for (size_t i = 0; i < projection.size(); ++i) {
+          projection[i] = static_cast<int>(i);
+        }
+        return OperatorPtr(
+            std::make_unique<SeqScanOp>(box->table, projection, nullptr));
+      }
+      case BoxKind::kSelect:
+        return PlanSelect(box, env);
+      case BoxKind::kGroupBy:
+        return PlanGroupBy(box, env);
+      case BoxKind::kUnion:
+        return PlanUnion(box, env);
+    }
+    return Status::Internal("unknown box kind");
+  }
+
+  // ---- GroupBy ----
+
+  Result<OperatorPtr> PlanGroupBy(Box* box, ParamEnv* env) {
+    Quantifier* q = box->quantifiers()[0];
+    DECORR_ASSIGN_OR_RETURN(OperatorPtr child, PlanBox(q->child, env));
+
+    std::map<SlotKey, int> slots;
+    for (int i = 0; i < q->child->num_outputs(); ++i) {
+      slots[{q->id, i}] = i;
+    }
+    SlotContext sctx;
+    sctx.slots = &slots;
+    sctx.env = env;
+
+    std::vector<ExprPtr> keys;
+    for (const ExprPtr& key : box->group_by) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(*key, sctx));
+      keys.push_back(std::move(slotted));
+    }
+
+    // Aggregates from outputs, in first-appearance order.
+    std::vector<AggSpec> aggs;
+    std::vector<const Expr*> agg_nodes;
+    for (const OutputColumn& out : box->outputs) {
+      VisitExpr(*out.expr, [&](const Expr& node) {
+        if (node.kind != ExprKind::kAggregate) return;
+        for (const Expr* seen : agg_nodes) {
+          if (ExprEquals(*seen, node)) return;
+        }
+        agg_nodes.push_back(&node);
+      });
+    }
+    for (const Expr* node : agg_nodes) {
+      AggSpec spec;
+      spec.kind = node->agg;
+      spec.distinct = node->distinct;
+      spec.result_type = node->type;
+      if (!node->children.empty()) {
+        DECORR_ASSIGN_OR_RETURN(spec.arg, Slotify(*node->children[0], sctx));
+      }
+      aggs.push_back(std::move(spec));
+    }
+
+    OperatorPtr agg_op = std::make_unique<HashAggregateOp>(
+        std::move(child), std::move(keys), std::move(aggs));
+
+    // Map box outputs onto the aggregate's (keys..., aggs...) layout.
+    const int num_keys = static_cast<int>(box->group_by.size());
+    std::vector<ExprPtr> projections;
+    for (const OutputColumn& out : box->outputs) {
+      DECORR_ASSIGN_OR_RETURN(
+          ExprPtr proj,
+          RebaseGroupOutput(*out.expr, box, agg_nodes, num_keys, sctx));
+      projections.push_back(std::move(proj));
+    }
+    return OperatorPtr(
+        std::make_unique<ProjectOp>(std::move(agg_op), std::move(projections)));
+  }
+
+  // Rewrites a group-box output expression over the aggregate operator's
+  // output layout: aggregates -> slot num_keys+i, group-key refs -> key slot.
+  Result<ExprPtr> RebaseGroupOutput(const Expr& expr, Box* box,
+                                    const std::vector<const Expr*>& agg_nodes,
+                                    int num_keys, const SlotContext& sctx) {
+    for (size_t i = 0; i < agg_nodes.size(); ++i) {
+      if (ExprEquals(*agg_nodes[i], expr)) {
+        return MakeSlotRef(num_keys + static_cast<int>(i), expr.type);
+      }
+    }
+    if (expr.kind == ExprKind::kColumnRef) {
+      if (!box->OwnsQuantifier(expr.qid)) {
+        // Correlated reference: resolve through the environment.
+        return Slotify(expr, sctx);
+      }
+      // Must match a group key.
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(expr, sctx));
+      for (int k = 0; k < num_keys; ++k) {
+        if (ExprEquals(*box->group_by[k], expr)) {
+          return MakeSlotRef(k, expr.type, expr.name);
+        }
+      }
+      // Group keys are stored slotted in the operator; compare on the
+      // original expression instead.
+      for (int k = 0; k < num_keys; ++k) {
+        if (box->group_by[k]->kind == ExprKind::kColumnRef &&
+            box->group_by[k]->qid == expr.qid &&
+            box->group_by[k]->col == expr.col) {
+          return MakeSlotRef(k, expr.type, expr.name);
+        }
+      }
+      (void)slotted;
+      return Status::Internal("group output column " + expr.ToString() +
+                              " does not match any group key");
+    }
+    ExprPtr clone = expr.Clone();
+    for (ExprPtr& child : clone->children) {
+      DECORR_ASSIGN_OR_RETURN(
+          child, RebaseGroupOutput(*child, box, agg_nodes, num_keys, sctx));
+    }
+    return clone;
+  }
+
+  // ---- Union ----
+
+  Result<OperatorPtr> PlanUnion(Box* box, ParamEnv* env) {
+    std::vector<OperatorPtr> children;
+    for (Quantifier* q : box->quantifiers()) {
+      DECORR_ASSIGN_OR_RETURN(OperatorPtr child, PlanBox(q->child, env));
+      children.push_back(std::move(child));
+    }
+    OperatorPtr out = std::make_unique<UnionAllOp>(std::move(children));
+    if (!box->union_all) out = std::make_unique<DistinctOp>(std::move(out));
+    return out;
+  }
+
+  // ---- Select (SPJ) ----
+
+  struct QuantPlanInfo {
+    Quantifier* quantifier = nullptr;
+    bool lateral = false;      // child subtree references this box
+    double card = 1.0;         // estimated local filtered cardinality
+    std::vector<int> local_pred_idx;  // predicates referencing only this q
+  };
+
+  Result<OperatorPtr> PlanSelect(Box* box, ParamEnv* env) {
+    // Working copies of predicates and outputs; subquery markers extracted.
+    std::vector<ExprPtr> preds;
+    for (const ExprPtr& pred : box->predicates) preds.push_back(pred->Clone());
+    std::vector<ExprPtr> outputs;
+    for (const OutputColumn& out : box->outputs) {
+      outputs.push_back(out.expr->Clone());
+    }
+    std::vector<SubUnit> units;
+    for (ExprPtr& pred : preds) {
+      ExtractSubqueryMarkers(pred.get(), box, &units);
+    }
+    for (ExprPtr& out : outputs) {
+      ExtractSubqueryMarkers(out.get(), box, &units);
+    }
+
+    // Classify F quantifiers.
+    std::vector<QuantPlanInfo> quants;
+    for (Quantifier* q : box->quantifiers()) {
+      if (q->kind != QuantifierKind::kForeach) continue;
+      QuantPlanInfo info;
+      info.quantifier = q;
+      info.lateral = IsCorrelatedTo(q->child, box);
+      quants.push_back(info);
+    }
+    if (quants.empty()) {
+      return Status::Internal("select box with no FROM quantifiers");
+    }
+
+    // Record local predicates (single local quantifier, no placeholders)
+    // for cardinality estimation; they are consumed later by the access
+    // paths, which mark pred_used themselves.
+    std::vector<bool> pred_used(preds.size(), false);
+    for (size_t p = 0; p < preds.size(); ++p) {
+      std::set<int> qids, placeholders;
+      CollectRequirements(*preds[p], box, &qids, &placeholders);
+      if (!placeholders.empty() || qids.size() != 1) continue;
+      for (QuantPlanInfo& info : quants) {
+        if (!info.lateral && info.quantifier->id == *qids.begin()) {
+          info.local_pred_idx.push_back(static_cast<int>(p));
+        }
+      }
+    }
+
+    // Estimated local cardinality per joinable quantifier.
+    for (QuantPlanInfo& info : quants) {
+      double card = estimator_.EstimateBoxRows(info.quantifier->child);
+      for (int p : info.local_pred_idx) {
+        card *= estimator_.PredicateSelectivity(box, *preds[p]);
+      }
+      info.card = std::max(card, 1.0);
+    }
+
+    if (box->null_padded_qid >= 0) {
+      return PlanLeftOuterSelect(box, env, std::move(preds), std::move(outputs),
+                                 std::move(units), quants, pred_used);
+    }
+
+    // ---- greedy join order over non-lateral quantifiers ----
+    std::vector<const QuantPlanInfo*> order;
+    std::vector<double> est_after;  // estimated rows after each step
+    {
+      std::vector<const QuantPlanInfo*> remaining;
+      for (const QuantPlanInfo& info : quants) {
+        if (!info.lateral) remaining.push_back(&info);
+      }
+      std::sort(remaining.begin(), remaining.end(),
+                [](const QuantPlanInfo* a, const QuantPlanInfo* b) {
+                  return a->card < b->card;
+                });
+      std::set<int> bound;
+      double current = 0.0;
+      while (!remaining.empty()) {
+        size_t best = 0;
+        double best_card = -1.0;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          double card;
+          if (order.empty()) {
+            card = remaining[i]->card;
+          } else {
+            card = JoinStepEstimate(box, preds, bound, current, *remaining[i]);
+          }
+          if (best_card < 0 || card < best_card) {
+            best_card = card;
+            best = i;
+          }
+        }
+        order.push_back(remaining[best]);
+        bound.insert(remaining[best]->quantifier->id);
+        current = best_card;
+        est_after.push_back(current);
+        remaining.erase(remaining.begin() + best);
+      }
+    }
+
+    // ---- schedule laterals and subquery units ----
+    // position p means "after join step p" (0-based over `order`).
+    const int last_step = static_cast<int>(order.size()) - 1;
+    auto choose_position = [&](const std::set<int>& required) {
+      int earliest = 0;
+      std::set<int> bound;
+      for (int s = 0; s <= last_step; ++s) {
+        bound.insert(order[s]->quantifier->id);
+        earliest = s;
+        if (std::includes(bound.begin(), bound.end(), required.begin(),
+                          required.end())) {
+          break;
+        }
+      }
+      // Among legal positions, take the one with the fewest estimated rows
+      // (ties go to the latest position, matching "decide late" instincts).
+      int best = last_step;
+      for (int s = earliest; s <= last_step; ++s) {
+        if (est_after[s] < est_after[best]) best = s;
+      }
+      return best;
+    };
+
+    std::map<int, std::vector<SubUnit*>> units_at;     // step -> units
+    std::map<int, std::vector<QuantPlanInfo*>> lat_at;  // step -> laterals
+    for (SubUnit& unit : units) {
+      units_at[choose_position(unit.required_qids)].push_back(&unit);
+    }
+    for (QuantPlanInfo& info : quants) {
+      if (!info.lateral) continue;
+      std::set<int> required;
+      for (const auto& [qid, col] :
+           CorrelationColumnsFrom(info.quantifier->child, box)) {
+        (void)col;
+        required.insert(qid);
+      }
+      lat_at[choose_position(required)].push_back(&info);
+    }
+
+    // ---- build the operator tree ----
+    std::map<SlotKey, int> slots;
+    std::map<int, int> placeholder_slots;
+    std::set<int> bound_qids;
+    std::set<int> bound_placeholders;
+    OperatorPtr current;
+    int width = 0;
+
+    SlotContext sctx;
+    sctx.slots = &slots;
+    sctx.placeholder_slots = &placeholder_slots;
+    sctx.env = env;
+
+    // Applies every pending predicate whose requirements are satisfied.
+    auto apply_ready_preds = [&]() -> Status {
+      for (size_t p = 0; p < preds.size(); ++p) {
+        if (pred_used[p]) continue;
+        std::set<int> qids, placeholders;
+        CollectRequirements(*preds[p], box, &qids, &placeholders);
+        const bool ready =
+            std::includes(bound_qids.begin(), bound_qids.end(), qids.begin(),
+                          qids.end()) &&
+            std::includes(bound_placeholders.begin(),
+                          bound_placeholders.end(), placeholders.begin(),
+                          placeholders.end());
+        if (!ready) continue;
+        DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(*preds[p], sctx));
+        current = std::make_unique<FilterOp>(std::move(current),
+                                             std::move(slotted));
+        pred_used[p] = true;
+      }
+      return Status::OK();
+    };
+
+    auto attach_step_extras = [&](int step) -> Status {
+      for (QuantPlanInfo* info : lat_at[step]) {
+        DECORR_RETURN_IF_ERROR(AttachLateral(box, info, env, &current, &slots,
+                                             &width, &bound_qids));
+        DECORR_RETURN_IF_ERROR(apply_ready_preds());
+      }
+      for (SubUnit* unit : units_at[step]) {
+        DECORR_RETURN_IF_ERROR(AttachSubUnit(box, unit, env, sctx, &current,
+                                             &placeholder_slots, &width,
+                                             &bound_placeholders));
+        DECORR_RETURN_IF_ERROR(apply_ready_preds());
+      }
+      return Status::OK();
+    };
+
+    for (int step = 0; step <= last_step; ++step) {
+      const QuantPlanInfo& info = *order[step];
+      if (step == 0) {
+        DECORR_ASSIGN_OR_RETURN(
+            current, BuildAccessPath(box, info, preds, pred_used, env));
+        RegisterSlots(info.quantifier, &slots, &width);
+        bound_qids.insert(info.quantifier->id);
+        DECORR_RETURN_IF_ERROR(apply_ready_preds());
+        DECORR_RETURN_IF_ERROR(attach_step_extras(step));
+        continue;
+      }
+      // Extract equality join keys between bound set and the new quantifier.
+      std::vector<ExprPtr> left_keys, right_keys;
+      std::map<SlotKey, int> right_slots;
+      int right_width = 0;
+      RegisterSlotsInto(info.quantifier, &right_slots, &right_width);
+      SlotContext right_ctx;
+      right_ctx.slots = &right_slots;
+      right_ctx.env = env;
+      for (size_t p = 0; p < preds.size(); ++p) {
+        if (pred_used[p]) continue;
+        const Expr& pred = *preds[p];
+        if (pred.kind != ExprKind::kComparison || pred.op != BinaryOp::kEq) {
+          continue;
+        }
+        const Expr* lhs = pred.children[0].get();
+        const Expr* rhs = pred.children[1].get();
+        if (lhs->kind != ExprKind::kColumnRef ||
+            rhs->kind != ExprKind::kColumnRef) {
+          continue;
+        }
+        const Expr* bound_side = nullptr;
+        const Expr* new_side = nullptr;
+        if (bound_qids.count(lhs->qid) &&
+            rhs->qid == info.quantifier->id) {
+          bound_side = lhs;
+          new_side = rhs;
+        } else if (bound_qids.count(rhs->qid) &&
+                   lhs->qid == info.quantifier->id) {
+          bound_side = rhs;
+          new_side = lhs;
+        } else {
+          continue;
+        }
+        DECORR_ASSIGN_OR_RETURN(ExprPtr lkey, Slotify(*bound_side, sctx));
+        DECORR_ASSIGN_OR_RETURN(ExprPtr rkey, Slotify(*new_side, right_ctx));
+        left_keys.push_back(std::move(lkey));
+        right_keys.push_back(std::move(rkey));
+        pred_used[p] = true;
+      }
+      // Small-outer + indexed base table: index nested-loop join (the
+      // access pattern the paper's NI plans and decoupled subqueries rely
+      // on). Otherwise hash join on the extracted keys, else a cross
+      // product.
+      bool used_index_join = false;
+      if (options_.use_indexes && !left_keys.empty() &&
+          info.quantifier->child->kind() == BoxKind::kBaseTable &&
+          est_after[step - 1] <
+              static_cast<double>(info.quantifier->child->table->num_rows())) {
+        DECORR_ASSIGN_OR_RETURN(
+            used_index_join,
+            TryIndexJoin(box, info, preds, pred_used, env, left_keys,
+                         right_keys, width, &current));
+      }
+      if (!used_index_join) {
+        DECORR_ASSIGN_OR_RETURN(
+            OperatorPtr right,
+            BuildAccessPath(box, info, preds, pred_used, env));
+        if (!left_keys.empty()) {
+          current = std::make_unique<HashJoinOp>(
+              std::move(current), std::move(right), std::move(left_keys),
+              std::move(right_keys), nullptr, JoinType::kInner);
+        } else {
+          current = std::make_unique<NestedLoopJoinOp>(
+              std::move(current), std::move(right), nullptr, JoinType::kInner);
+        }
+      }
+      RegisterSlots(info.quantifier, &slots, &width);
+      bound_qids.insert(info.quantifier->id);
+      DECORR_RETURN_IF_ERROR(apply_ready_preds());
+      DECORR_RETURN_IF_ERROR(attach_step_extras(step));
+    }
+
+    // Any predicate still pending is a bug in the scheduling above.
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (!pred_used[p]) {
+        return Status::Internal("predicate was never applied: " +
+                                preds[p]->ToString());
+      }
+    }
+
+    // Final projection (+ DISTINCT).
+    std::vector<ExprPtr> projections;
+    for (ExprPtr& out : outputs) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(*out, sctx));
+      projections.push_back(std::move(slotted));
+    }
+    current = std::make_unique<ProjectOp>(std::move(current),
+                                          std::move(projections));
+    if (box->distinct) {
+      current = std::make_unique<DistinctOp>(std::move(current));
+    }
+    return current;
+  }
+
+  // Left-outer select boxes produced by the COUNT-bug removal: the
+  // null-padded quantifier joins the tree of all other quantifiers.
+  Result<OperatorPtr> PlanLeftOuterSelect(Box* box, ParamEnv* env,
+                                          std::vector<ExprPtr> preds,
+                                          std::vector<ExprPtr> outputs,
+                                          std::vector<SubUnit> units,
+                                          std::vector<QuantPlanInfo>& quants,
+                                          std::vector<bool>& pred_used) {
+    if (!units.empty()) {
+      return Status::NotImplemented(
+          "subqueries inside an outer-join select box");
+    }
+    QuantPlanInfo* padded = nullptr;
+    std::map<SlotKey, int> slots;
+    int width = 0;
+    OperatorPtr left;
+    std::set<int> bound_qids;
+    SlotContext left_ctx;
+    left_ctx.slots = &slots;
+    left_ctx.env = env;
+    // Build the preserved side greedily (smallest estimate first), wiring
+    // equality predicates between preserved quantifiers as hash-join keys.
+    {
+      std::vector<QuantPlanInfo*> remaining;
+      for (QuantPlanInfo& info : quants) {
+        if (info.quantifier->id == box->null_padded_qid) {
+          padded = &info;
+          continue;
+        }
+        remaining.push_back(&info);
+      }
+      std::sort(remaining.begin(), remaining.end(),
+                [](const QuantPlanInfo* a, const QuantPlanInfo* b) {
+                  return a->card < b->card;
+                });
+      double running_est = 0.0;
+      for (QuantPlanInfo* info : remaining) {
+        // Join keys between bound set and the new quantifier.
+        std::vector<ExprPtr> left_keys, right_keys;
+        std::map<SlotKey, int> right_slots;
+        int right_width = 0;
+        RegisterSlotsInto(info->quantifier, &right_slots, &right_width);
+        SlotContext right_ctx;
+        right_ctx.slots = &right_slots;
+        right_ctx.env = env;
+        if (left) {
+          for (size_t p = 0; p < preds.size(); ++p) {
+            if (pred_used[p]) continue;
+            const Expr& pred = *preds[p];
+            if (pred.kind != ExprKind::kComparison ||
+                pred.op != BinaryOp::kEq) {
+              continue;
+            }
+            const Expr* lhs = pred.children[0].get();
+            const Expr* rhs = pred.children[1].get();
+            if (lhs->kind != ExprKind::kColumnRef ||
+                rhs->kind != ExprKind::kColumnRef) {
+              continue;
+            }
+            const Expr* bound_side = nullptr;
+            const Expr* new_side = nullptr;
+            if (bound_qids.count(lhs->qid) &&
+                rhs->qid == info->quantifier->id) {
+              bound_side = lhs;
+              new_side = rhs;
+            } else if (bound_qids.count(rhs->qid) &&
+                       lhs->qid == info->quantifier->id) {
+              bound_side = rhs;
+              new_side = lhs;
+            } else {
+              continue;
+            }
+            DECORR_ASSIGN_OR_RETURN(ExprPtr lkey,
+                                    Slotify(*bound_side, left_ctx));
+            DECORR_ASSIGN_OR_RETURN(ExprPtr rkey, Slotify(*new_side,
+                                                          right_ctx));
+            left_keys.push_back(std::move(lkey));
+            right_keys.push_back(std::move(rkey));
+            pred_used[p] = true;
+          }
+        }
+        bool used_index_join = false;
+        if (left && options_.use_indexes && !left_keys.empty() &&
+            info->quantifier->child->kind() == BoxKind::kBaseTable &&
+            running_est <
+                static_cast<double>(
+                    info->quantifier->child->table->num_rows())) {
+          DECORR_ASSIGN_OR_RETURN(
+              used_index_join,
+              TryIndexJoin(box, *info, preds, pred_used, env, left_keys,
+                           right_keys, width, &left));
+        }
+        if (!used_index_join) {
+          DECORR_ASSIGN_OR_RETURN(
+              OperatorPtr access,
+              BuildAccessPath(box, *info, preds, pred_used, env));
+          if (!left) {
+            left = std::move(access);
+          } else if (!left_keys.empty()) {
+            left = std::make_unique<HashJoinOp>(
+                std::move(left), std::move(access), std::move(left_keys),
+                std::move(right_keys), nullptr, JoinType::kInner);
+          } else {
+            left = std::make_unique<NestedLoopJoinOp>(
+                std::move(left), std::move(access), nullptr, JoinType::kInner);
+          }
+        }
+        running_est = left ? (bound_qids.empty()
+                                  ? info->card
+                                  : JoinStepEstimate(box, preds, bound_qids,
+                                                     running_est, *info))
+                           : info->card;
+        RegisterSlots(info->quantifier, &slots, &width);
+        bound_qids.insert(info->quantifier->id);
+        // Preserved-side predicates that became evaluable.
+        for (size_t p = 0; p < preds.size(); ++p) {
+          if (pred_used[p]) continue;
+          std::set<int> qids, placeholders;
+          CollectRequirements(*preds[p], box, &qids, &placeholders);
+          if (qids.count(box->null_padded_qid) || !placeholders.empty()) {
+            continue;
+          }
+          if (!std::includes(bound_qids.begin(), bound_qids.end(),
+                             qids.begin(), qids.end())) {
+            continue;
+          }
+          DECORR_ASSIGN_OR_RETURN(ExprPtr slotted,
+                                  Slotify(*preds[p], left_ctx));
+          left = std::make_unique<FilterOp>(std::move(left),
+                                            std::move(slotted));
+          pred_used[p] = true;
+        }
+      }
+    }
+    if (padded == nullptr) {
+      return Status::Internal("null_padded_qid not among F quantifiers");
+    }
+
+    std::map<SlotKey, int> right_slots;
+    int right_width = 0;
+    RegisterSlotsInto(padded->quantifier, &right_slots, &right_width);
+    SlotContext right_ctx;
+    right_ctx.slots = &right_slots;
+    right_ctx.env = env;
+
+    // Predicates touching the padded quantifier form the join condition.
+    std::vector<ExprPtr> left_keys, right_keys;
+    std::vector<ExprPtr> residual_parts;
+    // Combined row layout: left columns, then the padded side's columns.
+    std::map<SlotKey, int> combined_slots = slots;
+    int combined_width = width;
+    RegisterSlotsInto(padded->quantifier, &combined_slots, &combined_width);
+    SlotContext combined_ctx;
+    combined_ctx.slots = &combined_slots;
+    combined_ctx.env = env;
+
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (pred_used[p]) continue;
+      std::set<int> qids, placeholders;
+      CollectRequirements(*preds[p], box, &qids, &placeholders);
+      if (!qids.count(padded->quantifier->id)) continue;
+      const Expr& pred = *preds[p];
+      const Expr* lhs = pred.children.empty() ? nullptr
+                                              : pred.children[0].get();
+      const Expr* rhs =
+          pred.children.size() > 1 ? pred.children[1].get() : nullptr;
+      if (pred.kind == ExprKind::kComparison && pred.op == BinaryOp::kEq &&
+          lhs && rhs && lhs->kind == ExprKind::kColumnRef &&
+          rhs->kind == ExprKind::kColumnRef) {
+        const Expr* outer_side =
+            lhs->qid == padded->quantifier->id ? rhs : lhs;
+        const Expr* inner_side =
+            lhs->qid == padded->quantifier->id ? lhs : rhs;
+        if (inner_side->qid == padded->quantifier->id &&
+            outer_side->qid != padded->quantifier->id) {
+          DECORR_ASSIGN_OR_RETURN(ExprPtr lkey, Slotify(*outer_side, left_ctx));
+          DECORR_ASSIGN_OR_RETURN(ExprPtr rkey,
+                                  Slotify(*inner_side, right_ctx));
+          left_keys.push_back(std::move(lkey));
+          right_keys.push_back(std::move(rkey));
+          pred_used[p] = true;
+          continue;
+        }
+      }
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(pred, combined_ctx));
+      residual_parts.push_back(std::move(slotted));
+      pred_used[p] = true;
+    }
+
+    DECORR_ASSIGN_OR_RETURN(
+        OperatorPtr right,
+        BuildAccessPath(box, *padded, preds, pred_used, env));
+
+    ExprPtr residual;
+    if (!residual_parts.empty()) residual = MakeAnd(std::move(residual_parts));
+    OperatorPtr join;
+    if (!left_keys.empty()) {
+      join = std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                          std::move(left_keys),
+                                          std::move(right_keys),
+                                          std::move(residual),
+                                          JoinType::kLeftOuter);
+    } else {
+      join = std::make_unique<NestedLoopJoinOp>(std::move(left),
+                                                std::move(right),
+                                                std::move(residual),
+                                                JoinType::kLeftOuter);
+    }
+
+    // Remaining predicates (not touching the padded side) run post-join.
+    OperatorPtr current = std::move(join);
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (pred_used[p]) continue;
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(*preds[p],
+                                                       combined_ctx));
+      current = std::make_unique<FilterOp>(std::move(current),
+                                           std::move(slotted));
+      pred_used[p] = true;
+    }
+
+    std::vector<ExprPtr> projections;
+    for (ExprPtr& out : outputs) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr slotted, Slotify(*out, combined_ctx));
+      projections.push_back(std::move(slotted));
+    }
+    current = std::make_unique<ProjectOp>(std::move(current),
+                                          std::move(projections));
+    if (box->distinct) {
+      current = std::make_unique<DistinctOp>(std::move(current));
+    }
+    return current;
+  }
+
+  // ---- helpers ----
+
+  double JoinStepEstimate(Box* box, const std::vector<ExprPtr>& preds,
+                          const std::set<int>& bound, double current,
+                          const QuantPlanInfo& next) {
+    (void)box;
+    double card = current * next.card;
+    for (const ExprPtr& pred : preds) {
+      if (pred->kind != ExprKind::kComparison || pred->op != BinaryOp::kEq) {
+        continue;
+      }
+      const Expr* lhs = pred->children[0].get();
+      const Expr* rhs = pred->children[1].get();
+      if (lhs->kind != ExprKind::kColumnRef ||
+          rhs->kind != ExprKind::kColumnRef) {
+        continue;
+      }
+      const bool connects =
+          (bound.count(lhs->qid) && rhs->qid == next.quantifier->id) ||
+          (bound.count(rhs->qid) && lhs->qid == next.quantifier->id);
+      if (!connects) continue;
+      const Quantifier* lq = graph_->FindQuantifier(lhs->qid);
+      const Quantifier* rq = graph_->FindQuantifier(rhs->qid);
+      const double ndv =
+          std::max(estimator_.EstimateDistinct(lq->child, lhs->col),
+                   estimator_.EstimateDistinct(rq->child, rhs->col));
+      card /= std::max(ndv, 1.0);
+    }
+    return std::max(card, 1.0);
+  }
+
+  void RegisterSlots(const Quantifier* q, std::map<SlotKey, int>* slots,
+                     int* width) {
+    for (int i = 0; i < q->child->num_outputs(); ++i) {
+      (*slots)[{q->id, i}] = (*width)++;
+    }
+  }
+  void RegisterSlotsInto(const Quantifier* q, std::map<SlotKey, int>* slots,
+                         int* width) {
+    RegisterSlots(q, slots, width);
+  }
+
+  // Builds an IndexJoinOp joining *current against `info`'s base table when
+  // an index covers the join keys. Consumes left_keys/right_keys and the
+  // quantifier's local predicates on success.
+  Result<bool> TryIndexJoin(Box* box, const QuantPlanInfo& info,
+                            std::vector<ExprPtr>& preds,
+                            std::vector<bool>& pred_used,
+                            ParamEnv* env, std::vector<ExprPtr>& left_keys,
+                            std::vector<ExprPtr>& right_keys, int left_width,
+                            OperatorPtr* current) {
+    Quantifier* q = info.quantifier;
+    TablePtr table = q->child->table;
+    // Right keys must be plain table-column slots.
+    std::vector<int> right_cols;
+    for (const ExprPtr& key : right_keys) {
+      if (key->kind != ExprKind::kColumnRef || key->slot < 0) return false;
+      right_cols.push_back(key->slot);
+    }
+    std::shared_ptr<HashIndex> index =
+        catalog_.FindIndexCoveredBy(table->schema().name(), right_cols);
+    if (index == nullptr) return false;
+
+    // Probe keys in index column order; uncovered pairs become residuals.
+    std::vector<ExprPtr> probe_keys;
+    std::vector<bool> consumed(right_cols.size(), false);
+    for (int index_col : index->key_columns()) {
+      bool found = false;
+      for (size_t i = 0; i < right_cols.size(); ++i) {
+        if (!consumed[i] && right_cols[i] == index_col) {
+          probe_keys.push_back(left_keys[i]->Clone());
+          consumed[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    std::vector<ExprPtr> residuals;
+    for (size_t i = 0; i < right_cols.size(); ++i) {
+      if (consumed[i]) continue;
+      residuals.push_back(MakeComparison(
+          BinaryOp::kEq, left_keys[i]->Clone(),
+          MakeSlotRef(left_width + right_cols[i],
+                      table->schema().column(right_cols[i]).type)));
+    }
+    // Local predicates of this quantifier, over the combined row.
+    std::map<SlotKey, int> combined_slots;
+    for (int i = 0; i < table->schema().num_columns(); ++i) {
+      combined_slots[{q->id, i}] = left_width + i;
+    }
+    SlotContext combined_ctx;
+    combined_ctx.slots = &combined_slots;
+    combined_ctx.env = env;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (pred_used[p]) continue;
+      std::set<int> qids, placeholders;
+      CollectRequirements(*preds[p], box, &qids, &placeholders);
+      if (!placeholders.empty() || qids.size() != 1 ||
+          *qids.begin() != q->id) {
+        continue;
+      }
+      DECORR_ASSIGN_OR_RETURN(ExprPtr res, Slotify(*preds[p], combined_ctx));
+      residuals.push_back(std::move(res));
+      pred_used[p] = true;
+    }
+    ExprPtr residual;
+    if (!residuals.empty()) residual = MakeAnd(std::move(residuals));
+    *current = std::make_unique<IndexJoinOp>(std::move(*current), table, index,
+                                             std::move(probe_keys),
+                                             std::move(residual));
+    return true;
+  }
+
+  // Access path for one F quantifier with its local predicates. May consume
+  // additional `preds` (marking pred_used) when they are local to this
+  // quantifier.
+  Result<OperatorPtr> BuildAccessPath(Box* box, const QuantPlanInfo& info,
+                                      std::vector<ExprPtr>& preds,
+                                      std::vector<bool>& pred_used,
+                                      ParamEnv* env) {
+    Quantifier* q = info.quantifier;
+    // Collect local predicate clones (indexes recorded during classify,
+    // plus any still-unused single-quantifier predicates).
+    std::vector<int> local;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (pred_used[p]) continue;
+      std::set<int> qids, placeholders;
+      CollectRequirements(*preds[p], box, &qids, &placeholders);
+      if (placeholders.empty() && qids.size() == 1 &&
+          *qids.begin() == q->id) {
+        local.push_back(static_cast<int>(p));
+      }
+    }
+
+    if (q->child->kind() == BoxKind::kBaseTable && !info.lateral) {
+      TablePtr table = q->child->table;
+      // Slot context against raw table columns.
+      std::map<SlotKey, int> table_slots;
+      for (int i = 0; i < table->schema().num_columns(); ++i) {
+        table_slots[{q->id, i}] = i;
+      }
+      SlotContext sctx;
+      sctx.slots = &table_slots;
+      sctx.env = env;
+
+      // Try an index for equality predicates col = <non-local>.
+      std::vector<int> eq_cols;
+      std::map<int, const Expr*> eq_rhs;  // table col -> rhs expr
+      std::map<int, int> eq_pred;         // table col -> pred index
+      for (int p : local) {
+        const Expr& pred = *preds[p];
+        if (pred.kind != ExprKind::kComparison || pred.op != BinaryOp::kEq) {
+          continue;
+        }
+        const Expr* lhs = pred.children[0].get();
+        const Expr* rhs = pred.children[1].get();
+        if (rhs->kind == ExprKind::kColumnRef && rhs->qid == q->id) {
+          std::swap(lhs, rhs);
+        }
+        if (lhs->kind != ExprKind::kColumnRef || lhs->qid != q->id) continue;
+        // rhs must not reference this quantifier.
+        const bool rhs_local = AnyNode(*rhs, [&](const Expr& node) {
+          return node.kind == ExprKind::kColumnRef && node.qid == q->id;
+        });
+        if (rhs_local) continue;
+        if (eq_rhs.count(lhs->col)) continue;
+        eq_cols.push_back(lhs->col);
+        eq_rhs[lhs->col] = rhs;
+        eq_pred[lhs->col] = p;
+      }
+      std::shared_ptr<HashIndex> index;
+      if (options_.use_indexes && !eq_cols.empty()) {
+        index = catalog_.FindIndexCoveredBy(table->schema().name(), eq_cols);
+      }
+      std::vector<int> projection(table->schema().num_columns());
+      for (size_t i = 0; i < projection.size(); ++i) {
+        projection[i] = static_cast<int>(i);
+      }
+      if (index != nullptr) {
+        std::vector<ExprPtr> keys;
+        for (int col : index->key_columns()) {
+          DECORR_ASSIGN_OR_RETURN(ExprPtr key, Slotify(*eq_rhs[col], sctx));
+          keys.push_back(std::move(key));
+          pred_used[eq_pred[col]] = true;
+        }
+        // Residual: remaining local predicates.
+        std::vector<ExprPtr> residuals;
+        for (int p : local) {
+          if (pred_used[p]) continue;
+          DECORR_ASSIGN_OR_RETURN(ExprPtr res, Slotify(*preds[p], sctx));
+          residuals.push_back(std::move(res));
+          pred_used[p] = true;
+        }
+        ExprPtr residual;
+        if (!residuals.empty()) residual = MakeAnd(std::move(residuals));
+        return OperatorPtr(std::make_unique<IndexLookupOp>(
+            table, index, std::move(keys), projection, std::move(residual)));
+      }
+      // Sequential scan with fused filter.
+      std::vector<ExprPtr> filters;
+      for (int p : local) {
+        DECORR_ASSIGN_OR_RETURN(ExprPtr f, Slotify(*preds[p], sctx));
+        filters.push_back(std::move(f));
+        pred_used[p] = true;
+      }
+      ExprPtr filter;
+      if (!filters.empty()) filter = MakeAnd(std::move(filters));
+      return OperatorPtr(std::make_unique<SeqScanOp>(table, projection,
+                                                     std::move(filter)));
+    }
+
+    // Non-base child (derived table / group / union): plan recursively,
+    // apply local predicates as a filter.
+    DECORR_ASSIGN_OR_RETURN(OperatorPtr op, PlanBox(q->child, env));
+    if (!local.empty()) {
+      std::map<SlotKey, int> child_slots;
+      int w = 0;
+      RegisterSlots(q, &child_slots, &w);
+      SlotContext sctx;
+      sctx.slots = &child_slots;
+      sctx.env = env;
+      std::vector<ExprPtr> filters;
+      for (int p : local) {
+        DECORR_ASSIGN_OR_RETURN(ExprPtr f, Slotify(*preds[p], sctx));
+        filters.push_back(std::move(f));
+        pred_used[p] = true;
+      }
+      op = std::make_unique<FilterOp>(std::move(op),
+                                      MakeAnd(std::move(filters)));
+    }
+    return op;
+  }
+
+  // Plans one correlated derived table as a lateral join step.
+  Status AttachLateral(Box* box, QuantPlanInfo* info, ParamEnv* env,
+                       OperatorPtr* current, std::map<SlotKey, int>* slots,
+                       int* width, std::set<int>* bound_qids) {
+    (void)box;
+    ParamEnv child_env;
+    child_env.parent = env;
+    child_env.outer_slots = slots;
+    DECORR_ASSIGN_OR_RETURN(OperatorPtr inner,
+                            PlanBoxNoShare(info->quantifier->child,
+                                           &child_env));
+    const int inner_width = info->quantifier->child->num_outputs();
+    *current = std::make_unique<LateralJoinOp>(std::move(*current),
+                                               std::move(inner),
+                                               std::move(child_env.sources),
+                                               inner_width);
+    RegisterSlots(info->quantifier, slots, width);
+    bound_qids->insert(info->quantifier->id);
+    return Status::OK();
+  }
+
+  // Plans one subquery unit, appending a verdict/value slot.
+  //
+  // Fast path: when the subquery child is "CI-like" — a Select whose
+  // predicates are all binding equalities `local-col = outer-col` and whose
+  // body is otherwise uncorrelated (exactly what magic decorrelation's CI
+  // boxes look like when the consumer could not merge them) — the inner
+  // body is executed ONCE, hashed on the binding columns, and probed per
+  // row. This is the "index on a temporary relation" execution of Section
+  // 4.4. Otherwise: a plain nested-iteration Apply.
+  Status AttachSubUnit(Box* box, SubUnit* unit, ParamEnv* env,
+                       const SlotContext& sctx, OperatorPtr* current,
+                       std::map<int, int>* placeholder_slots, int* width,
+                       std::set<int>* bound_placeholders) {
+    Box* child = unit->quantifier->child;
+    DECORR_ASSIGN_OR_RETURN(
+        bool done, TryGroupProbe(box, unit, child, env, sctx, current));
+    if (!done) {
+      ParamEnv child_env;
+      child_env.parent = env;
+      child_env.outer_slots = sctx.slots;
+      DECORR_ASSIGN_OR_RETURN(OperatorPtr inner,
+                              PlanBoxNoShare(child, &child_env));
+      SubqueryPlan sub;
+      sub.plan = std::move(inner);
+      sub.params = std::move(child_env.sources);
+      sub.mode = unit->mode;
+      sub.op = unit->op;
+      sub.negated = unit->negated;
+      if (unit->lhs) {
+        DECORR_ASSIGN_OR_RETURN(sub.lhs, Slotify(*unit->lhs, sctx));
+      }
+      std::vector<SubqueryPlan> subs;
+      subs.push_back(std::move(sub));
+      *current =
+          std::make_unique<ApplyOp>(std::move(*current), std::move(subs));
+    }
+    (*placeholder_slots)[unit->placeholder_qid] = (*width)++;
+    bound_placeholders->insert(unit->placeholder_qid);
+    return Status::OK();
+  }
+
+  // Attempts the CI-like group-probe plan; returns true on success.
+  Result<bool> TryGroupProbe(Box* box, SubUnit* unit, Box* child,
+                             ParamEnv* env, const SlotContext& sctx,
+                             OperatorPtr* current) {
+    if (child->kind() != BoxKind::kSelect || child->distinct ||
+        child->null_padded_qid >= 0 || child->predicates.empty()) {
+      return false;
+    }
+    // Partition predicates: purely local ones stay in the inner plan;
+    // binding equalities `local ref = outer ref` (with the local side
+    // exposed verbatim in the child's outputs) become hash keys; anything
+    // else defeats the fast path.
+    std::vector<int> inner_key_cols;
+    std::vector<const Expr*> outer_sides;
+    std::vector<size_t> binding_pred_idx;
+    for (size_t p = 0; p < child->predicates.size(); ++p) {
+      const ExprPtr& pred = child->predicates[p];
+      const bool references_outside = AnyNode(*pred, [&](const Expr& node) {
+        return node.kind == ExprKind::kColumnRef &&
+               !child->OwnsQuantifier(node.qid);
+      });
+      if (!references_outside) continue;  // stays in the inner plan
+      if (pred->kind != ExprKind::kComparison || pred->op != BinaryOp::kEq) {
+        return false;
+      }
+      const Expr* lhs = pred->children[0].get();
+      const Expr* rhs = pred->children[1].get();
+      if (lhs->kind != ExprKind::kColumnRef ||
+          rhs->kind != ExprKind::kColumnRef) {
+        return false;
+      }
+      const Expr* local = nullptr;
+      const Expr* outer = nullptr;
+      if (child->OwnsQuantifier(lhs->qid) && box->OwnsQuantifier(rhs->qid)) {
+        local = lhs;
+        outer = rhs;
+      } else if (child->OwnsQuantifier(rhs->qid) &&
+                 box->OwnsQuantifier(lhs->qid)) {
+        local = rhs;
+        outer = lhs;
+      } else {
+        return false;
+      }
+      int ordinal = -1;
+      for (int i = 0; i < child->num_outputs(); ++i) {
+        const Expr* out = child->outputs[i].expr.get();
+        if (out && out->kind == ExprKind::kColumnRef &&
+            out->qid == local->qid && out->col == local->col) {
+          ordinal = i;
+          break;
+        }
+      }
+      if (ordinal < 0) return false;
+      inner_key_cols.push_back(ordinal);
+      outer_sides.push_back(outer);
+      binding_pred_idx.push_back(p);
+    }
+    if (binding_pred_idx.empty()) return false;
+
+    // Plan the child without its binding predicates. The body must come out
+    // parameter-free (no deeper correlation), otherwise fall back.
+    std::vector<ExprPtr> saved = std::move(child->predicates);
+    child->predicates.clear();
+    for (size_t p = 0; p < saved.size(); ++p) {
+      if (std::find(binding_pred_idx.begin(), binding_pred_idx.end(), p) ==
+          binding_pred_idx.end()) {
+        child->predicates.push_back(saved[p]->Clone());
+      }
+    }
+    ParamEnv child_env;
+    child_env.parent = env;
+    child_env.outer_slots = sctx.slots;
+    Result<OperatorPtr> inner = PlanBoxNoShare(child, &child_env);
+    child->predicates = std::move(saved);
+    if (!inner.ok()) return inner.status();
+    if (!child_env.sources.empty()) return false;
+
+    std::vector<ExprPtr> probe_keys;
+    for (const Expr* outer : outer_sides) {
+      DECORR_ASSIGN_OR_RETURN(ExprPtr key, Slotify(*outer, sctx));
+      probe_keys.push_back(std::move(key));
+    }
+    SubqueryPlan semantics;
+    semantics.mode = unit->mode;
+    semantics.op = unit->op;
+    semantics.negated = unit->negated;
+    if (unit->lhs) {
+      DECORR_ASSIGN_OR_RETURN(semantics.lhs, Slotify(*unit->lhs, sctx));
+    }
+    *current = std::make_unique<GroupProbeApplyOp>(
+        std::move(*current), inner.MoveValue(), std::move(inner_key_cols),
+        std::move(probe_keys), std::move(semantics));
+    return true;
+  }
+
+  const Catalog& catalog_;
+  const PlannerOptions& options_;
+  CardEstimator estimator_;
+  QueryGraph* graph_ = nullptr;
+  std::map<int, std::shared_ptr<SharedSubplan>> shared_;
+};
+
+// ----------------------------------------------------------------------------
+
+Planner::Planner(const Catalog& catalog, PlannerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<PhysicalPlan> Planner::PlanGraph(QueryGraph* graph) {
+  Impl impl(catalog_, options_);
+  return impl.PlanRoot(graph);
+}
+
+Result<PhysicalPlan> Planner::PlanQuery(const BoundQuery& bound) {
+  DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanGraph(bound.graph.get()));
+  if (!bound.order_by.empty()) {
+    plan.root = std::make_unique<SortOp>(std::move(plan.root), bound.order_by);
+  }
+  if (bound.limit >= 0) {
+    plan.root = std::make_unique<LimitOp>(std::move(plan.root), bound.limit);
+  }
+  return plan;
+}
+
+}  // namespace decorr

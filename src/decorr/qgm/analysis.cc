@@ -1,0 +1,116 @@
+#include "decorr/qgm/analysis.h"
+
+#include <algorithm>
+
+namespace decorr {
+
+std::vector<Box*> SubtreeBoxes(Box* box) {
+  std::vector<Box*> out;
+  std::set<Box*> seen;
+  std::vector<Box*> stack = {box};
+  while (!stack.empty()) {
+    Box* cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    out.push_back(cur);
+    for (const Quantifier* q : cur->quantifiers()) stack.push_back(q->child);
+  }
+  return out;
+}
+
+std::vector<ExternalRef> CollectExternalRefs(Box* box) {
+  std::vector<Box*> subtree = SubtreeBoxes(box);
+  std::set<int> internal_qids;
+  for (Box* b : subtree) {
+    for (const Quantifier* q : b->quantifiers()) internal_qids.insert(q->id);
+  }
+  std::vector<ExternalRef> out;
+  for (Box* b : subtree) {
+    for (Expr* expr : b->AllExprs()) {
+      std::vector<Expr*> refs;
+      CollectColumnRefs(expr, &refs);
+      for (Expr* ref : refs) {
+        if (internal_qids.count(ref->qid)) continue;
+        ExternalRef ext;
+        ext.holder = b;
+        ext.ref = ref;
+        ext.source_quantifier = box->graph()->FindQuantifier(ref->qid);
+        out.push_back(ext);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsCorrelatedTo(Box* box, const Box* ancestor) {
+  for (const ExternalRef& ext : CollectExternalRefs(box)) {
+    if (ext.source_quantifier && ext.source_quantifier->owner == ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasCorrelation(Box* box) { return !CollectExternalRefs(box).empty(); }
+
+bool QueryIsCorrelated(QueryGraph* graph) {
+  for (const auto& box : graph->boxes()) {
+    for (const Quantifier* q : box->quantifiers()) {
+      if (HasCorrelation(q->child)) return true;
+    }
+  }
+  return false;
+}
+
+void RetargetExprRefs(Expr* expr, const RefMapping& mapping) {
+  VisitExprMutable(expr, [&mapping](Expr* node) {
+    if (node->kind != ExprKind::kColumnRef) return;
+    auto it = mapping.find({node->qid, node->col});
+    if (it == mapping.end()) return;
+    node->qid = it->second.first;
+    node->col = it->second.second;
+  });
+}
+
+void RetargetSubtreeRefs(Box* box, const RefMapping& mapping) {
+  for (Box* b : SubtreeBoxes(box)) {
+    for (Expr* expr : b->AllExprs()) RetargetExprRefs(expr, mapping);
+  }
+}
+
+std::vector<std::pair<int, int>> CorrelationColumnsFrom(Box* box,
+                                                        const Box* ancestor) {
+  std::vector<std::pair<int, int>> out;
+  for (const ExternalRef& ext : CollectExternalRefs(box)) {
+    if (!ext.source_quantifier || ext.source_quantifier->owner != ancestor) {
+      continue;
+    }
+    std::pair<int, int> key = {ext.ref->qid, ext.ref->col};
+    if (std::find(out.begin(), out.end(), key) == out.end()) {
+      out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::set<int> ReferencedQuantifiers(const Expr& expr) {
+  std::set<int> out;
+  VisitExpr(expr, [&out](const Expr& node) {
+    if (node.kind == ExprKind::kColumnRef && node.qid >= 0) {
+      out.insert(node.qid);
+    }
+    if (node.sub_qid >= 0) out.insert(node.sub_qid);
+  });
+  return out;
+}
+
+std::set<int> ReferencedSubqueryQuantifiers(const Expr& expr) {
+  std::set<int> out;
+  VisitExpr(expr, [&out](const Expr& node) {
+    if (node.sub_qid >= 0) out.insert(node.sub_qid);
+  });
+  return out;
+}
+
+}  // namespace decorr

@@ -1,0 +1,66 @@
+// Graph analysis used by the rewrite rules: subtree enumeration, correlation
+// discovery (Section 3.1 of the paper) and reference retargeting.
+#ifndef DECORR_QGM_ANALYSIS_H_
+#define DECORR_QGM_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// All boxes reachable from `box` through quantifiers, `box` included
+// (pre-order, duplicates removed for DAGs).
+std::vector<Box*> SubtreeBoxes(Box* box);
+
+// A column reference located in `holder` that targets a quantifier outside
+// the analyzed subtree — i.e. a correlation destination. `source_quantifier`
+// is the targeted (outer) quantifier.
+struct ExternalRef {
+  Box* holder = nullptr;          // box whose expression contains the ref
+  Expr* ref = nullptr;            // the kColumnRef node
+  Quantifier* source_quantifier = nullptr;
+};
+
+// Collects every external (correlated) reference in the subtree rooted at
+// `box`: refs whose quantifier is not owned by any box of the subtree.
+std::vector<ExternalRef> CollectExternalRefs(Box* box);
+
+// True iff the subtree rooted at `box` contains a reference to a quantifier
+// owned by `ancestor` — "box is directly correlated to ancestor".
+bool IsCorrelatedTo(Box* box, const Box* ancestor);
+
+// True iff the subtree rooted at `box` contains any external reference.
+bool HasCorrelation(Box* box);
+
+// Also counts subquery-marker expressions: true if the query (from root)
+// contains any correlation at all.
+bool QueryIsCorrelated(QueryGraph* graph);
+
+// Rewrites every kColumnRef (qid, col) in all expressions of every box of
+// the subtree rooted at `box` according to `mapping`; refs not in the
+// mapping are untouched. Keys and values are (qid, col) pairs.
+using RefMapping = std::map<std::pair<int, int>, std::pair<int, int>>;
+void RetargetSubtreeRefs(Box* box, const RefMapping& mapping);
+
+// Retargets refs in a single expression tree.
+void RetargetExprRefs(Expr* expr, const RefMapping& mapping);
+
+// Distinct (qid, col) pairs targeted by external refs of `box`'s subtree
+// whose quantifier is owned by `ancestor`.
+std::vector<std::pair<int, int>> CorrelationColumnsFrom(Box* box,
+                                                        const Box* ancestor);
+
+// The quantifier ids referenced anywhere in the given expression.
+std::set<int> ReferencedQuantifiers(const Expr& expr);
+
+// Subquery-marker quantifier ids (kScalarSubquery / kExists / kInSubquery /
+// kQuantifiedComparison nodes) referenced in the expression.
+std::set<int> ReferencedSubqueryQuantifiers(const Expr& expr);
+
+}  // namespace decorr
+
+#endif  // DECORR_QGM_ANALYSIS_H_

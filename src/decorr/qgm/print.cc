@@ -1,0 +1,94 @@
+#include "decorr/qgm/print.h"
+
+#include <set>
+
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+std::string BoxHeader(const Box* box) {
+  std::string out = StrFormat("Box %d %s", box->id(), BoxKindName(box->kind()));
+  if (box->role != BoxRole::kNone) {
+    out += StrFormat(" [%s]", BoxRoleName(box->role));
+  }
+  if (!box->label.empty()) out += " \"" + box->label + "\"";
+  if (box->distinct) out += " DISTINCT";
+  if (box->kind() == BoxKind::kUnion) {
+    out += box->union_all ? " ALL" : " DISTINCT";
+  }
+  if (box->null_padded_qid >= 0) {
+    out += StrFormat(" LOJ(null-padded=Q%d)", box->null_padded_qid);
+  }
+  return out;
+}
+
+void PrintBox(Box* box, int depth, std::set<int>* printed, std::string* out) {
+  const std::string indent = Repeat("  ", depth);
+  if (printed->count(box->id())) {
+    *out += indent + StrFormat("-> Box %d (shared)\n", box->id());
+    return;
+  }
+  printed->insert(box->id());
+  *out += indent + BoxHeader(box) + "\n";
+  if (box->kind() == BoxKind::kBaseTable) return;
+  if (!box->outputs.empty()) {
+    *out += indent + "  outputs:";
+    for (const OutputColumn& col : box->outputs) {
+      *out += " " + col.name + "=" + (col.expr ? col.expr->ToString() : "?");
+    }
+    *out += "\n";
+  }
+  for (const ExprPtr& pred : box->predicates) {
+    *out += indent + "  pred: " + pred->ToString() + "\n";
+  }
+  for (const ExprPtr& key : box->group_by) {
+    *out += indent + "  group: " + key->ToString() + "\n";
+  }
+  for (const Quantifier* q : box->quantifiers()) {
+    *out += indent +
+            StrFormat("  Q%d:%s \"%s\" over\n", q->id,
+                      QuantifierKindName(q->kind), q->alias.c_str());
+    PrintBox(q->child, depth + 2, printed, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintQgm(QueryGraph* graph) {
+  std::string out;
+  std::set<int> printed;
+  PrintBox(graph->root(), 0, &printed, &out);
+  return out;
+}
+
+std::string QgmToDot(QueryGraph* graph) {
+  std::string out = "digraph qgm {\n  node [shape=box];\n";
+  for (Box* box : SubtreeBoxes(graph->root())) {
+    std::string label = BoxHeader(box);
+    out += StrFormat("  b%d [label=\"%s\"];\n", box->id(), label.c_str());
+    for (const Quantifier* q : box->quantifiers()) {
+      out += StrFormat("  b%d -> b%d [label=\"Q%d:%s\"];\n", box->id(),
+                       q->child->id(), q->id, QuantifierKindName(q->kind));
+    }
+    // Correlation edges: refs in this box targeting non-own quantifiers.
+    for (const Expr* expr : box->AllExprs()) {
+      std::vector<const Expr*> refs;
+      CollectColumnRefs(*expr, &refs);
+      for (const Expr* ref : refs) {
+        if (box->OwnsQuantifier(ref->qid)) continue;
+        const Quantifier* q = graph->FindQuantifier(ref->qid);
+        if (q == nullptr) continue;
+        out += StrFormat(
+            "  b%d -> b%d [style=dashed color=red label=\"corr Q%d.%d\"];\n",
+            box->id(), q->owner->id(), ref->qid, ref->col);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace decorr

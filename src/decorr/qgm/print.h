@@ -1,0 +1,23 @@
+// Human-readable renderings of a QGM: an indented tree dump (the workhorse
+// for tests and EXPLAIN) and a Graphviz dot export mirroring the paper's
+// box-and-arrow figures.
+#ifndef DECORR_QGM_PRINT_H_
+#define DECORR_QGM_PRINT_H_
+
+#include <string>
+
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// Indented tree dump from the root. Shared boxes (DAG) are expanded once and
+// referenced by id afterwards.
+std::string PrintQgm(QueryGraph* graph);
+
+// Graphviz rendering: solid edges for quantifiers, dashed red edges for
+// correlations (as in Figure 1 of the paper).
+std::string QgmToDot(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_QGM_PRINT_H_

@@ -1,0 +1,183 @@
+#include "decorr/qgm/qgm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "decorr/common/logging.h"
+
+namespace decorr {
+
+const char* BoxKindName(BoxKind kind) {
+  switch (kind) {
+    case BoxKind::kBaseTable:
+      return "BaseTable";
+    case BoxKind::kSelect:
+      return "Select";
+    case BoxKind::kGroupBy:
+      return "GroupBy";
+    case BoxKind::kUnion:
+      return "Union";
+  }
+  return "?";
+}
+
+const char* BoxRoleName(BoxRole role) {
+  switch (role) {
+    case BoxRole::kNone:
+      return "";
+    case BoxRole::kSupp:
+      return "SUPP";
+    case BoxRole::kMagic:
+      return "MAGIC";
+    case BoxRole::kDco:
+      return "DCO";
+    case BoxRole::kCi:
+      return "CI";
+  }
+  return "?";
+}
+
+const char* QuantifierKindName(QuantifierKind kind) {
+  switch (kind) {
+    case QuantifierKind::kForeach:
+      return "F";
+    case QuantifierKind::kExistential:
+      return "E";
+    case QuantifierKind::kUniversal:
+      return "A";
+    case QuantifierKind::kScalar:
+      return "S";
+  }
+  return "?";
+}
+
+bool Box::OwnsQuantifier(int qid) const {
+  return FindQuantifier(qid) != nullptr;
+}
+
+Quantifier* Box::FindQuantifier(int qid) const {
+  for (Quantifier* q : quantifiers_) {
+    if (q->id == qid) return q;
+  }
+  return nullptr;
+}
+
+void Box::AttachQuantifier(Quantifier* q) {
+  q->owner = this;
+  quantifiers_.push_back(q);
+}
+
+void Box::DetachQuantifier(int qid) {
+  auto it = std::find_if(quantifiers_.begin(), quantifiers_.end(),
+                         [qid](Quantifier* q) { return q->id == qid; });
+  DECORR_CHECK_MSG(it != quantifiers_.end(), "detaching unknown quantifier");
+  quantifiers_.erase(it);
+}
+
+int Box::num_outputs() const {
+  if (kind_ == BoxKind::kBaseTable) return table->schema().num_columns();
+  return static_cast<int>(outputs.size());
+}
+
+std::string Box::OutputName(int ordinal) const {
+  if (kind_ == BoxKind::kBaseTable) {
+    return table->schema().column(ordinal).name;
+  }
+  return outputs[ordinal].name;
+}
+
+TypeId Box::OutputType(int ordinal) const {
+  if (kind_ == BoxKind::kBaseTable) {
+    return table->schema().column(ordinal).type;
+  }
+  return outputs[ordinal].expr ? outputs[ordinal].expr->type : TypeId::kNull;
+}
+
+std::vector<Expr*> Box::AllExprs() const {
+  std::vector<Expr*> out;
+  for (const OutputColumn& col : outputs) {
+    if (col.expr) out.push_back(col.expr.get());
+  }
+  for (const ExprPtr& pred : predicates) out.push_back(pred.get());
+  for (const ExprPtr& key : group_by) out.push_back(key.get());
+  return out;
+}
+
+Box* QueryGraph::NewBox(BoxKind kind) {
+  boxes_.push_back(std::make_unique<Box>(this, next_box_id_++, kind));
+  return boxes_.back().get();
+}
+
+Box* QueryGraph::NewBaseTableBox(TablePtr table) {
+  Box* box = NewBox(BoxKind::kBaseTable);
+  box->label = table->schema().name();
+  box->table = std::move(table);
+  return box;
+}
+
+Quantifier* QueryGraph::NewQuantifier(Box* owner, Box* child,
+                                      QuantifierKind kind, std::string alias) {
+  auto q = std::make_unique<Quantifier>();
+  q->id = next_qid_++;
+  q->kind = kind;
+  q->child = child;
+  q->alias = std::move(alias);
+  Quantifier* raw = q.get();
+  quantifiers_.emplace(raw->id, std::move(q));
+  owner->AttachQuantifier(raw);
+  return raw;
+}
+
+void QueryGraph::MoveQuantifier(int qid, Box* new_owner) {
+  Quantifier* q = FindQuantifier(qid);
+  DECORR_CHECK(q != nullptr);
+  q->owner->DetachQuantifier(qid);
+  new_owner->AttachQuantifier(q);
+}
+
+void QueryGraph::DeleteQuantifier(int qid) {
+  Quantifier* q = FindQuantifier(qid);
+  DECORR_CHECK(q != nullptr);
+  q->owner->DetachQuantifier(qid);
+  quantifiers_.erase(qid);
+}
+
+Quantifier* QueryGraph::FindQuantifier(int qid) const {
+  auto it = quantifiers_.find(qid);
+  return it == quantifiers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Quantifier*> QueryGraph::UsesOf(const Box* box) const {
+  std::vector<Quantifier*> out;
+  for (const auto& [id, q] : quantifiers_) {
+    (void)id;
+    if (q->child == box) out.push_back(q.get());
+  }
+  return out;
+}
+
+void QueryGraph::GarbageCollect() {
+  std::set<const Box*> live;
+  std::vector<const Box*> stack = {root_};
+  while (!stack.empty()) {
+    const Box* box = stack.back();
+    stack.pop_back();
+    if (!live.insert(box).second) continue;
+    for (const Quantifier* q : box->quantifiers()) stack.push_back(q->child);
+  }
+  // Remove quantifiers owned by dead boxes.
+  for (auto it = quantifiers_.begin(); it != quantifiers_.end();) {
+    if (!live.count(it->second->owner)) {
+      it = quantifiers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  boxes_.erase(std::remove_if(boxes_.begin(), boxes_.end(),
+                              [&live](const std::unique_ptr<Box>& box) {
+                                return !live.count(box.get());
+                              }),
+               boxes_.end());
+}
+
+}  // namespace decorr

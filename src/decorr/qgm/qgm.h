@@ -1,0 +1,182 @@
+// The Query Graph Model (QGM) — decorr's query IR, after Starburst [PHH92].
+//
+// A query is a graph of *boxes*. Each box is one query construct:
+//   kBaseTable — leaf over a stored table
+//   kSelect    — Select-Project-Join (SPJ): quantifiers + predicates +
+//                projection (+ DISTINCT, + optional left-outer-join marking)
+//   kGroupBy   — grouping + aggregation over a single input quantifier
+//   kUnion     — UNION [ALL] of two or more inputs
+//
+// Boxes consume other boxes through *quantifiers* ("iterators" in the
+// paper). Quantifier ids are globally unique; expressions address columns as
+// (quantifier id, output ordinal) pairs. A column reference whose quantifier
+// belongs to an *ancestor* box is a **correlation** — exactly the dotted
+// lines of the paper's figures.
+//
+// The graph is a tree for freshly bound queries (the paper's hierarchical
+// assumption) and becomes a DAG during magic decorrelation (the
+// supplementary table is a common subexpression referenced twice).
+//
+// Boxes created by the magic decorrelation rule carry a BoxRole tag (SUPP /
+// MAGIC / DCO / CI) used by cleanup rules, tests and the printers.
+#ifndef DECORR_QGM_QGM_H_
+#define DECORR_QGM_QGM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/catalog/schema.h"
+#include "decorr/common/status.h"
+#include "decorr/expr/expr.h"
+#include "decorr/storage/table.h"
+
+namespace decorr {
+
+class Box;
+class QueryGraph;
+
+enum class BoxKind : uint8_t { kBaseTable, kSelect, kGroupBy, kUnion };
+const char* BoxKindName(BoxKind kind);
+
+// Provenance of boxes introduced by magic decorrelation (Section 4).
+enum class BoxRole : uint8_t { kNone, kSupp, kMagic, kDco, kCi };
+const char* BoxRoleName(BoxRole role);
+
+// Quantifier kinds, after the paper: F ranges over each tuple of its child
+// (FROM clause); E/A support existential/universal subqueries; S is a scalar
+// subquery used as a value.
+enum class QuantifierKind : uint8_t {
+  kForeach,
+  kExistential,
+  kUniversal,
+  kScalar,
+};
+const char* QuantifierKindName(QuantifierKind kind);
+
+// An edge from a box to the child box it ranges over.
+struct Quantifier {
+  int id = -1;
+  QuantifierKind kind = QuantifierKind::kForeach;
+  Box* owner = nullptr;  // the box whose FROM list contains this quantifier
+  Box* child = nullptr;  // the box being ranged over
+  std::string alias;     // display name ("D", "E", "supp7", ...)
+};
+
+// One projected column of a box. For kBaseTable boxes `expr` is null (the
+// output is the stored column itself); otherwise it is an expression over
+// the box's quantifiers (aggregates allowed only in kGroupBy boxes).
+struct OutputColumn {
+  std::string name;
+  ExprPtr expr;
+};
+
+class Box {
+ public:
+  Box(QueryGraph* graph, int id, BoxKind kind)
+      : graph_(graph), id_(id), kind_(kind) {}
+  Box(const Box&) = delete;
+  Box& operator=(const Box&) = delete;
+
+  QueryGraph* graph() const { return graph_; }
+  int id() const { return id_; }
+  BoxKind kind() const { return kind_; }
+  bool IsSpj() const { return kind_ == BoxKind::kSelect; }
+
+  BoxRole role = BoxRole::kNone;
+  std::string label;  // optional display name ("SUPP", "MAGIC", table name)
+
+  // ---- Quantifiers ----
+  const std::vector<Quantifier*>& quantifiers() const { return quantifiers_; }
+  bool OwnsQuantifier(int qid) const;
+  Quantifier* FindQuantifier(int qid) const;
+  // Internal to QueryGraph/rewrites: attach/detach an existing quantifier.
+  void AttachQuantifier(Quantifier* q);
+  void DetachQuantifier(int qid);
+
+  // ---- Outputs ----
+  std::vector<OutputColumn> outputs;
+  int num_outputs() const;  // schema arity for base tables, outputs.size()
+                            // otherwise
+  std::string OutputName(int ordinal) const;
+  TypeId OutputType(int ordinal) const;
+
+  // ---- kSelect ----
+  std::vector<ExprPtr> predicates;  // implicitly conjoined
+  bool distinct = false;
+  // Left-outer-join marking: if >= 0, the quantifier with this id is the
+  // null-padded (inner) side and all other F quantifiers form the preserved
+  // side. Used by the COUNT-bug removal (DCO becomes an outer join).
+  int null_padded_qid = -1;
+
+  // ---- kGroupBy ----
+  // Grouping expressions over the single input quantifier. Aggregates live
+  // in `outputs`.
+  std::vector<ExprPtr> group_by;
+
+  // ---- kUnion ----
+  bool union_all = true;
+
+  // ---- kBaseTable ----
+  TablePtr table;
+
+  // ---- DCO bookkeeping (role == kDco) ----
+  int dco_magic_qid = -1;  // quantifier over the magic box
+  int dco_child_qid = -1;  // quantifier over the box being decorrelated
+
+  // All expression slots of this box (outputs, predicates, group_by), for
+  // uniform traversal by analysis and rewrites.
+  std::vector<Expr*> AllExprs() const;
+
+ private:
+  QueryGraph* graph_;
+  int id_;
+  BoxKind kind_;
+  std::vector<Quantifier*> quantifiers_;
+};
+
+// Owns all boxes and quantifiers of one query.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  QueryGraph(const QueryGraph&) = delete;
+  QueryGraph& operator=(const QueryGraph&) = delete;
+
+  Box* root() const { return root_; }
+  void set_root(Box* box) { root_ = box; }
+
+  Box* NewBox(BoxKind kind);
+  Box* NewBaseTableBox(TablePtr table);
+
+  // Creates a quantifier owned by `owner` ranging over `child`.
+  Quantifier* NewQuantifier(Box* owner, Box* child, QuantifierKind kind,
+                            std::string alias);
+
+  // Moves quantifier `qid` from its current owner to `new_owner`.
+  void MoveQuantifier(int qid, Box* new_owner);
+
+  // Detaches and destroys quantifier `qid`.
+  void DeleteQuantifier(int qid);
+
+  Quantifier* FindQuantifier(int qid) const;
+
+  // Quantifiers (anywhere in the graph) that range over `box`.
+  std::vector<Quantifier*> UsesOf(const Box* box) const;
+
+  const std::vector<std::unique_ptr<Box>>& boxes() const { return boxes_; }
+
+  // Drops boxes unreachable from the root (after rewrites).
+  void GarbageCollect();
+
+ private:
+  Box* root_ = nullptr;
+  std::vector<std::unique_ptr<Box>> boxes_;
+  std::map<int, std::unique_ptr<Quantifier>> quantifiers_;
+  int next_box_id_ = 0;
+  int next_qid_ = 0;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_QGM_QGM_H_

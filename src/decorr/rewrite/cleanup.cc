@@ -1,0 +1,137 @@
+#include "decorr/rewrite/cleanup.h"
+
+#include <vector>
+
+#include "decorr/common/logging.h"
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+// Replaces every reference (qid, i) in `expr` by a clone of outputs[i].expr.
+void SubstituteRefs(Expr* expr, int qid,
+                    const std::vector<OutputColumn>& outputs) {
+  if (expr->kind == ExprKind::kColumnRef && expr->qid == qid) {
+    const Expr& replacement = *outputs[expr->col].expr;
+    ExprPtr clone = replacement.Clone();
+    *expr = std::move(*clone);
+    // The replacement may itself contain refs to `qid`? Impossible: a box's
+    // outputs never reference its own consumers.
+    return;
+  }
+  for (ExprPtr& child : expr->children) {
+    SubstituteRefs(child.get(), qid, outputs);
+  }
+}
+
+// Substitutes refs to `qid` in every expression of the graph (refs can only
+// legally occur inside the owner's subtree, so a global pass is safe).
+void SubstituteEverywhere(QueryGraph* graph, int qid,
+                          const std::vector<OutputColumn>& outputs) {
+  for (const auto& box : graph->boxes()) {
+    for (Expr* expr : box->AllExprs()) SubstituteRefs(expr, qid, outputs);
+  }
+}
+
+bool TryMergeOne(QueryGraph* graph) {
+  for (const auto& parent_ptr : graph->boxes()) {
+    Box* parent = parent_ptr.get();
+    if (parent->kind() != BoxKind::kSelect) continue;
+    for (Quantifier* q : parent->quantifiers()) {
+      if (q->kind != QuantifierKind::kForeach) continue;
+      if (q->id == parent->null_padded_qid) continue;  // preserved-side only
+      Box* child = q->child;
+      if (child->kind() != BoxKind::kSelect) continue;
+      if (child == parent) continue;
+      if (child->null_padded_qid >= 0) continue;  // don't flatten outer joins
+      if (child->distinct && !parent->distinct) continue;
+      if (graph->UsesOf(child).size() != 1) continue;
+      // A child output with an unresolvable (null) expression cannot be
+      // substituted.
+      bool ok = true;
+      for (const OutputColumn& out : child->outputs) {
+        if (!out.expr) ok = false;
+      }
+      if (!ok) continue;
+
+      // Merge: substitute refs, move quantifiers and predicates up.
+      SubstituteEverywhere(graph, q->id, child->outputs);
+      std::vector<Quantifier*> moved(child->quantifiers().begin(),
+                                     child->quantifiers().end());
+      for (Quantifier* cq : moved) {
+        graph->MoveQuantifier(cq->id, parent);
+      }
+      for (ExprPtr& pred : child->predicates) {
+        parent->predicates.push_back(std::move(pred));
+      }
+      child->predicates.clear();
+      child->outputs.clear();
+      graph->DeleteQuantifier(q->id);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsIdentitySelect(const Box* box) {
+  if (box->kind() != BoxKind::kSelect) return false;
+  if (box->quantifiers().size() != 1 || !box->predicates.empty() ||
+      box->distinct || box->null_padded_qid >= 0) {
+    return false;
+  }
+  const Quantifier* q = box->quantifiers()[0];
+  if (q->kind != QuantifierKind::kForeach) return false;
+  if (box->num_outputs() != q->child->num_outputs()) return false;
+  for (int i = 0; i < box->num_outputs(); ++i) {
+    const Expr* expr = box->outputs[i].expr.get();
+    if (expr == nullptr || expr->kind != ExprKind::kColumnRef ||
+        expr->qid != q->id || expr->col != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MergeSelectBoxes(QueryGraph* graph) {
+  bool changed = false;
+  while (TryMergeOne(graph)) changed = true;
+  return changed;
+}
+
+bool RemoveIdentitySelects(QueryGraph* graph) {
+  bool changed = false;
+  for (const auto& box_ptr : graph->boxes()) {
+    Box* box = box_ptr.get();
+    if (!IsIdentitySelect(box)) continue;
+    Box* target = box->quantifiers()[0]->child;
+    if (target == box) continue;
+    std::vector<Quantifier*> uses = graph->UsesOf(box);
+    if (uses.empty() && graph->root() != box) continue;
+    for (Quantifier* use : uses) {
+      use->child = target;
+      changed = true;
+    }
+    if (graph->root() == box) {
+      // Keep root boxes with named outputs intact; the identity projection
+      // carries the result column names.
+      continue;
+    }
+  }
+  return changed;
+}
+
+Status CleanupGraph(QueryGraph* graph) {
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    bool changed = false;
+    if (MergeSelectBoxes(graph)) changed = true;
+    if (RemoveIdentitySelects(graph)) changed = true;
+    if (!changed) break;
+  }
+  graph->GarbageCollect();
+  return Status::OK();
+}
+
+}  // namespace decorr

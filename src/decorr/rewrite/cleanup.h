@@ -1,0 +1,36 @@
+// Cleanup rewrite rules ("existing rewrite rules that merge query blocks"
+// in the paper): SPJ-into-SPJ merging — which turns the CI boxes' correlated
+// predicates into ordinary equi-join predicates — and trivial-box removal.
+#ifndef DECORR_REWRITE_CLEANUP_H_
+#define DECORR_REWRITE_CLEANUP_H_
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// Merges a Select child into a Select parent when legal:
+//   * the child is ranged over by a single ForEach quantifier,
+//   * it is that quantifier's only use,
+//   * the child is not DISTINCT (unless the parent is) and not an outer
+//     join.
+// The child's quantifiers and predicates move into the parent; parent
+// references to the child's outputs are replaced by the output expressions.
+// Correlated predicates of a CI child referencing the parent's own
+// quantifiers become plain local predicates — the decisive step that makes
+// a magic-decorrelated query set-oriented.
+//
+// Returns true if anything changed.
+bool MergeSelectBoxes(QueryGraph* graph);
+
+// Replaces uses of identity Select boxes (single input, no predicates, no
+// distinct, outputs = input columns in order) by their child. Covers the
+// "redundant DCO/CI box is eliminated" steps of Figures 3[d] and 4[d].
+bool RemoveIdentitySelects(QueryGraph* graph);
+
+// Runs all cleanup rules to a fixpoint and garbage-collects dead boxes.
+Status CleanupGraph(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_CLEANUP_H_

@@ -1,0 +1,215 @@
+#include "decorr/rewrite/dayal.h"
+
+#include <map>
+
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/rewrite/pattern.h"
+
+namespace decorr {
+
+Status DayalRewrite(QueryGraph* graph, const Catalog& catalog) {
+  (void)catalog;
+  DECORR_ASSIGN_OR_RETURN(CorrelatedAggPattern p,
+                          MatchCorrelatedAggPattern(graph));
+  Box* outer = p.outer;
+  Box* spj = p.spj;
+  Box* group = p.group;
+  Quantifier* q_sub = p.q_sub;
+  Quantifier* q_group_in = group->quantifiers()[0];
+
+  // Dayal preserves duplicates by grouping on a key of the outer block:
+  // every outer table must have a declared primary key. (We group by all
+  // outer columns, which is equivalent given the keys are among them.)
+  std::vector<Quantifier*> outer_quants;
+  for (Quantifier* q : outer->quantifiers()) {
+    if (q == q_sub) continue;
+    if (q->child->kind() != BoxKind::kBaseTable ||
+        q->child->table->schema().primary_key().empty()) {
+      return Status::NotImplemented(
+          "Dayal's method requires keyed base tables in the outer block");
+    }
+    outer_quants.push_back(q);
+  }
+
+  // Every aggregate of the group box must be a plain aggregate output.
+  for (const OutputColumn& out : group->outputs) {
+    if (!out.expr || out.expr->kind != ExprKind::kAggregate) {
+      return Status::NotImplemented(
+          "Dayal's method expects plain aggregate outputs in the subquery");
+    }
+  }
+
+  // --- prepare the subquery side: drop correlation predicates, expose the
+  // inner correlation columns ---
+  std::vector<int> inner_out;
+  std::vector<ExprPtr> outer_refs;
+  for (const CorrelatedAggPattern::CorrPred& cp : p.corr_preds) {
+    int ordinal = -1;
+    for (int i = 0; i < spj->num_outputs(); ++i) {
+      if (spj->outputs[i].expr &&
+          ExprEquals(*spj->outputs[i].expr, *cp.inner)) {
+        ordinal = i;
+        break;
+      }
+    }
+    if (ordinal < 0) {
+      ordinal = spj->num_outputs();
+      spj->outputs.push_back(
+          {cp.inner->name.empty() ? StrFormat("jc%d", ordinal)
+                                  : cp.inner->name,
+           cp.inner->Clone()});
+    }
+    inner_out.push_back(ordinal);
+    outer_refs.push_back(cp.outer->Clone());
+  }
+  std::vector<size_t> to_erase;
+  for (const auto& cp : p.corr_preds) to_erase.push_back(cp.pred_index);
+  std::sort(to_erase.rbegin(), to_erase.rend());
+  for (size_t idx : to_erase) {
+    spj->predicates.erase(spj->predicates.begin() + static_cast<long>(idx));
+  }
+
+  // --- J: outer tables LOJ subquery tables on the correlation ---
+  Box* join = graph->NewBox(BoxKind::kSelect);
+  join->label = "dayal_join";
+  for (Quantifier* q : outer_quants) graph->MoveQuantifier(q->id, join);
+  // Outer WHERE predicates (no markers) run before grouping.
+  {
+    std::vector<ExprPtr> keep;
+    for (ExprPtr& pred : outer->predicates) {
+      if (ReferencedSubqueryQuantifiers(*pred).empty()) {
+        join->predicates.push_back(std::move(pred));
+      } else {
+        keep.push_back(std::move(pred));
+      }
+    }
+    outer->predicates = std::move(keep);
+  }
+  Quantifier* q_s =
+      graph->NewQuantifier(join, spj, QuantifierKind::kForeach, "sub");
+  join->null_padded_qid = q_s->id;
+  for (size_t i = 0; i < inner_out.size(); ++i) {
+    join->predicates.push_back(MakeComparison(
+        BinaryOp::kEq,
+        MakeColumnRef(q_s->id, inner_out[i], spj->OutputType(inner_out[i]),
+                      spj->OutputName(inner_out[i])),
+        std::move(outer_refs[i])));
+  }
+
+  // J outputs: all outer columns, then the aggregate argument columns.
+  std::map<std::pair<int, int>, int> outer_col_out;  // (qid,col) -> J ordinal
+  for (Quantifier* q : outer_quants) {
+    for (int i = 0; i < q->child->num_outputs(); ++i) {
+      outer_col_out[{q->id, i}] = join->num_outputs();
+      join->outputs.push_back(
+          {q->child->OutputName(i),
+           MakeColumnRef(q->id, i, q->child->OutputType(i),
+                         q->child->OutputName(i))});
+    }
+  }
+  // Aggregate arguments, rebased from the group box onto q_s. COUNT(*)
+  // becomes COUNT(first correlation column) — NULL-padded rows count 0.
+  std::vector<int> agg_arg_out;  // per group output
+  for (const OutputColumn& out : group->outputs) {
+    const Expr& agg = *out.expr;
+    int src;
+    if (agg.children.empty()) {
+      src = inner_out[0];
+    } else {
+      // The aggregate argument is a reference to an spj output column.
+      if (agg.children[0]->kind != ExprKind::kColumnRef ||
+          agg.children[0]->qid != q_group_in->id) {
+        return Status::NotImplemented(
+            "Dayal's method expects column-reference aggregate arguments");
+      }
+      src = agg.children[0]->col;
+    }
+    agg_arg_out.push_back(join->num_outputs());
+    join->outputs.push_back(
+        {StrFormat("aggarg%d", join->num_outputs()),
+         MakeColumnRef(q_s->id, src, spj->OutputType(src),
+                       spj->OutputName(src))});
+  }
+
+  // --- GB: group by all outer columns ---
+  Box* regroup = graph->NewBox(BoxKind::kGroupBy);
+  regroup->label = "dayal_group";
+  Quantifier* q_j =
+      graph->NewQuantifier(regroup, join, QuantifierKind::kForeach, "j");
+  std::map<std::pair<int, int>, int> group_out;  // (outer qid,col) -> GB ord
+  for (const auto& [key, j_ord] : outer_col_out) {
+    regroup->group_by.push_back(MakeColumnRef(q_j->id, j_ord,
+                                              join->OutputType(j_ord),
+                                              join->OutputName(j_ord)));
+    group_out[key] = regroup->num_outputs();
+    regroup->outputs.push_back(
+        {join->OutputName(j_ord),
+         MakeColumnRef(q_j->id, j_ord, join->OutputType(j_ord),
+                       join->OutputName(j_ord))});
+  }
+  std::vector<int> agg_out;  // per group-box output -> GB ordinal
+  for (size_t i = 0; i < group->outputs.size(); ++i) {
+    const Expr& agg = *group->outputs[i].expr;
+    ExprPtr rebuilt =
+        MakeAggregate(agg.agg == AggKind::kCountStar ? AggKind::kCount
+                                                     : agg.agg,
+                      MakeColumnRef(q_j->id, agg_arg_out[i],
+                                    join->OutputType(agg_arg_out[i]),
+                                    join->OutputName(agg_arg_out[i])),
+                      agg.distinct);
+    DECORR_RETURN_IF_ERROR(InferTypes(rebuilt.get()));
+    agg_out.push_back(regroup->num_outputs());
+    regroup->outputs.push_back(
+        {StrFormat("agg%zu", i), std::move(rebuilt)});
+  }
+
+  // --- outer block becomes the HAVING box over GB ---
+  const int q_sub_id = q_sub->id;
+  Quantifier* q_gb =
+      graph->NewQuantifier(outer, regroup, QuantifierKind::kForeach, "g");
+
+  // Rewrites refs to the old outer quantifiers and the subquery marker.
+  auto rebase = [&](Expr* expr) {
+    VisitExprMutable(expr, [&](Expr* node) {
+      if (node->kind == ExprKind::kColumnRef) {
+        auto it = group_out.find({node->qid, node->col});
+        if (it != group_out.end()) {
+          node->qid = q_gb->id;
+          node->col = it->second;
+        }
+        return;
+      }
+      if (node->kind == ExprKind::kScalarSubquery &&
+          node->sub_qid == q_sub_id) {
+        if (p.wrapper != nullptr) {
+          // Inline the wrapper's projection over the aggregate.
+          ExprPtr inlined = p.wrapper->outputs[0].expr->Clone();
+          const int q_w_id = p.wrapper->quantifiers()[0]->id;
+          VisitExprMutable(inlined.get(), [&](Expr* inner) {
+            if (inner->kind == ExprKind::kColumnRef && inner->qid == q_w_id) {
+              inner->qid = q_gb->id;
+              inner->col = agg_out[inner->col];
+            }
+          });
+          *node = std::move(*inlined);
+        } else {
+          const TypeId type = node->type;
+          node->kind = ExprKind::kColumnRef;
+          node->qid = q_gb->id;
+          node->col = agg_out[0];
+          node->sub_qid = -1;
+          node->type = type;
+          node->name = "aggval";
+        }
+      }
+    });
+  };
+  for (Expr* expr : outer->AllExprs()) rebase(expr);
+
+  graph->DeleteQuantifier(q_sub_id);
+  graph->GarbageCollect();
+  return Status::OK();
+}
+
+}  // namespace decorr

@@ -1,0 +1,22 @@
+// Dayal's method [Day87] (Section 2 of the paper).
+//
+// Merges the outer block with the subquery through a left outer join,
+// groups by a key of the outer block, and checks the original comparison as
+// a HAVING predicate. Fixes the COUNT bug but pays for it: the join runs
+// before the aggregation (potentially huge), and duplicate correlation
+// values repeat aggregate work. Applies only to linear queries whose outer
+// tables all have declared keys.
+#ifndef DECORR_REWRITE_DAYAL_H_
+#define DECORR_REWRITE_DAYAL_H_
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+Status DayalRewrite(QueryGraph* graph, const Catalog& catalog);
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_DAYAL_H_

@@ -1,0 +1,28 @@
+#include "decorr/rewrite/ganski.h"
+
+#include "decorr/rewrite/magic.h"
+#include "decorr/rewrite/pattern.h"
+
+namespace decorr {
+
+Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog) {
+  // Ganski/Wong preconditions: a single outer table with one correlated
+  // aggregate subquery ("This method considers a simple outer block
+  // consisting of a single table, and a single correlated aggregate
+  // subquery").
+  DECORR_ASSIGN_OR_RETURN(CorrelatedAggPattern p,
+                          MatchCorrelatedAggPattern(graph));
+  int outer_tables = 0;
+  for (const Quantifier* q : p.outer->quantifiers()) {
+    if (q->kind == QuantifierKind::kForeach) ++outer_tables;
+  }
+  if (outer_tables != 1) {
+    return Status::NotImplemented(
+        "Ganski/Wong requires a single-table outer block");
+  }
+  DecorrelationOptions options;
+  options.use_outer_join = true;  // the method is defined via outer join
+  return MagicDecorrelate(graph, catalog, options);
+}
+
+}  // namespace decorr

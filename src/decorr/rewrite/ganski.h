@@ -1,0 +1,23 @@
+// Ganski/Wong's method [GW87] (Sections 2 and 7 of the paper).
+//
+// Projects the distinct correlation values of a *single-table* outer block
+// into a temporary relation and decorrelates the subquery against it with
+// an outer join. The paper identifies it as a special case of magic
+// decorrelation that (a) has no supplementary table for complex outer
+// blocks and (b) cannot handle arbitrary queries — so this implementation
+// enforces the original preconditions and then delegates to the magic
+// machinery, which produces the identical structure in that special case.
+#ifndef DECORR_REWRITE_GANSKI_H_
+#define DECORR_REWRITE_GANSKI_H_
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog);
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_GANSKI_H_

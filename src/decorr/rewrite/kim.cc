@@ -1,0 +1,111 @@
+#include "decorr/rewrite/kim.h"
+
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/rewrite/pattern.h"
+
+namespace decorr {
+
+// Kim's transformation: the subquery becomes a table expression grouped on
+// the correlation columns; the correlation predicates move to the outer
+// block as equality joins. Faithfully reproduced warts:
+//   * the aggregate is computed for ALL groups, not just those the outer
+//     block asks about;
+//   * a group with no inner rows produces no tuple, so the outer row
+//     silently disappears — the COUNT bug.
+Status KimRewrite(QueryGraph* graph) {
+  DECORR_ASSIGN_OR_RETURN(CorrelatedAggPattern p,
+                          MatchCorrelatedAggPattern(graph));
+  Box* spj = p.spj;
+  Box* group = p.group;
+  Quantifier* q_group_in = group->quantifiers()[0];
+
+  // 1. Remove the correlation predicates from the subquery's Select and
+  //    expose the inner columns in its output.
+  std::vector<int> inner_out;     // spj output ordinal per correlation
+  std::vector<ExprPtr> outer_refs;  // the outer side, for the new join preds
+  for (const CorrelatedAggPattern::CorrPred& cp : p.corr_preds) {
+    int ordinal = -1;
+    for (int i = 0; i < spj->num_outputs(); ++i) {
+      if (spj->outputs[i].expr && ExprEquals(*spj->outputs[i].expr, *cp.inner)) {
+        ordinal = i;
+        break;
+      }
+    }
+    if (ordinal < 0) {
+      ordinal = spj->num_outputs();
+      spj->outputs.push_back(
+          {cp.inner->name.empty() ? StrFormat("jc%d", ordinal)
+                                  : cp.inner->name,
+           cp.inner->Clone()});
+    }
+    inner_out.push_back(ordinal);
+    outer_refs.push_back(cp.outer->Clone());
+  }
+  // Erase the correlation predicates (descending index order).
+  std::vector<size_t> to_erase;
+  for (const auto& cp : p.corr_preds) to_erase.push_back(cp.pred_index);
+  std::sort(to_erase.rbegin(), to_erase.rend());
+  for (size_t idx : to_erase) {
+    spj->predicates.erase(spj->predicates.begin() +
+                          static_cast<long>(idx));
+  }
+
+  // 2. Group by the correlation columns and emit them.
+  std::vector<int> key_out;  // group output ordinal per correlation column
+  for (int ordinal : inner_out) {
+    group->group_by.push_back(MakeColumnRef(q_group_in->id, ordinal,
+                                            spj->OutputType(ordinal),
+                                            spj->OutputName(ordinal)));
+    key_out.push_back(group->num_outputs());
+    group->outputs.push_back(
+        {spj->OutputName(ordinal),
+         MakeColumnRef(q_group_in->id, ordinal, spj->OutputType(ordinal),
+                       spj->OutputName(ordinal))});
+  }
+  // Propagate the new key columns through the wrapper projection, if any.
+  std::vector<int> consumer_key_out = key_out;
+  if (p.wrapper != nullptr) {
+    Quantifier* q_w = p.wrapper->quantifiers()[0];
+    consumer_key_out.clear();
+    for (int ordinal : key_out) {
+      consumer_key_out.push_back(p.wrapper->num_outputs());
+      p.wrapper->outputs.push_back(
+          {group->OutputName(ordinal),
+           MakeColumnRef(q_w->id, ordinal, group->OutputType(ordinal),
+                         group->OutputName(ordinal))});
+    }
+  }
+
+  // 3. Outer block: the subquery becomes a plain table expression; the
+  //    marker becomes a column reference; the correlation predicates come
+  //    back as equality joins.
+  Box* outer = p.outer;
+  Quantifier* q_sub = p.q_sub;
+  for (Expr* expr : outer->AllExprs()) {
+    VisitExprMutable(expr, [&](Expr* node) {
+      if (node->kind == ExprKind::kScalarSubquery &&
+          node->sub_qid == q_sub->id) {
+        const TypeId type = node->type;
+        node->kind = ExprKind::kColumnRef;
+        node->qid = q_sub->id;
+        node->col = 0;  // the aggregate value column
+        node->sub_qid = -1;
+        node->type = type;
+        node->name = "aggval";
+      }
+    });
+  }
+  q_sub->kind = QuantifierKind::kForeach;
+  for (size_t i = 0; i < consumer_key_out.size(); ++i) {
+    outer->predicates.push_back(MakeComparison(
+        BinaryOp::kEq,
+        MakeColumnRef(q_sub->id, consumer_key_out[i],
+                      q_sub->child->OutputType(consumer_key_out[i]),
+                      q_sub->child->OutputName(consumer_key_out[i])),
+        std::move(outer_refs[i])));
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

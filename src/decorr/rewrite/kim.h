@@ -1,0 +1,24 @@
+// Kim's method [Kim82] (Section 2 of the paper).
+//
+// Rewrites a correlated scalar-aggregate subquery into a grouped table
+// expression joined to the outer block. Applies only to linear queries with
+// a single equality-correlated aggregate subquery. The transformation is
+// implemented faithfully *including its defects*: the aggregate is computed
+// over all groups (no restriction by the correlation), and the COUNT bug is
+// present — tests demonstrate both, mirroring the paper's critique.
+#ifndef DECORR_REWRITE_KIM_H_
+#define DECORR_REWRITE_KIM_H_
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// Returns NotImplemented when the query is outside Kim's class (no
+// correlated aggregate subquery, non-equality correlation, non-linear
+// query, multi-level correlation, ...).
+Status KimRewrite(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_KIM_H_

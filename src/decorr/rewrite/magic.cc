@@ -1,0 +1,671 @@
+#include "decorr/rewrite/magic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "decorr/common/logging.h"
+#include "decorr/common/string_util.h"
+#include "decorr/planner/estimate.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/rewrite/cleanup.h"
+
+namespace decorr {
+
+namespace {
+
+bool IsCountAggregate(const Expr& expr) {
+  return expr.kind == ExprKind::kAggregate &&
+         (expr.agg == AggKind::kCount || expr.agg == AggKind::kCountStar);
+}
+
+// True if the subtree contains a *correlated* GroupBy box with a COUNT
+// output — decorrelating it requires the outer-join COUNT-bug removal.
+bool SubtreeNeedsOuterJoin(Box* box) {
+  for (Box* b : SubtreeBoxes(box)) {
+    if (b->kind() != BoxKind::kGroupBy) continue;
+    bool has_count = false;
+    for (const OutputColumn& out : b->outputs) {
+      if (out.expr && IsCountAggregate(*out.expr)) has_count = true;
+    }
+    if (has_count && HasCorrelation(b)) return true;
+  }
+  return false;
+}
+
+// ---- scalar-marker NULL analysis (choosing inner join vs LOJ) ----
+
+bool MentionsScalarMarker(const Expr& expr, int sub_qid) {
+  return AnyNode(expr, [sub_qid](const Expr& node) {
+    return node.kind == ExprKind::kScalarSubquery && node.sub_qid == sub_qid;
+  });
+}
+
+// Conservative: TRUE only if a NULL marker value cannot satisfy `pred`.
+bool MarkerNullRejecting(const Expr& pred, int sub_qid) {
+  if (!MentionsScalarMarker(pred, sub_qid)) return true;  // unaffected
+  const bool tolerant = AnyNode(pred, [sub_qid](const Expr& node) {
+    if (node.kind == ExprKind::kIsNull || node.kind == ExprKind::kOr ||
+        node.kind == ExprKind::kNot ||
+        (node.kind == ExprKind::kFunction &&
+         node.func == FuncKind::kCoalesce)) {
+      return MentionsScalarMarker(node, sub_qid);
+    }
+    return false;
+  });
+  if (tolerant) return false;
+  switch (pred.kind) {
+    case ExprKind::kComparison:
+    case ExprKind::kInList:
+      return true;  // strict operators reject UNKNOWN
+    case ExprKind::kAnd:
+      return MarkerNullRejecting(*pred.children[0], sub_qid) ||
+             MarkerNullRejecting(*pred.children[1], sub_qid);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+
+class MagicRewriter {
+ public:
+  MagicRewriter(QueryGraph* graph, const Catalog& catalog,
+                const DecorrelationOptions& options)
+      : graph_(graph), options_(options), estimator_(catalog) {}
+
+  Status Run() { return Process(graph_->root()); }
+
+ private:
+  // ---- traversal ----
+
+  Status Process(Box* box) {
+    if (!visited_.insert(box->id()).second) return Status::OK();
+    Box* dco = FindDcoAbove(box);
+    switch (box->kind()) {
+      case BoxKind::kBaseTable:
+        return Status::OK();
+      case BoxKind::kSelect: {
+        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbSpj(box, dco));
+        if (box->role != BoxRole::kDco && box->role != BoxRole::kCi &&
+            box->role != BoxRole::kMagic) {
+          // FEED stage, one child quantifier at a time in iterator order.
+          // Snapshot: FEED moves quantifiers into the supplementary box.
+          std::vector<int> qids;
+          for (const Quantifier* q : box->quantifiers()) qids.push_back(q->id);
+          for (int qid : qids) {
+            Quantifier* q = graph_->FindQuantifier(qid);
+            if (q == nullptr || q->owner != box) continue;  // moved to SUPP
+            if (q->child->role == BoxRole::kCi) continue;   // already fed
+            DECORR_RETURN_IF_ERROR(FeedChild(box, q));
+          }
+        }
+        break;
+      }
+      case BoxKind::kGroupBy:
+        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbGroupBy(box, dco));
+        break;
+      case BoxKind::kUnion:
+        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbUnion(box, dco));
+        break;
+    }
+    // Recurse (children may have been rewired to CI boxes).
+    std::vector<Box*> children;
+    for (const Quantifier* q : box->quantifiers()) children.push_back(q->child);
+    for (Box* child : children) DECORR_RETURN_IF_ERROR(Process(child));
+    return Status::OK();
+  }
+
+  Box* FindDcoAbove(Box* box) {
+    for (Quantifier* use : graph_->UsesOf(box)) {
+      Box* owner = use->owner;
+      if (owner->role == BoxRole::kDco && owner->dco_magic_qid >= 0 &&
+          owner->dco_child_qid == use->id) {
+        return owner;
+      }
+    }
+    return nullptr;
+  }
+
+  // ---- FEED (Section 4.2) ----
+
+  Status FeedChild(Box* box, Quantifier* q) {
+    std::vector<std::pair<int, int>> corr_cols =
+        CorrelationColumnsFrom(q->child, box);
+    if (corr_cols.empty()) return Status::OK();
+
+    // Encapsulator knobs (Section 4.4): decline to decorrelate.
+    if ((q->kind == QuantifierKind::kExistential ||
+         q->kind == QuantifierKind::kUniversal) &&
+        !options_.decorrelate_existentials) {
+      return Status::OK();
+    }
+    if (!options_.use_outer_join && SubtreeNeedsOuterJoin(q->child)) {
+      return Status::OK();
+    }
+
+    // --- choose the supplementary set: correlation sources (earliest NI
+    // placement) vs all movable F quantifiers (latest placement) ---
+    std::set<int> sources;
+    for (const auto& [qid, col] : corr_cols) {
+      (void)col;
+      sources.insert(qid);
+    }
+    DECORR_ASSIGN_OR_RETURN(std::set<int> source_set,
+                            CloseOverReferences(box, sources, q));
+    std::set<int> all_set = MaximalMovableSet(box, q);
+    // Sources must be movable at all.
+    if (!std::includes(all_set.begin(), all_set.end(), source_set.begin(),
+                       source_set.end())) {
+      return Status::OK();  // cannot build a supplementary table; leave
+                            // the correlation to nested iteration
+    }
+    const double est_sources = EstimateSubsetCard(box, source_set);
+    const double est_all = EstimateSubsetCard(box, all_set);
+    const std::set<int>& supp_set =
+        est_all < est_sources ? all_set : source_set;
+
+    // --- build SUPP ---
+    Box* supp = graph_->NewBox(BoxKind::kSelect);
+    supp->role = BoxRole::kSupp;
+    supp->label = StrFormat("SUPP%d", supp->id());
+
+    // Boxes inside the moved subtrees: their references to moved
+    // quantifiers are internal to SUPP and must not be retargeted.
+    std::set<int> internal_box_ids;
+    internal_box_ids.insert(supp->id());
+    for (int qid : supp_set) {
+      Quantifier* mq = graph_->FindQuantifier(qid);
+      for (Box* b : SubtreeBoxes(mq->child)) internal_box_ids.insert(b->id());
+    }
+
+    for (int qid : supp_set) graph_->MoveQuantifier(qid, supp);
+
+    // Move predicates fully local to SUPP (no subquery markers).
+    {
+      std::vector<ExprPtr> keep;
+      for (ExprPtr& pred : box->predicates) {
+        std::set<int> refs = ReferencedQuantifiers(*pred);
+        bool movable = !refs.empty();
+        for (int r : refs) {
+          if (!supp_set.count(r)) movable = false;
+        }
+        if (!ReferencedSubqueryQuantifiers(*pred).empty()) movable = false;
+        if (movable) {
+          supp->predicates.push_back(std::move(pred));
+        } else {
+          keep.push_back(std::move(pred));
+        }
+      }
+      box->predicates = std::move(keep);
+    }
+
+    // Collect every remaining external reference to a moved quantifier.
+    std::vector<Expr*> external_refs;
+    for (const auto& b : graph_->boxes()) {
+      if (internal_box_ids.count(b->id())) continue;
+      for (Expr* expr : b->AllExprs()) {
+        CollectColumnRefs(expr, &external_refs);
+      }
+    }
+    external_refs.erase(
+        std::remove_if(external_refs.begin(), external_refs.end(),
+                       [&](Expr* ref) { return !supp_set.count(ref->qid); }),
+        external_refs.end());
+
+    // SUPP outputs: one per distinct referenced (qid, col).
+    std::map<std::pair<int, int>, int> supp_out;
+    for (Expr* ref : external_refs) {
+      std::pair<int, int> key = {ref->qid, ref->col};
+      if (supp_out.count(key)) continue;
+      const int idx = supp->num_outputs();
+      supp->outputs.push_back(
+          {ref->name.empty() ? StrFormat("c%d", idx) : ref->name,
+           MakeColumnRef(ref->qid, ref->col, ref->type, ref->name)});
+      supp_out[key] = idx;
+    }
+
+    Quantifier* q_supp =
+        graph_->NewQuantifier(box, supp, QuantifierKind::kForeach,
+                              supp->label);
+    for (Expr* ref : external_refs) {
+      ref->col = supp_out[{ref->qid, ref->col}];
+      ref->qid = q_supp->id;
+    }
+
+    // The correlation columns, now as SUPP output ordinals.
+    std::vector<std::pair<int, int>> supp_corr =
+        CorrelationColumnsFrom(q->child, box);
+    for (const auto& [qid, col] : supp_corr) {
+      (void)col;
+      if (qid != q_supp->id) {
+        return Status::Internal(
+            "correlation source survived supplementary construction");
+      }
+    }
+
+    // --- MAGIC: distinct projection of the bindings (Figure 2[c]) ---
+    Box* magic = graph_->NewBox(BoxKind::kSelect);
+    magic->role = BoxRole::kMagic;
+    magic->label = StrFormat("MAGIC%d", magic->id());
+    magic->distinct = true;
+    Quantifier* q_ms = graph_->NewQuantifier(magic, supp,
+                                             QuantifierKind::kForeach, "supp");
+    std::map<int, int> magic_col;  // supp output ordinal -> magic ordinal
+    for (const auto& [qid, col] : supp_corr) {
+      (void)qid;
+      const int j = magic->num_outputs();
+      magic->outputs.push_back(
+          {StrFormat("bind%d", j),
+           MakeColumnRef(q_ms->id, col, supp->OutputType(col),
+                         supp->OutputName(col))});
+      magic_col[col] = j;
+    }
+
+    DECORR_RETURN_IF_ERROR(
+        DecoupleChild(box, q, magic, q_supp, supp_corr, magic_col));
+    return Status::OK();
+  }
+
+  // Shared tail of FEED: insert DCO + CI between `q` and its child, with
+  // bindings drawn from `magic`. The CI predicates correlate the binding
+  // columns back to `source` columns (`source_cols[j]` gives, per magic
+  // column j, the (qid, col) the CI predicate references).
+  Status DecoupleChild(Box* box, Quantifier* q, Box* magic,
+                       Quantifier* source_q,
+                       const std::vector<std::pair<int, int>>& source_cols,
+                       const std::map<int, int>& magic_col) {
+    (void)box;
+    Box* child = q->child;
+    const int n = child->num_outputs();
+    const int k = magic->num_outputs();
+
+    // DCO = MAGIC x child (Figure 2[d]).
+    Box* dco = graph_->NewBox(BoxKind::kSelect);
+    dco->role = BoxRole::kDco;
+    dco->label = StrFormat("DCO%d", dco->id());
+    Quantifier* q_dm =
+        graph_->NewQuantifier(dco, magic, QuantifierKind::kForeach, "magic");
+    Quantifier* q_dc =
+        graph_->NewQuantifier(dco, child, QuantifierKind::kForeach, "child");
+    dco->dco_magic_qid = q_dm->id;
+    dco->dco_child_qid = q_dc->id;
+    for (int i = 0; i < n; ++i) {
+      dco->outputs.push_back(
+          {child->OutputName(i), MakeColumnRef(q_dc->id, i,
+                                               child->OutputType(i),
+                                               child->OutputName(i))});
+    }
+    for (int j = 0; j < k; ++j) {
+      dco->outputs.push_back(
+          {magic->OutputName(j), MakeColumnRef(q_dm->id, j,
+                                               magic->OutputType(j),
+                                               magic->OutputName(j))});
+    }
+
+    // Retarget the child's correlated references onto the DCO's magic
+    // quantifier ("it gets its bindings from Q4 instead of Q1").
+    RefMapping mapping;
+    for (const auto& [qid, col] : source_cols) {
+      mapping[{qid, col}] = {q_dm->id, magic_col.at(col)};
+    }
+    RetargetSubtreeRefs(child, mapping);
+
+    // CI: restores the per-binding view for the consumer.
+    Box* ci = graph_->NewBox(BoxKind::kSelect);
+    ci->role = BoxRole::kCi;
+    ci->label = StrFormat("CI%d", ci->id());
+    Quantifier* q_ci =
+        graph_->NewQuantifier(ci, dco, QuantifierKind::kForeach, "dco");
+    for (int i = 0; i < n; ++i) {
+      ci->outputs.push_back(
+          {dco->OutputName(i), MakeColumnRef(q_ci->id, i, dco->OutputType(i),
+                                             dco->OutputName(i))});
+    }
+    for (int j = 0; j < k; ++j) {
+      ci->outputs.push_back(
+          {dco->OutputName(n + j),
+           MakeColumnRef(q_ci->id, n + j, dco->OutputType(n + j),
+                         dco->OutputName(n + j))});
+    }
+    for (const auto& [qid, col] : source_cols) {
+      (void)qid;
+      const int j = magic_col.at(col);
+      ci->predicates.push_back(MakeComparison(
+          BinaryOp::kEq,
+          MakeColumnRef(q_ci->id, n + j, magic->OutputType(j),
+                        magic->OutputName(j)),
+          MakeColumnRef(source_q->id, col,
+                        source_q->child->OutputType(col),
+                        source_q->child->OutputName(col))));
+    }
+    q->child = ci;
+    return Status::OK();
+  }
+
+  // ---- ABSORB, SPJ variant (Section 4.3.2) ----
+
+  Status AbsorbSpj(Box* box, Box* dco) {
+    Quantifier* q_md = dco->FindQuantifier(dco->dco_magic_qid);
+    Quantifier* q_dc = dco->FindQuantifier(dco->dco_child_qid);
+    DECORR_CHECK(q_md != nullptr && q_dc != nullptr);
+    Box* magic = q_md->child;
+    const int k = magic->num_outputs();
+    const int n = box->num_outputs();
+
+    // Add the magic table to the FROM clause.
+    Quantifier* q_m = graph_->NewQuantifier(box, magic,
+                                            QuantifierKind::kForeach, "magic");
+    // Redirect every reference in this subtree from the DCO's magic
+    // quantifier to the local one (turns correlated predicates into local
+    // equi-join predicates, Figure 4[b]).
+    RefMapping mapping;
+    for (int j = 0; j < k; ++j) {
+      mapping[{q_md->id, j}] = {q_m->id, j};
+    }
+    RetargetSubtreeRefs(box, mapping);
+
+    // Add the binding columns to the output (Figure 4[b] -> [c]).
+    for (int j = 0; j < k; ++j) {
+      box->outputs.push_back(
+          {magic->OutputName(j), MakeColumnRef(q_m->id, j,
+                                               magic->OutputType(j),
+                                               magic->OutputName(j))});
+    }
+
+    // The DCO's own iterator over the magic table is now redundant: its
+    // outputs can read the bindings through the child.
+    RefMapping dco_fix;
+    for (int j = 0; j < k; ++j) {
+      dco_fix[{q_md->id, j}] = {q_dc->id, n + j};
+    }
+    for (Expr* expr : dco->AllExprs()) RetargetExprRefs(expr, dco_fix);
+    graph_->DeleteQuantifier(q_md->id);
+    dco->dco_magic_qid = -1;
+    dco->dco_child_qid = -1;
+    return Status::OK();
+  }
+
+  // ---- ABSORB, non-SPJ variants (Section 4.3.1) ----
+
+  Status AbsorbGroupBy(Box* box, Box* dco) {
+    Quantifier* q_md = dco->FindQuantifier(dco->dco_magic_qid);
+    Quantifier* q_dc = dco->FindQuantifier(dco->dco_child_qid);
+    DECORR_CHECK(q_md != nullptr && q_dc != nullptr);
+    Box* magic = q_md->child;
+    const int k = magic->num_outputs();
+    const int ng = box->num_outputs();
+
+    // FEED the child: "the bindings are drawn directly from the magic table
+    // of the CurBox".
+    Quantifier* q_in = box->quantifiers()[0];
+    const int n0 = q_in->child->num_outputs();
+    std::vector<std::pair<int, int>> source_cols;
+    std::map<int, int> magic_col;
+    for (int j = 0; j < k; ++j) {
+      source_cols.emplace_back(q_md->id, j);
+      magic_col[j] = j;
+    }
+    DECORR_RETURN_IF_ERROR(
+        DecoupleChild(box, q_in, magic, q_md, source_cols, magic_col));
+    Box* ci = q_in->child;  // the CI just created below this box
+
+    // Decorrelate the aggregate box: group by the binding columns and emit
+    // them (Figure 3[c]).
+    for (int j = 0; j < k; ++j) {
+      box->group_by.push_back(MakeColumnRef(q_in->id, n0 + j,
+                                            ci->OutputType(n0 + j),
+                                            ci->OutputName(n0 + j)));
+      box->outputs.push_back(
+          {ci->OutputName(n0 + j),
+           MakeColumnRef(q_in->id, n0 + j, ci->OutputType(n0 + j),
+                         ci->OutputName(n0 + j))});
+    }
+    // "Now the correlated predicate in the CI box below can be removed."
+    ci->predicates.clear();
+
+    // Convert the DCO into a join of the magic table with the grouped
+    // result on the binding columns.
+    for (int j = 0; j < k; ++j) {
+      dco->predicates.push_back(MakeComparison(
+          BinaryOp::kEq,
+          MakeColumnRef(q_md->id, j, magic->OutputType(j),
+                        magic->OutputName(j)),
+          MakeColumnRef(q_dc->id, ng + j, box->OutputType(ng + j),
+                        box->OutputName(ng + j))));
+    }
+
+    // COUNT-bug analysis (Section 4.1): does the consumer need rows for
+    // empty groups?
+    std::vector<int> count_outputs;
+    for (int i = 0; i < ng; ++i) {
+      if (box->outputs[i].expr && IsCountAggregate(*box->outputs[i].expr)) {
+        count_outputs.push_back(i);
+      }
+    }
+    Box* consumer = nullptr;
+    Quantifier* q_cons = FindConsumer(dco, &consumer);
+    bool needs_exact_nulls = true;
+    if (q_cons != nullptr && q_cons->kind == QuantifierKind::kScalar &&
+        consumer != nullptr) {
+      needs_exact_nulls = false;
+      for (const OutputColumn& out : consumer->outputs) {
+        if (out.expr && MentionsScalarMarker(*out.expr, q_cons->id)) {
+          needs_exact_nulls = true;  // marker escapes into the select list
+        }
+      }
+      for (const ExprPtr& pred : consumer->predicates) {
+        if (!MarkerNullRejecting(*pred, q_cons->id)) needs_exact_nulls = true;
+      }
+    }
+    const bool needs_loj = !count_outputs.empty() || needs_exact_nulls;
+    if (needs_loj) {
+      if (!options_.use_outer_join) {
+        return Status::Internal(
+            "outer join needed for COUNT-bug removal but disabled; the FEED "
+            "prefilter should have declined");
+      }
+      dco->null_padded_qid = q_dc->id;
+      // COALESCE(count, 0) for the padded rows (the BugRemoval box of
+      // Section 2.1).
+      for (int i : count_outputs) {
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(dco->outputs[i].expr));
+        args.push_back(MakeConstant(Value::Int64(0)));
+        ExprPtr coalesce = MakeFunction(FuncKind::kCoalesce, std::move(args));
+        DECORR_RETURN_IF_ERROR(InferTypes(coalesce.get()));
+        dco->outputs[i].expr = std::move(coalesce);
+      }
+    }
+
+    // Scalar consumers: the decorrelated result now has exactly one row per
+    // binding (LOJ) or one row per non-empty binding under null-rejecting
+    // use (inner join) — replace the scalar marker by a plain column and
+    // turn the quantifier into ForEach, enabling the CI merge.
+    if (q_cons != nullptr && q_cons->kind == QuantifierKind::kScalar &&
+        consumer != nullptr) {
+      for (Expr* expr : consumer->AllExprs()) {
+        VisitExprMutable(expr, [&](Expr* node) {
+          if (node->kind == ExprKind::kScalarSubquery &&
+              node->sub_qid == q_cons->id) {
+            const TypeId type = node->type;
+            node->kind = ExprKind::kColumnRef;
+            node->qid = q_cons->id;
+            node->col = 0;
+            node->sub_qid = -1;
+            node->type = type;
+            node->name = "subqval";
+          }
+        });
+      }
+      q_cons->kind = QuantifierKind::kForeach;
+    }
+
+    dco->dco_magic_qid = -1;
+    dco->dco_child_qid = -1;
+    return Status::OK();
+  }
+
+  Status AbsorbUnion(Box* box, Box* dco) {
+    Quantifier* q_md = dco->FindQuantifier(dco->dco_magic_qid);
+    Quantifier* q_dc = dco->FindQuantifier(dco->dco_child_qid);
+    DECORR_CHECK(q_md != nullptr && q_dc != nullptr);
+    Box* magic = q_md->child;
+    const int k = magic->num_outputs();
+    const int n = box->num_outputs();
+
+    // FEED each branch with the magic table.
+    std::vector<std::pair<int, int>> source_cols;
+    std::map<int, int> magic_col;
+    for (int j = 0; j < k; ++j) {
+      source_cols.emplace_back(q_md->id, j);
+      magic_col[j] = j;
+    }
+    for (Quantifier* q_branch : box->quantifiers()) {
+      DECORR_RETURN_IF_ERROR(DecoupleChild(box, q_branch, magic, q_md,
+                                           source_cols, magic_col));
+      q_branch->child->predicates.clear();  // per-branch CI filter removed
+    }
+
+    // The union's output gains the binding columns (positionally aligned —
+    // every branch CI appended them at the same ordinals).
+    Quantifier* first = box->quantifiers()[0];
+    for (int j = 0; j < k; ++j) {
+      box->outputs.push_back(
+          {first->child->OutputName(n + j),
+           MakeColumnRef(first->id, n + j, first->child->OutputType(n + j),
+                         first->child->OutputName(n + j))});
+    }
+
+    // DCO becomes a join on the binding columns.
+    for (int j = 0; j < k; ++j) {
+      dco->predicates.push_back(MakeComparison(
+          BinaryOp::kEq,
+          MakeColumnRef(q_md->id, j, magic->OutputType(j),
+                        magic->OutputName(j)),
+          MakeColumnRef(q_dc->id, n + j, box->OutputType(n + j),
+                        box->OutputName(n + j))));
+    }
+    dco->dco_magic_qid = -1;
+    dco->dco_child_qid = -1;
+    return Status::OK();
+  }
+
+  // The quantifier (and its owner box) consuming the CI above `dco`.
+  Quantifier* FindConsumer(Box* dco, Box** consumer) {
+    for (Quantifier* use : graph_->UsesOf(dco)) {
+      if (use->owner->role != BoxRole::kCi) continue;
+      for (Quantifier* ci_use : graph_->UsesOf(use->owner)) {
+        *consumer = ci_use->owner;
+        return ci_use;
+      }
+    }
+    return nullptr;
+  }
+
+  // ---- supplementary set selection ----
+
+  // Transitive closure of `start` under "my subtree references that
+  // quantifier of `box`". Fails (returns the violating state) only via the
+  // caller's includes() check.
+  Result<std::set<int>> CloseOverReferences(Box* box, std::set<int> start,
+                                            const Quantifier* exclude) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int qid : std::vector<int>(start.begin(), start.end())) {
+        Quantifier* q = graph_->FindQuantifier(qid);
+        if (q == nullptr) continue;
+        for (const auto& [ref_qid, col] :
+             CorrelationColumnsFrom(q->child, box)) {
+          (void)col;
+          if (ref_qid == exclude->id) continue;
+          if (start.insert(ref_qid).second) changed = true;
+        }
+      }
+    }
+    return start;
+  }
+
+  // Largest set of ForEach quantifiers of `box` (excluding `q`) whose
+  // subtrees reference, within the box, only members of the set.
+  std::set<int> MaximalMovableSet(Box* box, const Quantifier* q) {
+    std::set<int> set;
+    for (const Quantifier* cand : box->quantifiers()) {
+      if (cand == q || cand->kind != QuantifierKind::kForeach) continue;
+      set.insert(cand->id);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int qid : std::vector<int>(set.begin(), set.end())) {
+        Quantifier* cand = graph_->FindQuantifier(qid);
+        for (const auto& [ref_qid, col] :
+             CorrelationColumnsFrom(cand->child, box)) {
+          (void)col;
+          if (!set.count(ref_qid)) {
+            set.erase(qid);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return set;
+  }
+
+  double EstimateSubsetCard(Box* box, const std::set<int>& subset) {
+    double card = 1.0;
+    for (int qid : subset) {
+      Quantifier* q = graph_->FindQuantifier(qid);
+      card *= std::max(estimator_.EstimateBoxRows(q->child), 1.0);
+    }
+    for (const ExprPtr& pred : box->predicates) {
+      std::set<int> refs = ReferencedQuantifiers(*pred);
+      if (refs.empty()) continue;
+      bool contained = true;
+      for (int r : refs) {
+        if (!subset.count(r)) contained = false;
+      }
+      if (!contained) continue;
+      if (!ReferencedSubqueryQuantifiers(*pred).empty()) continue;
+      // Equality join between two distinct members: divide by max ndv.
+      if (pred->kind == ExprKind::kComparison && pred->op == BinaryOp::kEq &&
+          pred->children[0]->kind == ExprKind::kColumnRef &&
+          pred->children[1]->kind == ExprKind::kColumnRef &&
+          pred->children[0]->qid != pred->children[1]->qid) {
+        const Quantifier* lq = graph_->FindQuantifier(pred->children[0]->qid);
+        const Quantifier* rq = graph_->FindQuantifier(pred->children[1]->qid);
+        const double ndv = std::max(
+            estimator_.EstimateDistinct(lq->child, pred->children[0]->col),
+            estimator_.EstimateDistinct(rq->child, pred->children[1]->col));
+        card /= std::max(ndv, 1.0);
+        continue;
+      }
+      card *= estimator_.PredicateSelectivity(box, *pred);
+    }
+    return std::max(card, 1.0);
+  }
+
+  QueryGraph* graph_;
+  const DecorrelationOptions& options_;
+  CardEstimator estimator_;
+  std::set<int> visited_;
+};
+
+// ----------------------------------------------------------------------------
+
+Status MagicDecorrelateNoCleanup(QueryGraph* graph, const Catalog& catalog,
+                                 const DecorrelationOptions& options) {
+  MagicRewriter rewriter(graph, catalog, options);
+  return rewriter.Run();
+}
+
+Status MagicDecorrelate(QueryGraph* graph, const Catalog& catalog,
+                        const DecorrelationOptions& options) {
+  DECORR_RETURN_IF_ERROR(MagicDecorrelateNoCleanup(graph, catalog, options));
+  return CleanupGraph(graph);
+}
+
+}  // namespace decorr

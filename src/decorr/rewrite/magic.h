@@ -1,0 +1,45 @@
+// Magic decorrelation (Sections 2.1 and 4 of the paper).
+//
+// The rewrite walks the QGM top-down, one box at a time. For each box it
+// runs the ABSORB stage (consume the magic table fed by the parent, if any)
+// and then the FEED stage (for each correlated child quantifier, split off
+// a supplementary SUPP box, project the distinct correlation bindings into
+// a MAGIC box, decouple the child behind a DCO box, and restore the
+// per-binding view with a correlated CI box). Aggregate boxes absorb by
+// grouping on the binding columns; the DCO above them becomes a join — a
+// left outer join with COALESCE(count, 0) when the COUNT bug could strike.
+// The QGM is consistent after every step (Validate()-checked in tests).
+//
+// Knobs (DecorrelationOptions) let a box decline to decorrelate, as the
+// paper's encapsulators do: existential/universal subqueries, and aggregate
+// boxes when no outer-join operator is available.
+#ifndef DECORR_REWRITE_MAGIC_H_
+#define DECORR_REWRITE_MAGIC_H_
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/strategy.h"
+
+namespace decorr {
+
+// Applies magic decorrelation in place (including the cleanup rules that
+// merge CI boxes into their consumers). After a successful run, queries
+// whose correlations are all decorrelatable under `options` contain no
+// correlated F/S quantifiers; E/A quantifiers may retain a localized
+// equality correlation onto their CI boxes.
+//
+// `catalog` supplies statistics for the supplementary-vs-sources placement
+// decision (Section 7: magic uses the join order of the nested iteration
+// strategy).
+Status MagicDecorrelate(QueryGraph* graph, const Catalog& catalog,
+                        const DecorrelationOptions& options = {});
+
+// Testing hook: like MagicDecorrelate but without the final cleanup pass,
+// exposing the intermediate SUPP/MAGIC/DCO/CI structure of the figures.
+Status MagicDecorrelateNoCleanup(QueryGraph* graph, const Catalog& catalog,
+                                 const DecorrelationOptions& options = {});
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_MAGIC_H_

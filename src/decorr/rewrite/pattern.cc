@@ -1,0 +1,140 @@
+#include "decorr/rewrite/pattern.h"
+
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+Status NotLinear(const char* why) {
+  return Status::NotImplemented(
+      std::string("query is outside the linear correlated-aggregate class: ") +
+      why);
+}
+
+}  // namespace
+
+Result<CorrelatedAggPattern> MatchCorrelatedAggPattern(QueryGraph* graph) {
+  CorrelatedAggPattern pattern;
+  // The correlated block need not be the root (e.g. the paper's Query 2
+  // aggregates above it); find the unique Select block owning a scalar
+  // subquery quantifier.
+  for (const auto& box : graph->boxes()) {
+    for (Quantifier* q : box->quantifiers()) {
+      if (q->kind != QuantifierKind::kScalar) continue;
+      if (pattern.q_sub != nullptr) {
+        return NotLinear("more than one scalar subquery");
+      }
+      pattern.q_sub = q;
+      pattern.outer = box.get();
+    }
+  }
+  if (pattern.q_sub == nullptr) {
+    return NotLinear("no scalar subquery to decorrelate");
+  }
+  Box* root = pattern.outer;
+  if (root->kind() != BoxKind::kSelect) {
+    return NotLinear("scalar subquery outside a Select block");
+  }
+
+  for (Quantifier* q : root->quantifiers()) {
+    switch (q->kind) {
+      case QuantifierKind::kScalar:
+        break;
+      case QuantifierKind::kForeach:
+        if (IsCorrelatedTo(q->child, root)) {
+          return NotLinear("correlated derived table in FROM");
+        }
+        break;
+      default:
+        return NotLinear("existential/universal subquery present");
+    }
+  }
+
+  // Unwrap: [Select wrapper] -> GroupBy -> Select.
+  Box* top = pattern.q_sub->child;
+  if (top->kind() == BoxKind::kSelect) {
+    if (top->quantifiers().size() != 1 || !top->predicates.empty() ||
+        top->distinct ||
+        top->quantifiers()[0]->kind != QuantifierKind::kForeach) {
+      return NotLinear("subquery root Select is not a simple projection");
+    }
+    pattern.wrapper = top;
+    top = top->quantifiers()[0]->child;
+  }
+  if (top->kind() != BoxKind::kGroupBy || !top->group_by.empty()) {
+    return NotLinear("subquery is not a scalar aggregate");
+  }
+  pattern.group = top;
+  if (pattern.group->quantifiers().size() != 1 ||
+      pattern.group->quantifiers()[0]->child->kind() != BoxKind::kSelect) {
+    return NotLinear("aggregate input is not a Select block");
+  }
+  pattern.spj = pattern.group->quantifiers()[0]->child;
+  if (pattern.spj->distinct || pattern.spj->null_padded_qid >= 0) {
+    return NotLinear("aggregate input Select is not plain");
+  }
+  for (const Quantifier* q : pattern.spj->quantifiers()) {
+    if (q->kind != QuantifierKind::kForeach) {
+      return NotLinear("nested subquery inside the aggregate");
+    }
+  }
+
+  // Every correlated reference must live in a top-level equality predicate
+  // of `spj`, comparing one spj-local column against one outer column.
+  std::vector<ExternalRef> external = CollectExternalRefs(pattern.q_sub->child);
+  std::set<const Expr*> corr_ref_nodes;
+  for (const ExternalRef& ext : external) {
+    if (ext.source_quantifier == nullptr ||
+        ext.source_quantifier->owner != root) {
+      return NotLinear("multi-level correlation");
+    }
+    corr_ref_nodes.insert(ext.ref);
+  }
+  if (corr_ref_nodes.empty()) {
+    return NotLinear("subquery is not correlated");
+  }
+
+  for (size_t p = 0; p < pattern.spj->predicates.size(); ++p) {
+    Expr* pred = pattern.spj->predicates[p].get();
+    const bool mentions_outer = AnyNode(*pred, [&](const Expr& node) {
+      return corr_ref_nodes.count(&node) > 0;
+    });
+    if (!mentions_outer) continue;
+    if (pred->kind != ExprKind::kComparison || pred->op != BinaryOp::kEq) {
+      return NotLinear("correlation predicate is not a simple equality");
+    }
+    Expr* lhs = pred->children[0].get();
+    Expr* rhs = pred->children[1].get();
+    if (lhs->kind != ExprKind::kColumnRef || rhs->kind != ExprKind::kColumnRef) {
+      return NotLinear("correlation inside a complex expression");
+    }
+    const bool lhs_outer = corr_ref_nodes.count(lhs) > 0;
+    const bool rhs_outer = corr_ref_nodes.count(rhs) > 0;
+    if (lhs_outer == rhs_outer) {
+      return NotLinear("correlation predicate does not compare inner against "
+                       "outer");
+    }
+    CorrelatedAggPattern::CorrPred cp;
+    cp.pred_index = p;
+    cp.inner = lhs_outer ? rhs : lhs;
+    cp.outer = lhs_outer ? lhs : rhs;
+    if (!pattern.spj->OwnsQuantifier(cp.inner->qid)) {
+      return NotLinear("correlation binds a non-local column");
+    }
+    pattern.corr_preds.push_back(cp);
+    corr_ref_nodes.erase(cp.outer);
+  }
+  // Any correlated reference that was not consumed sits somewhere other
+  // than a top-level spj equality predicate (e.g. in a deeper box).
+  if (!corr_ref_nodes.empty()) {
+    return NotLinear("correlation occurs outside the aggregate's WHERE "
+                     "clause");
+  }
+  if (pattern.corr_preds.empty()) {
+    return NotLinear("no usable correlation predicate");
+  }
+  return pattern;
+}
+
+}  // namespace decorr

@@ -1,0 +1,36 @@
+// Shared pattern recognition for the Kim and Dayal baselines: the "linear"
+// query class both methods handle — an outer Select block with exactly one
+// equality-correlated scalar-aggregate subquery.
+#ifndef DECORR_REWRITE_PATTERN_H_
+#define DECORR_REWRITE_PATTERN_H_
+
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+struct CorrelatedAggPattern {
+  Box* outer = nullptr;         // root Select block
+  Quantifier* q_sub = nullptr;  // the scalar subquery quantifier
+  Box* wrapper = nullptr;       // optional Select over the group box
+  Box* group = nullptr;         // scalar GroupBy (no group keys)
+  Box* spj = nullptr;           // Select feeding the aggregate
+
+  // One equality correlation predicate inside `spj`.
+  struct CorrPred {
+    size_t pred_index = 0;  // index into spj->predicates
+    Expr* inner = nullptr;  // side local to spj
+    Expr* outer = nullptr;  // side referencing an outer quantifier
+  };
+  std::vector<CorrPred> corr_preds;
+};
+
+// Matches the linear correlated-aggregate shape; NotImplemented otherwise
+// ("the strategy works only for linearly structured queries").
+Result<CorrelatedAggPattern> MatchCorrelatedAggPattern(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_PATTERN_H_

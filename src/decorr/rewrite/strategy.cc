@@ -1,0 +1,49 @@
+#include "decorr/rewrite/strategy.h"
+
+#include "decorr/rewrite/dayal.h"
+#include "decorr/rewrite/ganski.h"
+#include "decorr/rewrite/kim.h"
+#include "decorr/rewrite/magic.h"
+
+namespace decorr {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNestedIteration:
+      return "NI";
+    case Strategy::kKim:
+      return "Kim";
+    case Strategy::kDayal:
+      return "Dayal";
+    case Strategy::kGanskiWong:
+      return "Ganski";
+    case Strategy::kMagic:
+      return "Mag";
+    case Strategy::kOptMagic:
+      return "OptMag";
+  }
+  return "?";
+}
+
+Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
+                     const Catalog& catalog,
+                     const DecorrelationOptions& options) {
+  switch (strategy) {
+    case Strategy::kNestedIteration:
+      return Status::OK();
+    case Strategy::kKim:
+      return KimRewrite(graph);
+    case Strategy::kDayal:
+      return DayalRewrite(graph, catalog);
+    case Strategy::kGanskiWong:
+      return GanskiWongRewrite(graph, catalog);
+    case Strategy::kMagic:
+    case Strategy::kOptMagic:
+      // OptMag differs at the planner level (the supplementary common
+      // subexpression is materialized once instead of recomputed).
+      return MagicDecorrelate(graph, catalog, options);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+}  // namespace decorr

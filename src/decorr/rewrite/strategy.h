@@ -1,0 +1,49 @@
+// Query evaluation strategies compared in the paper (Section 5.1):
+// nested iteration and the four rewrite-based decorrelation methods.
+#ifndef DECORR_REWRITE_STRATEGY_H_
+#define DECORR_REWRITE_STRATEGY_H_
+
+#include <string>
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+enum class Strategy {
+  kNestedIteration,  // NI: no rewrite; correlated subqueries become Applies
+  kKim,              // Kim's method [Kim82] (COUNT bug faithfully included)
+  kDayal,            // Dayal's method [Day87]
+  kGanskiWong,       // Ganski/Wong [GW87] (special case of magic)
+  kMagic,            // magic decorrelation, supplementary recomputed (Mag)
+  kOptMagic,         // magic + supplementary materialized once (OptMag)
+};
+
+const char* StrategyName(Strategy strategy);
+
+// Knobs of the magic decorrelation algorithm (Section 4.4): each box
+// encapsulator may decline to decorrelate.
+struct DecorrelationOptions {
+  // Decorrelate existential (EXISTS/IN/ANY) and universal (ALL) subqueries.
+  // Leaves a correlated CI box ("repeated correlated selections") which the
+  // executor serves with a hashed temporary — or, when disabled, falls back
+  // to nested iteration for those subqueries only.
+  bool decorrelate_existentials = true;
+  // Whether a left outer-join operator is available. Without it, aggregate
+  // boxes whose decorrelation would need COUNT-bug removal keep their
+  // correlation (the rest of the query still decorrelates).
+  bool use_outer_join = true;
+};
+
+// Applies the strategy's rewrite to `graph` in place. kNestedIteration is a
+// no-op. Kim/Dayal/Ganski return NotImplemented when the query is outside
+// the class their method handles (non-linear queries, missing keys, ...) —
+// mirroring the applicability limits the paper describes.
+Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
+                     const Catalog& catalog,
+                     const DecorrelationOptions& options = {});
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_STRATEGY_H_

@@ -1,0 +1,38 @@
+// CSV import/export: load rows into catalog tables and render query results
+// — the glue a downstream user needs to put real data through the engine.
+//
+// Dialect: comma separator, double-quote quoting with "" escapes, newline
+// row terminator (CR tolerated). An empty unquoted field is NULL; an empty
+// quoted field is the empty string. Values parse according to the target
+// column type.
+#ifndef DECORR_RUNTIME_CSV_H_
+#define DECORR_RUNTIME_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/runtime/database.h"
+
+namespace decorr {
+
+// Splits one CSV document into rows of raw fields (quoting handled).
+// Exposed for testing.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+// Appends the CSV rows to `table`. With `header` the first row is skipped
+// (column order must still match the schema). Returns the row count.
+Result<int64_t> ImportCsv(Database* db, const std::string& table,
+                          const std::string& text, bool header);
+
+// Renders a query result as CSV (with a header row of column names).
+std::string ExportCsv(const QueryResult& result);
+
+// Renders a stored table as CSV (with header).
+std::string ExportTableCsv(const Table& table);
+
+}  // namespace decorr
+
+#endif  // DECORR_RUNTIME_CSV_H_

@@ -1,0 +1,84 @@
+#include "decorr/runtime/database.h"
+
+#include "decorr/binder/binder.h"
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/print.h"
+#include "decorr/qgm/validate.h"
+
+namespace decorr {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out = Join(column_names, " | ") + "\n";
+  const size_t limit = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < limit; ++i) {
+    out += RowToString(rows[i]) + "\n";
+  }
+  if (limit < rows.size()) {
+    out += StrFormat("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+Status Database::CreateTable(const TableSchema& schema) {
+  return catalog_->RegisterTable(std::make_shared<Table>(schema));
+}
+
+Status Database::Insert(const std::string& table,
+                        const std::vector<Row>& rows) {
+  DECORR_ASSIGN_OR_RETURN(TablePtr t, catalog_->GetTable(table));
+  for (const Row& row : rows) {
+    DECORR_RETURN_IF_ERROR(t->AppendRow(row));
+  }
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_->TableNames()) {
+    DECORR_RETURN_IF_ERROR(catalog_->RefreshStats(name));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const QueryOptions& options) {
+  return Run(sql, options, /*execute=*/true);
+}
+
+Result<QueryResult> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  return Run(sql, options, /*execute=*/false);
+}
+
+Result<QueryResult> Database::Run(const std::string& sql,
+                                  const QueryOptions& options, bool execute) {
+  DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                          ParseAndBind(sql, *catalog_));
+  QueryResult result;
+  if (options.capture_qgm) {
+    result.qgm_before = PrintQgm(bound->graph.get());
+  }
+  DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), options.strategy,
+                                       *catalog_, options.decorr));
+  DECORR_RETURN_IF_ERROR(Validate(bound->graph.get()));
+  if (options.capture_qgm) {
+    result.qgm_after = PrintQgm(bound->graph.get());
+  }
+
+  PlannerOptions planner_options = options.planner;
+  if (options.strategy == Strategy::kOptMagic) {
+    planner_options.materialize_common_subexpressions = true;
+  }
+  Planner planner(*catalog_, planner_options);
+  DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
+  result.column_names = plan.column_names;
+  result.plan_text = plan.ToString();
+  if (!execute) return result;
+
+  ExecContext ctx;
+  ctx.stats = &result.stats;
+  DECORR_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get(), &ctx));
+  result.stats.rows_output = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+}  // namespace decorr

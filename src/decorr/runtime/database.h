@@ -1,0 +1,84 @@
+// The Database façade: tables in, SQL in, rows out.
+//
+// Execute() runs a query under a chosen *strategy* — pure nested iteration
+// or one of the decorrelation rewrites (magic decorrelation and the
+// baselines the paper compares against). The strategy transforms the QGM
+// before planning; the planner and executor are shared by all strategies,
+// so measured differences come from the rewrites themselves, exactly as in
+// the paper's Starburst experiments.
+#ifndef DECORR_RUNTIME_DATABASE_H_
+#define DECORR_RUNTIME_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/exec/operator.h"
+#include "decorr/planner/planner.h"
+#include "decorr/rewrite/strategy.h"
+
+namespace decorr {
+
+struct QueryOptions {
+  Strategy strategy = Strategy::kNestedIteration;
+  DecorrelationOptions decorr;   // knobs for magic decorrelation
+  PlannerOptions planner;
+  bool capture_qgm = false;      // record before/after QGM dumps
+};
+
+struct QueryResult {
+  std::vector<Row> rows;
+  std::vector<std::string> column_names;
+  ExecStats stats;
+  std::string plan_text;   // physical plan (EXPLAIN)
+  std::string qgm_before;  // filled when capture_qgm is set
+  std::string qgm_after;
+
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+class Database {
+ public:
+  Database() : catalog_(std::make_shared<Catalog>()) {}
+  explicit Database(std::shared_ptr<Catalog> catalog)
+      : catalog_(std::move(catalog)) {}
+
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+  // Creates an empty table.
+  Status CreateTable(const TableSchema& schema);
+
+  // Appends rows to a table; statistics refresh on the next AnalyzeAll().
+  Status Insert(const std::string& table, const std::vector<Row>& rows);
+
+  // Recomputes statistics for every table (call after bulk loads).
+  Status AnalyzeAll();
+
+  Status CreateIndex(const std::string& table, const std::string& index,
+                     const std::vector<std::string>& columns) {
+    return catalog_->CreateIndex(table, index, columns);
+  }
+  Status DropIndex(const std::string& table, const std::string& index) {
+    return catalog_->DropIndex(table, index);
+  }
+
+  // Parses, binds, rewrites per strategy, plans, executes.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryOptions& options = {});
+
+  // Like Execute but stops after planning (no rows).
+  Result<QueryResult> Explain(const std::string& sql,
+                              const QueryOptions& options = {});
+
+ private:
+  Result<QueryResult> Run(const std::string& sql, const QueryOptions& options,
+                          bool execute);
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_RUNTIME_DATABASE_H_

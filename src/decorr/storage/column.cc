@@ -1,0 +1,65 @@
+#include "decorr/storage/column.h"
+
+#include "decorr/common/logging.h"
+
+namespace decorr {
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    nulls_.push_back(1);
+    switch (type_) {
+      case TypeId::kBool:
+      case TypeId::kInt64:
+        i64_.push_back(0);
+        break;
+      case TypeId::kDouble:
+        dbl_.push_back(0.0);
+        break;
+      case TypeId::kString:
+        str_.emplace_back();
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  nulls_.push_back(0);
+  switch (type_) {
+    case TypeId::kBool:
+      DECORR_CHECK(v.type() == TypeId::kBool);
+      i64_.push_back(v.bool_value() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+      DECORR_CHECK(v.type() == TypeId::kInt64);
+      i64_.push_back(v.int64_value());
+      break;
+    case TypeId::kDouble:
+      DECORR_CHECK(v.type() == TypeId::kInt64 || v.type() == TypeId::kDouble);
+      dbl_.push_back(v.AsDouble());
+      break;
+    case TypeId::kString:
+      DECORR_CHECK(v.type() == TypeId::kString);
+      str_.push_back(v.string_value());
+      break;
+    default:
+      DECORR_CHECK_MSG(false, "column of NULL type cannot store values");
+  }
+}
+
+Value Column::GetValue(size_t row) const {
+  if (nulls_[row]) return Value::Null();
+  switch (type_) {
+    case TypeId::kBool:
+      return Value::Bool(i64_[row] != 0);
+    case TypeId::kInt64:
+      return Value::Int64(i64_[row]);
+    case TypeId::kDouble:
+      return Value::Double(dbl_[row]);
+    case TypeId::kString:
+      return Value::String(str_[row]);
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace decorr

@@ -1,0 +1,49 @@
+// Typed column storage for in-memory tables. Values are stored in a typed
+// vector plus a null bitmap, so numeric scans avoid materializing Value
+// objects on the hot path.
+#ifndef DECORR_STORAGE_COLUMN_H_
+#define DECORR_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+class Column {
+ public:
+  explicit Column(TypeId type) : type_(type) {}
+
+  TypeId type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  // Appends a value; NULLs are recorded in the bitmap. The value must be
+  // implicitly coercible to this column's type (INT64 literals may be
+  // appended to DOUBLE columns).
+  void Append(const Value& v);
+
+  bool IsNull(size_t row) const { return nulls_[row] != 0; }
+
+  // Raw typed accessors — only meaningful when !IsNull(row) and the column
+  // has the matching type. Used by fused scan predicates.
+  int64_t Int64At(size_t row) const { return i64_[row]; }
+  double DoubleAt(size_t row) const { return dbl_[row]; }
+  const std::string& StringAt(size_t row) const { return str_[row]; }
+  bool BoolAt(size_t row) const { return i64_[row] != 0; }
+
+  // Materializes a Value (owning copy for strings).
+  Value GetValue(size_t row) const;
+
+ private:
+  TypeId type_;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> i64_;        // BOOL / INT64 payloads
+  std::vector<double> dbl_;         // DOUBLE payloads
+  std::vector<std::string> str_;    // STRING payloads
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_STORAGE_COLUMN_H_

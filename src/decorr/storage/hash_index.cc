@@ -1,0 +1,37 @@
+#include "decorr/storage/hash_index.h"
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+HashIndex::HashIndex(const Table& table, std::vector<int> key_columns)
+    : key_columns_(std::move(key_columns)) {
+  Row key(key_columns_.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool has_null = false;
+    for (size_t k = 0; k < key_columns_.size(); ++k) {
+      key[k] = table.GetValue(r, key_columns_[k]);
+      if (key[k].is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    map_[key].push_back(static_cast<uint32_t>(r));
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(const Row& key) const {
+  static const std::vector<uint32_t> kEmpty;
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+std::string HashIndex::ToString() const {
+  std::vector<std::string> cols;
+  for (int c : key_columns_) cols.push_back(std::to_string(c));
+  return StrFormat("HashIndex(cols=[%s], keys=%zu)", Join(cols, ",").c_str(),
+                   map_.size());
+}
+
+}  // namespace decorr

@@ -1,0 +1,53 @@
+#include "decorr/storage/table.h"
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const ColumnDef& col : schema_.columns()) {
+    columns_.emplace_back(col.type);
+  }
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match table %s arity %d", row.size(),
+                  schema_.name().c_str(), schema_.num_columns()));
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (!IsImplicitlyCoercible(row[i].type(), schema_.column(i).type)) {
+      return Status::InvalidArgument(
+          StrFormat("value %s not coercible to column %s of type %s",
+                    row[i].ToString().c_str(), schema_.column(i).name.c_str(),
+                    TypeName(schema_.column(i).type)));
+    }
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_[i].Append(row[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Row Table::GetRow(size_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const Column& col : columns_) out.push_back(col.GetValue(row));
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += StrFormat(" [%zu rows]\n", num_rows_);
+  const size_t limit = std::min(num_rows_, max_rows);
+  for (size_t r = 0; r < limit; ++r) {
+    out += "  " + RowToString(GetRow(r)) + "\n";
+  }
+  if (limit < num_rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace decorr

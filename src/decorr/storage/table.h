@@ -1,0 +1,49 @@
+// In-memory columnar table.
+#ifndef DECORR_STORAGE_TABLE_H_
+#define DECORR_STORAGE_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "decorr/catalog/schema.h"
+#include "decorr/common/status.h"
+#include "decorr/common/value.h"
+#include "decorr/storage/column.h"
+
+namespace decorr {
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_columns(); }
+
+  // Appends a row. Fails if arity mismatches or a value is not coercible to
+  // the column type.
+  Status AppendRow(const Row& row);
+
+  const Column& column(int i) const { return columns_[i]; }
+
+  Value GetValue(size_t row, int col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  // Materializes a full row (owning copies).
+  Row GetRow(size_t row) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace decorr
+
+#endif  // DECORR_STORAGE_TABLE_H_

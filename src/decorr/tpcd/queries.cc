@@ -1,0 +1,64 @@
+#include "decorr/tpcd/queries.h"
+
+namespace decorr {
+
+std::string TpcdQuery1() {
+  return R"sql(
+SELECT s.s_name, s.s_acctbal, s.s_address, s.s_phone
+FROM parts p, suppliers s, partsupp ps
+WHERE s.s_nation = 'FRANCE' AND p.p_size = 15 AND p.p_type LIKE '%BRASS'
+  AND p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+  AND ps.ps_supplycost =
+    (SELECT MIN(ps1.ps_supplycost)
+     FROM partsupp ps1, suppliers s1
+     WHERE p.p_partkey = ps1.ps_partkey
+       AND s1.s_suppkey = ps1.ps_suppkey
+       AND s1.s_nation = 'FRANCE')
+)sql";
+}
+
+std::string TpcdQuery1Variant() {
+  return R"sql(
+SELECT s.s_name, s.s_acctbal, s.s_address, s.s_phone
+FROM parts p, suppliers s, partsupp ps
+WHERE s.s_region IN ('AMERICA', 'EUROPE') AND p.p_type LIKE '%BRASS'
+  AND p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+  AND ps.ps_supplycost =
+    (SELECT MIN(ps1.ps_supplycost)
+     FROM partsupp ps1, suppliers s1
+     WHERE p.p_partkey = ps1.ps_partkey
+       AND s1.s_suppkey = ps1.ps_suppkey
+       AND s1.s_region IN ('AMERICA', 'EUROPE'))
+)sql";
+}
+
+std::string TpcdQuery2() {
+  return R"sql(
+SELECT SUM(l.l_extendedprice) / 5.0 AS avg_yearly
+FROM lineitem l, parts p
+WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#13'
+  AND p.p_container = '6 PACK'
+  AND l.l_quantity <
+    (SELECT 0.2 * AVG(l1.l_quantity)
+     FROM lineitem l1
+     WHERE l1.l_partkey = p.p_partkey)
+)sql";
+}
+
+std::string TpcdQuery3() {
+  return R"sql(
+SELECT s.s_name, s.s_nation, dt.sumbal
+FROM suppliers s,
+     (SELECT SUM(bal)
+      FROM ((SELECT a.c_acctbal FROM customers a
+             WHERE a.c_mktsegment = 'BUILDING'
+               AND a.c_nation = s.s_nation)
+            UNION ALL
+            (SELECT b.c_acctbal FROM customers b
+             WHERE b.c_mktsegment = 'AUTOMOBILE'
+               AND b.c_nation = s.s_nation)) AS ddt(bal)) AS dt(sumbal)
+WHERE s.s_region = 'EUROPE'
+)sql";
+}
+
+}  // namespace decorr

@@ -1,0 +1,30 @@
+// The paper's three evaluation queries (Section 5.3), expressed in decorr's
+// SQL dialect against the generator's schema.
+#ifndef DECORR_TPCD_QUERIES_H_
+#define DECORR_TPCD_QUERIES_H_
+
+#include <string>
+
+namespace decorr {
+
+// Query 1 (Figure 5): suppliers offering the selected parts in FRANCE at
+// minimum cost. 6-ish subquery invocations, no duplicates.
+std::string TpcdQuery1();
+
+// Query 1 variant (Figures 6 and 7): p_size dropped, region widened —
+// thousands of invocations, many duplicates. Figure 7 runs the same text
+// with the partsupp indexes dropped.
+std::string TpcdQuery1Variant();
+
+// Query 2 (Figure 8): average yearly loss in revenue if small orders were
+// discarded (TPC-D Q17 style). Correlation attribute is a key.
+std::string TpcdQuery2();
+
+// Query 3 (Figure 9): non-linear — European suppliers with the summed
+// balances of customers from two market segments in the supplier's nation
+// (UNION ALL inside a correlated derived table; 5 distinct bindings).
+std::string TpcdQuery3();
+
+}  // namespace decorr
+
+#endif  // DECORR_TPCD_QUERIES_H_

@@ -1,0 +1,230 @@
+#include "decorr/tpcd/tpcd.h"
+
+#include <array>
+#include <cmath>
+
+#include "decorr/common/rng.h"
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+namespace {
+
+// 25 TPC-D nations, 5 per region.
+struct Nation {
+  const char* name;
+  const char* region;
+};
+constexpr std::array<Nation, 25> kNations = {{
+    {"ALGERIA", "AFRICA"},       {"ETHIOPIA", "AFRICA"},
+    {"KENYA", "AFRICA"},         {"MOROCCO", "AFRICA"},
+    {"MOZAMBIQUE", "AFRICA"},    {"ARGENTINA", "AMERICA"},
+    {"BRAZIL", "AMERICA"},       {"CANADA", "AMERICA"},
+    {"PERU", "AMERICA"},         {"UNITED STATES", "AMERICA"},
+    {"INDIA", "ASIA"},           {"INDONESIA", "ASIA"},
+    {"JAPAN", "ASIA"},           {"CHINA", "ASIA"},
+    {"VIETNAM", "ASIA"},         {"FRANCE", "EUROPE"},
+    {"GERMANY", "EUROPE"},       {"ROMANIA", "EUROPE"},
+    {"RUSSIA", "EUROPE"},        {"UNITED KINGDOM", "EUROPE"},
+    {"EGYPT", "MIDDLE EAST"},    {"IRAN", "MIDDLE EAST"},
+    {"IRAQ", "MIDDLE EAST"},     {"JORDAN", "MIDDLE EAST"},
+    {"SAUDI ARABIA", "MIDDLE EAST"},
+}};
+
+constexpr std::array<const char*, 5> kMetals = {"TIN", "NICKEL", "BRASS",
+                                                "STEEL", "COPPER"};
+constexpr std::array<const char*, 6> kTypePrefix = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypeFinish = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+constexpr std::array<const char*, 5> kSegments = {
+    "BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"};
+
+int64_t Scaled(double base, double sf) {
+  return static_cast<int64_t>(std::llround(base * sf));
+}
+
+Value I64(int64_t v) { return Value::Int64(v); }
+Value Dbl(double v) { return Value::Double(v); }
+Value Str(std::string v) { return Value::String(std::move(v)); }
+
+}  // namespace
+
+int64_t TpcdCustomers(double sf) { return Scaled(150000, sf); }
+int64_t TpcdParts(double sf) { return Scaled(200000, sf); }
+int64_t TpcdSuppliers(double sf) { return Scaled(10000, sf); }
+int64_t TpcdPartsupp(double sf) { return Scaled(800000, sf); }
+int64_t TpcdLineitem(double sf) { return Scaled(6000000, sf); }
+
+Status LoadTpcd(Database* db, const TpcdConfig& config) {
+  const double sf = config.scale_factor;
+  Rng rng(config.seed);
+
+  const int64_t n_cust = TpcdCustomers(sf);
+  const int64_t n_parts = TpcdParts(sf);
+  const int64_t n_supp = TpcdSuppliers(sf);
+  const int64_t n_ps_per_part = 4;  // TPC-D: 4 suppliers per part
+  const int64_t n_line = TpcdLineitem(sf);
+
+  // ---- suppliers ----
+  DECORR_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "suppliers",
+      {{"s_suppkey", TypeId::kInt64, false},
+       {"s_name", TypeId::kString, false},
+       {"s_address", TypeId::kString, false},
+       {"s_nation", TypeId::kString, false},
+       {"s_region", TypeId::kString, false},
+       {"s_phone", TypeId::kString, false},
+       {"s_acctbal", TypeId::kDouble, false},
+       {"s_comment", TypeId::kString, false}},
+      {0})));
+  {
+    std::vector<Row> rows;
+    rows.reserve(n_supp);
+    for (int64_t k = 1; k <= n_supp; ++k) {
+      const Nation& nation = kNations[rng.Uniform(0, 24)];
+      rows.push_back({I64(k), Str(StrFormat("Supplier#%06lld", (long long)k)),
+                      Str(StrFormat("addr-%lld", (long long)k)),
+                      Str(nation.name), Str(nation.region),
+                      Str(StrFormat("%02lld-555-%04lld", (long long)(k % 100),
+                                    (long long)(k % 10000))),
+                      Dbl(rng.Uniform(-99, 999) + rng.UniformDouble()),
+                      Str("supplier comment")});
+    }
+    DECORR_RETURN_IF_ERROR(db->Insert("suppliers", rows));
+  }
+
+  // ---- parts ----
+  DECORR_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "parts",
+      {{"p_partkey", TypeId::kInt64, false},
+       {"p_name", TypeId::kString, false},
+       {"p_brand", TypeId::kString, false},
+       {"p_type", TypeId::kString, false},
+       {"p_size", TypeId::kInt64, false},
+       {"p_container", TypeId::kString, false},
+       {"p_retailprice", TypeId::kDouble, false}},
+      {0})));
+  {
+    std::vector<Row> rows;
+    rows.reserve(n_parts);
+    for (int64_t k = 1; k <= n_parts; ++k) {
+      rows.push_back(
+          {I64(k), Str(StrFormat("part-%lld", (long long)k)),
+           Str(StrFormat("Brand#%lld", (long long)rng.Uniform(10, 19))),
+           Str(StrFormat("%s %s %s", kTypePrefix[rng.Uniform(0, 5)],
+                         kTypeFinish[rng.Uniform(0, 4)],
+                         kMetals[rng.Uniform(0, 4)])),
+           I64(rng.Uniform(1, 50)),
+           Str(StrFormat("%lld PACK", (long long)rng.Uniform(1, 10))),
+           Dbl(900.0 + static_cast<double>(k % 1000))});
+    }
+    DECORR_RETURN_IF_ERROR(db->Insert("parts", rows));
+  }
+
+  // ---- partsupp ----
+  DECORR_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "partsupp",
+      {{"ps_partkey", TypeId::kInt64, false},
+       {"ps_suppkey", TypeId::kInt64, false},
+       {"ps_availqty", TypeId::kInt64, false},
+       {"ps_supplycost", TypeId::kDouble, false}},
+      {0, 1})));
+  {
+    std::vector<Row> rows;
+    rows.reserve(n_parts * n_ps_per_part);
+    for (int64_t p = 1; p <= n_parts; ++p) {
+      for (int64_t i = 0; i < n_ps_per_part; ++i) {
+        // TPC-D-style supplier spread: deterministic, covers all suppliers.
+        const int64_t s =
+            1 + (p + i * (n_supp / n_ps_per_part)) % n_supp;
+        rows.push_back({I64(p), I64(s), I64(rng.Uniform(1, 9999)),
+                        Dbl(1.0 + 999.0 * rng.UniformDouble())});
+      }
+    }
+    DECORR_RETURN_IF_ERROR(db->Insert("partsupp", rows));
+  }
+
+  // ---- customers ----
+  DECORR_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "customers",
+      {{"c_custkey", TypeId::kInt64, false},
+       {"c_name", TypeId::kString, false},
+       {"c_nation", TypeId::kString, false},
+       {"c_region", TypeId::kString, false},
+       {"c_mktsegment", TypeId::kString, false},
+       {"c_acctbal", TypeId::kDouble, false}},
+      {0})));
+  {
+    std::vector<Row> rows;
+    rows.reserve(n_cust);
+    for (int64_t k = 1; k <= n_cust; ++k) {
+      const Nation& nation = kNations[rng.Uniform(0, 24)];
+      rows.push_back({I64(k), Str(StrFormat("Customer#%08lld", (long long)k)),
+                      Str(nation.name), Str(nation.region),
+                      Str(kSegments[rng.Uniform(0, 4)]),
+                      Dbl(rng.Uniform(-999, 9999) + rng.UniformDouble())});
+    }
+    DECORR_RETURN_IF_ERROR(db->Insert("customers", rows));
+  }
+
+  // ---- lineitem ----
+  DECORR_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "lineitem",
+      {{"l_orderkey", TypeId::kInt64, false},
+       {"l_linenumber", TypeId::kInt64, false},
+       {"l_partkey", TypeId::kInt64, false},
+       {"l_suppkey", TypeId::kInt64, false},
+       {"l_quantity", TypeId::kInt64, false},
+       {"l_extendedprice", TypeId::kDouble, false},
+       {"l_discount", TypeId::kDouble, false},
+       {"l_shipdate", TypeId::kInt64, false}},
+      {0, 1})));
+  {
+    std::vector<Row> rows;
+    rows.reserve(n_line);
+    int64_t orderkey = 0;
+    int64_t linenumber = 7;  // forces a new order on the first row
+    for (int64_t k = 0; k < n_line; ++k) {
+      if (linenumber >= 7 || rng.Bernoulli(0.25)) {
+        ++orderkey;
+        linenumber = 1;
+      } else {
+        ++linenumber;
+      }
+      const int64_t partkey = rng.Uniform(1, n_parts);
+      const int64_t ps_index = rng.Uniform(0, n_ps_per_part - 1);
+      const int64_t suppkey =
+          1 + (partkey + ps_index * (n_supp / n_ps_per_part)) % n_supp;
+      const int64_t quantity = rng.Uniform(1, 50);
+      rows.push_back(
+          {I64(orderkey), I64(linenumber), I64(partkey), I64(suppkey),
+           I64(quantity),
+           Dbl(static_cast<double>(quantity) *
+               (900.0 + static_cast<double>(partkey % 1000))),
+           Dbl(static_cast<double>(rng.Uniform(0, 10)) / 100.0),
+           I64(rng.Uniform(8000, 10600))});  // days since epoch-ish
+    }
+    DECORR_RETURN_IF_ERROR(db->Insert("lineitem", rows));
+  }
+
+  DECORR_RETURN_IF_ERROR(db->AnalyzeAll());
+
+  if (config.create_indexes) {
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("parts", "parts_pk", {"p_partkey"}));
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("suppliers", "suppliers_pk", {"s_suppkey"}));
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("partsupp", "partsupp_partkey", {"ps_partkey"}));
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("partsupp", "partsupp_suppkey", {"ps_suppkey"}));
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("lineitem", "lineitem_partkey", {"l_partkey"}));
+    DECORR_RETURN_IF_ERROR(
+        db->CreateIndex("customers", "customers_nation", {"c_nation"}));
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

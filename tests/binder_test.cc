@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "decorr/binder/binder.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/qgm/print.h"
+#include "decorr/qgm/validate.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Catalog> catalog_ = MakeEmpDeptCatalog();
+
+  std::unique_ptr<BoundQuery> MustBind(const std::string& sql) {
+    auto result = ParseAndBind(sql, *catalog_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\nfor: " << sql;
+    return result.ok() ? result.MoveValue() : nullptr;
+  }
+
+  void ExpectBindError(const std::string& sql) {
+    auto result = ParseAndBind(sql, *catalog_);
+    EXPECT_FALSE(result.ok()) << "expected bind error for: " << sql;
+  }
+};
+
+TEST_F(BinderTest, SimpleSelect) {
+  auto bound = MustBind("SELECT name, budget FROM dept");
+  ASSERT_NE(bound, nullptr);
+  Box* root = bound->graph->root();
+  EXPECT_EQ(root->kind(), BoxKind::kSelect);
+  EXPECT_EQ(root->num_outputs(), 2);
+  EXPECT_EQ(root->OutputName(0), "name");
+  EXPECT_EQ(root->OutputType(0), TypeId::kString);
+  EXPECT_EQ(root->OutputType(1), TypeId::kInt64);
+  ASSERT_EQ(root->quantifiers().size(), 1u);
+  EXPECT_EQ(root->quantifiers()[0]->child->kind(), BoxKind::kBaseTable);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto bound = MustBind("SELECT * FROM dept");
+  EXPECT_EQ(bound->graph->root()->num_outputs(), 4);
+  auto bound2 = MustBind("SELECT d.*, e.name FROM dept d, emp e");
+  EXPECT_EQ(bound2->graph->root()->num_outputs(), 5);
+}
+
+TEST_F(BinderTest, QualifiedAndUnqualifiedColumns) {
+  auto bound = MustBind(
+      "SELECT d.name, budget FROM dept d WHERE d.building = 10");
+  EXPECT_NE(bound, nullptr);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  // `name` exists in both dept and emp.
+  ExpectBindError("SELECT name FROM dept, emp");
+}
+
+TEST_F(BinderTest, UnknownColumnAndTable) {
+  ExpectBindError("SELECT nope FROM dept");
+  ExpectBindError("SELECT name FROM nonexistent");
+  ExpectBindError("SELECT x.name FROM dept d");
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  ExpectBindError("SELECT 1 FROM dept d, emp d");
+}
+
+TEST_F(BinderTest, WherePredicatesSplitIntoConjuncts) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE budget < 10000 AND building = 10");
+  EXPECT_EQ(bound->graph->root()->predicates.size(), 2u);
+}
+
+TEST_F(BinderTest, TypeMismatchInPredicate) {
+  ExpectBindError("SELECT name FROM dept WHERE name > 5");
+  ExpectBindError("SELECT name + 1 FROM dept");
+}
+
+TEST_F(BinderTest, AggregationBuildsGroupByBox) {
+  auto bound = MustBind(
+      "SELECT building, COUNT(*), SUM(salary) FROM emp GROUP BY building");
+  Box* root = bound->graph->root();
+  // Fast path: group box is the root (select list maps 1:1).
+  EXPECT_EQ(root->kind(), BoxKind::kGroupBy);
+  EXPECT_EQ(root->num_outputs(), 3);
+  EXPECT_EQ(root->group_by.size(), 1u);
+  EXPECT_EQ(root->OutputType(1), TypeId::kInt64);
+}
+
+TEST_F(BinderTest, HavingBuildsSelectOverGroupBy) {
+  auto bound = MustBind(
+      "SELECT building FROM emp GROUP BY building HAVING COUNT(*) > 2");
+  Box* root = bound->graph->root();
+  EXPECT_EQ(root->kind(), BoxKind::kSelect);
+  ASSERT_EQ(root->quantifiers().size(), 1u);
+  EXPECT_EQ(root->quantifiers()[0]->child->kind(), BoxKind::kGroupBy);
+  EXPECT_EQ(root->predicates.size(), 1u);
+}
+
+TEST_F(BinderTest, ScalarAggregateWithoutGroupBy) {
+  auto bound = MustBind("SELECT COUNT(*), AVG(salary) FROM emp");
+  Box* root = bound->graph->root();
+  EXPECT_EQ(root->kind(), BoxKind::kGroupBy);
+  EXPECT_TRUE(root->group_by.empty());
+  EXPECT_EQ(root->OutputType(1), TypeId::kDouble);
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  ExpectBindError("SELECT name, COUNT(*) FROM emp GROUP BY building");
+}
+
+TEST_F(BinderTest, GroupByExpressionMatching) {
+  auto bound = MustBind(
+      "SELECT building + 1, COUNT(*) FROM emp GROUP BY building + 1");
+  EXPECT_NE(bound, nullptr);
+}
+
+TEST_F(BinderTest, CorrelatedSubqueryProducesCorrelation) {
+  auto bound = MustBind(kPaperExampleQuery);
+  ASSERT_NE(bound, nullptr);
+  QueryGraph* graph = bound->graph.get();
+  EXPECT_TRUE(QueryIsCorrelated(graph));
+  Box* root = graph->root();
+  // Root owns a scalar quantifier over the aggregate subquery.
+  bool found_scalar = false;
+  for (const Quantifier* q : root->quantifiers()) {
+    if (q->kind == QuantifierKind::kScalar) {
+      found_scalar = true;
+      // Subquery child (GroupBy fast path) is correlated to the root.
+      EXPECT_TRUE(IsCorrelatedTo(q->child, root));
+    }
+  }
+  EXPECT_TRUE(found_scalar);
+}
+
+TEST_F(BinderTest, UncorrelatedSubqueryHasNoCorrelation) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE num_emps > "
+      "(SELECT COUNT(*) FROM emp)");
+  EXPECT_FALSE(QueryIsCorrelated(bound->graph.get()));
+}
+
+TEST_F(BinderTest, ExistsBecomesExistentialQuantifier) {
+  auto bound = MustBind(
+      "SELECT name FROM dept d WHERE EXISTS "
+      "(SELECT 1 FROM emp e WHERE e.building = d.building)");
+  Box* root = bound->graph->root();
+  bool found = false;
+  for (const Quantifier* q : root->quantifiers()) {
+    if (q->kind == QuantifierKind::kExistential) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BinderTest, AllBecomesUniversalQuantifier) {
+  auto bound = MustBind(
+      "SELECT name FROM dept d WHERE d.num_emps >= ALL "
+      "(SELECT e.salary FROM emp e WHERE e.building = d.building)");
+  Box* root = bound->graph->root();
+  bool found = false;
+  for (const Quantifier* q : root->quantifiers()) {
+    if (q->kind == QuantifierKind::kUniversal) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BinderTest, NotInFoldsIntoMarker) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE building NOT IN (SELECT building FROM emp)");
+  Box* root = bound->graph->root();
+  bool found = false;
+  for (const ExprPtr& pred : root->predicates) {
+    if (pred->kind == ExprKind::kInSubquery && pred->negated) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BinderTest, NotAnyBecomesAll) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE NOT (building = ANY "
+      "(SELECT building FROM emp))");
+  Box* root = bound->graph->root();
+  bool found = false;
+  for (const ExprPtr& pred : root->predicates) {
+    if (pred->kind == ExprKind::kQuantifiedComparison &&
+        pred->quant == Quantification::kAll && pred->op == BinaryOp::kNe) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BinderTest, SubqueryArityEnforced) {
+  ExpectBindError(
+      "SELECT name FROM dept WHERE building IN "
+      "(SELECT building, salary FROM emp)");
+  ExpectBindError(
+      "SELECT name FROM dept WHERE num_emps > "
+      "(SELECT building, salary FROM emp)");
+}
+
+TEST_F(BinderTest, DerivedTableWithAliases) {
+  auto bound = MustBind(
+      "SELECT t.b FROM (SELECT building FROM emp) AS t(b) WHERE t.b = 10");
+  EXPECT_EQ(bound->graph->root()->num_outputs(), 1);
+  EXPECT_EQ(bound->graph->root()->OutputName(0), "b");
+}
+
+TEST_F(BinderTest, DerivedTableAliasArityMismatch) {
+  ExpectBindError("SELECT x FROM (SELECT building FROM emp) AS t(x, y)");
+}
+
+TEST_F(BinderTest, LateralStyleDerivedTable) {
+  // Query-3 pattern: derived table referencing an earlier FROM item.
+  auto bound = MustBind(
+      "SELECT d.name, t.c FROM dept d, "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building) AS t(c)");
+  ASSERT_NE(bound, nullptr);
+  EXPECT_TRUE(QueryIsCorrelated(bound->graph.get()));
+}
+
+TEST_F(BinderTest, UnionBindsToUnionBox) {
+  auto bound = MustBind(
+      "SELECT building FROM dept UNION ALL SELECT building FROM emp");
+  Box* root = bound->graph->root();
+  EXPECT_EQ(root->kind(), BoxKind::kUnion);
+  EXPECT_TRUE(root->union_all);
+  EXPECT_EQ(root->quantifiers().size(), 2u);
+}
+
+TEST_F(BinderTest, UnionArityMismatchRejected) {
+  ExpectBindError("SELECT building FROM dept UNION SELECT building, name FROM emp");
+}
+
+TEST_F(BinderTest, UnionTypePromotion) {
+  auto bound = MustBind(
+      "SELECT budget FROM dept UNION ALL SELECT salary + 0.5 FROM emp");
+  EXPECT_EQ(bound->graph->root()->OutputType(0), TypeId::kDouble);
+}
+
+TEST_F(BinderTest, OrderByResolution) {
+  auto bound = MustBind("SELECT name, budget FROM dept ORDER BY budget DESC, 1");
+  ASSERT_EQ(bound->order_by.size(), 2u);
+  EXPECT_EQ(bound->order_by[0].first, 1);
+  EXPECT_FALSE(bound->order_by[0].second);
+  EXPECT_EQ(bound->order_by[1].first, 0);
+  EXPECT_EQ(bound->limit, -1);
+}
+
+TEST_F(BinderTest, OrderByUnknownColumnRejected) {
+  ExpectBindError("SELECT name FROM dept ORDER BY nope");
+  ExpectBindError("SELECT name FROM dept ORDER BY 3");
+}
+
+TEST_F(BinderTest, BetweenDesugarsToRange) {
+  auto bound = MustBind("SELECT name FROM dept WHERE budget BETWEEN 1 AND 9");
+  Box* root = bound->graph->root();
+  ASSERT_EQ(root->predicates.size(), 2u);  // >= and <=
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  ExpectBindError("SELECT name FROM dept WHERE COUNT(*) > 1");
+}
+
+TEST_F(BinderTest, BoundGraphValidates) {
+  auto bound = MustBind(kPaperExampleQuery);
+  EXPECT_TRUE(Validate(bound->graph.get()).ok());
+}
+
+TEST_F(BinderTest, PrintProducesDump) {
+  auto bound = MustBind(kPaperExampleQuery);
+  std::string dump = PrintQgm(bound->graph.get());
+  EXPECT_NE(dump.find("Select"), std::string::npos);
+  EXPECT_NE(dump.find("GroupBy"), std::string::npos);
+  std::string dot = QgmToDot(bound->graph.get());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("corr"), std::string::npos);  // correlation edge present
+}
+
+TEST_F(BinderTest, MultiLevelCorrelation) {
+  // Subquery two levels deep referencing the outermost block.
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building AND "
+      " e.salary > (SELECT AVG(salary) FROM emp e2 "
+      "             WHERE e2.building = d.building))");
+  ASSERT_NE(bound, nullptr);
+  EXPECT_TRUE(Validate(bound->graph.get()).ok());
+  EXPECT_TRUE(QueryIsCorrelated(bound->graph.get()));
+}
+
+}  // namespace
+}  // namespace decorr

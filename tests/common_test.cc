@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "decorr/common/rng.h"
+#include "decorr/common/status.h"
+#include "decorr/common/string_util.h"
+#include "decorr/common/types.h"
+#include "decorr/common/value.h"
+
+namespace decorr {
+namespace {
+
+// ---- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such table: foo");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no such table: foo");
+  EXPECT_EQ(st.ToString(), "NotFound: no such table: foo");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBindError), "BindError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kExecutionError), "ExecutionError");
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::InvalidArgument("nope"); }
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ReturnsValue();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err = ReturnsError();
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UsesReturnIfError(bool fail) {
+  DECORR_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  EXPECT_EQ(UsesReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  DECORR_ASSIGN_OR_RETURN(int v, fail ? ReturnsError() : ReturnsValue());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 43);
+  EXPECT_FALSE(UsesAssignOrReturn(true).ok());
+}
+
+// ---- Types ----
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "INT64");
+  EXPECT_STREQ(TypeName(TypeId::kString), "STRING");
+  EXPECT_STREQ(TypeName(TypeId::kNull), "NULL");
+}
+
+TEST(TypesTest, Coercibility) {
+  EXPECT_TRUE(IsImplicitlyCoercible(TypeId::kInt64, TypeId::kInt64));
+  EXPECT_TRUE(IsImplicitlyCoercible(TypeId::kNull, TypeId::kString));
+  EXPECT_TRUE(IsImplicitlyCoercible(TypeId::kInt64, TypeId::kDouble));
+  EXPECT_FALSE(IsImplicitlyCoercible(TypeId::kDouble, TypeId::kInt64));
+  EXPECT_FALSE(IsImplicitlyCoercible(TypeId::kString, TypeId::kInt64));
+}
+
+TEST(TypesTest, CommonType) {
+  bool ok = false;
+  EXPECT_EQ(CommonType(TypeId::kInt64, TypeId::kDouble, &ok), TypeId::kDouble);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(CommonType(TypeId::kNull, TypeId::kString, &ok), TypeId::kString);
+  EXPECT_TRUE(ok);
+  CommonType(TypeId::kString, TypeId::kInt64, &ok);
+  EXPECT_FALSE(ok);
+}
+
+// ---- Value ----
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_TRUE(v.Equals(Value::Null()));
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int64(7).int64_value(), 7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int64(4).Compare(Value::Double(4.0)), 0);
+  EXPECT_LT(Value::Int64(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(10.0).Compare(Value::Int64(9)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Int64(-100).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int64(4).Hash(), Value::Double(4.0).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("a'b").ToString(), "'a'b'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(RowTest, HashAndEquality) {
+  Row a = {Value::Int64(1), Value::String("x")};
+  Row b = {Value::Int64(1), Value::String("x")};
+  Row c = {Value::Int64(2), Value::String("x")};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_FALSE(RowEq()(a, c));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+}
+
+TEST(RowTest, NullsEqualInRowKeys) {
+  // DISTINCT / GROUP BY treat NULLs as equal; RowEq must too.
+  Row a = {Value::Null()};
+  Row b = {Value::Null()};
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+}
+
+// ---- Rng ----
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// ---- Strings ----
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("Dept", "DEPT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Dept", "Dep"));
+}
+
+TEST(StringUtilTest, JoinAndFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+}
+
+}  // namespace
+}  // namespace decorr

@@ -1,0 +1,584 @@
+// Operator-level tests: each physical operator exercised in isolation with
+// hand-built plans.
+#include <gtest/gtest.h>
+
+#include "decorr/exec/aggregate.h"
+#include "decorr/exec/apply.h"
+#include "decorr/exec/filter_project.h"
+#include "decorr/exec/join.h"
+#include "decorr/exec/misc_ops.h"
+#include "decorr/exec/scan.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+// A tiny rows source for operator inputs.
+OperatorPtr Rows(std::vector<Row> rows, int width) {
+  auto data = std::make_shared<const std::vector<Row>>(std::move(rows));
+  return std::make_unique<RowsScanOp>(data, width);
+}
+
+std::vector<Row> Drain(Operator* op, const Row* params = nullptr) {
+  ExecStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  ctx.params = params;
+  auto result = CollectRows(op, &ctx);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.MoveValue() : std::vector<Row>{};
+}
+
+TablePtr SmallTable() {
+  TableSchema schema("t", {{"k", TypeId::kInt64, false},
+                           {"v", TypeId::kString, true}});
+  auto table = std::make_shared<Table>(schema);
+  (void)table->AppendRow({I(1), S("a")});
+  (void)table->AppendRow({I(2), S("b")});
+  (void)table->AppendRow({I(3), N()});
+  (void)table->AppendRow({I(2), S("c")});
+  return table;
+}
+
+// ---- scans ----
+
+TEST(SeqScanTest, FullScan) {
+  SeqScanOp scan(SmallTable(), {0, 1}, nullptr);
+  auto rows = Drain(&scan);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[0][0].Equals(I(1)));
+}
+
+TEST(SeqScanTest, FusedFilter) {
+  ExprPtr filter = MakeComparison(BinaryOp::kEq,
+                                  MakeSlotRef(0, TypeId::kInt64),
+                                  MakeConstant(I(2)));
+  SeqScanOp scan(SmallTable(), {1}, std::move(filter));
+  auto rows = Drain(&scan);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].string_value(), "b");
+  EXPECT_EQ(rows[1][0].string_value(), "c");
+}
+
+TEST(SeqScanTest, FilterWithParam) {
+  ExprPtr filter = MakeComparison(BinaryOp::kEq,
+                                  MakeSlotRef(0, TypeId::kInt64),
+                                  MakeParamRef(0, TypeId::kInt64));
+  SeqScanOp scan(SmallTable(), {0}, std::move(filter));
+  Row params = {I(3)};
+  auto rows = Drain(&scan, &params);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(3)));
+}
+
+TEST(SeqScanTest, CountsScannedRows) {
+  SeqScanOp scan(SmallTable(), {0}, nullptr);
+  ExecStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  auto rows = CollectRows(&scan, &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.rows_scanned, 4);
+}
+
+TEST(IndexLookupTest, LookupAndResidual) {
+  TablePtr table = SmallTable();
+  auto index = std::make_shared<HashIndex>(*table, std::vector<int>{0});
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeConstant(I(2)));
+  ExprPtr residual = MakeComparison(BinaryOp::kEq,
+                                    MakeSlotRef(1, TypeId::kString),
+                                    MakeConstant(S("c")));
+  IndexLookupOp lookup(table, index, std::move(keys), {0, 1},
+                       std::move(residual));
+  auto rows = Drain(&lookup);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].string_value(), "c");
+}
+
+TEST(IndexLookupTest, NullKeyMatchesNothing) {
+  TablePtr table = SmallTable();
+  auto index = std::make_shared<HashIndex>(*table, std::vector<int>{0});
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeConstant(Value::Null()));
+  IndexLookupOp lookup(table, index, std::move(keys), {0}, nullptr);
+  EXPECT_TRUE(Drain(&lookup).empty());
+}
+
+TEST(IndexLookupTest, ParamKeyReopens) {
+  // Apply-style: the operator is re-opened with different params.
+  TablePtr table = SmallTable();
+  auto index = std::make_shared<HashIndex>(*table, std::vector<int>{0});
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeParamRef(0, TypeId::kInt64));
+  IndexLookupOp lookup(table, index, std::move(keys), {0}, nullptr);
+  Row p1 = {I(2)};
+  EXPECT_EQ(Drain(&lookup, &p1).size(), 2u);
+  Row p2 = {I(1)};
+  EXPECT_EQ(Drain(&lookup, &p2).size(), 1u);
+}
+
+// ---- filter / project ----
+
+TEST(FilterTest, RejectsFalseAndUnknown) {
+  // v = 'a' is UNKNOWN for the NULL row; only the 'a' row passes.
+  ExprPtr pred = MakeComparison(BinaryOp::kEq, MakeSlotRef(1, TypeId::kString),
+                                MakeConstant(S("a")));
+  FilterOp filter(Rows({{I(1), S("a")}, {I(3), N()}, {I(2), S("b")}}, 2),
+                  std::move(pred));
+  auto rows = Drain(&filter);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(1)));
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(MakeArithmetic(BinaryOp::kMul, MakeSlotRef(0, TypeId::kInt64),
+                                 MakeConstant(I(10))));
+  ASSERT_TRUE(InferTypes(exprs[0].get()).ok());
+  ProjectOp project(Rows({{I(1)}, {I(2)}}, 1), std::move(exprs));
+  auto rows = Drain(&project);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[1][0].Equals(I(20)));
+}
+
+// ---- joins ----
+
+OperatorPtr LeftRows() {
+  return Rows({{I(1), S("l1")}, {I(2), S("l2")}, {I(9), S("l9")}}, 2);
+}
+OperatorPtr RightRows() {
+  return Rows({{I(1), S("r1")}, {I(2), S("r2a")}, {I(2), S("r2b")}}, 2);
+}
+
+std::vector<ExprPtr> KeyAt(int slot) {
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeSlotRef(slot, TypeId::kInt64));
+  return keys;
+}
+
+TEST(HashJoinTest, InnerJoinWithDuplicates) {
+  HashJoinOp join(LeftRows(), RightRows(), KeyAt(0), KeyAt(0), nullptr,
+                  JoinType::kInner);
+  auto rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 3u);  // 1x1 + 2x2
+  for (const Row& row : rows) {
+    EXPECT_TRUE(row[0].Equals(row[2]));
+    EXPECT_EQ(row.size(), 4u);
+  }
+}
+
+TEST(HashJoinTest, LeftOuterPadsUnmatched) {
+  HashJoinOp join(LeftRows(), RightRows(), KeyAt(0), KeyAt(0), nullptr,
+                  JoinType::kLeftOuter);
+  auto rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 4u);
+  int padded = 0;
+  for (const Row& row : rows) {
+    if (row[2].is_null()) {
+      ++padded;
+      EXPECT_TRUE(row[0].Equals(I(9)));
+      EXPECT_TRUE(row[3].is_null());
+    }
+  }
+  EXPECT_EQ(padded, 1);
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  HashJoinOp join(Rows({{N()}}, 1), Rows({{N()}}, 1), KeyAt(0), KeyAt(0),
+                  nullptr, JoinType::kInner);
+  EXPECT_TRUE(Drain(&join).empty());
+}
+
+TEST(HashJoinTest, NullKeyLeftOuterStillPads) {
+  HashJoinOp join(Rows({{N()}}, 1), Rows({{N()}}, 1), KeyAt(0), KeyAt(0),
+                  nullptr, JoinType::kLeftOuter);
+  auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST(HashJoinTest, ResidualFiltersMatches) {
+  // Join on key but keep only right value "r2b"; LOJ must pad when the
+  // residual kills all matches.
+  ExprPtr residual = MakeComparison(BinaryOp::kEq,
+                                    MakeSlotRef(3, TypeId::kString),
+                                    MakeConstant(S("r2b")));
+  HashJoinOp join(LeftRows(), RightRows(), KeyAt(0), KeyAt(0),
+                  std::move(residual), JoinType::kLeftOuter);
+  auto rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 3u);  // l1 padded, l2+r2b, l9 padded
+  int padded = 0;
+  for (const Row& row : rows) {
+    if (row[2].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 2);
+}
+
+TEST(NestedLoopJoinTest, CrossProduct) {
+  NestedLoopJoinOp join(Rows({{I(1)}, {I(2)}}, 1), Rows({{S("x")}, {S("y")}},
+                                                        1),
+                        nullptr, JoinType::kInner);
+  EXPECT_EQ(Drain(&join).size(), 4u);
+}
+
+TEST(NestedLoopJoinTest, ThetaJoin) {
+  ExprPtr pred = MakeComparison(BinaryOp::kLt, MakeSlotRef(0, TypeId::kInt64),
+                                MakeSlotRef(1, TypeId::kInt64));
+  NestedLoopJoinOp join(Rows({{I(1)}, {I(5)}}, 1), Rows({{I(3)}}, 1),
+                        std::move(pred), JoinType::kInner);
+  auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(1)));
+}
+
+TEST(IndexJoinTest, ProbesPerLeftRow) {
+  TablePtr table = SmallTable();
+  auto index = std::make_shared<HashIndex>(*table, std::vector<int>{0});
+  IndexJoinOp join(Rows({{I(2)}, {I(7)}, {I(1)}}, 1), table, index, KeyAt(0),
+                   nullptr);
+  auto rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 3u);  // k=2 twice, k=7 none, k=1 once
+  for (const Row& row : rows) {
+    EXPECT_TRUE(row[0].Equals(row[1]));
+  }
+}
+
+// ---- aggregation ----
+
+TEST(AggregateTest, GroupedCounts) {
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeSlotRef(0, TypeId::kInt64));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountStar, nullptr, false, TypeId::kInt64});
+  HashAggregateOp agg(Rows({{I(1)}, {I(2)}, {I(1)}, {I(1)}}, 1),
+                      std::move(keys), std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].Equals(I(3)));  // group 1 first (insertion order)
+  EXPECT_TRUE(rows[1][1].Equals(I(1)));
+}
+
+TEST(AggregateTest, ScalarAggOnEmptyInputProducesOneRow) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountStar, nullptr, false, TypeId::kInt64});
+  AggSpec sum;
+  sum.kind = AggKind::kSum;
+  sum.arg = MakeSlotRef(0, TypeId::kInt64);
+  sum.result_type = TypeId::kInt64;
+  aggs.push_back(std::move(sum));
+  HashAggregateOp agg(Rows({}, 1), {}, std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(0)));  // COUNT(*) = 0
+  EXPECT_TRUE(rows[0][1].is_null());     // SUM = NULL
+}
+
+TEST(AggregateTest, GroupedAggOnEmptyInputProducesNoRows) {
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeSlotRef(0, TypeId::kInt64));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountStar, nullptr, false, TypeId::kInt64});
+  HashAggregateOp agg(Rows({}, 1), std::move(keys), std::move(aggs));
+  EXPECT_TRUE(Drain(&agg).empty());  // the COUNT bug's root cause
+}
+
+TEST(AggregateTest, NullsIgnoredByAggregates) {
+  std::vector<AggSpec> aggs;
+  AggSpec count;
+  count.kind = AggKind::kCount;
+  count.arg = MakeSlotRef(0, TypeId::kInt64);
+  aggs.push_back(std::move(count));
+  AggSpec avg;
+  avg.kind = AggKind::kAvg;
+  avg.arg = MakeSlotRef(0, TypeId::kInt64);
+  avg.result_type = TypeId::kDouble;
+  aggs.push_back(std::move(avg));
+  HashAggregateOp agg(Rows({{I(4)}, {N()}, {I(8)}}, 1), {}, std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(2)));
+  EXPECT_TRUE(rows[0][1].Equals(D(6.0)));
+}
+
+TEST(AggregateTest, MinMaxSum) {
+  std::vector<AggSpec> aggs;
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum}) {
+    AggSpec spec;
+    spec.kind = kind;
+    spec.arg = MakeSlotRef(0, TypeId::kInt64);
+    spec.result_type = TypeId::kInt64;
+    aggs.push_back(std::move(spec));
+  }
+  HashAggregateOp agg(Rows({{I(7)}, {I(3)}, {I(5)}}, 1), {}, std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(3)));
+  EXPECT_TRUE(rows[0][1].Equals(I(7)));
+  EXPECT_TRUE(rows[0][2].Equals(I(15)));
+}
+
+TEST(AggregateTest, DistinctAggregate) {
+  std::vector<AggSpec> aggs;
+  AggSpec count;
+  count.kind = AggKind::kCount;
+  count.arg = MakeSlotRef(0, TypeId::kInt64);
+  count.distinct = true;
+  aggs.push_back(std::move(count));
+  AggSpec sum;
+  sum.kind = AggKind::kSum;
+  sum.arg = MakeSlotRef(0, TypeId::kInt64);
+  sum.distinct = true;
+  sum.result_type = TypeId::kInt64;
+  aggs.push_back(std::move(sum));
+  HashAggregateOp agg(Rows({{I(2)}, {I(2)}, {I(3)}}, 1), {}, std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].Equals(I(2)));
+  EXPECT_TRUE(rows[0][1].Equals(I(5)));
+}
+
+TEST(AggregateTest, NullGroupKeysFormOneGroup) {
+  std::vector<ExprPtr> keys;
+  keys.push_back(MakeSlotRef(0, TypeId::kInt64));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kCountStar, nullptr, false, TypeId::kInt64});
+  HashAggregateOp agg(Rows({{N()}, {N()}, {I(1)}}, 1), std::move(keys),
+                      std::move(aggs));
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].Equals(I(2)));  // the NULL group
+}
+
+TEST(DistinctTest, RemovesDuplicatesKeepsFirst) {
+  DistinctOp distinct(Rows({{I(1)}, {I(2)}, {I(1)}, {N()}, {N()}}, 1));
+  auto rows = Drain(&distinct);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[2][0].is_null());
+}
+
+// ---- union / sort / limit / materialize ----
+
+TEST(UnionAllTest, Concatenates) {
+  std::vector<OperatorPtr> children;
+  children.push_back(Rows({{I(1)}, {I(2)}}, 1));
+  children.push_back(Rows({{I(3)}}, 1));
+  children.push_back(Rows({}, 1));
+  UnionAllOp u(std::move(children));
+  EXPECT_EQ(Drain(&u).size(), 3u);
+}
+
+TEST(SortTest, MultiKeyWithDirections) {
+  SortOp sort(Rows({{I(2), S("b")}, {I(1), S("z")}, {I(2), S("a")}}, 2),
+              {{0, true}, {1, false}});
+  auto rows = Drain(&sort);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0][0].Equals(I(1)));
+  EXPECT_EQ(rows[1][1].string_value(), "b");  // within key 2: desc by string
+  EXPECT_EQ(rows[2][1].string_value(), "a");
+}
+
+TEST(SortTest, NullsSortFirst) {
+  SortOp sort(Rows({{I(5)}, {N()}, {I(1)}}, 1), {{0, true}});
+  auto rows = Drain(&sort);
+  EXPECT_TRUE(rows[0][0].is_null());
+}
+
+TEST(LimitTest, Truncates) {
+  LimitOp limit(Rows({{I(1)}, {I(2)}, {I(3)}}, 1), 2);
+  EXPECT_EQ(Drain(&limit).size(), 2u);
+  LimitOp zero(Rows({{I(1)}}, 1), 0);
+  EXPECT_TRUE(Drain(&zero).empty());
+}
+
+TEST(CachedMaterializeTest, ComputesOnceSharesResult) {
+  auto shared = std::make_shared<SharedSubplan>();
+  shared->plan = Rows({{I(1)}, {I(2)}}, 1);
+  shared->width = 1;
+  CachedMaterializeOp a(shared);
+  CachedMaterializeOp b(shared);
+  EXPECT_EQ(Drain(&a).size(), 2u);
+  EXPECT_TRUE(shared->computed);
+  EXPECT_EQ(Drain(&b).size(), 2u);
+}
+
+// ---- subquery verdict semantics ----
+
+TEST(SubqueryVerdictTest, ScalarSemantics) {
+  Status st;
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kScalar, BinaryOp::kEq, Value(),
+                              {}, false, &st)
+                  .is_null());
+  EXPECT_TRUE(st.ok());
+  Value one = SubqueryVerdict(SubqueryMode::kScalar, BinaryOp::kEq, Value(),
+                              {{I(7)}}, false, &st);
+  EXPECT_TRUE(one.Equals(I(7)));
+  SubqueryVerdict(SubqueryMode::kScalar, BinaryOp::kEq, Value(),
+                  {{I(1)}, {I(2)}}, false, &st);
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST(SubqueryVerdictTest, ExistsAndNegation) {
+  Status st;
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kExists, BinaryOp::kEq, Value(),
+                              {{I(1)}}, false, &st)
+                  .bool_value());
+  EXPECT_FALSE(SubqueryVerdict(SubqueryMode::kExists, BinaryOp::kEq, Value(),
+                               {{I(1)}}, true, &st)
+                   .bool_value());
+  EXPECT_FALSE(SubqueryVerdict(SubqueryMode::kExists, BinaryOp::kEq, Value(),
+                               {}, false, &st)
+                   .bool_value());
+}
+
+TEST(SubqueryVerdictTest, InWithNullSemantics) {
+  Status st;
+  // 5 IN (1, NULL) -> UNKNOWN; 1 IN (1, NULL) -> TRUE.
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kIn, BinaryOp::kEq, I(5),
+                              {{I(1)}, {N()}}, false, &st)
+                  .is_null());
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kIn, BinaryOp::kEq, I(1),
+                              {{I(1)}, {N()}}, false, &st)
+                  .bool_value());
+  // NULL IN anything non-empty -> UNKNOWN.
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kIn, BinaryOp::kEq, N(),
+                              {{I(1)}}, false, &st)
+                  .is_null());
+  // NOT IN flips TRUE/FALSE but not UNKNOWN.
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kIn, BinaryOp::kEq, I(5),
+                              {{I(1)}, {N()}}, true, &st)
+                  .is_null());
+}
+
+TEST(SubqueryVerdictTest, AllOnEmptySetIsVacuouslyTrue) {
+  Status st;
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kAll, BinaryOp::kGt, I(0), {},
+                              false, &st)
+                  .bool_value());
+  // 5 > ALL (1, 2) -> TRUE; 5 > ALL (1, 9) -> FALSE; 5 > ALL (1, NULL) ->
+  // UNKNOWN.
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kAll, BinaryOp::kGt, I(5),
+                              {{I(1)}, {I(2)}}, false, &st)
+                  .bool_value());
+  EXPECT_FALSE(SubqueryVerdict(SubqueryMode::kAll, BinaryOp::kGt, I(5),
+                               {{I(1)}, {I(9)}}, false, &st)
+                   .bool_value());
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kAll, BinaryOp::kGt, I(5),
+                              {{I(1)}, {N()}}, false, &st)
+                  .is_null());
+}
+
+TEST(SubqueryVerdictTest, AnySemantics) {
+  Status st;
+  EXPECT_FALSE(SubqueryVerdict(SubqueryMode::kAny, BinaryOp::kEq, I(5), {},
+                               false, &st)
+                   .bool_value());
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kAny, BinaryOp::kLt, I(1),
+                              {{I(0)}, {I(2)}}, false, &st)
+                  .bool_value());
+  EXPECT_TRUE(SubqueryVerdict(SubqueryMode::kAny, BinaryOp::kLt, I(5),
+                              {{I(0)}, {N()}}, false, &st)
+                  .is_null());
+}
+
+// ---- apply operators ----
+
+TEST(ApplyTest, ScalarSubqueryAppendsValue) {
+  // Inner: a filter over a rows source, keyed by param 0.
+  ExprPtr pred = MakeComparison(BinaryOp::kEq, MakeSlotRef(0, TypeId::kInt64),
+                                MakeParamRef(0, TypeId::kInt64));
+  SubqueryPlan sub;
+  sub.plan = std::make_unique<FilterOp>(
+      Rows({{I(1), I(100)}, {I(2), I(200)}}, 2), std::move(pred));
+  // Project the second column as the scalar value: wrap with ProjectOp.
+  std::vector<ExprPtr> proj;
+  proj.push_back(MakeSlotRef(1, TypeId::kInt64));
+  sub.plan = std::make_unique<ProjectOp>(std::move(sub.plan), std::move(proj));
+  sub.params.push_back({false, 0});
+  sub.mode = SubqueryMode::kScalar;
+  std::vector<SubqueryPlan> subs;
+  subs.push_back(std::move(sub));
+  ApplyOp apply(Rows({{I(1)}, {I(2)}, {I(3)}}, 1), std::move(subs));
+  auto rows = Drain(&apply);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0][1].Equals(I(100)));
+  EXPECT_TRUE(rows[1][1].Equals(I(200)));
+  EXPECT_TRUE(rows[2][1].is_null());  // no match -> NULL
+}
+
+TEST(ApplyTest, CountsInvocations) {
+  SubqueryPlan sub;
+  sub.plan = Rows({{I(1)}}, 1);
+  sub.params.push_back({false, 0});
+  sub.mode = SubqueryMode::kExists;
+  std::vector<SubqueryPlan> subs;
+  subs.push_back(std::move(sub));
+  ApplyOp apply(Rows({{I(1)}, {I(2)}}, 1), std::move(subs));
+  ExecStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  auto rows = CollectRows(&apply, &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.subquery_invocations, 2);
+}
+
+TEST(ApplyTest, InvariantSubqueryCachedAcrossRows) {
+  SubqueryPlan sub;
+  sub.plan = Rows({{I(42)}}, 1);
+  sub.mode = SubqueryMode::kScalar;  // no params, no lhs: invariant
+  std::vector<SubqueryPlan> subs;
+  subs.push_back(std::move(sub));
+  ApplyOp apply(Rows({{I(1)}, {I(2)}, {I(3)}}, 1), std::move(subs));
+  ExecStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  auto rows = CollectRows(&apply, &ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.subquery_invocations, 1);
+  EXPECT_TRUE((*rows)[2][1].Equals(I(42)));
+}
+
+TEST(GroupProbeApplyTest, HashedExistential) {
+  SubqueryPlan semantics;
+  semantics.mode = SubqueryMode::kExists;
+  std::vector<ExprPtr> probe;
+  probe.push_back(MakeSlotRef(0, TypeId::kInt64));
+  GroupProbeApplyOp op(Rows({{I(1)}, {I(5)}}, 1),
+                       Rows({{I(1), S("x")}, {I(1), S("y")}, {I(2), S("z")}},
+                            2),
+                       {0}, std::move(probe), std::move(semantics));
+  auto rows = Drain(&op);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].bool_value());
+  EXPECT_FALSE(rows[1][1].bool_value());
+}
+
+TEST(GroupProbeApplyTest, ScalarMode) {
+  SubqueryPlan semantics;
+  semantics.mode = SubqueryMode::kScalar;
+  std::vector<ExprPtr> probe;
+  probe.push_back(MakeSlotRef(0, TypeId::kInt64));
+  GroupProbeApplyOp op(Rows({{I(2)}, {I(7)}}, 1),
+                       Rows({{I(100), I(1)}, {I(200), I(2)}}, 2), {1},
+                       std::move(probe), std::move(semantics));
+  auto rows = Drain(&op);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].Equals(I(200)));
+  EXPECT_TRUE(rows[1][1].is_null());
+}
+
+TEST(LateralJoinTest, EmitsInnerRowsPerOuterRow) {
+  ExprPtr pred = MakeComparison(BinaryOp::kEq, MakeSlotRef(0, TypeId::kInt64),
+                                MakeParamRef(0, TypeId::kInt64));
+  OperatorPtr inner = std::make_unique<FilterOp>(
+      Rows({{I(1), S("a")}, {I(1), S("b")}, {I(2), S("c")}}, 2),
+      std::move(pred));
+  LateralJoinOp lateral(Rows({{I(1)}, {I(2)}, {I(9)}}, 1), std::move(inner),
+                        {{false, 0}}, 2);
+  auto rows = Drain(&lateral);
+  EXPECT_EQ(rows.size(), 3u);  // 2 + 1 + 0 (inner-join semantics)
+  EXPECT_EQ(rows[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace decorr

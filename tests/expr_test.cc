@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "decorr/expr/eval.h"
+#include "decorr/expr/expr.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+EvalContext Ctx(const Row* row, const Row* params = nullptr) {
+  EvalContext ctx;
+  ctx.row = row;
+  ctx.params = params;
+  return ctx;
+}
+
+// ---- factories and printing ----
+
+TEST(ExprTest, ConstantAndToString) {
+  ExprPtr e = MakeConstant(I(5));
+  EXPECT_EQ(e->type, TypeId::kInt64);
+  EXPECT_EQ(e->ToString(), "5");
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  ExprPtr cmp = MakeComparison(BinaryOp::kLt, MakeConstant(I(1)),
+                               MakeConstant(I(2)));
+  ExprPtr copy = cmp->Clone();
+  copy->children[0]->value = I(99);
+  EXPECT_TRUE(cmp->children[0]->value.Equals(I(1)));
+  EXPECT_TRUE(ExprEquals(*cmp, *cmp->Clone()));
+  EXPECT_FALSE(ExprEquals(*cmp, *copy));
+}
+
+TEST(ExprTest, OperatorHelpers) {
+  EXPECT_EQ(NegateComparison(BinaryOp::kLt), BinaryOp::kGe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kEq), BinaryOp::kNe);
+  EXPECT_EQ(MirrorComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(MirrorComparison(BinaryOp::kEq), BinaryOp::kEq);
+}
+
+TEST(ExprTest, MakeAndOfConjunctList) {
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.push_back(MakeConstant(Value::Bool(true)));
+  conjuncts.push_back(MakeConstant(Value::Bool(false)));
+  ExprPtr e = MakeAnd(std::move(conjuncts));
+  EXPECT_EQ(e->kind, ExprKind::kAnd);
+  // Empty conjunct list is TRUE.
+  ExprPtr t = MakeAnd(std::vector<ExprPtr>{});
+  EXPECT_TRUE(t->value.bool_value());
+}
+
+TEST(ExprTest, SplitConjuncts) {
+  ExprPtr e = MakeAnd(
+      MakeAnd(MakeConstant(Value::Bool(true)), MakeConstant(Value::Bool(false))),
+      MakeConstant(Value::Bool(true)));
+  std::vector<ExprPtr> out;
+  SplitConjuncts(std::move(e), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ExprTest, CollectColumnRefs) {
+  ExprPtr e = MakeComparison(
+      BinaryOp::kEq, MakeColumnRef(1, 0, TypeId::kInt64, "a"),
+      MakeArithmetic(BinaryOp::kAdd, MakeColumnRef(2, 1, TypeId::kInt64, "b"),
+                     MakeConstant(I(1))));
+  std::vector<Expr*> refs;
+  CollectColumnRefs(e.get(), &refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0]->qid, 1);
+  EXPECT_EQ(refs[1]->qid, 2);
+}
+
+// ---- type inference ----
+
+TEST(InferTypesTest, ArithmeticPromotion) {
+  ExprPtr e = MakeArithmetic(BinaryOp::kAdd, MakeConstant(I(1)),
+                             MakeConstant(D(2.0)));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_EQ(e->type, TypeId::kDouble);
+}
+
+TEST(InferTypesTest, DivisionIsDouble) {
+  ExprPtr e = MakeArithmetic(BinaryOp::kDiv, MakeConstant(I(1)),
+                             MakeConstant(I(2)));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_EQ(e->type, TypeId::kDouble);
+}
+
+TEST(InferTypesTest, IncompatibleComparisonRejected) {
+  ExprPtr e = MakeComparison(BinaryOp::kEq, MakeConstant(S("x")),
+                             MakeConstant(I(1)));
+  EXPECT_EQ(InferTypes(e.get()).code(), StatusCode::kBindError);
+}
+
+TEST(InferTypesTest, StringArithmeticRejected) {
+  ExprPtr e = MakeArithmetic(BinaryOp::kAdd, MakeConstant(S("x")),
+                             MakeConstant(I(1)));
+  EXPECT_FALSE(InferTypes(e.get()).ok());
+}
+
+TEST(InferTypesTest, AggregateTypes) {
+  ExprPtr cnt = MakeAggregate(AggKind::kCountStar, nullptr, false);
+  ASSERT_TRUE(InferTypes(cnt.get()).ok());
+  EXPECT_EQ(cnt->type, TypeId::kInt64);
+  ExprPtr avg = MakeAggregate(AggKind::kAvg,
+                              MakeColumnRef(0, 0, TypeId::kInt64, "x"), false);
+  ASSERT_TRUE(InferTypes(avg.get()).ok());
+  EXPECT_EQ(avg->type, TypeId::kDouble);
+}
+
+TEST(InferTypesTest, CoalesceCommonType) {
+  std::vector<ExprPtr> args;
+  args.push_back(MakeConstant(Value::Null()));
+  args.push_back(MakeConstant(I(0)));
+  ExprPtr e = MakeFunction(FuncKind::kCoalesce, std::move(args));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_EQ(e->type, TypeId::kInt64);
+}
+
+// ---- evaluation: comparisons & 3VL ----
+
+TEST(EvalTest, Comparison3VL) {
+  Row row;
+  EXPECT_TRUE(CompareValues(BinaryOp::kLt, I(1), I(2)).bool_value());
+  EXPECT_FALSE(CompareValues(BinaryOp::kGe, I(1), I(2)).bool_value());
+  EXPECT_TRUE(CompareValues(BinaryOp::kEq, N(), I(2)).is_null());
+  EXPECT_TRUE(CompareValues(BinaryOp::kNe, I(1), N()).is_null());
+  (void)row;
+}
+
+TEST(EvalTest, KleeneAnd) {
+  auto b = [](bool v) { return MakeConstant(Value::Bool(v)); };
+  auto n = [] { return MakeConstant(Value::Null()); };
+  Row row;
+  // FALSE AND NULL = FALSE (short circuit).
+  ExprPtr e = MakeAnd(b(false), n());
+  EXPECT_FALSE(Eval(*e, Ctx(&row)).is_null());
+  EXPECT_FALSE(Eval(*e, Ctx(&row)).bool_value());
+  // TRUE AND NULL = NULL.
+  e = MakeAnd(b(true), n());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+  // NULL AND FALSE = FALSE.
+  e = MakeAnd(n(), b(false));
+  EXPECT_FALSE(Eval(*e, Ctx(&row)).is_null());
+}
+
+TEST(EvalTest, KleeneOr) {
+  auto b = [](bool v) { return MakeConstant(Value::Bool(v)); };
+  auto n = [] { return MakeConstant(Value::Null()); };
+  Row row;
+  ExprPtr e = MakeOr(b(true), n());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+  e = MakeOr(b(false), n());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+  e = MakeOr(n(), b(true));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+}
+
+TEST(EvalTest, NotOfNullIsNull) {
+  Row row;
+  ExprPtr e = MakeNot(MakeConstant(Value::Null()));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+  EXPECT_FALSE(EvalPredicate(*e, Ctx(&row)));  // UNKNOWN rejects
+}
+
+TEST(EvalTest, SlotAndParamRefs) {
+  Row row = {I(10), S("x")};
+  Row params = {I(42)};
+  ExprPtr slot = MakeSlotRef(0, TypeId::kInt64);
+  EXPECT_TRUE(Eval(*slot, Ctx(&row, &params)).Equals(I(10)));
+  ExprPtr param = MakeParamRef(0, TypeId::kInt64);
+  EXPECT_TRUE(Eval(*param, Ctx(&row, &params)).Equals(I(42)));
+}
+
+TEST(EvalTest, ArithmeticAndDivisionByZero) {
+  Row row;
+  ExprPtr e = MakeArithmetic(BinaryOp::kMul, MakeConstant(I(6)),
+                             MakeConstant(I(7)));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).Equals(I(42)));
+  e = MakeArithmetic(BinaryOp::kDiv, MakeConstant(I(1)), MakeConstant(I(0)));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+}
+
+TEST(EvalTest, NullStrictArithmetic) {
+  Row row;
+  ExprPtr e = MakeArithmetic(BinaryOp::kAdd, MakeConstant(I(1)),
+                             MakeConstant(Value::Null()));
+  ASSERT_TRUE(InferTypes(e.get()).ok());
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+}
+
+TEST(EvalTest, IsNull) {
+  Row row = {N(), I(1)};
+  ExprPtr e = MakeIsNull(MakeSlotRef(0, TypeId::kInt64), false);
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+  e = MakeIsNull(MakeSlotRef(1, TypeId::kInt64), true);  // IS NOT NULL
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+}
+
+TEST(EvalTest, InListWithNullSemantics) {
+  Row row;
+  std::vector<ExprPtr> list;
+  list.push_back(MakeConstant(I(1)));
+  list.push_back(MakeConstant(Value::Null()));
+  // 2 IN (1, NULL) -> UNKNOWN.
+  ExprPtr e = MakeInList(MakeConstant(I(2)), std::move(list), false);
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).is_null());
+  // 1 IN (1, NULL) -> TRUE.
+  list.clear();
+  list.push_back(MakeConstant(I(1)));
+  list.push_back(MakeConstant(Value::Null()));
+  e = MakeInList(MakeConstant(I(1)), std::move(list), false);
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+  // 2 NOT IN (1, 3) -> TRUE.
+  list.clear();
+  list.push_back(MakeConstant(I(1)));
+  list.push_back(MakeConstant(I(3)));
+  e = MakeInList(MakeConstant(I(2)), std::move(list), true);
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).bool_value());
+}
+
+TEST(EvalTest, CoalesceTakesFirstNonNull) {
+  Row row = {N()};
+  std::vector<ExprPtr> args;
+  args.push_back(MakeSlotRef(0, TypeId::kInt64));
+  args.push_back(MakeConstant(I(0)));
+  ExprPtr e = MakeFunction(FuncKind::kCoalesce, std::move(args));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).Equals(I(0)));
+  Row row2 = {I(7)};
+  EXPECT_TRUE(Eval(*e, Ctx(&row2)).Equals(I(7)));
+}
+
+TEST(EvalTest, StringFunctions) {
+  Row row;
+  std::vector<ExprPtr> args;
+  args.push_back(MakeConstant(S("MiXeD")));
+  ExprPtr e = MakeFunction(FuncKind::kLower, std::move(args));
+  EXPECT_EQ(Eval(*e, Ctx(&row)).string_value(), "mixed");
+  args.clear();
+  args.push_back(MakeConstant(S("abc")));
+  e = MakeFunction(FuncKind::kLength, std::move(args));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).Equals(I(3)));
+}
+
+TEST(EvalTest, NegateAndAbs) {
+  Row row;
+  ExprPtr e = MakeNegate(MakeConstant(I(5)));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).Equals(I(-5)));
+  std::vector<ExprPtr> args;
+  args.push_back(MakeConstant(I(-9)));
+  e = MakeFunction(FuncKind::kAbs, std::move(args));
+  EXPECT_TRUE(Eval(*e, Ctx(&row)).Equals(I(9)));
+}
+
+// ---- null-rejection analysis (Section 4.1 decision support) ----
+
+TEST(NullRejectTest, StrictComparisonRejects) {
+  // Q5.count > 3 rejects NULL-padded Q5 rows.
+  ExprPtr e = MakeComparison(BinaryOp::kGt,
+                             MakeColumnRef(5, 0, TypeId::kInt64, "count"),
+                             MakeConstant(I(3)));
+  EXPECT_TRUE(IsNullRejecting(*e, 5));
+  EXPECT_FALSE(IsNullRejecting(*e, 6));  // other quantifier unaffected
+}
+
+TEST(NullRejectTest, IsNullDoesNotReject) {
+  ExprPtr e = MakeIsNull(MakeColumnRef(5, 0, TypeId::kInt64, "count"), false);
+  EXPECT_FALSE(IsNullRejecting(*e, 5));
+}
+
+TEST(NullRejectTest, CoalesceDefeatsStrictness) {
+  std::vector<ExprPtr> args;
+  args.push_back(MakeColumnRef(5, 0, TypeId::kInt64, "count"));
+  args.push_back(MakeConstant(I(0)));
+  ExprPtr e = MakeComparison(BinaryOp::kEq,
+                             MakeFunction(FuncKind::kCoalesce, std::move(args)),
+                             MakeConstant(I(0)));
+  EXPECT_FALSE(IsNullRejecting(*e, 5));
+}
+
+TEST(NullRejectTest, OrDefeatsStrictness) {
+  ExprPtr lhs = MakeComparison(BinaryOp::kGt,
+                               MakeColumnRef(5, 0, TypeId::kInt64, "c"),
+                               MakeConstant(I(3)));
+  ExprPtr rhs = MakeConstant(Value::Bool(true));
+  ExprPtr e = MakeOr(std::move(lhs), std::move(rhs));
+  EXPECT_FALSE(IsNullRejecting(*e, 5));
+}
+
+TEST(NullRejectTest, AndWithOneStrictSideRejects) {
+  ExprPtr strict = MakeComparison(BinaryOp::kGt,
+                                  MakeColumnRef(5, 0, TypeId::kInt64, "c"),
+                                  MakeConstant(I(3)));
+  ExprPtr other = MakeComparison(BinaryOp::kEq,
+                                 MakeColumnRef(6, 0, TypeId::kInt64, "d"),
+                                 MakeConstant(I(1)));
+  ExprPtr e = MakeAnd(std::move(strict), std::move(other));
+  EXPECT_TRUE(IsNullRejecting(*e, 5));
+}
+
+}  // namespace
+}  // namespace decorr

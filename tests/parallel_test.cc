@@ -1,0 +1,143 @@
+// Tests of the shared-nothing cost simulator (Section 6): the O(n^2)
+// fragment growth of nested iteration, the O(n) behaviour of the
+// decorrelated plan, and the co-partitioned special case.
+#include <gtest/gtest.h>
+
+#include "decorr/parallel/parallel.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+CorrelatedWorkload MakeWorkload() {
+  auto result = MakeBuildingWorkload(/*num_outer=*/1000, /*num_inner=*/5000,
+                                     /*num_buildings=*/50, /*seed=*/3);
+  EXPECT_TRUE(result.ok());
+  return result.MoveValue();
+}
+
+TEST(ParallelWorkloadTest, GeneratesRequestedSizes) {
+  CorrelatedWorkload w = MakeWorkload();
+  EXPECT_EQ(w.outer->num_rows(), 1000u);
+  EXPECT_EQ(w.inner->num_rows(), 5000u);
+  EXPECT_GT(w.qualifying_outer_rows.size(), 0u);
+  EXPECT_LT(w.qualifying_outer_rows.size(), 1000u);
+}
+
+TEST(ParallelWorkloadTest, Deterministic) {
+  auto a = MakeBuildingWorkload(100, 200, 10, 7);
+  auto b = MakeBuildingWorkload(100, 200, 10, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->qualifying_outer_rows, b->qualifying_outer_rows);
+}
+
+TEST(ParallelNiTest, FragmentsScaleWithNodesTimesInvocations) {
+  CorrelatedWorkload w = MakeWorkload();
+  const int64_t invocations =
+      static_cast<int64_t>(w.qualifying_outer_rows.size());
+  for (int n : {2, 4, 8}) {
+    ParallelConfig config;
+    config.num_nodes = n;
+    ParallelStats stats = SimulateNestedIteration(w, config);
+    EXPECT_EQ(stats.fragments, invocations * n + n);
+    EXPECT_EQ(stats.messages, invocations * 2 * (n - 1));
+  }
+}
+
+TEST(ParallelNiTest, FragmentGrowthIsSuperlinear) {
+  CorrelatedWorkload w = MakeWorkload();
+  ParallelConfig c4, c16;
+  c4.num_nodes = 4;
+  c16.num_nodes = 16;
+  ParallelStats s4 = SimulateNestedIteration(w, c4);
+  ParallelStats s16 = SimulateNestedIteration(w, c16);
+  // 4x the nodes -> ~4x the fragments (per-node share constant: O(n^2)
+  // total work normalized by n stays O(n)).
+  EXPECT_GT(s16.fragments, 3 * s4.fragments);
+  EXPECT_GT(s16.messages, 3 * s4.messages);
+}
+
+TEST(ParallelMagicTest, FragmentsScaleLinearlyInNodes) {
+  CorrelatedWorkload w = MakeWorkload();
+  for (int n : {2, 4, 8, 16}) {
+    ParallelConfig config;
+    config.num_nodes = n;
+    ParallelStats stats = SimulateMagicDecorrelation(w, config);
+    EXPECT_EQ(stats.fragments, 5 * n);
+    // One-time exchange setup, not per-invocation messaging.
+    EXPECT_EQ(stats.messages, 2 * n * (n - 1));
+  }
+}
+
+TEST(ParallelMagicTest, MovesBoundedByTableSizes) {
+  CorrelatedWorkload w = MakeWorkload();
+  ParallelConfig config;
+  config.num_nodes = 8;
+  ParallelStats stats = SimulateMagicDecorrelation(w, config);
+  EXPECT_LE(stats.tuples_moved,
+            static_cast<int64_t>(w.inner->num_rows() +
+                                 w.qualifying_outer_rows.size()));
+}
+
+TEST(ParallelComparisonTest, MagicBeatsNiOnThePartitionedCase) {
+  CorrelatedWorkload w = MakeWorkload();
+  for (int n : {4, 16, 64}) {
+    ParallelConfig config;
+    config.num_nodes = n;
+    ParallelStats ni = SimulateNestedIteration(w, config);
+    ParallelStats mag = SimulateMagicDecorrelation(w, config);
+    EXPECT_GT(ni.elapsed, mag.elapsed) << "nodes=" << n;
+    EXPECT_GT(ni.fragments, mag.fragments) << "nodes=" << n;
+  }
+}
+
+TEST(ParallelComparisonTest, CopartitionedNiNeedsNoMessages) {
+  // Section 6.1 Case 1: both tables partitioned on the correlation
+  // attribute — NI parallelizes without communication.
+  CorrelatedWorkload w = MakeWorkload();
+  ParallelConfig config;
+  config.num_nodes = 8;
+  config.copartitioned = true;
+  ParallelStats ni = SimulateNestedIteration(w, config);
+  EXPECT_EQ(ni.messages, 0);
+  EXPECT_EQ(ni.tuples_moved, 0);
+  // And the invocations become single local fragments.
+  EXPECT_EQ(ni.fragments,
+            static_cast<int64_t>(w.qualifying_outer_rows.size()) + 8);
+}
+
+TEST(ParallelComparisonTest, CopartitionedMagicMovesNothing) {
+  CorrelatedWorkload w = MakeWorkload();
+  ParallelConfig config;
+  config.num_nodes = 8;
+  config.copartitioned = true;
+  ParallelStats mag = SimulateMagicDecorrelation(w, config);
+  EXPECT_EQ(mag.tuples_moved, 0);
+}
+
+TEST(ParallelStatsTest, ToStringMentionsEverything) {
+  ParallelStats stats;
+  stats.messages = 1;
+  stats.fragments = 2;
+  stats.tuples_moved = 3;
+  stats.elapsed = 4.0;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("messages=1"), std::string::npos);
+  EXPECT_NE(s.find("fragments=2"), std::string::npos);
+  EXPECT_NE(s.find("tuples_moved=3"), std::string::npos);
+}
+
+TEST(ParallelElapsedTest, MagicElapsedImprovesWithNodes) {
+  CorrelatedWorkload w = MakeWorkload();
+  ParallelConfig c2, c8;
+  c2.num_nodes = 2;
+  c8.num_nodes = 8;
+  // More nodes spread the local work; the elapsed estimate must not grow
+  // drastically (messaging overhead stays second-order at these sizes).
+  ParallelStats s2 = SimulateMagicDecorrelation(w, c2);
+  ParallelStats s8 = SimulateMagicDecorrelation(w, c8);
+  EXPECT_LT(s8.elapsed, s2.elapsed * 2.0);
+}
+
+}  // namespace
+}  // namespace decorr

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "decorr/parser/lexer.h"
+#include "decorr/parser/parser.h"
+
+namespace decorr {
+namespace {
+
+AstQueryPtr MustParse(const std::string& sql) {
+  auto result = ParseQuery(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for: " << sql;
+  return result.ok() ? result.MoveValue() : nullptr;
+}
+
+void ExpectParseError(const std::string& sql) {
+  auto result = ParseQuery(sql);
+  EXPECT_FALSE(result.ok()) << "expected parse error for: " << sql;
+}
+
+// ---- lexer ----
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("SELECT a, 42 FROM t WHERE x >= 3.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[3].int_value, 42);
+  EXPECT_EQ(toks->back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize("'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  auto toks = Tokenize("<> != <= >= -- comment\n <");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "<>");
+  EXPECT_EQ((*toks)[1].text, "<>");  // != normalized
+  EXPECT_EQ((*toks)[2].text, "<=");
+  EXPECT_EQ((*toks)[3].text, ">=");
+  EXPECT_EQ((*toks)[4].text, "<");
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("select Select SELECT");
+  ASSERT_TRUE(toks.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*toks)[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ((*toks)[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, FloatForms) {
+  auto toks = Tokenize("0.2 2e3 1.5E-2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[0].float_value, 0.2);
+  EXPECT_DOUBLE_EQ((*toks)[1].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ((*toks)[2].float_value, 0.015);
+}
+
+// ---- parser ----
+
+TEST(ParserTest, MinimalSelect) {
+  auto q = MustParse("SELECT a FROM t");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->branches.size(), 1u);
+  EXPECT_EQ(q->branches[0]->items.size(), 1u);
+  EXPECT_EQ(q->branches[0]->from[0].table_name, "t");
+}
+
+TEST(ParserTest, SelectListForms) {
+  auto q = MustParse("SELECT *, t.*, a AS x, b + 1 c FROM t");
+  const auto& items = q->branches[0]->items;
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_TRUE(items[0].star);
+  EXPECT_TRUE(items[1].star);
+  EXPECT_EQ(items[1].star_table, "t");
+  EXPECT_EQ(items[2].alias, "x");
+  EXPECT_EQ(items[3].alias, "c");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto q = MustParse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  // OR binds weaker than AND.
+  EXPECT_EQ(q->branches[0]->where->kind, AstExprKind::kOr);
+  EXPECT_EQ(q->branches[0]->where->children[1]->kind, AstExprKind::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto q = MustParse("SELECT a + b * c FROM t");
+  const AstExpr& e = *q->branches[0]->items[0].expr;
+  EXPECT_EQ(e.kind, AstExprKind::kBinary);
+  EXPECT_EQ(e.op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, CorrelatedScalarSubquery) {
+  auto q = MustParse(
+      "SELECT d.name FROM dept d WHERE d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE d.building = e.building)");
+  const AstExpr& where = *q->branches[0]->where;
+  EXPECT_EQ(where.kind, AstExprKind::kBinary);
+  EXPECT_EQ(where.children[1]->kind, AstExprKind::kScalarSubquery);
+  EXPECT_NE(where.children[1]->subquery, nullptr);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto q = MustParse(
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) AND NOT EXISTS "
+      "(SELECT 1 FROM v)");
+  const AstExpr& where = *q->branches[0]->where;
+  EXPECT_EQ(where.children[0]->kind, AstExprKind::kExists);
+  EXPECT_EQ(where.children[1]->kind, AstExprKind::kNot);
+  EXPECT_EQ(where.children[1]->children[0]->kind, AstExprKind::kExists);
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  auto q = MustParse(
+      "SELECT a FROM t WHERE r IN ('x','y') AND k NOT IN (SELECT k FROM u)");
+  const AstExpr& where = *q->branches[0]->where;
+  EXPECT_EQ(where.children[0]->kind, AstExprKind::kInList);
+  EXPECT_EQ(where.children[1]->kind, AstExprKind::kInSubquery);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParserTest, QuantifiedComparison) {
+  auto q = MustParse(
+      "SELECT a FROM t WHERE x > ALL (SELECT y FROM u) AND "
+      "z = ANY (SELECT w FROM v)");
+  const AstExpr& where = *q->branches[0]->where;
+  EXPECT_EQ(where.children[0]->kind, AstExprKind::kQuantifiedCmp);
+  EXPECT_EQ(where.children[0]->quant, Quantification::kAll);
+  EXPECT_EQ(where.children[1]->quant, Quantification::kAny);
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto q = MustParse(
+      "SELECT b, COUNT(*) FROM t GROUP BY b HAVING COUNT(*) > 2");
+  EXPECT_EQ(q->branches[0]->group_by.size(), 1u);
+  ASSERT_NE(q->branches[0]->having, nullptr);
+}
+
+TEST(ParserTest, AggregateForms) {
+  auto q = MustParse(
+      "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e) "
+      "FROM t");
+  const auto& items = q->branches[0]->items;
+  EXPECT_TRUE(items[0].expr->func_star);
+  EXPECT_TRUE(items[1].expr->func_distinct);
+  EXPECT_EQ(items[2].expr->func_name, "SUM");
+}
+
+TEST(ParserTest, DerivedTableWithColumnAliases) {
+  auto q = MustParse(
+      "SELECT sumbal FROM (SELECT SUM(bal) FROM accts) AS dt(sumbal)");
+  const AstTableRef& ref = q->branches[0]->from[0];
+  ASSERT_NE(ref.derived, nullptr);
+  EXPECT_EQ(ref.alias, "dt");
+  ASSERT_EQ(ref.column_aliases.size(), 1u);
+  EXPECT_EQ(ref.column_aliases[0], "sumbal");
+}
+
+TEST(ParserTest, UnionAllInsideDerivedTable) {
+  auto q = MustParse(
+      "SELECT s FROM ((SELECT a FROM t) UNION ALL (SELECT b FROM u)) AS d(s)");
+  const AstTableRef& ref = q->branches[0]->from[0];
+  ASSERT_NE(ref.derived, nullptr);
+  EXPECT_EQ(ref.derived->branches.size(), 2u);
+  EXPECT_TRUE(ref.derived->union_all[0]);
+}
+
+TEST(ParserTest, TopLevelUnionDistinct) {
+  auto q = MustParse("SELECT a FROM t UNION SELECT b FROM u");
+  EXPECT_EQ(q->branches.size(), 2u);
+  EXPECT_FALSE(q->union_all[0]);
+}
+
+TEST(ParserTest, OrderByLimit) {
+  auto q = MustParse("SELECT a, b FROM t ORDER BY a DESC, 2 LIMIT 10");
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_TRUE(q->order_by[1].ascending);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(ParserTest, BetweenAndNotBetween) {
+  auto q = MustParse(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b NOT BETWEEN 2 AND 3");
+  const AstExpr& where = *q->branches[0]->where;
+  EXPECT_EQ(where.children[0]->kind, AstExprKind::kBetween);
+  EXPECT_FALSE(where.children[0]->negated);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParserTest, ExplicitJoinSyntax) {
+  auto q = MustParse(
+      "SELECT a FROM t JOIN u ON t.k = u.k INNER JOIN v ON u.j = v.j");
+  ASSERT_EQ(q->branches[0]->from.size(), 3u);
+  EXPECT_NE(q->branches[0]->from[1].join_condition, nullptr);
+  EXPECT_NE(q->branches[0]->from[2].join_condition, nullptr);
+}
+
+TEST(ParserTest, CoalesceCall) {
+  auto q = MustParse("SELECT COALESCE(a, 0) FROM t");
+  EXPECT_EQ(q->branches[0]->items[0].expr->kind, AstExprKind::kFuncCall);
+  EXPECT_EQ(q->branches[0]->items[0].expr->func_name, "COALESCE");
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_NE(MustParse("SELECT a FROM t;"), nullptr);
+}
+
+TEST(ParserTest, PaperExampleQueryParses) {
+  auto q = MustParse(
+      "Select D.name From Dept D "
+      "Where D.budget < 10000 and D.num_emps > "
+      "(Select Count(*) From Emp E Where D.building = E.building)");
+  EXPECT_NE(q, nullptr);
+}
+
+TEST(ParserTest, TpcdQuery2Parses) {
+  auto q = MustParse(
+      "Select s.s_name, s.s_acctbal, s.s_address "
+      "From Parts p, Suppliers s, Partsupp ps "
+      "Where s.s_nation='FRANCE' and p.p_size=15 "
+      "and p.p_partkey=ps.ps_partkey and s.s_suppkey=ps.ps_suppkey "
+      "and ps.ps_supplycost = "
+      "(Select min(ps1.ps_supplycost) From Partsupp ps1, Suppliers s1 "
+      " Where p.p_partkey=ps1.ps_partkey and s1.s_suppkey=ps1.ps_suppkey "
+      " and s1.s_nation='FRANCE')");
+  EXPECT_NE(q, nullptr);
+}
+
+// ---- error cases ----
+
+TEST(ParserTest, Errors) {
+  ExpectParseError("SELECT");
+  ExpectParseError("SELECT a");                    // missing FROM
+  ExpectParseError("SELECT a FROM");               // missing table
+  ExpectParseError("SELECT a FROM t WHERE");       // missing predicate
+  ExpectParseError("SELECT a FROM t GROUP a");     // missing BY
+  ExpectParseError("SELECT a FROM t LIMIT x");     // non-integer limit
+  ExpectParseError("SELECT a FROM t extra junk="); // trailing garbage
+  ExpectParseError("SELECT a FROM (SELECT b FROM u)");  // derived needs alias
+  ExpectParseError("SELECT a FROM t WHERE a NOT 5");
+}
+
+}  // namespace
+}  // namespace decorr

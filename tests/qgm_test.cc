@@ -1,0 +1,232 @@
+// QGM structure and analysis tests: graph construction, correlation
+// discovery, retargeting, validation, garbage collection.
+#include <gtest/gtest.h>
+
+#include "decorr/qgm/analysis.h"
+#include "decorr/qgm/print.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/qgm/validate.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+TablePtr TinyTable(const char* name) {
+  TableSchema schema(name, {{"a", TypeId::kInt64, false},
+                            {"b", TypeId::kString, true}});
+  auto table = std::make_shared<Table>(schema);
+  (void)table->AppendRow({I(1), S("x")});
+  return table;
+}
+
+// Builds: root Select over base table t, plus a correlated child Select
+// over base table u whose predicate references the root's quantifier.
+struct TestGraph {
+  std::unique_ptr<QueryGraph> graph = std::make_unique<QueryGraph>();
+  Box* root = nullptr;
+  Box* sub = nullptr;
+  Quantifier* q_t = nullptr;
+  Quantifier* q_sub = nullptr;
+  Quantifier* q_u = nullptr;
+};
+
+TestGraph MakeCorrelatedGraph() {
+  TestGraph tg;
+  tg.root = tg.graph->NewBox(BoxKind::kSelect);
+  tg.graph->set_root(tg.root);
+  Box* t = tg.graph->NewBaseTableBox(TinyTable("t"));
+  tg.q_t = tg.graph->NewQuantifier(tg.root, t, QuantifierKind::kForeach, "t");
+
+  tg.sub = tg.graph->NewBox(BoxKind::kSelect);
+  Box* u = tg.graph->NewBaseTableBox(TinyTable("u"));
+  tg.q_u = tg.graph->NewQuantifier(tg.sub, u, QuantifierKind::kForeach, "u");
+  // Correlated predicate: u.a = t.a.
+  tg.sub->predicates.push_back(MakeComparison(
+      BinaryOp::kEq, MakeColumnRef(tg.q_u->id, 0, TypeId::kInt64, "a"),
+      MakeColumnRef(tg.q_t->id, 0, TypeId::kInt64, "a")));
+  tg.sub->outputs.push_back(
+      {"a", MakeColumnRef(tg.q_u->id, 0, TypeId::kInt64, "a")});
+
+  tg.q_sub = tg.graph->NewQuantifier(tg.root, tg.sub,
+                                    QuantifierKind::kExistential, "");
+  tg.root->predicates.push_back(MakeExists(tg.q_sub->id, false));
+  tg.root->outputs.push_back(
+      {"a", MakeColumnRef(tg.q_t->id, 0, TypeId::kInt64, "a")});
+  return tg;
+}
+
+TEST(QgmTest, ConstructionBasics) {
+  TestGraph tg = MakeCorrelatedGraph();
+  EXPECT_EQ(tg.root->quantifiers().size(), 2u);
+  EXPECT_TRUE(tg.root->OwnsQuantifier(tg.q_t->id));
+  EXPECT_FALSE(tg.root->OwnsQuantifier(tg.q_u->id));
+  EXPECT_EQ(tg.graph->FindQuantifier(tg.q_u->id), tg.q_u);
+  EXPECT_EQ(tg.graph->FindQuantifier(9999), nullptr);
+  EXPECT_EQ(tg.root->num_outputs(), 1);
+  EXPECT_EQ(tg.root->OutputName(0), "a");
+  EXPECT_EQ(tg.root->OutputType(0), TypeId::kInt64);
+}
+
+TEST(QgmTest, BaseTableOutputsComeFromSchema) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(TinyTable("t"));
+  EXPECT_EQ(t->num_outputs(), 2);
+  EXPECT_EQ(t->OutputName(1), "b");
+  EXPECT_EQ(t->OutputType(1), TypeId::kString);
+}
+
+TEST(QgmTest, ValidatePassesOnWellFormedGraph) {
+  TestGraph tg = MakeCorrelatedGraph();
+  EXPECT_TRUE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesDanglingQuantifier) {
+  TestGraph tg = MakeCorrelatedGraph();
+  tg.sub->predicates.push_back(MakeComparison(
+      BinaryOp::kEq, MakeColumnRef(12345, 0, TypeId::kInt64, "ghost"),
+      MakeConstant(I(1))));
+  EXPECT_FALSE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesOrdinalOutOfRange) {
+  TestGraph tg = MakeCorrelatedGraph();
+  tg.root->outputs.push_back(
+      {"bad", MakeColumnRef(tg.q_t->id, 99, TypeId::kInt64, "bad")});
+  EXPECT_FALSE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesNonAncestorReference) {
+  TestGraph tg = MakeCorrelatedGraph();
+  // Root references the subquery's internal quantifier: illegal (the
+  // subquery is a child, not an ancestor).
+  tg.root->predicates.push_back(MakeComparison(
+      BinaryOp::kEq, MakeColumnRef(tg.q_u->id, 0, TypeId::kInt64, "a"),
+      MakeConstant(I(1))));
+  EXPECT_FALSE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesAggregateOutsideGroupBy) {
+  TestGraph tg = MakeCorrelatedGraph();
+  ExprPtr agg = MakeAggregate(AggKind::kCountStar, nullptr, false);
+  (void)InferTypes(agg.get());
+  tg.root->outputs.push_back({"cnt", std::move(agg)});
+  EXPECT_FALSE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesBadNullPaddedQid) {
+  TestGraph tg = MakeCorrelatedGraph();
+  tg.root->null_padded_qid = tg.q_u->id;  // not owned by root
+  EXPECT_FALSE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, ValidateCatchesUnionArityMismatch) {
+  QueryGraph graph;
+  Box* u = graph.NewBox(BoxKind::kUnion);
+  graph.set_root(u);
+  Box* a = graph.NewBaseTableBox(TinyTable("a"));  // 2 columns
+  TableSchema one_col("b1", {{"x", TypeId::kInt64, false}});
+  auto table = std::make_shared<Table>(one_col);
+  Box* b = graph.NewBaseTableBox(table);  // 1 column
+  Quantifier* qa = graph.NewQuantifier(u, a, QuantifierKind::kForeach, "");
+  graph.NewQuantifier(u, b, QuantifierKind::kForeach, "");
+  u->outputs.push_back({"x", MakeColumnRef(qa->id, 0, TypeId::kInt64, "x")});
+  EXPECT_FALSE(Validate(&graph).ok());
+}
+
+TEST(QgmTest, SubtreeBoxesHandlesSharedChildren) {
+  TestGraph tg = MakeCorrelatedGraph();
+  // Share the subquery's base table with the root too.
+  Box* u = tg.q_u->child;
+  tg.graph->NewQuantifier(tg.root, u, QuantifierKind::kForeach, "u2");
+  std::vector<Box*> boxes = SubtreeBoxes(tg.root);
+  // root, t, sub, u — deduplicated.
+  EXPECT_EQ(boxes.size(), 4u);
+}
+
+TEST(QgmTest, ExternalRefsAndCorrelation) {
+  TestGraph tg = MakeCorrelatedGraph();
+  auto refs = CollectExternalRefs(tg.sub);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].source_quantifier, tg.q_t);
+  EXPECT_TRUE(IsCorrelatedTo(tg.sub, tg.root));
+  EXPECT_TRUE(HasCorrelation(tg.sub));
+  EXPECT_FALSE(HasCorrelation(tg.root));  // root itself references nothing
+                                          // outside its own subtree
+  EXPECT_TRUE(QueryIsCorrelated(tg.graph.get()));
+}
+
+TEST(QgmTest, CorrelationColumnsDeduplicated) {
+  TestGraph tg = MakeCorrelatedGraph();
+  // Add a second predicate referencing the same outer column.
+  tg.sub->predicates.push_back(MakeComparison(
+      BinaryOp::kNe, MakeColumnRef(tg.q_u->id, 0, TypeId::kInt64, "a"),
+      MakeColumnRef(tg.q_t->id, 0, TypeId::kInt64, "a")));
+  auto cols = CorrelationColumnsFrom(tg.sub, tg.root);
+  EXPECT_EQ(cols.size(), 1u);
+}
+
+TEST(QgmTest, RetargetSubtreeRefs) {
+  TestGraph tg = MakeCorrelatedGraph();
+  Box* other = tg.graph->NewBaseTableBox(TinyTable("v"));
+  Quantifier* q_v =
+      tg.graph->NewQuantifier(tg.root, other, QuantifierKind::kForeach, "v");
+  RefMapping mapping;
+  mapping[{tg.q_t->id, 0}] = {q_v->id, 1};
+  RetargetSubtreeRefs(tg.sub, mapping);
+  auto refs = CollectExternalRefs(tg.sub);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].ref->qid, q_v->id);
+  EXPECT_EQ(refs[0].ref->col, 1);
+}
+
+TEST(QgmTest, MoveAndDeleteQuantifier) {
+  TestGraph tg = MakeCorrelatedGraph();
+  Box* dest = tg.graph->NewBox(BoxKind::kSelect);
+  tg.graph->MoveQuantifier(tg.q_t->id, dest);
+  EXPECT_FALSE(tg.root->OwnsQuantifier(tg.q_t->id));
+  EXPECT_TRUE(dest->OwnsQuantifier(tg.q_t->id));
+  EXPECT_EQ(tg.q_t->owner, dest);
+  tg.graph->DeleteQuantifier(tg.q_t->id);
+  EXPECT_EQ(tg.graph->FindQuantifier(tg.q_t->id), nullptr);
+}
+
+TEST(QgmTest, UsesOf) {
+  TestGraph tg = MakeCorrelatedGraph();
+  EXPECT_EQ(tg.graph->UsesOf(tg.sub).size(), 1u);
+  EXPECT_EQ(tg.graph->UsesOf(tg.root).size(), 0u);
+}
+
+TEST(QgmTest, GarbageCollectDropsUnreachable) {
+  TestGraph tg = MakeCorrelatedGraph();
+  tg.graph->NewBox(BoxKind::kSelect);  // orphan
+  const size_t before = tg.graph->boxes().size();
+  tg.graph->GarbageCollect();
+  EXPECT_EQ(tg.graph->boxes().size(), before - 1);
+  EXPECT_TRUE(Validate(tg.graph.get()).ok());
+}
+
+TEST(QgmTest, PrintShowsRolesAndSharing) {
+  TestGraph tg = MakeCorrelatedGraph();
+  tg.sub->role = BoxRole::kCi;
+  std::string dump = PrintQgm(tg.graph.get());
+  EXPECT_NE(dump.find("[CI]"), std::string::npos);
+  EXPECT_NE(dump.find("E "), std::string::npos);  // existential quantifier
+}
+
+TEST(QgmTest, DotExportContainsCorrelationEdge) {
+  TestGraph tg = MakeCorrelatedGraph();
+  std::string dot = QgmToDot(tg.graph.get());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(QgmTest, ReferencedQuantifiersIncludesMarkers) {
+  TestGraph tg = MakeCorrelatedGraph();
+  std::set<int> refs = ReferencedQuantifiers(*tg.root->predicates[0]);
+  EXPECT_TRUE(refs.count(tg.q_sub->id));
+  std::set<int> subs =
+      ReferencedSubqueryQuantifiers(*tg.root->predicates[0]);
+  EXPECT_EQ(subs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace decorr

@@ -1,0 +1,404 @@
+// Structural tests of the rewrite rules: the shapes magic decorrelation
+// builds (SUPP/MAGIC/DCO/CI, Section 4), the COUNT-bug removal decision
+// (Section 4.1), the knobs (Section 4.4), the cleanup rules, and the
+// applicability limits of Kim / Dayal / Ganski-Wong.
+#include <gtest/gtest.h>
+
+#include "decorr/binder/binder.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/qgm/print.h"
+#include "decorr/qgm/validate.h"
+#include "decorr/rewrite/cleanup.h"
+#include "decorr/rewrite/dayal.h"
+#include "decorr/rewrite/ganski.h"
+#include "decorr/rewrite/kim.h"
+#include "decorr/rewrite/magic.h"
+#include "decorr/rewrite/pattern.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Catalog> catalog_ = MakeEmpDeptCatalog();
+
+  std::unique_ptr<BoundQuery> MustBind(const std::string& sql) {
+    auto result = ParseAndBind(sql, *catalog_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.MoveValue() : nullptr;
+  }
+
+  int CountBoxesWithRole(QueryGraph* graph, BoxRole role) {
+    int count = 0;
+    for (const auto& box : graph->boxes()) {
+      if (box->role == role) ++count;
+    }
+    return count;
+  }
+};
+
+// ---- magic decorrelation: structure ----
+
+TEST_F(RewriteTest, MagicBuildsSuppMagicDcoCi) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelateNoCleanup(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok()) << PrintQgm(graph);
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kSupp), 1);
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kMagic), 1);
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kDco), 1);
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kCi), 1);
+}
+
+TEST_F(RewriteTest, MagicTableIsDistinctProjection) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelateNoCleanup(graph, *catalog_).ok());
+  for (const auto& box : graph->boxes()) {
+    if (box->role == BoxRole::kMagic) {
+      EXPECT_TRUE(box->distinct);
+      EXPECT_EQ(box->kind(), BoxKind::kSelect);
+      // The magic table ranges over the supplementary table.
+      ASSERT_EQ(box->quantifiers().size(), 1u);
+      EXPECT_EQ(box->quantifiers()[0]->child->role, BoxRole::kSupp);
+    }
+  }
+}
+
+TEST_F(RewriteTest, CountBugRemovalUsesLojAndCoalesce) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok());
+  bool found_loj = false;
+  bool found_coalesce = false;
+  for (const auto& box : graph->boxes()) {
+    if (box->null_padded_qid >= 0) {
+      found_loj = true;
+      for (const OutputColumn& out : box->outputs) {
+        if (out.expr && AnyNode(*out.expr, [](const Expr& e) {
+              return e.kind == ExprKind::kFunction &&
+                     e.func == FuncKind::kCoalesce;
+            })) {
+          found_coalesce = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_loj) << PrintQgm(graph);
+  EXPECT_TRUE(found_coalesce) << PrintQgm(graph);
+}
+
+TEST_F(RewriteTest, NullRejectingMinSubqueryUsesInnerJoin) {
+  // MIN with a strict comparison needs no outer join (the paper: "None of
+  // the queries required the use of an outer-join ... so we use a normal
+  // join instead").
+  auto bound = MustBind(
+      "SELECT e.name FROM emp e WHERE e.salary < "
+      "(SELECT MIN(e2.salary) FROM emp e2 WHERE e2.building = e.building)");
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  for (const auto& box : graph->boxes()) {
+    EXPECT_LT(box->null_padded_qid, 0) << PrintQgm(graph);
+  }
+}
+
+TEST_F(RewriteTest, MagicRemovesAllCorrelation) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  EXPECT_TRUE(QueryIsCorrelated(graph));
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  EXPECT_FALSE(QueryIsCorrelated(graph)) << PrintQgm(graph);
+}
+
+TEST_F(RewriteTest, MagicIsNoOpOnUncorrelatedQueries) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp)");
+  QueryGraph* graph = bound->graph.get();
+  const std::string before = PrintQgm(graph);
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  EXPECT_EQ(PrintQgm(graph), before);
+}
+
+TEST_F(RewriteTest, MagicHandlesMultipleSubqueriesInOneBlock) {
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building) "
+      "AND d.budget > "
+      "(SELECT SUM(e2.salary) FROM emp e2 WHERE e2.building = d.building)");
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok());
+  EXPECT_FALSE(QueryIsCorrelated(graph)) << PrintQgm(graph);
+  // Two subqueries stage their supplementaries ("the computation ahead of
+  // the subquery"); cleanup may collapse identity stages, but at least one
+  // supplementary and two magic projections must remain.
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kSupp), 1);
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kMagic), 2);
+}
+
+TEST_F(RewriteTest, MagicScalarMarkerBecomesJoinColumn) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  // No scalar subquery markers survive full decorrelation of an aggregate
+  // subquery.
+  for (const auto& box : graph->boxes()) {
+    for (const Expr* expr : box->AllExprs()) {
+      EXPECT_FALSE(AnyNode(*expr, [](const Expr& e) {
+        return e.kind == ExprKind::kScalarSubquery;
+      })) << PrintQgm(graph);
+    }
+  }
+}
+
+// ---- knobs (Section 4.4) ----
+
+TEST_F(RewriteTest, KnobNoOuterJoinKeepsCountSubqueryCorrelated) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  DecorrelationOptions options;
+  options.use_outer_join = false;
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_, options).ok());
+  ASSERT_TRUE(Validate(graph).ok());
+  EXPECT_TRUE(QueryIsCorrelated(graph));  // COUNT box declined to decorrelate
+  EXPECT_EQ(CountBoxesWithRole(graph, BoxRole::kMagic), 0);
+}
+
+TEST_F(RewriteTest, KnobNoOuterJoinStillDecorrelatesMinSubquery) {
+  auto bound = MustBind(
+      "SELECT e.name FROM emp e WHERE e.salary < "
+      "(SELECT MIN(e2.salary) FROM emp e2 WHERE e2.building = e.building)");
+  QueryGraph* graph = bound->graph.get();
+  DecorrelationOptions options;
+  options.use_outer_join = false;
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_, options).ok());
+  // MIN never triggers the COUNT bug; decorrelation proceeds... but without
+  // LOJ the empty-group NULL cannot be produced, so our conservative
+  // analysis (needs_exact_nulls) would want a LOJ. The knob prefilter only
+  // blocks COUNT; MIN with a strict predicate uses an inner join and is
+  // fully decorrelated.
+  EXPECT_FALSE(QueryIsCorrelated(graph)) << PrintQgm(graph);
+}
+
+TEST_F(RewriteTest, KnobNoExistentialsLeavesExistsAlone) {
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE EXISTS "
+      "(SELECT 1 FROM emp e WHERE e.building = d.building)");
+  QueryGraph* graph = bound->graph.get();
+  DecorrelationOptions options;
+  options.decorrelate_existentials = false;
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_, options).ok());
+  EXPECT_TRUE(QueryIsCorrelated(graph));
+  EXPECT_EQ(CountBoxesWithRole(graph, BoxRole::kMagic), 0);
+}
+
+TEST_F(RewriteTest, ExistentialDecorrelationKeepsCiBox) {
+  // With the knob on, EXISTS decorrelates but retains a localized CI box
+  // ("repeated correlated selections") — the E quantifier stays.
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE EXISTS "
+      "(SELECT 1 FROM emp e WHERE e.building = d.building)");
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok());
+  EXPECT_GE(CountBoxesWithRole(graph, BoxRole::kCi), 1);
+  bool has_existential = false;
+  for (const auto& box : graph->boxes()) {
+    for (const Quantifier* q : box->quantifiers()) {
+      if (q->kind == QuantifierKind::kExistential) has_existential = true;
+    }
+  }
+  EXPECT_TRUE(has_existential);
+}
+
+// ---- incremental consistency (the paper's per-step contract) ----
+
+TEST_F(RewriteTest, GraphValidAfterNoCleanupAndAfterCleanup) {
+  for (const char* sql :
+       {kPaperExampleQuery,
+        "SELECT d.name FROM dept d WHERE d.num_emps > "
+        "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building AND "
+        " e.salary > (SELECT AVG(e2.salary) FROM emp e2 "
+        "             WHERE e2.building = d.building))",
+        "SELECT d.name, t.c FROM dept d, "
+        "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building) "
+        "AS t(c)"}) {
+    auto bound = MustBind(sql);
+    QueryGraph* graph = bound->graph.get();
+    ASSERT_TRUE(MagicDecorrelateNoCleanup(graph, *catalog_).ok()) << sql;
+    EXPECT_TRUE(Validate(graph).ok()) << sql << "\n" << PrintQgm(graph);
+    ASSERT_TRUE(CleanupGraph(graph).ok());
+    EXPECT_TRUE(Validate(graph).ok()) << sql << "\n" << PrintQgm(graph);
+  }
+}
+
+// ---- cleanup rules ----
+
+TEST_F(RewriteTest, MergeInlinesSingleUseSelectChild) {
+  auto bound = MustBind(
+      "SELECT b FROM (SELECT building AS b FROM emp WHERE salary > 50) "
+      "AS t WHERE b = 10");
+  QueryGraph* graph = bound->graph.get();
+  const size_t before = SubtreeBoxes(graph->root()).size();
+  EXPECT_TRUE(MergeSelectBoxes(graph));
+  graph->GarbageCollect();
+  EXPECT_LT(SubtreeBoxes(graph->root()).size(), before);
+  ASSERT_TRUE(Validate(graph).ok());
+  // The moved predicate and the substituted output must still be present.
+  Box* root = graph->root();
+  EXPECT_EQ(root->predicates.size(), 2u);
+  EXPECT_EQ(root->quantifiers()[0]->child->kind(), BoxKind::kBaseTable);
+}
+
+TEST_F(RewriteTest, MergeSkipsDistinctChild) {
+  auto bound = MustBind(
+      "SELECT b FROM (SELECT DISTINCT building AS b FROM emp) AS t");
+  QueryGraph* graph = bound->graph.get();
+  EXPECT_FALSE(MergeSelectBoxes(graph));
+}
+
+TEST_F(RewriteTest, MergeSkipsSharedChild) {
+  // SUPP boxes (used twice) must never be inlined — the recompute-vs-
+  // materialize decision belongs to the planner.
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  int supp_count = CountBoxesWithRole(graph, BoxRole::kSupp);
+  ASSERT_GE(supp_count, 1);
+  for (const auto& box : graph->boxes()) {
+    if (box->role == BoxRole::kSupp) {
+      EXPECT_GE(graph->UsesOf(box.get()).size(), 2u);
+    }
+  }
+}
+
+// ---- pattern matcher / baselines ----
+
+TEST_F(RewriteTest, PatternMatchesPaperExample) {
+  auto bound = MustBind(kPaperExampleQuery);
+  auto pattern = MatchCorrelatedAggPattern(bound->graph.get());
+  ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+  EXPECT_EQ(pattern->corr_preds.size(), 1u);
+  EXPECT_EQ(pattern->group->kind(), BoxKind::kGroupBy);
+  EXPECT_EQ(pattern->spj->kind(), BoxKind::kSelect);
+}
+
+TEST_F(RewriteTest, PatternRejectsNonEquality) {
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building < d.building)");
+  EXPECT_EQ(MatchCorrelatedAggPattern(bound->graph.get()).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST_F(RewriteTest, PatternRejectsMultiLevelCorrelation) {
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d WHERE d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building AND "
+      " e.salary > (SELECT AVG(e2.salary) FROM emp e2 "
+      "             WHERE e2.building = d.building))");
+  EXPECT_FALSE(MatchCorrelatedAggPattern(bound->graph.get()).ok());
+}
+
+TEST_F(RewriteTest, PatternRejectsUncorrelated) {
+  auto bound = MustBind(
+      "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp)");
+  EXPECT_FALSE(MatchCorrelatedAggPattern(bound->graph.get()).ok());
+}
+
+TEST_F(RewriteTest, KimAddsGroupKeysAndJoinPredicate) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(KimRewrite(graph).ok());
+  ASSERT_TRUE(Validate(graph).ok()) << PrintQgm(graph);
+  EXPECT_FALSE(QueryIsCorrelated(graph));
+  // The subquery's group box now groups by the correlation column.
+  bool grouped = false;
+  for (const auto& box : graph->boxes()) {
+    if (box->kind() == BoxKind::kGroupBy && !box->group_by.empty()) {
+      grouped = true;
+    }
+  }
+  EXPECT_TRUE(grouped);
+}
+
+TEST_F(RewriteTest, DayalBuildsLojGroupHavingStack) {
+  auto bound = MustBind(kPaperExampleQuery);
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(DayalRewrite(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok()) << PrintQgm(graph);
+  EXPECT_FALSE(QueryIsCorrelated(graph));
+  bool found_loj = false;
+  bool found_group = false;
+  for (const auto& box : graph->boxes()) {
+    if (box->null_padded_qid >= 0) found_loj = true;
+    if (box->kind() == BoxKind::kGroupBy && !box->group_by.empty()) {
+      found_group = true;
+    }
+  }
+  EXPECT_TRUE(found_loj);
+  EXPECT_TRUE(found_group);
+}
+
+TEST_F(RewriteTest, DayalRequiresOuterKeys) {
+  // A keyless outer table defeats Dayal's duplicate preservation.
+  auto keyless = std::make_shared<Table>(
+      TableSchema("keyless", {{"building", TypeId::kInt64, false},
+                              {"n", TypeId::kInt64, false}}));
+  (void)keyless->AppendRow({I(10), I(1)});
+  ASSERT_TRUE(catalog_->RegisterTable(keyless).ok());
+  auto bound = MustBind(
+      "SELECT k.n FROM keyless k WHERE k.n > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = k.building)");
+  EXPECT_EQ(DayalRewrite(bound->graph.get(), *catalog_).code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST_F(RewriteTest, GanskiRequiresSingleTableOuter) {
+  auto bound = MustBind(
+      "SELECT d.name FROM dept d, emp e0 WHERE d.building = e0.building AND "
+      "d.num_emps > "
+      "(SELECT COUNT(*) FROM emp e WHERE e.building = d.building)");
+  EXPECT_EQ(GanskiWongRewrite(bound->graph.get(), *catalog_).code(),
+            StatusCode::kNotImplemented);
+  auto single = MustBind(kPaperExampleQuery);
+  EXPECT_TRUE(GanskiWongRewrite(single->graph.get(), *catalog_).ok());
+}
+
+TEST_F(RewriteTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kNestedIteration), "NI");
+  EXPECT_STREQ(StrategyName(Strategy::kMagic), "Mag");
+  EXPECT_STREQ(StrategyName(Strategy::kOptMagic), "OptMag");
+  EXPECT_STREQ(StrategyName(Strategy::kKim), "Kim");
+  EXPECT_STREQ(StrategyName(Strategy::kDayal), "Dayal");
+  EXPECT_STREQ(StrategyName(Strategy::kGanskiWong), "Ganski");
+}
+
+// ---- union decorrelation (the Query 3 shape) ----
+
+TEST_F(RewriteTest, UnionInsideCorrelatedDerivedTableDecorrelates) {
+  auto bound = MustBind(
+      "SELECT d.name, t.c FROM dept d, "
+      "(SELECT SUM(b) FROM ((SELECT e.salary FROM emp e "
+      "                      WHERE e.building = d.building) "
+      "   UNION ALL (SELECT e2.emp_id FROM emp e2 "
+      "              WHERE e2.building = d.building)) AS u(b)) AS t(c)");
+  QueryGraph* graph = bound->graph.get();
+  ASSERT_TRUE(MagicDecorrelate(graph, *catalog_).ok());
+  ASSERT_TRUE(Validate(graph).ok()) << PrintQgm(graph);
+  EXPECT_FALSE(QueryIsCorrelated(graph)) << PrintQgm(graph);
+  // The union box survives, now carrying the binding column.
+  bool union_found = false;
+  for (const auto& box : graph->boxes()) {
+    if (box->kind() == BoxKind::kUnion) {
+      union_found = true;
+      EXPECT_EQ(box->num_outputs(), 2);  // value + binding
+    }
+  }
+  EXPECT_TRUE(union_found);
+}
+
+}  // namespace
+}  // namespace decorr
