@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knobs.dir/ablation_knobs.cc.o"
+  "CMakeFiles/ablation_knobs.dir/ablation_knobs.cc.o.d"
+  "ablation_knobs"
+  "ablation_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_query1_indexed.dir/fig5_query1_indexed.cc.o"
+  "CMakeFiles/fig5_query1_indexed.dir/fig5_query1_indexed.cc.o.d"
+  "fig5_query1_indexed"
+  "fig5_query1_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_query1_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

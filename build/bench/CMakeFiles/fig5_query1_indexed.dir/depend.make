@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_query1_indexed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_query1_variant.dir/fig6_query1_variant.cc.o"
+  "CMakeFiles/fig6_query1_variant.dir/fig6_query1_variant.cc.o.d"
+  "fig6_query1_variant"
+  "fig6_query1_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_query1_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

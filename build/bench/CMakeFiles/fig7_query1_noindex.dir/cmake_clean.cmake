@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_query1_noindex.dir/fig7_query1_noindex.cc.o"
+  "CMakeFiles/fig7_query1_noindex.dir/fig7_query1_noindex.cc.o.d"
+  "fig7_query1_noindex"
+  "fig7_query1_noindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_query1_noindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_query1_noindex.
+# This may be replaced when dependencies are built.

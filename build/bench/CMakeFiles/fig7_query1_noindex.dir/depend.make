@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_query1_noindex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_query2.dir/fig8_query2.cc.o"
+  "CMakeFiles/fig8_query2.dir/fig8_query2.cc.o.d"
+  "fig8_query2"
+  "fig8_query2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_query2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

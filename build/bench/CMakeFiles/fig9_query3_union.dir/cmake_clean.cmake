@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query3_union.dir/fig9_query3_union.cc.o"
+  "CMakeFiles/fig9_query3_union.dir/fig9_query3_union.cc.o.d"
+  "fig9_query3_union"
+  "fig9_query3_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query3_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_parallel.dir/section6_parallel.cc.o"
+  "CMakeFiles/section6_parallel.dir/section6_parallel.cc.o.d"
+  "section6_parallel"
+  "section6_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

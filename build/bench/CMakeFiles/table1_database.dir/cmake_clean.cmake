@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_database.dir/table1_database.cc.o"
+  "CMakeFiles/table1_database.dir/table1_database.cc.o.d"
+  "table1_database"
+  "table1_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

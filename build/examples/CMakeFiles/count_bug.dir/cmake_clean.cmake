@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_bug.dir/count_bug.cpp.o"
+  "CMakeFiles/count_bug.dir/count_bug.cpp.o.d"
+  "count_bug"
+  "count_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

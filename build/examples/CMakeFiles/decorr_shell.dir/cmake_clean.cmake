@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decorr_shell.dir/decorr_shell.cpp.o"
+  "CMakeFiles/decorr_shell.dir/decorr_shell.cpp.o.d"
+  "decorr_shell"
+  "decorr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decorr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

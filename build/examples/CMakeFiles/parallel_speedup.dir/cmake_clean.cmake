@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_speedup.dir/parallel_speedup.cpp.o"
+  "CMakeFiles/parallel_speedup.dir/parallel_speedup.cpp.o.d"
+  "parallel_speedup"
+  "parallel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decorr/binder/binder.cc" "src/CMakeFiles/decorr.dir/decorr/binder/binder.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/binder/binder.cc.o.d"
+  "/root/repo/src/decorr/catalog/catalog.cc" "src/CMakeFiles/decorr.dir/decorr/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/catalog/catalog.cc.o.d"
+  "/root/repo/src/decorr/catalog/schema.cc" "src/CMakeFiles/decorr.dir/decorr/catalog/schema.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/catalog/schema.cc.o.d"
+  "/root/repo/src/decorr/catalog/statistics.cc" "src/CMakeFiles/decorr.dir/decorr/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/catalog/statistics.cc.o.d"
+  "/root/repo/src/decorr/common/rng.cc" "src/CMakeFiles/decorr.dir/decorr/common/rng.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/common/rng.cc.o.d"
+  "/root/repo/src/decorr/common/status.cc" "src/CMakeFiles/decorr.dir/decorr/common/status.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/common/status.cc.o.d"
+  "/root/repo/src/decorr/common/string_util.cc" "src/CMakeFiles/decorr.dir/decorr/common/string_util.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/common/string_util.cc.o.d"
+  "/root/repo/src/decorr/common/types.cc" "src/CMakeFiles/decorr.dir/decorr/common/types.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/common/types.cc.o.d"
+  "/root/repo/src/decorr/common/value.cc" "src/CMakeFiles/decorr.dir/decorr/common/value.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/common/value.cc.o.d"
+  "/root/repo/src/decorr/exec/aggregate.cc" "src/CMakeFiles/decorr.dir/decorr/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/aggregate.cc.o.d"
+  "/root/repo/src/decorr/exec/apply.cc" "src/CMakeFiles/decorr.dir/decorr/exec/apply.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/apply.cc.o.d"
+  "/root/repo/src/decorr/exec/filter_project.cc" "src/CMakeFiles/decorr.dir/decorr/exec/filter_project.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/filter_project.cc.o.d"
+  "/root/repo/src/decorr/exec/join.cc" "src/CMakeFiles/decorr.dir/decorr/exec/join.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/join.cc.o.d"
+  "/root/repo/src/decorr/exec/misc_ops.cc" "src/CMakeFiles/decorr.dir/decorr/exec/misc_ops.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/misc_ops.cc.o.d"
+  "/root/repo/src/decorr/exec/operator.cc" "src/CMakeFiles/decorr.dir/decorr/exec/operator.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/operator.cc.o.d"
+  "/root/repo/src/decorr/exec/scan.cc" "src/CMakeFiles/decorr.dir/decorr/exec/scan.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/exec/scan.cc.o.d"
+  "/root/repo/src/decorr/expr/eval.cc" "src/CMakeFiles/decorr.dir/decorr/expr/eval.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/expr/eval.cc.o.d"
+  "/root/repo/src/decorr/expr/expr.cc" "src/CMakeFiles/decorr.dir/decorr/expr/expr.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/expr/expr.cc.o.d"
+  "/root/repo/src/decorr/parallel/parallel.cc" "src/CMakeFiles/decorr.dir/decorr/parallel/parallel.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/parallel/parallel.cc.o.d"
+  "/root/repo/src/decorr/parser/ast.cc" "src/CMakeFiles/decorr.dir/decorr/parser/ast.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/parser/ast.cc.o.d"
+  "/root/repo/src/decorr/parser/lexer.cc" "src/CMakeFiles/decorr.dir/decorr/parser/lexer.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/parser/lexer.cc.o.d"
+  "/root/repo/src/decorr/parser/parser.cc" "src/CMakeFiles/decorr.dir/decorr/parser/parser.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/parser/parser.cc.o.d"
+  "/root/repo/src/decorr/planner/estimate.cc" "src/CMakeFiles/decorr.dir/decorr/planner/estimate.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/planner/estimate.cc.o.d"
+  "/root/repo/src/decorr/planner/planner.cc" "src/CMakeFiles/decorr.dir/decorr/planner/planner.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/planner/planner.cc.o.d"
+  "/root/repo/src/decorr/qgm/analysis.cc" "src/CMakeFiles/decorr.dir/decorr/qgm/analysis.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/qgm/analysis.cc.o.d"
+  "/root/repo/src/decorr/qgm/print.cc" "src/CMakeFiles/decorr.dir/decorr/qgm/print.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/qgm/print.cc.o.d"
+  "/root/repo/src/decorr/qgm/qgm.cc" "src/CMakeFiles/decorr.dir/decorr/qgm/qgm.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/qgm/qgm.cc.o.d"
+  "/root/repo/src/decorr/qgm/validate.cc" "src/CMakeFiles/decorr.dir/decorr/qgm/validate.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/qgm/validate.cc.o.d"
+  "/root/repo/src/decorr/rewrite/cleanup.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/cleanup.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/cleanup.cc.o.d"
+  "/root/repo/src/decorr/rewrite/dayal.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/dayal.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/dayal.cc.o.d"
+  "/root/repo/src/decorr/rewrite/ganski.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/ganski.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/ganski.cc.o.d"
+  "/root/repo/src/decorr/rewrite/kim.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/kim.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/kim.cc.o.d"
+  "/root/repo/src/decorr/rewrite/magic.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/magic.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/magic.cc.o.d"
+  "/root/repo/src/decorr/rewrite/pattern.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/pattern.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/pattern.cc.o.d"
+  "/root/repo/src/decorr/rewrite/strategy.cc" "src/CMakeFiles/decorr.dir/decorr/rewrite/strategy.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/rewrite/strategy.cc.o.d"
+  "/root/repo/src/decorr/runtime/csv.cc" "src/CMakeFiles/decorr.dir/decorr/runtime/csv.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/runtime/csv.cc.o.d"
+  "/root/repo/src/decorr/runtime/database.cc" "src/CMakeFiles/decorr.dir/decorr/runtime/database.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/runtime/database.cc.o.d"
+  "/root/repo/src/decorr/storage/column.cc" "src/CMakeFiles/decorr.dir/decorr/storage/column.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/storage/column.cc.o.d"
+  "/root/repo/src/decorr/storage/hash_index.cc" "src/CMakeFiles/decorr.dir/decorr/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/storage/hash_index.cc.o.d"
+  "/root/repo/src/decorr/storage/table.cc" "src/CMakeFiles/decorr.dir/decorr/storage/table.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/storage/table.cc.o.d"
+  "/root/repo/src/decorr/tpcd/queries.cc" "src/CMakeFiles/decorr.dir/decorr/tpcd/queries.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/tpcd/queries.cc.o.d"
+  "/root/repo/src/decorr/tpcd/tpcd.cc" "src/CMakeFiles/decorr.dir/decorr/tpcd/tpcd.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/tpcd/tpcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

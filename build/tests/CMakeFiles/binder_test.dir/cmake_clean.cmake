@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binder_test.dir/binder_test.cc.o"
+  "CMakeFiles/binder_test.dir/binder_test.cc.o.d"
+  "binder_test"
+  "binder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgm_test.dir/qgm_test.cc.o"
+  "CMakeFiles/qgm_test.dir/qgm_test.cc.o.d"
+  "qgm_test"
+  "qgm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_test.dir/tpcd_test.cc.o"
+  "CMakeFiles/tpcd_test.dir/tpcd_test.cc.o.d"
+  "tpcd_test"
+  "tpcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
