@@ -237,4 +237,5 @@ bench/CMakeFiles/fig6_query1_variant.dir/fig6_query1_variant.cc.o: \
  /root/repo/src/decorr/expr/expr.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/tpcd/tpcd.h /root/repo/src/decorr/tpcd/queries.h

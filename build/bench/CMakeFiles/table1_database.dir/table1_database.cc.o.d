@@ -237,5 +237,6 @@ bench/CMakeFiles/table1_database.dir/table1_database.cc.o: \
  /root/repo/src/decorr/expr/expr.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/tpcd/tpcd.h \
  /root/repo/src/decorr/common/string_util.h

@@ -228,4 +228,5 @@ examples/CMakeFiles/count_bug.dir/count_bug.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h
+ /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h

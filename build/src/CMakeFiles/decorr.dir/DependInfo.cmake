@@ -8,6 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decorr/analysis/plan_verify.cc" "src/CMakeFiles/decorr.dir/decorr/analysis/plan_verify.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/analysis/plan_verify.cc.o.d"
+  "/root/repo/src/decorr/analysis/rewrite_verify.cc" "src/CMakeFiles/decorr.dir/decorr/analysis/rewrite_verify.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/analysis/rewrite_verify.cc.o.d"
+  "/root/repo/src/decorr/analysis/type_check.cc" "src/CMakeFiles/decorr.dir/decorr/analysis/type_check.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/analysis/type_check.cc.o.d"
   "/root/repo/src/decorr/binder/binder.cc" "src/CMakeFiles/decorr.dir/decorr/binder/binder.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/binder/binder.cc.o.d"
   "/root/repo/src/decorr/catalog/catalog.cc" "src/CMakeFiles/decorr.dir/decorr/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/catalog/catalog.cc.o.d"
   "/root/repo/src/decorr/catalog/schema.cc" "src/CMakeFiles/decorr.dir/decorr/catalog/schema.cc.o" "gcc" "src/CMakeFiles/decorr.dir/decorr/catalog/schema.cc.o.d"

@@ -215,4 +215,5 @@ src/CMakeFiles/decorr.dir/decorr/exec/apply.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/decorr/common/string_util.h \
  /root/repo/src/decorr/expr/eval.h

@@ -216,4 +216,6 @@ src/CMakeFiles/decorr.dir/decorr/exec/join.cc.o: \
  /root/repo/src/decorr/storage/hash_index.h \
  /root/repo/src/decorr/storage/table.h /usr/include/c++/12/cstddef \
  /root/repo/src/decorr/catalog/schema.h /usr/include/c++/12/optional \
- /root/repo/src/decorr/storage/column.h /root/repo/src/decorr/expr/eval.h
+ /root/repo/src/decorr/storage/column.h \
+ /root/repo/src/decorr/common/string_util.h \
+ /root/repo/src/decorr/expr/eval.h

@@ -220,6 +220,7 @@ src/CMakeFiles/decorr.dir/decorr/rewrite/cleanup.cc.o: \
  /root/repo/src/decorr/common/value.h \
  /root/repo/src/decorr/storage/table.h /usr/include/c++/12/cstddef \
  /root/repo/src/decorr/storage/column.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/common/logging.h \
  /root/repo/src/decorr/qgm/analysis.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \

@@ -223,6 +223,7 @@ src/CMakeFiles/decorr.dir/decorr/rewrite/ganski.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/rewrite/magic.h \
  /root/repo/src/decorr/rewrite/strategy.h \
  /root/repo/src/decorr/rewrite/pattern.h

@@ -224,6 +224,7 @@ src/CMakeFiles/decorr.dir/decorr/rewrite/strategy.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/rewrite/dayal.h \
  /root/repo/src/decorr/rewrite/ganski.h \
  /root/repo/src/decorr/rewrite/kim.h \

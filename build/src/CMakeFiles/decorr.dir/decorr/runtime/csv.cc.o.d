@@ -228,4 +228,5 @@ src/CMakeFiles/decorr.dir/decorr/runtime/csv.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/common/string_util.h

@@ -228,5 +228,8 @@ src/CMakeFiles/decorr.dir/decorr/runtime/database.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
+ /root/repo/src/decorr/analysis/plan_verify.h \
+ /root/repo/src/decorr/analysis/rewrite_verify.h \
  /root/repo/src/decorr/common/string_util.h \
  /root/repo/src/decorr/qgm/print.h /root/repo/src/decorr/qgm/validate.h

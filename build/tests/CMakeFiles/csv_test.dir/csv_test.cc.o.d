@@ -308,4 +308,6 @@ tests/CMakeFiles/csv_test.dir/csv_test.cc.o: /root/repo/tests/csv_test.cc \
  /root/repo/src/decorr/exec/operator.h \
  /root/repo/src/decorr/planner/planner.h \
  /root/repo/src/decorr/binder/binder.h /root/repo/src/decorr/qgm/qgm.h \
- /root/repo/src/decorr/rewrite/strategy.h /root/repo/tests/test_util.h
+ /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
+ /root/repo/tests/test_util.h

@@ -310,4 +310,6 @@ tests/CMakeFiles/e2e_test.dir/e2e_test.cc.o: /root/repo/tests/e2e_test.cc \
  /root/repo/src/decorr/planner/planner.h \
  /root/repo/src/decorr/binder/binder.h /root/repo/src/decorr/parser/ast.h \
  /root/repo/src/decorr/expr/expr.h /root/repo/src/decorr/qgm/qgm.h \
- /root/repo/src/decorr/rewrite/strategy.h /root/repo/tests/test_util.h
+ /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
+ /root/repo/tests/test_util.h

@@ -312,4 +312,5 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/decorr/planner/planner.h \
  /root/repo/src/decorr/binder/binder.h /root/repo/src/decorr/parser/ast.h \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/tests/test_util.h

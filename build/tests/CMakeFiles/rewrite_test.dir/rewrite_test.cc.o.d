@@ -307,6 +307,7 @@ tests/CMakeFiles/rewrite_test.dir/rewrite_test.cc.o: \
  /root/repo/src/decorr/qgm/qgm.h /root/repo/src/decorr/qgm/analysis.h \
  /root/repo/src/decorr/qgm/print.h /root/repo/src/decorr/qgm/validate.h \
  /root/repo/src/decorr/rewrite/cleanup.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/rewrite/dayal.h \
  /root/repo/src/decorr/rewrite/ganski.h \
  /root/repo/src/decorr/rewrite/kim.h \

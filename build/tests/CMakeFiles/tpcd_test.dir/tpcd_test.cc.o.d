@@ -308,5 +308,6 @@ tests/CMakeFiles/tpcd_test.dir/tpcd_test.cc.o: \
  /root/repo/src/decorr/binder/binder.h /root/repo/src/decorr/parser/ast.h \
  /root/repo/src/decorr/expr/expr.h /root/repo/src/decorr/qgm/qgm.h \
  /root/repo/src/decorr/rewrite/strategy.h \
+ /root/repo/src/decorr/rewrite/rewrite_step.h \
  /root/repo/src/decorr/tpcd/queries.h /root/repo/src/decorr/tpcd/tpcd.h \
  /root/repo/tests/test_util.h

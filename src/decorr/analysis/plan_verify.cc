@@ -1,0 +1,131 @@
+#include "decorr/analysis/plan_verify.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "decorr/common/string_util.h"
+#include "decorr/expr/expr.h"
+
+namespace decorr {
+
+namespace {
+
+Status CheckPlannedExpr(const Expr& expr, int input_width, int num_params,
+                        const std::string& where) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      if (expr.qid >= 0) {
+        return Status::Internal(StrFormat(
+            "%s: unplanned column reference Q%d.%d in %s", where.c_str(),
+            expr.qid, expr.col, expr.ToString().c_str()));
+      }
+      if (expr.slot < 0 || expr.slot >= input_width) {
+        return Status::Internal(StrFormat(
+            "%s: slot %d out of range for input arity %d in %s",
+            where.c_str(), expr.slot, input_width, expr.ToString().c_str()));
+      }
+      break;
+    case ExprKind::kParamRef:
+      if (expr.param < 0 || expr.param >= num_params) {
+        return Status::Internal(StrFormat(
+            "%s: parameter %d not bound by an enclosing Apply (%d "
+            "parameter(s) in scope) in %s",
+            where.c_str(), expr.param, num_params, expr.ToString().c_str()));
+      }
+      break;
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kInSubquery:
+    case ExprKind::kQuantifiedComparison:
+      return Status::Internal(StrFormat(
+          "%s: subquery marker survived planning in %s", where.c_str(),
+          expr.ToString().c_str()));
+    case ExprKind::kAggregate:
+      return Status::Internal(StrFormat(
+          "%s: raw aggregate expression in a planned operator in %s",
+          where.c_str(), expr.ToString().c_str()));
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr.children) {
+    DECORR_RETURN_IF_ERROR(
+        CheckPlannedExpr(*child, input_width, num_params, where));
+  }
+  return Status::OK();
+}
+
+// (operator, parameter-scope size) pairs already verified — shared subplans
+// behind CachedMaterialize are checked once.
+using VisitedSet = std::set<std::pair<const Operator*, int>>;
+
+Status VerifyOp(const Operator& op, int num_params, const std::string& path,
+                VisitedSet* visited) {
+  if (!visited->insert({&op, num_params}).second) return Status::OK();
+  const std::string where =
+      path.empty() ? op.name() : path + " > " + op.name();
+
+  PlanIntrospection info;
+  op.Introspect(&info);
+
+  for (const PlanIntrospection::ExprSite& site : info.exprs) {
+    if (site.expr == nullptr) continue;
+    DECORR_RETURN_IF_ERROR(CheckPlannedExpr(
+        *site.expr, site.input_width, num_params,
+        where + " [" + site.role + "]"));
+  }
+  for (const PlanIntrospection::ParamBinding& binding : info.params) {
+    if (binding.from_outer) {
+      if (binding.index < 0 || binding.index >= num_params) {
+        return Status::Internal(StrFormat(
+            "%s [%s]: outer parameter %d not bound by an enclosing Apply "
+            "(%d parameter(s) in scope)",
+            where.c_str(), binding.role.c_str(), binding.index, num_params));
+      }
+    } else if (binding.index < 0 || binding.index >= binding.input_width) {
+      return Status::Internal(StrFormat(
+          "%s [%s]: parameter source slot %d out of range for input arity %d",
+          where.c_str(), binding.role.c_str(), binding.index,
+          binding.input_width));
+    }
+  }
+  for (const PlanIntrospection::KeyPair& pair : info.key_pairs) {
+    if (pair.left == nullptr || pair.right == nullptr) continue;
+    bool ok = false;
+    CommonType(pair.left->type, pair.right->type, &ok);
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "%s: join key type mismatch: %s (%s) vs %s (%s)", where.c_str(),
+          pair.left->ToString().c_str(), TypeName(pair.left->type),
+          pair.right->ToString().c_str(), TypeName(pair.right->type)));
+    }
+  }
+  for (const PlanIntrospection::OrdinalSite& site : info.ordinals) {
+    if (site.ordinal < 0 || site.ordinal >= site.width) {
+      return Status::Internal(StrFormat(
+          "%s: %s ordinal %d out of range [0, %d)", where.c_str(),
+          site.role.c_str(), site.ordinal, site.width));
+    }
+  }
+  for (const PlanIntrospection::Subplan& child : info.children) {
+    if (child.op == nullptr) continue;
+    const int child_params =
+        child.num_params == PlanIntrospection::kInheritParams
+            ? num_params
+            : child.num_params;
+    const std::string child_path =
+        child.role.empty() ? where : where + " [" + child.role + "]";
+    DECORR_RETURN_IF_ERROR(
+        VerifyOp(*child.op, child_params, child_path, visited));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyPlan(const Operator& root) {
+  VisitedSet visited;
+  return VerifyOp(root, /*num_params=*/0, /*path=*/"", &visited);
+}
+
+}  // namespace decorr

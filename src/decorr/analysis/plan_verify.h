@@ -1,0 +1,30 @@
+// Stage 3 of the static-analysis layer: the physical-plan verifier.
+//
+// Runs between Planner::PlanQuery and execution. Walks the operator tree
+// via Operator::Introspect and checks that
+//   * every planned expression is fully slotified: column refs carry a slot
+//     in range of the evaluating operator's input arity and no QGM
+//     quantifier id,
+//   * every kParamRef index is bound by an enclosing Apply / LateralJoin
+//     parameter scope,
+//   * join key expression types match (share a common type) on both sides,
+//   * no subquery-marker or raw aggregate expressions survive planning, and
+//   * reported column ordinals (projections, sort keys, probe columns,
+//     union branch widths) are in range.
+// Errors are Status::Internal with the operator path from the plan root
+// ("Project > Apply [subquery 0] > Filter").
+#ifndef DECORR_ANALYSIS_PLAN_VERIFY_H_
+#define DECORR_ANALYSIS_PLAN_VERIFY_H_
+
+#include "decorr/common/status.h"
+#include "decorr/exec/operator.h"
+
+namespace decorr {
+
+// Verifies the plan rooted at `root`, which executes with no enclosing
+// parameter scope.
+Status VerifyPlan(const Operator& root);
+
+}  // namespace decorr
+
+#endif  // DECORR_ANALYSIS_PLAN_VERIFY_H_

@@ -1,0 +1,250 @@
+#include "decorr/analysis/rewrite_verify.h"
+
+#include <set>
+
+#include "decorr/analysis/type_check.h"
+#include "decorr/common/string_util.h"
+#include "decorr/qgm/analysis.h"
+#include "decorr/qgm/validate.h"
+
+namespace decorr {
+
+namespace {
+
+bool IsSubqueryMarker(const Expr& expr) {
+  return expr.kind == ExprKind::kScalarSubquery ||
+         expr.kind == ExprKind::kExists ||
+         expr.kind == ExprKind::kInSubquery ||
+         expr.kind == ExprKind::kQuantifiedComparison;
+}
+
+// Whether the root eliminates duplicates — the "duplicate semantics" half of
+// the snapshot (arity/types being the other half).
+bool RootEliminatesDuplicates(const Box* root) {
+  if (root->kind() == BoxKind::kSelect) return root->distinct;
+  if (root->kind() == BoxKind::kUnion) return !root->union_all;
+  return false;
+}
+
+// A predicate with at least one reference to a quantifier not owned by
+// `box`. Returns the offending external side (or nullptr for local preds).
+bool PredicateIsCorrelated(const QueryGraph* graph, const Box* box,
+                           const Expr& pred) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(pred, &refs);
+  for (const Expr* ref : refs) {
+    const Quantifier* q = graph->FindQuantifier(ref->qid);
+    if (q != nullptr && q->owner != box) return true;
+  }
+  return false;
+}
+
+// True if `pred` is `local_col = outer_col` (either side order): one operand
+// a column ref owned by `box`, the other a column ref owned elsewhere.
+bool IsBindingEquality(const QueryGraph* graph, const Box* box,
+                       const Expr& pred) {
+  if (pred.kind != ExprKind::kComparison || pred.op != BinaryOp::kEq ||
+      pred.children.size() != 2) {
+    return false;
+  }
+  const Expr& a = *pred.children[0];
+  const Expr& b = *pred.children[1];
+  if (a.kind != ExprKind::kColumnRef || b.kind != ExprKind::kColumnRef) {
+    return false;
+  }
+  const Quantifier* qa = graph->FindQuantifier(a.qid);
+  const Quantifier* qb = graph->FindQuantifier(b.qid);
+  if (qa == nullptr || qb == nullptr) return false;
+  const bool a_local = qa->owner == box;
+  const bool b_local = qb->owner == box;
+  return a_local != b_local;
+}
+
+std::string Describe(const Box* box) {
+  std::string desc = StrFormat("box %d (%s %s", box->id(),
+                               BoxKindName(box->kind()),
+                               BoxRoleName(box->role));
+  if (!box->label.empty()) desc += " \"" + box->label + "\"";
+  return desc + ")";
+}
+
+}  // namespace
+
+int CountSubqueryConstructs(QueryGraph* graph) {
+  int count = 0;
+  if (graph->root() == nullptr) return 0;
+  for (Box* box : SubtreeBoxes(graph->root())) {
+    for (const Quantifier* q : box->quantifiers()) {
+      if (q->kind != QuantifierKind::kForeach) ++count;
+    }
+    for (const Expr* expr : box->AllExprs()) {
+      VisitExpr(*expr, [&count](const Expr& node) {
+        if (IsSubqueryMarker(node)) ++count;
+      });
+    }
+  }
+  return count;
+}
+
+int CountCorrelatedRefs(QueryGraph* graph) {
+  int count = 0;
+  if (graph->root() == nullptr) return 0;
+  for (Box* box : SubtreeBoxes(graph->root())) {
+    for (const Expr* expr : box->AllExprs()) {
+      std::vector<const Expr*> refs;
+      CollectColumnRefs(*expr, &refs);
+      for (const Expr* ref : refs) {
+        const Quantifier* q = graph->FindQuantifier(ref->qid);
+        if (q != nullptr && q->owner != box) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Status CheckRoleShapes(QueryGraph* graph) {
+  if (graph->root() == nullptr) return Status::Internal("QGM has no root box");
+  for (Box* box : SubtreeBoxes(graph->root())) {
+    switch (box->role) {
+      case BoxRole::kNone:
+        break;
+      case BoxRole::kSupp:
+      case BoxRole::kMagic:
+      case BoxRole::kDco:
+      case BoxRole::kCi:
+        if (box->kind() != BoxKind::kSelect) {
+          return Status::Internal(
+              Describe(box) + ": magic-family role on a non-Select box");
+        }
+        break;
+    }
+    if (box->role == BoxRole::kMagic) {
+      if (!box->distinct) {
+        return Status::Internal(
+            Describe(box) +
+            ": MAGIC box must be DISTINCT (it projects the binding set)");
+      }
+      if (box->quantifiers().empty()) {
+        return Status::Internal(Describe(box) + ": MAGIC box has no input");
+      }
+    }
+    if (box->role == BoxRole::kDco && box->dco_magic_qid >= 0) {
+      if (box->quantifiers().size() != 2 ||
+          !box->OwnsQuantifier(box->dco_magic_qid) ||
+          !box->OwnsQuantifier(box->dco_child_qid)) {
+        return Status::Internal(
+            Describe(box) +
+            ": live DCO must own exactly its magic and child quantifiers");
+      }
+      const Quantifier* q_m = box->FindQuantifier(box->dco_magic_qid);
+      if (q_m->child->role != BoxRole::kMagic) {
+        return Status::Internal(StrFormat(
+            "%s: magic-side quantifier Q%d ranges over %s, not a MAGIC box",
+            Describe(box).c_str(), q_m->id, Describe(q_m->child).c_str()));
+      }
+    }
+    if (box->role == BoxRole::kCi) {
+      for (const ExprPtr& pred : box->predicates) {
+        if (!PredicateIsCorrelated(graph, box, *pred)) continue;
+        if (!IsBindingEquality(graph, box, *pred)) {
+          return Status::Internal(StrFormat(
+              "%s: correlated CI predicate is not a binding equality: %s",
+              Describe(box).c_str(), pred->ToString().c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RewriteVerifier::Begin() {
+  Box* root = graph_->root();
+  if (root == nullptr) return Status::Internal("QGM has no root box");
+  DECORR_RETURN_IF_ERROR(Validate(graph_));
+  DECORR_RETURN_IF_ERROR(TypeCheckGraph(graph_));
+  root_types_.clear();
+  for (int i = 0; i < root->num_outputs(); ++i) {
+    root_types_.push_back(root->OutputType(i));
+  }
+  root_dup_eliminating_ = RootEliminatesDuplicates(root);
+  subquery_constructs_ = CountSubqueryConstructs(graph_);
+  initial_correlated_refs_ = CountCorrelatedRefs(graph_);
+  return Status::OK();
+}
+
+Status RewriteVerifier::Verify(const std::string& stage) {
+  Box* root = graph_->root();
+  if (root == nullptr) {
+    return Status::Internal("rewrite step '" + stage + "' lost the root box");
+  }
+  auto fail = [&stage](const Status& st) {
+    return Status::Internal(StrFormat("after rewrite step '%s': %s",
+                                      stage.c_str(),
+                                      st.message().c_str()));
+  };
+  Status st = Validate(graph_);
+  if (!st.ok()) return fail(st);
+  st = TypeCheckGraph(graph_);
+  if (!st.ok()) return fail(st);
+  st = CheckRoleShapes(graph_);
+  if (!st.ok()) return fail(st);
+
+  if (root->num_outputs() != static_cast<int>(root_types_.size())) {
+    return Status::Internal(StrFormat(
+        "rewrite step '%s' changed the root arity from %zu to %d",
+        stage.c_str(), root_types_.size(), root->num_outputs()));
+  }
+  for (size_t i = 0; i < root_types_.size(); ++i) {
+    bool ok = false;
+    CommonType(root_types_[i], root->OutputType(static_cast<int>(i)), &ok);
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "rewrite step '%s' changed root column %zu from %s to %s",
+          stage.c_str(), i, TypeName(root_types_[i]),
+          TypeName(root->OutputType(static_cast<int>(i)))));
+    }
+  }
+  if (RootEliminatesDuplicates(root) != root_dup_eliminating_) {
+    return Status::Internal(StrFormat(
+        "rewrite step '%s' changed the root's duplicate semantics "
+        "(DISTINCT %s -> %s)",
+        stage.c_str(), root_dup_eliminating_ ? "on" : "off",
+        root_dup_eliminating_ ? "off" : "on"));
+  }
+
+  const int constructs = CountSubqueryConstructs(graph_);
+  if (constructs > subquery_constructs_) {
+    return Status::Internal(StrFormat(
+        "rewrite step '%s' increased subquery constructs from %d to %d",
+        stage.c_str(), subquery_constructs_, constructs));
+  }
+  subquery_constructs_ = constructs;
+  return Status::OK();
+}
+
+Status RewriteVerifier::CheckStep(const std::string& rule) {
+  ++steps_;
+  return Verify(rule);
+}
+
+Status RewriteVerifier::Finish() {
+  DECORR_RETURN_IF_ERROR(Verify("finish"));
+  const bool magic_family = strategy_ == Strategy::kMagic ||
+                            strategy_ == Strategy::kOptMagic ||
+                            strategy_ == Strategy::kGanskiWong;
+  if (magic_family) {
+    const int correlated = CountCorrelatedRefs(graph_);
+    if (correlated > initial_correlated_refs_) {
+      return Status::Internal(StrFormat(
+          "%s increased correlated references end-to-end from %d to %d",
+          StrategyName(strategy_), initial_correlated_refs_, correlated));
+    }
+  }
+  return Status::OK();
+}
+
+RewriteStepFn RewriteVerifier::AsCallback() {
+  return [this](const std::string& rule) { return CheckStep(rule); };
+}
+
+}  // namespace decorr

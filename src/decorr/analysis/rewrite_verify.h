@@ -1,0 +1,85 @@
+// Stage 2 of the static-analysis layer: the rewrite verification harness.
+//
+// A RewriteVerifier snapshots the root box's typed schema and duplicate
+// semantics before ApplyStrategy and re-checks the graph after every
+// individual rule application (via the RewriteStepFn hook threaded through
+// rewrite/strategy.cc, rewrite/magic.cc and rewrite/cleanup.cc):
+//   * Validate() + TypeCheckGraph() still hold,
+//   * the root's arity and per-column types are preserved and its
+//     duplicate-elimination semantics is unchanged,
+//   * the number of subquery constructs (marker expressions plus
+//     existential/universal/scalar quantifiers) never increases — every
+//     decorrelation rule removes or preserves them, none introduces one,
+//   * SUPP/MAGIC/DCO/CI role tags satisfy their shape invariants from
+//     Section 4 of the paper.
+// Finish() additionally asserts, for the magic family (Mag/OptMag/Ganski),
+// that the end-to-end correlated-reference count did not increase. (The
+// per-step count may transiently rise: FEED retargets the child's refs onto
+// the DCO's magic quantifier and adds CI binding predicates before ABSORB
+// localizes them.)
+#ifndef DECORR_ANALYSIS_REWRITE_VERIFY_H_
+#define DECORR_ANALYSIS_REWRITE_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/rewrite_step.h"
+#include "decorr/rewrite/strategy.h"
+
+namespace decorr {
+
+// Subquery marker expressions plus E/A/S quantifiers reachable from the
+// root. Monotonically non-increasing across every rewrite step.
+int CountSubqueryConstructs(QueryGraph* graph);
+
+// Column-reference sites located in a box other than the one owning the
+// referenced quantifier — the graph's correlation sites.
+int CountCorrelatedRefs(QueryGraph* graph);
+
+// Shape invariants of the boxes magic decorrelation creates (Section 4):
+//   SUPP / MAGIC / DCO / CI are Select boxes; MAGIC is DISTINCT with at
+//   least one quantifier; a DCO with live bookkeeping owns exactly its
+//   magic-side and child-side quantifiers, the former over a MAGIC box;
+//   every correlated CI predicate is a binding equality (local column =
+//   outer column).
+Status CheckRoleShapes(QueryGraph* graph);
+
+class RewriteVerifier {
+ public:
+  RewriteVerifier(QueryGraph* graph, Strategy strategy)
+      : graph_(graph), strategy_(strategy) {}
+
+  // Validates + type-checks the freshly bound graph and takes the
+  // snapshots. Call before ApplyStrategy.
+  Status Begin();
+
+  // Re-checks all invariants; `rule` names the rewrite rule just applied
+  // and is quoted in error messages.
+  Status CheckStep(const std::string& rule);
+
+  // End-of-strategy check: everything CheckStep checks plus the end-to-end
+  // correlation-count rule for the magic family.
+  Status Finish();
+
+  // Adapter usable as the per-step callback of ApplyStrategy.
+  RewriteStepFn AsCallback();
+
+  int steps_observed() const { return steps_; }
+
+ private:
+  Status Verify(const std::string& stage);
+
+  QueryGraph* graph_;
+  Strategy strategy_;
+  int steps_ = 0;
+  std::vector<TypeId> root_types_;
+  bool root_dup_eliminating_ = false;
+  int subquery_constructs_ = 0;
+  int initial_correlated_refs_ = 0;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_ANALYSIS_REWRITE_VERIFY_H_

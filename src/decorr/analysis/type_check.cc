@@ -1,0 +1,468 @@
+#include "decorr/analysis/type_check.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "decorr/common/string_util.h"
+#include "decorr/expr/expr.h"
+#include "decorr/qgm/analysis.h"
+
+namespace decorr {
+
+namespace {
+
+class TypeChecker {
+ public:
+  explicit TypeChecker(QueryGraph* graph) : graph_(graph) {}
+
+  Status Run() {
+    Box* root = graph_->root();
+    if (root == nullptr) return Status::Internal("QGM has no root box");
+    BuildPaths(root);
+    for (Box* box : SubtreeBoxes(root)) {
+      DECORR_RETURN_IF_ERROR(CheckBox(box));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Records a root-relative quantifier path for every reachable box (first
+  // discovery wins on DAGs) so error messages can pinpoint the failing box.
+  void BuildPaths(Box* root) {
+    paths_[root] = "root";
+    std::vector<Box*> stack = {root};
+    while (!stack.empty()) {
+      Box* cur = stack.back();
+      stack.pop_back();
+      for (const Quantifier* q : cur->quantifiers()) {
+        if (paths_.count(q->child)) continue;
+        paths_[q->child] = StrFormat("%s>Q%d", paths_[cur].c_str(), q->id);
+        stack.push_back(q->child);
+      }
+    }
+  }
+
+  std::string Where(const Box* box) const {
+    std::string desc = StrFormat("box %d (%s", box->id(),
+                                 BoxKindName(box->kind()));
+    if (box->role != BoxRole::kNone) {
+      desc += StrFormat(" %s", BoxRoleName(box->role));
+    }
+    if (!box->label.empty()) desc += " \"" + box->label + "\"";
+    desc += ")";
+    auto it = paths_.find(box);
+    desc += " at " + (it != paths_.end() ? it->second
+                                         : std::string("<unreachable>"));
+    return desc;
+  }
+
+  // The typed output schema of `box`, derived bottom-up and memoized.
+  Result<std::vector<TypeId>> SchemaOf(Box* box) {
+    auto memo = schemas_.find(box);
+    if (memo != schemas_.end()) return memo->second;
+    if (!in_progress_.insert(box).second) {
+      return Status::Internal(Where(box) +
+                              ": cycle through quantifier edges");
+    }
+    std::vector<TypeId> schema;
+    if (box->kind() == BoxKind::kBaseTable) {
+      if (!box->table) {
+        in_progress_.erase(box);
+        return Status::Internal(Where(box) + ": base table box has no table");
+      }
+      for (const ColumnDef& col : box->table->schema().columns()) {
+        schema.push_back(col.type);
+      }
+    } else {
+      const bool allow_agg = box->kind() == BoxKind::kGroupBy;
+      for (size_t i = 0; i < box->outputs.size(); ++i) {
+        const OutputColumn& out = box->outputs[i];
+        if (!out.expr) {
+          in_progress_.erase(box);
+          return Status::Internal(
+              StrFormat("%s: output %zu has no expression", Where(box).c_str(),
+                        i));
+        }
+        auto type = CheckExpr(box, *out.expr, allow_agg);
+        if (!type.ok()) {
+          in_progress_.erase(box);
+          return type.status();
+        }
+        schema.push_back(*type);
+      }
+    }
+    in_progress_.erase(box);
+    schemas_[box] = schema;
+    return schema;
+  }
+
+  Status CheckBox(Box* box) {
+    DECORR_RETURN_IF_ERROR(SchemaOf(box).status());
+    for (const ExprPtr& pred : box->predicates) {
+      DECORR_ASSIGN_OR_RETURN(TypeId type,
+                              CheckExpr(box, *pred, /*allow_agg=*/false));
+      if (type != TypeId::kBool && type != TypeId::kNull) {
+        return Status::Internal(StrFormat(
+            "%s: predicate of type %s is not boolean: %s", Where(box).c_str(),
+            TypeName(type), pred->ToString().c_str()));
+      }
+    }
+    for (const ExprPtr& key : box->group_by) {
+      DECORR_RETURN_IF_ERROR(
+          CheckExpr(box, *key, /*allow_agg=*/false).status());
+    }
+    if (box->kind() == BoxKind::kUnion) {
+      DECORR_RETURN_IF_ERROR(CheckUnionInputs(box));
+    }
+    return Status::OK();
+  }
+
+  // Union inputs must agree in arity and, column by column, share a common
+  // type that the union's own output annotation is compatible with.
+  Status CheckUnionInputs(Box* box) {
+    const int arity = box->num_outputs();
+    std::vector<TypeId> common(arity, TypeId::kNull);
+    for (const Quantifier* q : box->quantifiers()) {
+      DECORR_ASSIGN_OR_RETURN(std::vector<TypeId> input, SchemaOf(q->child));
+      if (static_cast<int>(input.size()) != arity) {
+        return Status::Internal(StrFormat(
+            "%s: union input Q%d has arity %zu, expected %d",
+            Where(box).c_str(), q->id, input.size(), arity));
+      }
+      for (int i = 0; i < arity; ++i) {
+        bool ok = false;
+        common[i] = CommonType(common[i], input[i], &ok);
+        if (!ok) {
+          return Status::Internal(StrFormat(
+              "%s: union input column %d type mismatch (%s vs %s via Q%d)",
+              Where(box).c_str(), i, TypeName(common[i]), TypeName(input[i]),
+              q->id));
+        }
+      }
+    }
+    for (int i = 0; i < arity; ++i) {
+      bool ok = false;
+      CommonType(common[i], box->OutputType(i), &ok);
+      if (!ok) {
+        return Status::Internal(StrFormat(
+            "%s: union output column %d annotated %s but inputs produce %s",
+            Where(box).c_str(), i, TypeName(box->OutputType(i)),
+            TypeName(common[i])));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Reconciles the freshly computed type with the expression's stored
+  // annotation; returns their common type (the annotation may legally widen,
+  // e.g. union outputs annotate the cross-branch common type).
+  Result<TypeId> Reconcile(Box* box, const Expr& expr, TypeId computed) {
+    bool ok = false;
+    const TypeId merged = CommonType(computed, expr.type, &ok);
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "%s: expression %s annotated %s but computes to %s",
+          Where(box).c_str(), expr.ToString().c_str(), TypeName(expr.type),
+          TypeName(computed)));
+    }
+    return merged;
+  }
+
+  // The schema of the subquery box behind marker `expr` (guarding against
+  // graphs Validate() would reject, so the checker never crashes first).
+  Result<std::vector<TypeId>> MarkerSchema(Box* box, const Expr& expr) {
+    const Quantifier* q = graph_->FindQuantifier(expr.sub_qid);
+    if (q == nullptr) {
+      return Status::Internal(StrFormat(
+          "%s: subquery marker references dangling Q%d in %s",
+          Where(box).c_str(), expr.sub_qid, expr.ToString().c_str()));
+    }
+    DECORR_ASSIGN_OR_RETURN(std::vector<TypeId> schema, SchemaOf(q->child));
+    if (expr.kind != ExprKind::kExists && schema.empty()) {
+      return Status::Internal(StrFormat(
+          "%s: subquery behind Q%d produces no columns in %s",
+          Where(box).c_str(), expr.sub_qid, expr.ToString().c_str()));
+    }
+    return schema;
+  }
+
+  Result<TypeId> CheckExpr(Box* box, const Expr& expr, bool allow_agg) {
+    const bool child_agg =
+        allow_agg && expr.kind != ExprKind::kAggregate;
+    std::vector<TypeId> kids;
+    kids.reserve(expr.children.size());
+    for (const ExprPtr& child : expr.children) {
+      DECORR_ASSIGN_OR_RETURN(TypeId t, CheckExpr(box, *child, child_agg));
+      kids.push_back(t);
+    }
+    switch (expr.kind) {
+      case ExprKind::kConstant:
+        return Reconcile(box, expr, expr.value.type());
+      case ExprKind::kColumnRef: {
+        if (expr.qid < 0) {
+          return Status::Internal(StrFormat(
+              "%s: planned slot reference (slot %d) in bound expression %s",
+              Where(box).c_str(), expr.slot, expr.ToString().c_str()));
+        }
+        const Quantifier* q = graph_->FindQuantifier(expr.qid);
+        if (q == nullptr) {
+          return Status::Internal(StrFormat(
+              "%s: reference to dangling Q%d in %s", Where(box).c_str(),
+              expr.qid, expr.ToString().c_str()));
+        }
+        DECORR_ASSIGN_OR_RETURN(std::vector<TypeId> schema,
+                                SchemaOf(q->child));
+        if (expr.col < 0 || expr.col >= static_cast<int>(schema.size())) {
+          return Status::Internal(StrFormat(
+              "%s: ordinal %d out of range for Q%d (arity %zu) in %s",
+              Where(box).c_str(), expr.col, expr.qid, schema.size(),
+              expr.ToString().c_str()));
+        }
+        bool ok = false;
+        CommonType(schema[expr.col], expr.type, &ok);
+        if (!ok) {
+          return Status::Internal(StrFormat(
+              "%s: column reference %s annotated %s but Q%d.%d produces %s",
+              Where(box).c_str(), expr.ToString().c_str(),
+              TypeName(expr.type), expr.qid, expr.col,
+              TypeName(schema[expr.col])));
+        }
+        return expr.type == TypeId::kNull ? schema[expr.col] : expr.type;
+      }
+      case ExprKind::kParamRef:
+        return Status::Internal(StrFormat(
+            "%s: parameter reference in bound (unplanned) expression %s",
+            Where(box).c_str(), expr.ToString().c_str()));
+      case ExprKind::kComparison: {
+        bool ok = false;
+        CommonType(kids[0], kids[1], &ok);
+        if (!ok) {
+          return Status::Internal(StrFormat(
+              "%s: incomparable operand types %s vs %s in %s",
+              Where(box).c_str(), TypeName(kids[0]), TypeName(kids[1]),
+              expr.ToString().c_str()));
+        }
+        return Reconcile(box, expr, TypeId::kBool);
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kNot:
+        for (size_t i = 0; i < kids.size(); ++i) {
+          if (kids[i] != TypeId::kBool && kids[i] != TypeId::kNull) {
+            return Status::Internal(StrFormat(
+                "%s: boolean operand expected but got %s in %s",
+                Where(box).c_str(), TypeName(kids[i]),
+                expr.ToString().c_str()));
+          }
+        }
+        return Reconcile(box, expr, TypeId::kBool);
+      case ExprKind::kArithmetic: {
+        if (!IsNumeric(kids[0]) || !IsNumeric(kids[1])) {
+          return Status::Internal(StrFormat(
+              "%s: numeric operands expected (%s, %s) in %s",
+              Where(box).c_str(), TypeName(kids[0]), TypeName(kids[1]),
+              expr.ToString().c_str()));
+        }
+        bool ok = false;
+        TypeId common = CommonType(kids[0], kids[1], &ok);
+        TypeId computed =
+            expr.op == BinaryOp::kDiv ? TypeId::kDouble : common;
+        if (computed == TypeId::kNull) computed = TypeId::kInt64;
+        return Reconcile(box, expr, computed);
+      }
+      case ExprKind::kNegate:
+        if (!IsNumeric(kids[0])) {
+          return Status::Internal(StrFormat(
+              "%s: numeric operand expected but got %s in %s",
+              Where(box).c_str(), TypeName(kids[0]),
+              expr.ToString().c_str()));
+        }
+        return Reconcile(
+            box, expr, kids[0] == TypeId::kNull ? TypeId::kInt64 : kids[0]);
+      case ExprKind::kIsNull:
+        return Reconcile(box, expr, TypeId::kBool);
+      case ExprKind::kCase: {
+        if (expr.children.size() < 2) {
+          return Status::Internal(Where(box) +
+                                  ": CASE needs at least one WHEN branch");
+        }
+        const size_t pairs = expr.children.size() / 2;
+        TypeId common = TypeId::kNull;
+        for (size_t i = 0; i < pairs; ++i) {
+          const TypeId cond = kids[2 * i];
+          if (cond != TypeId::kBool && cond != TypeId::kNull) {
+            return Status::Internal(StrFormat(
+                "%s: CASE WHEN condition of type %s is not boolean in %s",
+                Where(box).c_str(), TypeName(cond), expr.ToString().c_str()));
+          }
+          bool ok = false;
+          common = CommonType(common, kids[2 * i + 1], &ok);
+          if (!ok) {
+            return Status::Internal(StrFormat(
+                "%s: inconsistent CASE branch types (%s vs %s) in %s",
+                Where(box).c_str(), TypeName(common),
+                TypeName(kids[2 * i + 1]), expr.ToString().c_str()));
+          }
+        }
+        if (expr.children.size() % 2 == 1) {
+          bool ok = false;
+          common = CommonType(common, kids.back(), &ok);
+          if (!ok) {
+            return Status::Internal(StrFormat(
+                "%s: CASE ELSE type %s incompatible with branches (%s) in %s",
+                Where(box).c_str(), TypeName(kids.back()), TypeName(common),
+                expr.ToString().c_str()));
+          }
+        }
+        return Reconcile(box, expr, common);
+      }
+      case ExprKind::kLike:
+        for (size_t i = 0; i < kids.size(); ++i) {
+          if (kids[i] != TypeId::kString && kids[i] != TypeId::kNull) {
+            return Status::Internal(StrFormat(
+                "%s: LIKE expects string operands but got %s in %s",
+                Where(box).c_str(), TypeName(kids[i]),
+                expr.ToString().c_str()));
+          }
+        }
+        return Reconcile(box, expr, TypeId::kBool);
+      case ExprKind::kInList:
+        for (size_t i = 1; i < kids.size(); ++i) {
+          bool ok = false;
+          CommonType(kids[0], kids[i], &ok);
+          if (!ok) {
+            return Status::Internal(StrFormat(
+                "%s: IN-list item of type %s incomparable with %s in %s",
+                Where(box).c_str(), TypeName(kids[i]), TypeName(kids[0]),
+                expr.ToString().c_str()));
+          }
+        }
+        return Reconcile(box, expr, TypeId::kBool);
+      case ExprKind::kFunction:
+        return CheckFunction(box, expr, kids);
+      case ExprKind::kAggregate:
+        return CheckAggregate(box, expr, kids, allow_agg);
+      case ExprKind::kScalarSubquery: {
+        DECORR_ASSIGN_OR_RETURN(std::vector<TypeId> schema,
+                                MarkerSchema(box, expr));
+        return Reconcile(box, expr, schema[0]);
+      }
+      case ExprKind::kExists:
+        DECORR_RETURN_IF_ERROR(MarkerSchema(box, expr).status());
+        return Reconcile(box, expr, TypeId::kBool);
+      case ExprKind::kInSubquery:
+      case ExprKind::kQuantifiedComparison: {
+        DECORR_ASSIGN_OR_RETURN(std::vector<TypeId> schema,
+                                MarkerSchema(box, expr));
+        bool ok = false;
+        CommonType(kids[0], schema[0], &ok);
+        if (!ok) {
+          return Status::Internal(StrFormat(
+              "%s: subquery comparison operand %s incomparable with "
+              "subquery column type %s in %s",
+              Where(box).c_str(), TypeName(kids[0]), TypeName(schema[0]),
+              expr.ToString().c_str()));
+        }
+        return Reconcile(box, expr, TypeId::kBool);
+      }
+    }
+    return Status::Internal(Where(box) + ": unknown expression kind");
+  }
+
+  Result<TypeId> CheckFunction(Box* box, const Expr& expr,
+                               const std::vector<TypeId>& kids) {
+    switch (expr.func) {
+      case FuncKind::kCoalesce: {
+        if (kids.empty()) {
+          return Status::Internal(Where(box) +
+                                  ": COALESCE needs at least one argument");
+        }
+        TypeId common = TypeId::kNull;
+        for (size_t i = 0; i < kids.size(); ++i) {
+          bool ok = false;
+          common = CommonType(common, kids[i], &ok);
+          if (!ok) {
+            return Status::Internal(StrFormat(
+                "%s: incompatible COALESCE argument types (%s vs %s) in %s",
+                Where(box).c_str(), TypeName(common), TypeName(kids[i]),
+                expr.ToString().c_str()));
+          }
+        }
+        return Reconcile(box, expr, common);
+      }
+      case FuncKind::kAbs:
+        if (kids.size() != 1 || !IsNumeric(kids[0])) {
+          return Status::Internal(StrFormat(
+              "%s: ABS expects one numeric argument in %s",
+              Where(box).c_str(), expr.ToString().c_str()));
+        }
+        return Reconcile(
+            box, expr, kids[0] == TypeId::kNull ? TypeId::kDouble : kids[0]);
+      case FuncKind::kUpper:
+      case FuncKind::kLower:
+      case FuncKind::kLength:
+        if (kids.size() != 1 ||
+            (kids[0] != TypeId::kString && kids[0] != TypeId::kNull)) {
+          return Status::Internal(StrFormat(
+              "%s: %s expects one string argument in %s", Where(box).c_str(),
+              FuncKindName(expr.func), expr.ToString().c_str()));
+        }
+        return Reconcile(box, expr,
+                         expr.func == FuncKind::kLength ? TypeId::kInt64
+                                                        : TypeId::kString);
+    }
+    return Status::Internal(Where(box) + ": unknown function");
+  }
+
+  Result<TypeId> CheckAggregate(Box* box, const Expr& expr,
+                                const std::vector<TypeId>& kids,
+                                bool allow_agg) {
+    if (!allow_agg) {
+      // Nested aggregates, or an aggregate outside a group-by box's output
+      // list (validate also rejects the latter — the message here pinpoints
+      // the nesting case).
+      return Status::Internal(StrFormat(
+          "%s: aggregate in illegal position in %s", Where(box).c_str(),
+          expr.ToString().c_str()));
+    }
+    const TypeId arg = kids.empty() ? TypeId::kNull : kids[0];
+    switch (expr.agg) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Reconcile(box, expr, TypeId::kInt64);
+      case AggKind::kSum:
+        if (!IsNumeric(arg)) {
+          return Status::Internal(StrFormat(
+              "%s: SUM over non-numeric %s argument in %s",
+              Where(box).c_str(), TypeName(arg), expr.ToString().c_str()));
+        }
+        return Reconcile(box, expr, arg);
+      case AggKind::kAvg:
+        if (!IsNumeric(arg)) {
+          return Status::Internal(StrFormat(
+              "%s: AVG over non-numeric %s argument in %s",
+              Where(box).c_str(), TypeName(arg), expr.ToString().c_str()));
+        }
+        return Reconcile(box, expr, TypeId::kDouble);
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return Reconcile(box, expr, arg);
+    }
+    return Status::Internal(Where(box) + ": unknown aggregate");
+  }
+
+  QueryGraph* graph_;
+  std::map<const Box*, std::vector<TypeId>> schemas_;
+  std::set<const Box*> in_progress_;
+  std::map<const Box*, std::string> paths_;
+};
+
+}  // namespace
+
+Status TypeCheckGraph(QueryGraph* graph) {
+  return TypeChecker(graph).Run();
+}
+
+}  // namespace decorr

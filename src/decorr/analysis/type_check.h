@@ -1,0 +1,31 @@
+// Stage 1 of the static-analysis layer: the QGM type checker.
+//
+// Validate() (decorr/qgm/validate.h) checks *structure*; this pass checks
+// *types*. It derives every box's typed output schema bottom-up and
+// re-infers a type for every bound expression, checking that
+//   * comparison operands are comparable and arithmetic operands numeric,
+//   * aggregate argument types are legal (SUM/AVG numeric, ...),
+//   * CASE branches and COALESCE arguments share a common type,
+//   * union inputs are type-compatible column by column,
+//   * every column reference is compatible with the type its producer box
+//     actually outputs (annotations drift when rewrites rebase refs), and
+//   * no planned-form leftovers (slot refs, parameter refs) appear in a
+//     bound graph.
+// Errors are Status::Internal with a pinpointed box path
+// ("box 7 (kSelect CI \"CI7\") at root>Q2>Q5") so harness failures are
+// actionable.
+#ifndef DECORR_ANALYSIS_TYPE_CHECK_H_
+#define DECORR_ANALYSIS_TYPE_CHECK_H_
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// Type-checks every box reachable from the root. Boxes left dangling by an
+// in-flight rewrite (unreachable until the next GarbageCollect) are ignored.
+Status TypeCheckGraph(QueryGraph* graph);
+
+}  // namespace decorr
+
+#endif  // DECORR_ANALYSIS_TYPE_CHECK_H_

@@ -1,5 +1,6 @@
 #include "decorr/exec/aggregate.h"
 
+#include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
 namespace decorr {
@@ -172,6 +173,28 @@ void DistinctOp::Close() {
 
 std::string DistinctOp::ToString(int indent) const {
   return Indent(indent) + "Distinct\n" + child_->ToString(indent + 1);
+}
+
+
+void HashAggregateOp::Introspect(PlanIntrospection* out) const {
+  const int w = child_->output_width();
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
+  for (size_t i = 0; i < group_keys_.size(); ++i) {
+    out->exprs.push_back(
+        {group_keys_[i].get(), w, StrFormat("group key %zu", i)});
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (aggs_[i].arg) {
+      out->exprs.push_back(
+          {aggs_[i].arg.get(), w, StrFormat("aggregate %zu argument", i)});
+    }
+  }
+}
+
+void DistinctOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
 }
 
 }  // namespace decorr

@@ -38,6 +38,7 @@ class HashAggregateOp : public Operator {
   int output_width() const override {
     return static_cast<int>(group_keys_.size() + aggs_.size());
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   struct AggState {
@@ -72,6 +73,7 @@ class DistinctOp : public Operator {
   std::string name() const override { return "Distinct"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr child_;

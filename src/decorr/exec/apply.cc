@@ -1,5 +1,6 @@
 #include "decorr/exec/apply.h"
 
+#include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
 namespace decorr {
@@ -301,6 +302,59 @@ void LateralJoinOp::Close() {
 std::string LateralJoinOp::ToString(int indent) const {
   return Indent(indent) + "LateralJoin\n" + input_->ToString(indent + 1) +
          inner_->ToString(indent + 1);
+}
+
+
+void ApplyOp::Introspect(PlanIntrospection* out) const {
+  const int w = input_->output_width();
+  out->children.push_back(
+      {input_.get(), PlanIntrospection::kInheritParams, "input"});
+  for (size_t i = 0; i < subqueries_.size(); ++i) {
+    const SubqueryPlan& sub = subqueries_[i];
+    out->children.push_back({sub.plan.get(),
+                             static_cast<int>(sub.params.size()),
+                             StrFormat("subquery %zu", i)});
+    for (size_t j = 0; j < sub.params.size(); ++j) {
+      out->params.push_back({sub.params[j].from_outer, sub.params[j].index,
+                             w, StrFormat("subquery %zu param %zu", i, j)});
+    }
+    if (sub.lhs) {
+      out->exprs.push_back(
+          {sub.lhs.get(), w, StrFormat("subquery %zu lhs", i)});
+    }
+  }
+}
+
+void GroupProbeApplyOp::Introspect(PlanIntrospection* out) const {
+  const int w = input_->output_width();
+  out->children.push_back(
+      {input_.get(), PlanIntrospection::kInheritParams, "input"});
+  // The decorrelated inner plan is parameter-free by construction (the
+  // planner falls back to ApplyOp otherwise).
+  out->children.push_back({inner_.get(), 0, "inner"});
+  for (size_t i = 0; i < probe_keys_.size(); ++i) {
+    out->exprs.push_back(
+        {probe_keys_[i].get(), w, StrFormat("probe key %zu", i)});
+  }
+  for (size_t i = 0; i < inner_key_cols_.size(); ++i) {
+    out->ordinals.push_back({inner_key_cols_[i], inner_->output_width(),
+                             StrFormat("inner key %zu", i)});
+  }
+  if (semantics_.lhs) {
+    out->exprs.push_back({semantics_.lhs.get(), w, "lhs"});
+  }
+}
+
+void LateralJoinOp::Introspect(PlanIntrospection* out) const {
+  const int w = input_->output_width();
+  out->children.push_back(
+      {input_.get(), PlanIntrospection::kInheritParams, "input"});
+  out->children.push_back(
+      {inner_.get(), static_cast<int>(params_.size()), "inner"});
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out->params.push_back({params_[i].from_outer, params_[i].index, w,
+                           StrFormat("param %zu", i)});
+  }
 }
 
 }  // namespace decorr

@@ -65,6 +65,7 @@ class ApplyOp : public Operator {
   int output_width() const override {
     return input_->output_width() + static_cast<int>(subqueries_.size());
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   Status EvaluateSubquery(const SubqueryPlan& sub, const Row& in, Value* out);
@@ -97,6 +98,7 @@ class GroupProbeApplyOp : public Operator {
   std::string name() const override { return "GroupProbeApply"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return input_->output_width() + 1; }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr input_;
@@ -124,6 +126,7 @@ class LateralJoinOp : public Operator {
   int output_width() const override {
     return input_->output_width() + inner_width_;
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr input_;

@@ -1,5 +1,6 @@
 #include "decorr/exec/filter_project.h"
 
+#include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
 namespace decorr {
@@ -60,6 +61,24 @@ std::string ProjectOp::ToString(int indent) const {
     out += exprs_[i]->ToString();
   }
   return out + "]\n" + child_->ToString(indent + 1);
+}
+
+
+void FilterOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
+  out->exprs.push_back(
+      {predicate_.get(), child_->output_width(), "predicate"});
+}
+
+void ProjectOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    out->exprs.push_back(
+        {exprs_[i].get(), child_->output_width(),
+         StrFormat("projection %zu", i)});
+  }
 }
 
 }  // namespace decorr

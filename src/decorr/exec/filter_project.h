@@ -20,6 +20,7 @@ class FilterOp : public Operator {
   std::string name() const override { return "Filter"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr child_;
@@ -37,6 +38,7 @@ class ProjectOp : public Operator {
   std::string name() const override { return "Project"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return static_cast<int>(exprs_.size()); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr child_;

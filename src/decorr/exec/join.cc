@@ -1,5 +1,6 @@
 #include "decorr/exec/join.h"
 
+#include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
 namespace decorr {
@@ -309,6 +310,57 @@ std::string IndexJoinOp::ToString(int indent) const {
   out += ")";
   if (residual_) out += " residual=" + residual_->ToString();
   return out + "\n" + left_->ToString(indent + 1);
+}
+
+
+void HashJoinOp::Introspect(PlanIntrospection* out) const {
+  const int lw = left_->output_width();
+  const int rw = right_->output_width();
+  out->children.push_back(
+      {left_.get(), PlanIntrospection::kInheritParams, "left"});
+  out->children.push_back(
+      {right_.get(), PlanIntrospection::kInheritParams, "right"});
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    out->exprs.push_back(
+        {left_keys_[i].get(), lw, StrFormat("left key %zu", i)});
+  }
+  for (size_t i = 0; i < right_keys_.size(); ++i) {
+    out->exprs.push_back(
+        {right_keys_[i].get(), rw, StrFormat("right key %zu", i)});
+  }
+  const size_t pairs = std::min(left_keys_.size(), right_keys_.size());
+  for (size_t i = 0; i < pairs; ++i) {
+    out->key_pairs.push_back({left_keys_[i].get(), right_keys_[i].get()});
+  }
+  if (residual_) {
+    out->exprs.push_back({residual_.get(), lw + rw, "residual"});
+  }
+}
+
+void NestedLoopJoinOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {left_.get(), PlanIntrospection::kInheritParams, "left"});
+  out->children.push_back(
+      {right_.get(), PlanIntrospection::kInheritParams, "right"});
+  if (predicate_) {
+    out->exprs.push_back(
+        {predicate_.get(), left_->output_width() + right_->output_width(),
+         "predicate"});
+  }
+}
+
+void IndexJoinOp::Introspect(PlanIntrospection* out) const {
+  const int lw = left_->output_width();
+  out->children.push_back(
+      {left_.get(), PlanIntrospection::kInheritParams, "left"});
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    out->exprs.push_back(
+        {key_exprs_[i].get(), lw, StrFormat("index key %zu", i)});
+  }
+  if (residual_) {
+    out->exprs.push_back(
+        {residual_.get(), lw + table_->num_columns(), "residual"});
+  }
 }
 
 }  // namespace decorr

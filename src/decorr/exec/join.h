@@ -36,6 +36,7 @@ class HashJoinOp : public Operator {
   int output_width() const override {
     return left_->output_width() + right_->output_width();
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   // SQL join keys never match on NULL; such build/probe rows are skipped
@@ -71,6 +72,7 @@ class NestedLoopJoinOp : public Operator {
   int output_width() const override {
     return left_->output_width() + right_->output_width();
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr left_;
@@ -105,6 +107,7 @@ class IndexJoinOp : public Operator {
   int output_width() const override {
     return left_->output_width() + table_->num_columns();
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr left_;

@@ -149,4 +149,44 @@ std::string CachedMaterializeOp::ToString(int indent) const {
   return out;
 }
 
+
+void UnionAllOp::Introspect(PlanIntrospection* out) const {
+  const int width = children_.empty() ? 0 : children_[0]->output_width();
+  for (size_t i = 0; i < children_.size(); ++i) {
+    out->children.push_back({children_[i].get(),
+                             PlanIntrospection::kInheritParams,
+                             StrFormat("branch %zu", i)});
+    // Branch widths must all match branch 0 (checked as two one-sided
+    // ordinal-range constraints).
+    const int w = children_[i]->output_width();
+    out->ordinals.push_back(
+        {w, width + 1, StrFormat("branch %zu width (vs branch 0)", i)});
+    out->ordinals.push_back(
+        {width, w + 1, StrFormat("branch 0 width (vs branch %zu)", i)});
+  }
+}
+
+void SortOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
+  for (size_t i = 0; i < sort_keys_.size(); ++i) {
+    out->ordinals.push_back({sort_keys_[i].first, child_->output_width(),
+                             StrFormat("sort key %zu", i)});
+  }
+}
+
+void LimitOp::Introspect(PlanIntrospection* out) const {
+  out->children.push_back(
+      {child_.get(), PlanIntrospection::kInheritParams, "input"});
+}
+
+void CachedMaterializeOp::Introspect(PlanIntrospection* out) const {
+  if (!shared_ || !shared_->plan) return;
+  // Shared subplans are uncorrelated: opened with an empty parameter scope.
+  out->children.push_back({shared_->plan.get(), 0, "shared subplan"});
+  const int w = shared_->plan->output_width();
+  out->ordinals.push_back({w, shared_->width + 1, "subplan width"});
+  out->ordinals.push_back({shared_->width, w + 1, "declared width"});
+}
+
 }  // namespace decorr

@@ -20,6 +20,7 @@ class UnionAllOp : public Operator {
   std::string name() const override { return "UnionAll"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return children_[0]->output_width(); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   std::vector<OperatorPtr> children_;
@@ -38,6 +39,7 @@ class SortOp : public Operator {
   std::string name() const override { return "Sort"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr child_;
@@ -56,6 +58,7 @@ class LimitOp : public Operator {
   std::string name() const override { return "Limit"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   OperatorPtr child_;
@@ -85,6 +88,7 @@ class CachedMaterializeOp : public Operator {
   std::string name() const override { return "CachedMaterialize"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return shared_->width; }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   std::shared_ptr<SharedSubplan> shared_;

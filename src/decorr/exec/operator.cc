@@ -10,6 +10,8 @@ std::string Operator::ToString(int indent) const {
 
 std::string Operator::Indent(int n) { return Repeat("  ", n); }
 
+void Operator::Introspect(PlanIntrospection* out) const { (void)out; }
+
 Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx) {
   DECORR_RETURN_IF_ERROR(op->Open(ctx));
   std::vector<Row> rows;

@@ -15,6 +15,54 @@
 
 namespace decorr {
 
+struct Expr;
+class Operator;
+
+// Structural self-description of one operator, filled in by Introspect()
+// and consumed by the physical-plan verifier (decorr/analysis/plan_verify.h).
+// Operators report where their expressions are evaluated (and over which
+// row arity), which subplans they open (and with how many parameters),
+// where correlation parameters are drawn from, which expression pairs must
+// be type-comparable (join keys), and which plain column ordinals must be
+// in range.
+struct PlanIntrospection {
+  // A subplan opened with a fresh parameter scope inherits the enclosing
+  // scope instead when num_params == kInheritParams.
+  static constexpr int kInheritParams = -1;
+
+  struct ExprSite {
+    const Expr* expr = nullptr;
+    int input_width = 0;  // arity of the row the expression is evaluated over
+    std::string role;     // "filter", "left key 0", ... for error messages
+  };
+  struct Subplan {
+    const Operator* op = nullptr;
+    int num_params = kInheritParams;
+    std::string role;
+  };
+  struct ParamBinding {  // one correlation parameter fed to a subplan
+    bool from_outer = false;  // drawn from the enclosing parameter scope
+    int index = 0;            // slot in the input row / outer param index
+    int input_width = 0;      // arity of the input row it may draw from
+    std::string role;
+  };
+  struct KeyPair {  // join keys whose types must share a common type
+    const Expr* left = nullptr;
+    const Expr* right = nullptr;
+  };
+  struct OrdinalSite {  // a column ordinal that must satisfy 0 <= ord < width
+    int ordinal = 0;
+    int width = 0;
+    std::string role;
+  };
+
+  std::vector<Subplan> children;
+  std::vector<ExprSite> exprs;
+  std::vector<ParamBinding> params;
+  std::vector<KeyPair> key_pairs;
+  std::vector<OrdinalSite> ordinals;
+};
+
 // Counters used by tests (invocation counts mirror the paper's reported
 // numbers) and by the EXPLAIN ANALYZE-style output.
 struct ExecStats {
@@ -52,6 +100,11 @@ class Operator {
 
   // Number of columns produced.
   virtual int output_width() const = 0;
+
+  // Reports the operator's expressions, subplans, parameter bindings and
+  // ordinal uses for the physical-plan verifier. The base implementation
+  // reports nothing; every concrete operator overrides it.
+  virtual void Introspect(PlanIntrospection* out) const;
 
  protected:
   // Children pretty-printing helper.

@@ -174,4 +174,32 @@ Status RowsScanOp::Next(Row* out, bool* eof) {
 
 void RowsScanOp::Close() {}
 
+
+void SeqScanOp::Introspect(PlanIntrospection* out) const {
+  if (filter_) {
+    out->exprs.push_back({filter_.get(), table_->num_columns(), "filter"});
+  }
+  for (size_t i = 0; i < projection_.size(); ++i) {
+    out->ordinals.push_back({projection_[i], table_->num_columns(),
+                             StrFormat("projection %zu", i)});
+  }
+}
+
+void IndexLookupOp::Introspect(PlanIntrospection* out) const {
+  // Keys are evaluated at Open with no input row: constants and parameter
+  // references only, so their slot-reference arity is zero.
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    out->exprs.push_back(
+        {key_exprs_[i].get(), 0, StrFormat("index key %zu", i)});
+  }
+  if (filter_) {
+    out->exprs.push_back(
+        {filter_.get(), table_->num_columns(), "residual filter"});
+  }
+  for (size_t i = 0; i < projection_.size(); ++i) {
+    out->ordinals.push_back({projection_[i], table_->num_columns(),
+                             StrFormat("projection %zu", i)});
+  }
+}
+
 }  // namespace decorr

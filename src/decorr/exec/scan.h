@@ -31,6 +31,7 @@ class SeqScanOp : public Operator {
   int output_width() const override {
     return static_cast<int>(projection_.size());
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   TablePtr table_;
@@ -59,6 +60,7 @@ class IndexLookupOp : public Operator {
   int output_width() const override {
     return static_cast<int>(projection_.size());
   }
+  void Introspect(PlanIntrospection* out) const override;
 
  private:
   TablePtr table_;

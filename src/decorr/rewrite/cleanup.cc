@@ -123,15 +123,21 @@ bool RemoveIdentitySelects(QueryGraph* graph) {
   return changed;
 }
 
-Status CleanupGraph(QueryGraph* graph) {
+Status CleanupGraph(QueryGraph* graph, const RewriteStepFn& on_step) {
   for (int iteration = 0; iteration < 100; ++iteration) {
     bool changed = false;
-    if (MergeSelectBoxes(graph)) changed = true;
-    if (RemoveIdentitySelects(graph)) changed = true;
+    while (TryMergeOne(graph)) {
+      changed = true;
+      DECORR_RETURN_IF_ERROR(NotifyRewriteStep(on_step, "merge-select"));
+    }
+    if (RemoveIdentitySelects(graph)) {
+      changed = true;
+      DECORR_RETURN_IF_ERROR(NotifyRewriteStep(on_step, "remove-identity"));
+    }
     if (!changed) break;
   }
   graph->GarbageCollect();
-  return Status::OK();
+  return NotifyRewriteStep(on_step, "gc");
 }
 
 }  // namespace decorr

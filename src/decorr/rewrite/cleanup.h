@@ -6,6 +6,7 @@
 
 #include "decorr/common/status.h"
 #include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/rewrite_step.h"
 
 namespace decorr {
 
@@ -29,7 +30,9 @@ bool MergeSelectBoxes(QueryGraph* graph);
 bool RemoveIdentitySelects(QueryGraph* graph);
 
 // Runs all cleanup rules to a fixpoint and garbage-collects dead boxes.
-Status CleanupGraph(QueryGraph* graph);
+// `on_step` (optional) fires after every individual merge/removal and after
+// the final garbage collection; a non-OK return aborts the cleanup.
+Status CleanupGraph(QueryGraph* graph, const RewriteStepFn& on_step = {});
 
 }  // namespace decorr
 

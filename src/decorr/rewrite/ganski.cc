@@ -5,7 +5,8 @@
 
 namespace decorr {
 
-Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog) {
+Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog,
+                        const RewriteStepFn& on_step) {
   // Ganski/Wong preconditions: a single outer table with one correlated
   // aggregate subquery ("This method considers a simple outer block
   // consisting of a single table, and a single correlated aggregate
@@ -22,7 +23,7 @@ Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog) {
   }
   DecorrelationOptions options;
   options.use_outer_join = true;  // the method is defined via outer join
-  return MagicDecorrelate(graph, catalog, options);
+  return MagicDecorrelate(graph, catalog, options, on_step);
 }
 
 }  // namespace decorr

@@ -13,10 +13,12 @@
 #include "decorr/catalog/catalog.h"
 #include "decorr/common/status.h"
 #include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/rewrite_step.h"
 
 namespace decorr {
 
-Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog);
+Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog,
+                        const RewriteStepFn& on_step = {});
 
 }  // namespace decorr
 

@@ -72,8 +72,10 @@ bool MarkerNullRejecting(const Expr& pred, int sub_qid) {
 class MagicRewriter {
  public:
   MagicRewriter(QueryGraph* graph, const Catalog& catalog,
-                const DecorrelationOptions& options)
-      : graph_(graph), options_(options), estimator_(catalog) {}
+                const DecorrelationOptions& options,
+                const RewriteStepFn& on_step)
+      : graph_(graph), options_(options), estimator_(catalog),
+        on_step_(on_step) {}
 
   Status Run() { return Process(graph_->root()); }
 
@@ -87,7 +89,10 @@ class MagicRewriter {
       case BoxKind::kBaseTable:
         return Status::OK();
       case BoxKind::kSelect: {
-        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbSpj(box, dco));
+        if (dco != nullptr) {
+          DECORR_RETURN_IF_ERROR(AbsorbSpj(box, dco));
+          DECORR_RETURN_IF_ERROR(NotifyRewriteStep(on_step_, "absorb-spj"));
+        }
         if (box->role != BoxRole::kDco && box->role != BoxRole::kCi &&
             box->role != BoxRole::kMagic) {
           // FEED stage, one child quantifier at a time in iterator order.
@@ -99,15 +104,23 @@ class MagicRewriter {
             if (q == nullptr || q->owner != box) continue;  // moved to SUPP
             if (q->child->role == BoxRole::kCi) continue;   // already fed
             DECORR_RETURN_IF_ERROR(FeedChild(box, q));
+            DECORR_RETURN_IF_ERROR(NotifyRewriteStep(on_step_, "feed"));
           }
         }
         break;
       }
       case BoxKind::kGroupBy:
-        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbGroupBy(box, dco));
+        if (dco != nullptr) {
+          DECORR_RETURN_IF_ERROR(AbsorbGroupBy(box, dco));
+          DECORR_RETURN_IF_ERROR(
+              NotifyRewriteStep(on_step_, "absorb-groupby"));
+        }
         break;
       case BoxKind::kUnion:
-        if (dco != nullptr) DECORR_RETURN_IF_ERROR(AbsorbUnion(box, dco));
+        if (dco != nullptr) {
+          DECORR_RETURN_IF_ERROR(AbsorbUnion(box, dco));
+          DECORR_RETURN_IF_ERROR(NotifyRewriteStep(on_step_, "absorb-union"));
+        }
         break;
     }
     // Recurse (children may have been rewired to CI boxes).
@@ -651,21 +664,25 @@ class MagicRewriter {
   QueryGraph* graph_;
   const DecorrelationOptions& options_;
   CardEstimator estimator_;
+  RewriteStepFn on_step_;
   std::set<int> visited_;
 };
 
 // ----------------------------------------------------------------------------
 
 Status MagicDecorrelateNoCleanup(QueryGraph* graph, const Catalog& catalog,
-                                 const DecorrelationOptions& options) {
-  MagicRewriter rewriter(graph, catalog, options);
+                                 const DecorrelationOptions& options,
+                                 const RewriteStepFn& on_step) {
+  MagicRewriter rewriter(graph, catalog, options, on_step);
   return rewriter.Run();
 }
 
 Status MagicDecorrelate(QueryGraph* graph, const Catalog& catalog,
-                        const DecorrelationOptions& options) {
-  DECORR_RETURN_IF_ERROR(MagicDecorrelateNoCleanup(graph, catalog, options));
-  return CleanupGraph(graph);
+                        const DecorrelationOptions& options,
+                        const RewriteStepFn& on_step) {
+  DECORR_RETURN_IF_ERROR(
+      MagicDecorrelateNoCleanup(graph, catalog, options, on_step));
+  return CleanupGraph(graph, on_step);
 }
 
 }  // namespace decorr

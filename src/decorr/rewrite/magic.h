@@ -32,13 +32,17 @@ namespace decorr {
 // `catalog` supplies statistics for the supplementary-vs-sources placement
 // decision (Section 7: magic uses the join order of the nested iteration
 // strategy).
+// `on_step` (optional) fires after every FEED, ABSORB and cleanup rule
+// application; a non-OK return aborts the rewrite with that status.
 Status MagicDecorrelate(QueryGraph* graph, const Catalog& catalog,
-                        const DecorrelationOptions& options = {});
+                        const DecorrelationOptions& options = {},
+                        const RewriteStepFn& on_step = {});
 
 // Testing hook: like MagicDecorrelate but without the final cleanup pass,
 // exposing the intermediate SUPP/MAGIC/DCO/CI structure of the figures.
 Status MagicDecorrelateNoCleanup(QueryGraph* graph, const Catalog& catalog,
-                                 const DecorrelationOptions& options = {});
+                                 const DecorrelationOptions& options = {},
+                                 const RewriteStepFn& on_step = {});
 
 }  // namespace decorr
 

@@ -1,0 +1,32 @@
+// Per-step observation hook for the rewrite engine.
+//
+// Every rewrite entry point accepts an optional RewriteStepFn and invokes it
+// after each *individual* rule application (one FEED, one ABSORB, one select
+// merge, ...), with the QGM already in its post-rule state. The verification
+// harness (decorr/analysis/rewrite_verify.h) plugs in here to re-check the
+// graph invariants between rules instead of only at the end of a strategy.
+#ifndef DECORR_REWRITE_REWRITE_STEP_H_
+#define DECORR_REWRITE_REWRITE_STEP_H_
+
+#include <functional>
+#include <string>
+
+#include "decorr/common/status.h"
+
+namespace decorr {
+
+// Called with a short rule name ("feed", "absorb-groupby", "merge-select").
+// A non-OK result aborts the rewrite and propagates to the caller. An empty
+// function observes nothing.
+using RewriteStepFn = std::function<Status(const std::string& rule)>;
+
+// Invokes the hook if one is set.
+inline Status NotifyRewriteStep(const RewriteStepFn& on_step,
+                                const std::string& rule) {
+  if (on_step) return on_step(rule);
+  return Status::OK();
+}
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_REWRITE_STEP_H_

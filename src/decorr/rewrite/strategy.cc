@@ -27,21 +27,24 @@ const char* StrategyName(Strategy strategy) {
 
 Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
                      const Catalog& catalog,
-                     const DecorrelationOptions& options) {
+                     const DecorrelationOptions& options,
+                     const RewriteStepFn& on_step) {
   switch (strategy) {
     case Strategy::kNestedIteration:
       return Status::OK();
     case Strategy::kKim:
-      return KimRewrite(graph);
+      DECORR_RETURN_IF_ERROR(KimRewrite(graph));
+      return NotifyRewriteStep(on_step, "kim");
     case Strategy::kDayal:
-      return DayalRewrite(graph, catalog);
+      DECORR_RETURN_IF_ERROR(DayalRewrite(graph, catalog));
+      return NotifyRewriteStep(on_step, "dayal");
     case Strategy::kGanskiWong:
-      return GanskiWongRewrite(graph, catalog);
+      return GanskiWongRewrite(graph, catalog, on_step);
     case Strategy::kMagic:
     case Strategy::kOptMagic:
       // OptMag differs at the planner level (the supplementary common
       // subexpression is materialized once instead of recomputed).
-      return MagicDecorrelate(graph, catalog, options);
+      return MagicDecorrelate(graph, catalog, options, on_step);
   }
   return Status::Internal("unknown strategy");
 }

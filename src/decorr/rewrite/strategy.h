@@ -8,6 +8,7 @@
 #include "decorr/catalog/catalog.h"
 #include "decorr/common/status.h"
 #include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/rewrite_step.h"
 
 namespace decorr {
 
@@ -40,9 +41,15 @@ struct DecorrelationOptions {
 // no-op. Kim/Dayal/Ganski return NotImplemented when the query is outside
 // the class their method handles (non-linear queries, missing keys, ...) —
 // mirroring the applicability limits the paper describes.
+//
+// `on_step` (optional) fires after every individual rule application with a
+// short rule name; a non-OK return aborts the rewrite with that status. The
+// whole-graph rewrites (Kim, Dayal) fire once; the magic family fires per
+// FEED/ABSORB/cleanup step.
 Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
                      const Catalog& catalog,
-                     const DecorrelationOptions& options = {});
+                     const DecorrelationOptions& options = {},
+                     const RewriteStepFn& on_step = {});
 
 }  // namespace decorr
 

@@ -1,5 +1,9 @@
 #include "decorr/runtime/database.h"
 
+#include <optional>
+
+#include "decorr/analysis/plan_verify.h"
+#include "decorr/analysis/rewrite_verify.h"
 #include "decorr/binder/binder.h"
 #include "decorr/common/string_util.h"
 #include "decorr/qgm/print.h"
@@ -57,9 +61,19 @@ Result<QueryResult> Database::Run(const std::string& sql,
   if (options.capture_qgm) {
     result.qgm_before = PrintQgm(bound->graph.get());
   }
+  std::optional<RewriteVerifier> verifier;
+  RewriteStepFn on_step;
+  if (options.verify) {
+    verifier.emplace(bound->graph.get(), options.strategy);
+    DECORR_RETURN_IF_ERROR(verifier->Begin());
+    on_step = verifier->AsCallback();
+  }
   DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), options.strategy,
-                                       *catalog_, options.decorr));
+                                       *catalog_, options.decorr, on_step));
   DECORR_RETURN_IF_ERROR(Validate(bound->graph.get()));
+  if (verifier) {
+    DECORR_RETURN_IF_ERROR(verifier->Finish());
+  }
   if (options.capture_qgm) {
     result.qgm_after = PrintQgm(bound->graph.get());
   }
@@ -70,6 +84,9 @@ Result<QueryResult> Database::Run(const std::string& sql,
   }
   Planner planner(*catalog_, planner_options);
   DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
+  if (options.verify) {
+    DECORR_RETURN_IF_ERROR(VerifyPlan(*plan.root));
+  }
   result.column_names = plan.column_names;
   result.plan_text = plan.ToString();
   if (!execute) return result;

@@ -20,11 +20,21 @@
 
 namespace decorr {
 
+// Verification defaults on in debug builds; release builds opt in per query.
+#ifdef NDEBUG
+inline constexpr bool kVerifyByDefault = false;
+#else
+inline constexpr bool kVerifyByDefault = true;
+#endif
+
 struct QueryOptions {
   Strategy strategy = Strategy::kNestedIteration;
   DecorrelationOptions decorr;   // knobs for magic decorrelation
   PlannerOptions planner;
   bool capture_qgm = false;      // record before/after QGM dumps
+  // Runs the semantic analyzer on the bound QGM, re-checks invariants after
+  // every rewrite step, and verifies the physical plan before execution.
+  bool verify = kVerifyByDefault;
 };
 
 struct QueryResult {

@@ -1,0 +1,326 @@
+// Tests for the static-analysis layer (src/decorr/analysis): the QGM type
+// checker, the rewrite verification harness and the physical-plan verifier.
+// Mostly *negative* tests — each one builds a graph or plan violating one
+// invariant and checks that the analyzer rejects it with a pinpointed
+// box/operator-path message.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decorr/analysis/plan_verify.h"
+#include "decorr/analysis/rewrite_verify.h"
+#include "decorr/analysis/type_check.h"
+#include "decorr/binder/binder.h"
+#include "decorr/exec/filter_project.h"
+#include "decorr/exec/join.h"
+#include "decorr/exec/scan.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/strategy.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+bool Contains(const Status& st, const std::string& needle) {
+  return st.message().find(needle) != std::string::npos;
+}
+
+TablePtr IntStringTable(const char* name) {
+  TableSchema schema(name, {{"a", TypeId::kInt64, false},
+                            {"b", TypeId::kString, true}});
+  return std::make_shared<Table>(schema);
+}
+
+// Root Select over one base table t(a INT64, b STRING).
+struct SimpleGraph {
+  std::unique_ptr<QueryGraph> graph = std::make_unique<QueryGraph>();
+  Box* root = nullptr;
+  Quantifier* q = nullptr;
+};
+
+SimpleGraph MakeSimpleGraph() {
+  SimpleGraph g;
+  g.root = g.graph->NewBox(BoxKind::kSelect);
+  g.graph->set_root(g.root);
+  Box* t = g.graph->NewBaseTableBox(IntStringTable("t"));
+  g.q = g.graph->NewQuantifier(g.root, t, QuantifierKind::kForeach, "t");
+  g.root->outputs.push_back(
+      {"a", MakeColumnRef(g.q->id, 0, TypeId::kInt64, "a")});
+  return g;
+}
+
+// ---- stage 1: type checker ----
+
+TEST(TypeCheckTest, PassesOnWellFormedGraph) {
+  SimpleGraph g = MakeSimpleGraph();
+  EXPECT_TRUE(TypeCheckGraph(g.graph.get()).ok());
+}
+
+TEST(TypeCheckTest, PassesOnBoundPaperQuery) {
+  auto catalog = MakeEmpDeptCatalog();
+  auto bound = ParseAndBind(kPaperExampleQuery, *catalog);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(TypeCheckGraph((*bound)->graph.get()).ok());
+}
+
+TEST(TypeCheckTest, RejectsIncomparableComparison) {
+  SimpleGraph g = MakeSimpleGraph();
+  // t.a (INT64) = t.b (STRING): no common type.
+  g.root->predicates.push_back(MakeComparison(
+      BinaryOp::kEq, MakeColumnRef(g.q->id, 0, TypeId::kInt64, "a"),
+      MakeColumnRef(g.q->id, 1, TypeId::kString, "b")));
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "incomparable operand types")) << st.ToString();
+  EXPECT_TRUE(Contains(st, "at root")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsSumOverString) {
+  SimpleGraph g = MakeSimpleGraph();
+  Box* gb = g.graph->NewBox(BoxKind::kGroupBy);
+  Box* u = g.graph->NewBaseTableBox(IntStringTable("u"));
+  Quantifier* qu = g.graph->NewQuantifier(gb, u, QuantifierKind::kForeach,
+                                          "u");
+  gb->outputs.push_back(
+      {"s", MakeAggregate(AggKind::kSum,
+                          MakeColumnRef(qu->id, 1, TypeId::kString, "b"),
+                          false)});
+  g.graph->NewQuantifier(g.root, gb, QuantifierKind::kForeach, "g");
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "SUM over non-numeric")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsNestedAggregate) {
+  SimpleGraph g = MakeSimpleGraph();
+  Box* gb = g.graph->NewBox(BoxKind::kGroupBy);
+  Box* u = g.graph->NewBaseTableBox(IntStringTable("u"));
+  Quantifier* qu = g.graph->NewQuantifier(gb, u, QuantifierKind::kForeach,
+                                          "u");
+  gb->outputs.push_back(
+      {"s",
+       MakeAggregate(
+           AggKind::kSum,
+           MakeAggregate(AggKind::kCountStar, nullptr, false), false)});
+  (void)qu;
+  g.graph->NewQuantifier(g.root, gb, QuantifierKind::kForeach, "g");
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "aggregate in illegal position")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsUnionArityMismatch) {
+  QueryGraph graph;
+  Box* un = graph.NewBox(BoxKind::kUnion);
+  graph.set_root(un);
+  Box* one = graph.NewBox(BoxKind::kSelect);
+  one->outputs.push_back({"c", MakeConstant(Value::Int64(1))});
+  Box* two = graph.NewBox(BoxKind::kSelect);
+  two->outputs.push_back({"c", MakeConstant(Value::Int64(1))});
+  two->outputs.push_back({"d", MakeConstant(Value::Int64(2))});
+  Quantifier* q1 =
+      graph.NewQuantifier(un, one, QuantifierKind::kForeach, "");
+  graph.NewQuantifier(un, two, QuantifierKind::kForeach, "");
+  un->outputs.push_back({"c", MakeColumnRef(q1->id, 0, TypeId::kInt64, "c")});
+  Status st = TypeCheckGraph(&graph);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "arity")) << st.ToString();
+  EXPECT_TRUE(Contains(st, "Union")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsUnionColumnTypeMismatch) {
+  QueryGraph graph;
+  Box* un = graph.NewBox(BoxKind::kUnion);
+  graph.set_root(un);
+  Box* one = graph.NewBox(BoxKind::kSelect);
+  one->outputs.push_back({"c", MakeConstant(Value::Int64(1))});
+  Box* two = graph.NewBox(BoxKind::kSelect);
+  two->outputs.push_back({"c", MakeConstant(Value::String("x"))});
+  Quantifier* q1 =
+      graph.NewQuantifier(un, one, QuantifierKind::kForeach, "");
+  graph.NewQuantifier(un, two, QuantifierKind::kForeach, "");
+  un->outputs.push_back({"c", MakeColumnRef(q1->id, 0, TypeId::kInt64, "c")});
+  Status st = TypeCheckGraph(&graph);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "union input column 0 type mismatch"))
+      << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsInconsistentCaseBranches) {
+  SimpleGraph g = MakeSimpleGraph();
+  std::vector<ExprPtr> case_children;
+  case_children.push_back(MakeConstant(Value::Bool(true)));
+  case_children.push_back(MakeConstant(Value::Int64(1)));
+  case_children.push_back(MakeConstant(Value::String("x")));  // ELSE
+  g.root->outputs.push_back({"c", MakeCase(std::move(case_children))});
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "CASE ELSE type")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsPlannedSlotRefInBoundGraph) {
+  SimpleGraph g = MakeSimpleGraph();
+  g.root->outputs.push_back({"s", MakeSlotRef(0, TypeId::kInt64)});
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "planned slot reference")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsParamRefInBoundGraph) {
+  SimpleGraph g = MakeSimpleGraph();
+  g.root->outputs.push_back({"p", MakeParamRef(0, TypeId::kInt64)});
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "parameter reference in bound")) << st.ToString();
+}
+
+TEST(TypeCheckTest, RejectsAnnotationProducerMismatch) {
+  SimpleGraph g = MakeSimpleGraph();
+  // The ref claims STRING but Q.0 produces INT64.
+  g.root->outputs.push_back(
+      {"bad", MakeColumnRef(g.q->id, 0, TypeId::kString, "a")});
+  Status st = TypeCheckGraph(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "annotated STRING")) << st.ToString();
+}
+
+// ---- stage 2: rewrite verification harness ----
+
+TEST(RoleShapeTest, RejectsNonDistinctMagicBox) {
+  SimpleGraph g = MakeSimpleGraph();
+  Box* magic = g.graph->NewBox(BoxKind::kSelect);
+  magic->role = BoxRole::kMagic;
+  magic->distinct = false;
+  Box* u = g.graph->NewBaseTableBox(IntStringTable("u"));
+  Quantifier* qu = g.graph->NewQuantifier(magic, u,
+                                          QuantifierKind::kForeach, "u");
+  magic->outputs.push_back(
+      {"a", MakeColumnRef(qu->id, 0, TypeId::kInt64, "a")});
+  g.graph->NewQuantifier(g.root, magic, QuantifierKind::kForeach, "m");
+  Status st = CheckRoleShapes(g.graph.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "MAGIC box must be DISTINCT")) << st.ToString();
+}
+
+TEST(RewriteVerifierTest, RejectsRootArityChange) {
+  SimpleGraph g = MakeSimpleGraph();
+  RewriteVerifier verifier(g.graph.get(), Strategy::kMagic);
+  ASSERT_TRUE(verifier.Begin().ok());
+  g.root->outputs.push_back(
+      {"b", MakeColumnRef(g.q->id, 1, TypeId::kString, "b")});
+  Status st = verifier.CheckStep("bogus-rule");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "changed the root arity")) << st.ToString();
+  EXPECT_TRUE(Contains(st, "bogus-rule")) << st.ToString();
+}
+
+TEST(RewriteVerifierTest, RejectsDuplicateSemanticsChange) {
+  SimpleGraph g = MakeSimpleGraph();
+  RewriteVerifier verifier(g.graph.get(), Strategy::kMagic);
+  ASSERT_TRUE(verifier.Begin().ok());
+  g.root->distinct = true;
+  Status st = verifier.CheckStep("toggle-distinct");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "duplicate semantics")) << st.ToString();
+}
+
+TEST(RewriteVerifierTest, RejectsIntroducedSubqueryConstruct) {
+  SimpleGraph g = MakeSimpleGraph();
+  RewriteVerifier verifier(g.graph.get(), Strategy::kMagic);
+  ASSERT_TRUE(verifier.Begin().ok());
+  // A rewrite must never *introduce* a subquery.
+  Box* sub = g.graph->NewBox(BoxKind::kSelect);
+  sub->outputs.push_back({"one", MakeConstant(Value::Int64(1))});
+  Quantifier* qs = g.graph->NewQuantifier(g.root, sub,
+                                          QuantifierKind::kExistential, "");
+  g.root->predicates.push_back(MakeExists(qs->id, false));
+  Status st = verifier.CheckStep("sneaky-subquery");
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "increased subquery constructs")) << st.ToString();
+}
+
+TEST(RewriteVerifierTest, ObservesStepsAcrossMagicDecorrelation) {
+  auto catalog = MakeEmpDeptCatalog();
+  auto bound = ParseAndBind(kPaperExampleQuery, *catalog);
+  ASSERT_TRUE(bound.ok());
+  QueryGraph* graph = (*bound)->graph.get();
+  RewriteVerifier verifier(graph, Strategy::kMagic);
+  ASSERT_TRUE(verifier.Begin().ok());
+  Status st = ApplyStrategy(graph, Strategy::kMagic, *catalog, {},
+                            verifier.AsCallback());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(verifier.Finish().ok());
+  // FEED + ABSORB + cleanup all fire the hook.
+  EXPECT_GT(verifier.steps_observed(), 2);
+}
+
+// ---- stage 3: physical-plan verifier ----
+
+OperatorPtr EmptyRows(int width) {
+  return std::make_unique<RowsScanOp>(
+      std::make_shared<const std::vector<Row>>(), width);
+}
+
+TEST(PlanVerifyTest, PassesOnValidProjection) {
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(MakeSlotRef(1, TypeId::kInt64));
+  ProjectOp project(EmptyRows(2), std::move(exprs));
+  EXPECT_TRUE(VerifyPlan(project).ok());
+}
+
+TEST(PlanVerifyTest, RejectsDanglingSlot) {
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(MakeSlotRef(5, TypeId::kInt64));
+  ProjectOp project(EmptyRows(2), std::move(exprs));
+  Status st = VerifyPlan(project);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "slot 5 out of range")) << st.ToString();
+  EXPECT_TRUE(Contains(st, "Project")) << st.ToString();
+}
+
+TEST(PlanVerifyTest, RejectsUnplannedColumnRef) {
+  FilterOp filter(EmptyRows(1),
+                  MakeComparison(BinaryOp::kEq,
+                                 MakeColumnRef(7, 0, TypeId::kInt64, "a"),
+                                 MakeConstant(Value::Int64(1))));
+  Status st = VerifyPlan(filter);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "unplanned column reference Q7.0"))
+      << st.ToString();
+}
+
+TEST(PlanVerifyTest, RejectsUnboundParamRef) {
+  FilterOp filter(EmptyRows(1),
+                  MakeComparison(BinaryOp::kEq,
+                                 MakeParamRef(0, TypeId::kInt64),
+                                 MakeSlotRef(0, TypeId::kInt64)));
+  Status st = VerifyPlan(filter);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "not bound by an enclosing Apply"))
+      << st.ToString();
+  EXPECT_TRUE(Contains(st, "Filter")) << st.ToString();
+}
+
+TEST(PlanVerifyTest, RejectsMismatchedHashJoinKeys) {
+  std::vector<ExprPtr> left_keys, right_keys;
+  left_keys.push_back(MakeSlotRef(0, TypeId::kInt64));
+  right_keys.push_back(MakeSlotRef(0, TypeId::kString));
+  HashJoinOp join(EmptyRows(1), EmptyRows(1), std::move(left_keys),
+                  std::move(right_keys), nullptr, JoinType::kInner);
+  Status st = VerifyPlan(join);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "join key type mismatch")) << st.ToString();
+}
+
+TEST(PlanVerifyTest, RejectsSurvivingSubqueryMarker) {
+  FilterOp filter(EmptyRows(1), MakeExists(3, false));
+  Status st = VerifyPlan(filter);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(Contains(st, "subquery marker survived planning"))
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace decorr

@@ -182,12 +182,13 @@ TEST(QgmTest, RetargetSubtreeRefs) {
 TEST(QgmTest, MoveAndDeleteQuantifier) {
   TestGraph tg = MakeCorrelatedGraph();
   Box* dest = tg.graph->NewBox(BoxKind::kSelect);
-  tg.graph->MoveQuantifier(tg.q_t->id, dest);
-  EXPECT_FALSE(tg.root->OwnsQuantifier(tg.q_t->id));
-  EXPECT_TRUE(dest->OwnsQuantifier(tg.q_t->id));
+  const int qid = tg.q_t->id;
+  tg.graph->MoveQuantifier(qid, dest);
+  EXPECT_FALSE(tg.root->OwnsQuantifier(qid));
+  EXPECT_TRUE(dest->OwnsQuantifier(qid));
   EXPECT_EQ(tg.q_t->owner, dest);
-  tg.graph->DeleteQuantifier(tg.q_t->id);
-  EXPECT_EQ(tg.graph->FindQuantifier(tg.q_t->id), nullptr);
+  tg.graph->DeleteQuantifier(qid);
+  EXPECT_EQ(tg.graph->FindQuantifier(qid), nullptr);
 }
 
 TEST(QgmTest, UsesOf) {
