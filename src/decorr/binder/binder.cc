@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/parser/parser.h"
 #include "decorr/qgm/validate.h"
@@ -785,6 +786,7 @@ Result<std::unique_ptr<BoundQuery>> Bind(const AstQuery& query,
 
 Result<std::unique_ptr<BoundQuery>> ParseAndBind(const std::string& sql,
                                                  const Catalog& catalog) {
+  DECORR_FAULT_POINT("runtime.parse_bind");
   DECORR_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
   return Bind(*ast, catalog);
 }

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
 
 Status Catalog::RegisterTable(TablePtr table) {
+  DECORR_FAULT_POINT("catalog.register_table");
   const std::string key = ToLower(table->schema().name());
   if (tables_.count(key)) {
     return Status::AlreadyExists("table already exists: " + key);
@@ -26,6 +28,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Status Catalog::RefreshStats(const std::string& name) {
+  DECORR_FAULT_POINT("catalog.refresh_stats");
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   it->second.stats = ComputeStats(*it->second.table);

@@ -1,0 +1,85 @@
+#include "decorr/common/fault.h"
+
+namespace decorr {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::EnableRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = true;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Arm(const std::string& site, Status status,
+                        int64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = true;
+  armed_site_ = site;
+  armed_status_ = std::move(status);
+  armed_skip_ = skip;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmRandom(uint64_t seed, int64_t period, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = true;
+  random_armed_ = true;
+  random_state_ = seed ? seed : 1;
+  random_period_ = period > 0 ? period : 1;
+  armed_status_ = std::move(status);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_relaxed);
+  recording_ = false;
+  counts_.clear();
+  armed_site_.clear();
+  armed_status_ = Status::OK();
+  armed_skip_ = 0;
+  random_armed_ = false;
+}
+
+Status FaultInjector::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recording_) ++counts_[site];
+  if (!armed_site_.empty() && armed_site_ == site) {
+    if (armed_skip_ > 0) {
+      --armed_skip_;
+    } else {
+      return armed_status_;
+    }
+  }
+  if (random_armed_) {
+    // xorshift64* — deterministic given seed and hit order.
+    random_state_ ^= random_state_ >> 12;
+    random_state_ ^= random_state_ << 25;
+    random_state_ ^= random_state_ >> 27;
+    const uint64_t draw = random_state_ * 0x2545F4914F6CDD1DULL;
+    if (static_cast<int64_t>(draw % static_cast<uint64_t>(
+                                 random_period_)) == 0) {
+      return armed_status_;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FaultInjector::Sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> sites;
+  sites.reserve(counts_.size());
+  for (const auto& [name, count] : counts_) sites.push_back(name);
+  return sites;
+}
+
+int64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace decorr

@@ -1,0 +1,90 @@
+// Deterministic, seeded fault injection for robustness testing.
+//
+// Every operator / storage / rewrite / runtime boundary that can fail
+// declares a named fault point:
+//
+//   Status SomeOp::Open(ExecContext* ctx) {
+//     DECORR_FAULT_POINT("exec.someop.open");
+//     ...
+//   }
+//
+// In production the macro costs one relaxed atomic load (the injector is
+// inactive). The chaos sweep (tests/chaos_test.cc) first runs a workload in
+// recording mode to discover every exercised site, then re-runs it once per
+// site with that site armed to fail, asserting the injected Status
+// propagates to the API boundary unchanged — no crash, no leak, no
+// swallowed error. ArmRandom provides seeded pseudo-random background
+// faulting for soak-style runs.
+#ifndef DECORR_COMMON_FAULT_H_
+#define DECORR_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+
+namespace decorr {
+
+class FaultInjector {
+ public:
+  // Process-wide registry (queries are single-threaded; the injector is
+  // still internally locked so concurrent tests cannot corrupt it).
+  static FaultInjector& Global();
+
+  // Remembers every site hit (with counts) until Reset().
+  void EnableRecording();
+
+  // After `skip` successful hits, every subsequent hit of `site` returns
+  // `status`. Implies recording.
+  void Arm(const std::string& site, Status status, int64_t skip = 0);
+
+  // Seeded background faulting: deterministically fails roughly one in
+  // `period` hits across all sites (the exact sequence depends only on
+  // `seed` and the hit order). Implies recording.
+  void ArmRandom(uint64_t seed, int64_t period, Status status);
+
+  // Disarms everything, stops recording, clears counts.
+  void Reset();
+
+  // Called by DECORR_FAULT_POINT; OK unless this site is armed to fail.
+  Status Hit(const char* site);
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Sites recorded since the last Reset, sorted by name.
+  std::vector<std::string> Sites() const;
+  int64_t HitCount(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  bool recording_ = false;
+  std::map<std::string, int64_t> counts_;
+  std::string armed_site_;
+  Status armed_status_;
+  int64_t armed_skip_ = 0;
+  bool random_armed_ = false;
+  uint64_t random_state_ = 0;
+  int64_t random_period_ = 0;
+};
+
+// Fast no-op when the injector is inactive; must appear in a function
+// returning Status (the injected failure is returned from it).
+#define DECORR_FAULT_POINT(site)                                       \
+  do {                                                                 \
+    ::decorr::FaultInjector& _decorr_fi =                              \
+        ::decorr::FaultInjector::Global();                             \
+    if (_decorr_fi.active()) {                                         \
+      DECORR_RETURN_IF_ERROR(_decorr_fi.Hit(site));                    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_FAULT_H_

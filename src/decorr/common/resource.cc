@@ -1,0 +1,76 @@
+#include "decorr/common/resource.h"
+
+#include "decorr/common/string_util.h"
+
+namespace decorr {
+
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row)) +
+                  static_cast<int64_t>(row.capacity() * sizeof(Value));
+  for (const Value& v : row) {
+    if (v.type() == TypeId::kString) {
+      bytes += static_cast<int64_t>(v.string_value().capacity());
+    }
+  }
+  return bytes;
+}
+
+Status MemoryTracker::Charge(int64_t bytes) {
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+  if (budget_ > 0 && used_ > budget_) {
+    return Status::ResourceExhausted(
+        StrFormat("memory budget exceeded: %lld bytes used, budget %lld",
+                  (long long)used_, (long long)budget_));
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  used_ -= bytes;
+  if (used_ < 0) used_ = 0;
+}
+
+bool CancellationToken::Poll() {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  int64_t left = countdown_.load(std::memory_order_relaxed);
+  if (left < 0) return false;
+  if (left == 0 ||
+      countdown_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ResourceGuard::set_deadline_after_micros(int64_t micros) {
+  if (micros <= 0) return;
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::microseconds(micros);
+}
+
+Status ResourceGuard::Check() {
+  if (cancel_ && cancel_->Poll()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_) {
+    if ((ticks_++ % kDeadlineStride) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+Status ResourceGuard::ChargeRows(int64_t n) {
+  rows_ += n;
+  if (row_budget_ > 0 && rows_ > row_budget_) {
+    return Status::ResourceExhausted(
+        StrFormat("row budget exceeded: %lld rows materialized, budget %lld",
+                  (long long)rows_, (long long)row_budget_));
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

@@ -1,0 +1,115 @@
+// Resource governance for query execution: cooperative cancellation,
+// wall-clock deadlines, and row/memory budgets.
+//
+// A ResourceGuard is owned by one query execution (Database::Run) and
+// threaded through every ExecContext. Operators call Check() inside their
+// iteration loops (cheap: one relaxed atomic load; the clock is sampled
+// every kDeadlineStride checks) and charge the guard's MemoryTracker for
+// every materialized data structure — hash-join tables, aggregation state,
+// sort buffers, and Apply/lateral result sets. Exceeding any limit surfaces
+// as StatusCode::kCancelled / kDeadlineExceeded / kResourceExhausted, which
+// the executor propagates without retry and without partial results.
+#ifndef DECORR_COMMON_RESOURCE_H_
+#define DECORR_COMMON_RESOURCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "decorr/common/status.h"
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+// Approximate heap footprint of one materialized row (vector header,
+// per-value storage, string payloads). Used to charge MemoryTrackers;
+// deliberately an estimate — budgets bound order of magnitude, not bytes.
+int64_t ApproxRowBytes(const Row& row);
+
+// Tracks bytes charged against an optional budget. Not thread-safe: one
+// tracker belongs to one (single-threaded) query execution.
+class MemoryTracker {
+ public:
+  // 0 = unlimited.
+  void set_budget(int64_t bytes) { budget_ = bytes; }
+  int64_t budget() const { return budget_; }
+
+  // Adds `bytes`; kResourceExhausted when the budget would be exceeded
+  // (the charge is still recorded so callers may release symmetrically).
+  Status Charge(int64_t bytes);
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_; }
+  int64_t peak() const { return peak_; }
+
+ private:
+  int64_t budget_ = 0;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+};
+
+// Thread-safe cancellation flag, shareable between the thread running the
+// query and the thread requesting cancellation.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Deterministic test hook: trip the token after `n` guard polls, as if a
+  // concurrent Cancel() landed mid-scan.
+  void CancelAfterChecks(int64_t n) {
+    countdown_.store(n, std::memory_order_relaxed);
+  }
+
+  // One cooperative poll; true once the token has tripped.
+  bool Poll();
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> countdown_{-1};  // < 0: no countdown armed
+};
+
+// Per-query execution guard: cancellation + deadline + row/memory budgets.
+class ResourceGuard {
+ public:
+  // The deadline clock is sampled every this many Check() calls (and on the
+  // very first one, so a pre-expired deadline fails immediately).
+  static constexpr uint64_t kDeadlineStride = 64;
+
+  void set_cancel(std::shared_ptr<CancellationToken> token) {
+    cancel_ = std::move(token);
+  }
+  // Deadline `micros` from now; <= 0 leaves the guard deadline-free.
+  void set_deadline_after_micros(int64_t micros);
+  // Ceiling on rows materialized query-wide (0 = unlimited). Monotonic:
+  // rows are never un-charged, so it bounds total work, not live state.
+  void set_row_budget(int64_t rows) { row_budget_ = rows; }
+
+  MemoryTracker& memory() { return memory_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  // Cancellation / deadline check; called once per row in operator loops.
+  Status Check();
+
+  Status ChargeRows(int64_t n);
+  Status ChargeMemory(int64_t bytes) { return memory_.Charge(bytes); }
+  void ReleaseMemory(int64_t bytes) { memory_.Release(bytes); }
+
+  int64_t rows_materialized() const { return rows_; }
+
+ private:
+  std::shared_ptr<CancellationToken> cancel_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t ticks_ = 0;
+  int64_t row_budget_ = 0;
+  int64_t rows_ = 0;
+  MemoryTracker memory_;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_RESOURCE_H_

@@ -25,6 +25,9 @@ enum class StatusCode {
   kAlreadyExists,     // duplicate table/index name
   kExecutionError,    // runtime failure while evaluating a plan
   kInternal,          // invariant violation inside decorr itself
+  kCancelled,         // the query's cancellation token was tripped
+  kDeadlineExceeded,  // wall-clock deadline passed during execution
+  kResourceExhausted, // row or memory budget exceeded
 };
 
 // Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -45,6 +48,9 @@ class Status {
   static Status AlreadyExists(std::string msg);
   static Status ExecutionError(std::string msg);
   static Status Internal(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "decorr/exec/aggregate.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
@@ -73,8 +74,10 @@ Value HashAggregateOp::Finalize(const AggSpec& spec,
 }
 
 Status HashAggregateOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.aggregate.open");
   ctx_ = ctx;
   result_rows_.clear();
+  charged_bytes_ = 0;
   cursor_ = 0;
 
   // Group states keyed by the group-key row; insertion order retained for
@@ -88,6 +91,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     Row in;
     bool eof = false;
     Status st = child_->Next(&in, &eof);
+    if (st.ok() && ctx->guard) st = ctx->guard->Check();
     if (!st.ok()) {
       child_->Close();
       return st;
@@ -101,6 +105,18 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     for (const ExprPtr& expr : group_keys_) key.push_back(Eval(*expr, ectx));
     auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
     if (inserted) {
+      if (ctx->guard) {
+        const int64_t bytes =
+            ApproxRowBytes(key) +
+            static_cast<int64_t>(aggs_.size() * sizeof(AggState));
+        charged_bytes_ += bytes;
+        st = ctx->guard->ChargeRows(1);
+        if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
+        if (!st.ok()) {
+          child_->Close();
+          return st;
+        }
+      }
       group_keys.push_back(std::move(key));
       group_states.emplace_back(aggs_.size());
     }
@@ -134,7 +150,13 @@ Status HashAggregateOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void HashAggregateOp::Close() { result_rows_.clear(); }
+void HashAggregateOp::Close() {
+  result_rows_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
+}
 
 std::string HashAggregateOp::ToString(int indent) const {
   std::string out = Indent(indent) + "HashAggregate keys=[";
@@ -154,21 +176,38 @@ std::string HashAggregateOp::ToString(int indent) const {
 DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
 
 Status DistinctOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.distinct.open");
+  ctx_ = ctx;
   seen_.clear();
+  charged_bytes_ = 0;
   return child_->Open(ctx);
 }
 
 Status DistinctOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.distinct.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
     if (*eof) return Status::OK();
-    if (seen_.insert(*out).second) return Status::OK();
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
+    if (seen_.insert(*out).second) {
+      if (ctx_->guard) {
+        const int64_t bytes = ApproxRowBytes(*out);
+        charged_bytes_ += bytes;
+        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeRows(1));
+        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemory(bytes));
+      }
+      return Status::OK();
+    }
   }
 }
 
 void DistinctOp::Close() {
   child_->Close();
   seen_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
 }
 
 std::string DistinctOp::ToString(int indent) const {

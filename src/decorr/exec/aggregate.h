@@ -59,6 +59,7 @@ class HashAggregateOp : public Operator {
 
   ExecContext* ctx_ = nullptr;
   std::vector<Row> result_rows_;
+  int64_t charged_bytes_ = 0;  // group-state memory charged to the guard
   size_t cursor_ = 0;
 };
 
@@ -77,7 +78,9 @@ class DistinctOp : public Operator {
 
  private:
   OperatorPtr child_;
+  ExecContext* ctx_ = nullptr;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  int64_t charged_bytes_ = 0;
 };
 
 }  // namespace decorr

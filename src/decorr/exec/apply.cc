@@ -1,5 +1,6 @@
 #include "decorr/exec/apply.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
@@ -88,6 +89,7 @@ ApplyOp::ApplyOp(OperatorPtr input, std::vector<SubqueryPlan> subqueries)
     : input_(std::move(input)), subqueries_(std::move(subqueries)) {}
 
 Status ApplyOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.apply.open");
   ctx_ = ctx;
   invariant_computed_.assign(subqueries_.size(), false);
   invariant_value_.assign(subqueries_.size(), Value());
@@ -96,6 +98,7 @@ Status ApplyOp::Open(ExecContext* ctx) {
 
 Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
                                  Value* out) {
+  DECORR_FAULT_POINT("exec.apply.subquery");
   // Bind correlation parameters from the input row / enclosing params.
   Row params;
   params.reserve(sub.params.size());
@@ -109,9 +112,15 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
   ExecContext inner_ctx;
   inner_ctx.params = &params;
   inner_ctx.stats = ctx_->stats;
+  inner_ctx.guard = ctx_->guard;
   ++ctx_->stats->subquery_invocations;
-  DECORR_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                          CollectRows(sub.plan.get(), &inner_ctx));
+  // The inner result set lives only until the verdict; release its charge
+  // so per-outer-row invocations don't accumulate against the budget.
+  int64_t charged = 0;
+  Result<std::vector<Row>> collected =
+      CollectRows(sub.plan.get(), &inner_ctx, &charged);
+  if (!collected.ok()) return collected.status();
+  std::vector<Row> rows = collected.MoveValue();
 
   Value lhs;
   if (sub.lhs) {
@@ -122,13 +131,16 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
   }
   Status st;
   *out = SubqueryVerdict(sub.mode, sub.op, lhs, rows, sub.negated, &st);
+  if (ctx_->guard) ctx_->guard->ReleaseMemory(charged);
   return st;
 }
 
 Status ApplyOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.apply.next");
   Row in;
   DECORR_RETURN_IF_ERROR(input_->Next(&in, eof));
   if (*eof) return Status::OK();
+  DECORR_RETURN_IF_ERROR(ctx_->Check());
   for (size_t i = 0; i < subqueries_.size(); ++i) {
     const SubqueryPlan& sub = subqueries_[i];
     Value v;
@@ -181,10 +193,13 @@ GroupProbeApplyOp::GroupProbeApplyOp(OperatorPtr input, OperatorPtr inner,
       semantics_(std::move(semantics)) {}
 
 Status GroupProbeApplyOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.groupprobe.build");
   ctx_ = ctx;
   groups_.clear();
-  DECORR_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                          CollectRows(inner_.get(), ctx));
+  charged_bytes_ = 0;
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      CollectRows(inner_.get(), ctx, &charged_bytes_));
   for (Row& row : rows) {
     Row key;
     key.reserve(inner_key_cols_.size());
@@ -200,10 +215,12 @@ Status GroupProbeApplyOp::Open(ExecContext* ctx) {
 }
 
 Status GroupProbeApplyOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.groupprobe.next");
   static const std::vector<Row> kEmpty;
   Row in;
   DECORR_RETURN_IF_ERROR(input_->Next(&in, eof));
   if (*eof) return Status::OK();
+  DECORR_RETURN_IF_ERROR(ctx_->Check());
   EvalContext ectx;
   ectx.row = &in;
   ectx.params = ctx_->params;
@@ -232,6 +249,10 @@ Status GroupProbeApplyOp::Next(Row* out, bool* eof) {
 void GroupProbeApplyOp::Close() {
   input_->Close();
   groups_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
 }
 
 std::string GroupProbeApplyOp::ToString(int indent) const {
@@ -253,15 +274,19 @@ LateralJoinOp::LateralJoinOp(OperatorPtr input, OperatorPtr inner,
       inner_width_(inner_width) {}
 
 Status LateralJoinOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.lateral.open");
   ctx_ = ctx;
   input_eof_ = false;
   inner_rows_.clear();
+  charged_bytes_ = 0;
   inner_cursor_ = 0;
   return input_->Open(ctx);
 }
 
 Status LateralJoinOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.lateral.next");
   while (true) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
     if (inner_cursor_ < inner_rows_.size()) {
       *out = current_input_;
       const Row& inner_row = inner_rows_[inner_cursor_++];
@@ -288,8 +313,13 @@ Status LateralJoinOp::Next(Row* out, bool* eof) {
     ExecContext inner_ctx;
     inner_ctx.params = &params;
     inner_ctx.stats = ctx_->stats;
+    inner_ctx.guard = ctx_->guard;
     ++ctx_->stats->subquery_invocations;
-    DECORR_ASSIGN_OR_RETURN(inner_rows_, CollectRows(inner_.get(), &inner_ctx));
+    // Replace the previous inner result set (and its memory charge).
+    if (ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+    DECORR_ASSIGN_OR_RETURN(
+        inner_rows_, CollectRows(inner_.get(), &inner_ctx, &charged_bytes_));
     inner_cursor_ = 0;
   }
 }
@@ -297,6 +327,10 @@ Status LateralJoinOp::Next(Row* out, bool* eof) {
 void LateralJoinOp::Close() {
   input_->Close();
   inner_rows_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
 }
 
 std::string LateralJoinOp::ToString(int indent) const {

@@ -108,6 +108,7 @@ class GroupProbeApplyOp : public Operator {
   SubqueryPlan semantics_;  // plan member unused; mode/lhs/op/negated apply
   ExecContext* ctx_ = nullptr;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> groups_;
+  int64_t charged_bytes_ = 0;  // materialized inner-table memory
 };
 
 // Correlated lateral join (nested iteration over a correlated derived
@@ -136,6 +137,7 @@ class LateralJoinOp : public Operator {
   ExecContext* ctx_ = nullptr;
   Row current_input_;
   std::vector<Row> inner_rows_;
+  int64_t charged_bytes_ = 0;  // memory of the current inner result set
   size_t inner_cursor_ = 0;
   bool input_eof_ = true;
 };

@@ -1,5 +1,6 @@
 #include "decorr/exec/filter_project.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
@@ -14,6 +15,7 @@ Status FilterOp::Open(ExecContext* ctx) {
 }
 
 Status FilterOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.filter.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
     if (*eof) return Status::OK();
@@ -40,6 +42,7 @@ Status ProjectOp::Open(ExecContext* ctx) {
 }
 
 Status ProjectOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.project.next");
   Row in;
   DECORR_RETURN_IF_ERROR(child_->Next(&in, eof));
   if (*eof) return Status::OK();

@@ -1,5 +1,6 @@
 #include "decorr/exec/join.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
@@ -44,8 +45,10 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
       join_type_(join_type) {}
 
 Status HashJoinOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.hashjoin.build");
   ctx_ = ctx;
   table_.clear();
+  charged_bytes_ = 0;
   matches_ = nullptr;
   left_eof_ = false;
 
@@ -55,6 +58,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     Row row;
     bool eof = false;
     Status st = right_->Next(&row, &eof);
+    if (st.ok() && ctx->guard) st = ctx->guard->Check();
     if (!st.ok()) {
       right_->Close();
       return st;
@@ -62,6 +66,16 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     if (eof) break;
     Row key;
     if (!EvalKeys(right_keys_, row, ctx->params, &key)) continue;
+    if (ctx->guard) {
+      const int64_t bytes = ApproxRowBytes(row) + ApproxRowBytes(key);
+      charged_bytes_ += bytes;
+      st = ctx->guard->ChargeRows(1);
+      if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
+      if (!st.ok()) {
+        right_->Close();
+        return st;
+      }
+    }
     table_[std::move(key)].push_back(std::move(row));
   }
   right_->Close();
@@ -69,6 +83,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
 }
 
 Status HashJoinOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.hashjoin.next");
   while (true) {
     // Drain matches for the current probe row.
     if (matches_ != nullptr) {
@@ -135,6 +150,10 @@ Status HashJoinOp::Next(Row* out, bool* eof) {
 void HashJoinOp::Close() {
   left_->Close();
   table_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
   matches_ = nullptr;
 }
 
@@ -165,8 +184,11 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
       join_type_(join_type) {}
 
 Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.nlj.open");
   ctx_ = ctx;
-  DECORR_ASSIGN_OR_RETURN(right_rows_, CollectRows(right_.get(), ctx));
+  charged_bytes_ = 0;
+  DECORR_ASSIGN_OR_RETURN(right_rows_,
+                          CollectRows(right_.get(), ctx, &charged_bytes_));
   left_eof_ = false;
   right_cursor_ = right_rows_.size();  // force first left fetch
   emitted_match_ = true;
@@ -174,7 +196,9 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
 }
 
 Status NestedLoopJoinOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.nlj.next");
   while (true) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
     while (right_cursor_ < right_rows_.size()) {
       const Row& right_row = right_rows_[right_cursor_++];
       Row combined = current_left_;
@@ -215,6 +239,10 @@ Status NestedLoopJoinOp::Next(Row* out, bool* eof) {
 void NestedLoopJoinOp::Close() {
   left_->Close();
   right_rows_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
 }
 
 std::string NestedLoopJoinOp::ToString(int indent) const {
@@ -239,6 +267,7 @@ IndexJoinOp::IndexJoinOp(OperatorPtr left, TablePtr table,
       residual_(std::move(residual)) {}
 
 Status IndexJoinOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.indexjoin.open");
   ctx_ = ctx;
   matches_ = nullptr;
   left_eof_ = false;
@@ -246,7 +275,9 @@ Status IndexJoinOp::Open(ExecContext* ctx) {
 }
 
 Status IndexJoinOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.indexjoin.next");
   while (true) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
     if (matches_ != nullptr) {
       while (match_cursor_ < matches_->size()) {
         const size_t r = (*matches_)[match_cursor_++];

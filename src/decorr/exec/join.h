@@ -50,6 +50,7 @@ class HashJoinOp : public Operator {
 
   ExecContext* ctx_ = nullptr;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
+  int64_t charged_bytes_ = 0;  // build-table memory charged to the guard
   Row current_left_;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_cursor_ = 0;
@@ -82,6 +83,7 @@ class NestedLoopJoinOp : public Operator {
 
   ExecContext* ctx_ = nullptr;
   std::vector<Row> right_rows_;
+  int64_t charged_bytes_ = 0;
   Row current_left_;
   size_t right_cursor_ = 0;
   bool emitted_match_ = false;

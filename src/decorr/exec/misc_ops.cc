@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
@@ -12,6 +13,7 @@ UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
     : children_(std::move(children)) {}
 
 Status UnionAllOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.union.open");
   ctx_ = ctx;
   current_ = 0;
   if (!children_.empty()) return children_[0]->Open(ctx);
@@ -19,6 +21,7 @@ Status UnionAllOp::Open(ExecContext* ctx) {
 }
 
 Status UnionAllOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.union.next");
   while (current_ < children_.size()) {
     bool child_eof = false;
     DECORR_RETURN_IF_ERROR(children_[current_]->Next(out, &child_eof));
@@ -54,7 +57,11 @@ SortOp::SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> sort_keys)
     : child_(std::move(child)), sort_keys_(std::move(sort_keys)) {}
 
 Status SortOp::Open(ExecContext* ctx) {
-  DECORR_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get(), ctx));
+  DECORR_FAULT_POINT("exec.sort.open");
+  ctx_ = ctx;
+  charged_bytes_ = 0;
+  DECORR_ASSIGN_OR_RETURN(rows_,
+                          CollectRows(child_.get(), ctx, &charged_bytes_));
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
                      for (const auto& [col, asc] : sort_keys_) {
@@ -77,7 +84,13 @@ Status SortOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void SortOp::Close() { rows_.clear(); }
+void SortOp::Close() {
+  rows_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(charged_bytes_);
+  }
+  charged_bytes_ = 0;
+}
 
 std::string SortOp::ToString(int indent) const {
   std::string out = Indent(indent) + "Sort [";
@@ -95,11 +108,13 @@ LimitOp::LimitOp(OperatorPtr child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
 Status LimitOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.limit.open");
   produced_ = 0;
   return child_->Open(ctx);
 }
 
 Status LimitOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.limit.next");
   if (produced_ >= limit_) {
     *eof = true;
     return Status::OK();
@@ -122,10 +137,12 @@ CachedMaterializeOp::CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared)
     : shared_(std::move(shared)) {}
 
 Status CachedMaterializeOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.materialize.open");
   cursor_ = 0;
   if (!shared_->computed) {
-    DECORR_ASSIGN_OR_RETURN(shared_->rows,
-                            CollectRows(shared_->plan.get(), ctx));
+    DECORR_ASSIGN_OR_RETURN(
+        shared_->rows,
+        CollectRows(shared_->plan.get(), ctx, &shared_->charged_bytes));
     shared_->computed = true;
   }
   return Status::OK();

@@ -44,7 +44,9 @@ class SortOp : public Operator {
  private:
   OperatorPtr child_;
   std::vector<std::pair<int, bool>> sort_keys_;
+  ExecContext* ctx_ = nullptr;
   std::vector<Row> rows_;
+  int64_t charged_bytes_ = 0;  // sort-buffer memory charged to the guard
   size_t cursor_ = 0;
 };
 
@@ -76,6 +78,9 @@ struct SharedSubplan {
   int width = 0;
   bool computed = false;
   std::vector<Row> rows;
+  // Memory charged when the shared rows were computed; intentionally held
+  // for the rest of the query (the cache lives that long).
+  int64_t charged_bytes = 0;
 };
 
 class CachedMaterializeOp : public Operator {

@@ -1,5 +1,6 @@
 #include "decorr/exec/operator.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
@@ -12,21 +13,41 @@ std::string Operator::Indent(int n) { return Repeat("  ", n); }
 
 void Operator::Introspect(PlanIntrospection* out) const { (void)out; }
 
-Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx) {
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx,
+                                     int64_t* charged_bytes) {
+  DECORR_FAULT_POINT("exec.collect_rows");
   DECORR_RETURN_IF_ERROR(op->Open(ctx));
   std::vector<Row> rows;
+  int64_t charged = 0;
+  auto fail = [&](Status st) {
+    op->Close();
+    if (ctx->guard) ctx->guard->ReleaseMemory(charged);
+    return st;
+  };
   while (true) {
     Row row;
     bool eof = false;
     Status st = op->Next(&row, &eof);
-    if (!st.ok()) {
-      op->Close();
-      return st;
-    }
+    if (!st.ok()) return fail(std::move(st));
     if (eof) break;
+    if (ctx->guard) {
+      st = ctx->guard->Check();
+      if (st.ok()) st = ctx->guard->ChargeRows(1);
+      if (st.ok()) {
+        const int64_t bytes = ApproxRowBytes(row);
+        charged += bytes;
+        st = ctx->guard->ChargeMemory(bytes);
+      }
+      if (!st.ok()) return fail(std::move(st));
+    }
     rows.push_back(std::move(row));
   }
   op->Close();
+  if (charged_bytes != nullptr) {
+    *charged_bytes += charged;
+  } else if (ctx->guard) {
+    ctx->guard->ReleaseMemory(charged);
+  }
   return rows;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "decorr/common/resource.h"
 #include "decorr/common/status.h"
 #include "decorr/common/value.h"
 
@@ -70,13 +71,21 @@ struct ExecStats {
   int64_t index_lookups = 0;         // index probes
   int64_t subquery_invocations = 0;  // Apply inner executions (paper metric)
   int64_t rows_output = 0;           // rows produced at the root
+  int64_t peak_memory_bytes = 0;     // high-water mark of tracked state
+  int64_t rows_materialized = 0;     // rows buffered by blocking operators
 };
 
 // Per-execution context threaded through Open(). `params` carries the
-// correlation bindings of the innermost enclosing Apply.
+// correlation bindings of the innermost enclosing Apply; `guard` (optional)
+// enforces cancellation, deadlines and row/memory budgets and is shared by
+// every nested context of the same query.
 struct ExecContext {
   const Row* params = nullptr;
   ExecStats* stats = nullptr;
+  ResourceGuard* guard = nullptr;
+
+  // Cancellation/deadline poll; OK when no guard is attached.
+  Status Check() const { return guard ? guard->Check() : Status::OK(); }
 };
 
 class Operator {
@@ -113,8 +122,14 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-// Drains `op` into a vector of rows (Open/Next/Close).
-Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx);
+// Drains `op` into a vector of rows (Open/Next/Close). Every collected row
+// is charged against the guard's row and memory budgets. With
+// `charged_bytes` the caller takes ownership of the memory charge (added to
+// *charged_bytes; release it when the rows are dropped); without it the
+// charge is released on return — the budget then bounds the collection
+// itself, not the rows' later lifetime.
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx,
+                                     int64_t* charged_bytes = nullptr);
 
 }  // namespace decorr
 

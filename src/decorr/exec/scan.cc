@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
 
@@ -35,6 +36,7 @@ SeqScanOp::SeqScanOp(TablePtr table, std::vector<int> projection,
 }
 
 Status SeqScanOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.seqscan.open");
   ctx_ = ctx;
   cursor_ = 0;
   scratch_.assign(table_->num_columns(), Value());
@@ -42,11 +44,13 @@ Status SeqScanOp::Open(ExecContext* ctx) {
 }
 
 Status SeqScanOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.seqscan.next");
   const size_t n = table_->num_rows();
   EvalContext ectx;
   ectx.row = &scratch_;
   ectx.params = ctx_->params;
   while (cursor_ < n) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
     const size_t r = cursor_++;
     ++ctx_->stats->rows_scanned;
     if (filter_) {
@@ -90,6 +94,7 @@ IndexLookupOp::IndexLookupOp(TablePtr table, std::shared_ptr<HashIndex> index,
 }
 
 Status IndexLookupOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.indexlookup.open");
   ctx_ = ctx;
   cursor_ = 0;
   scratch_.assign(table_->num_columns(), Value());
@@ -110,6 +115,7 @@ Status IndexLookupOp::Open(ExecContext* ctx) {
 }
 
 Status IndexLookupOp::Next(Row* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.indexlookup.next");
   if (matches_ == nullptr) {
     *eof = true;
     return Status::OK();
@@ -118,6 +124,7 @@ Status IndexLookupOp::Next(Row* out, bool* eof) {
   ectx.row = &scratch_;
   ectx.params = ctx_->params;
   while (cursor_ < matches_->size()) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
     const size_t r = (*matches_)[cursor_++];
     ++ctx_->stats->rows_scanned;
     if (filter_) {
@@ -157,6 +164,7 @@ RowsScanOp::RowsScanOp(std::shared_ptr<const std::vector<Row>> rows, int width)
     : rows_(std::move(rows)), width_(width) {}
 
 Status RowsScanOp::Open(ExecContext* ctx) {
+  DECORR_FAULT_POINT("exec.rowsscan.open");
   (void)ctx;
   cursor_ = 0;
   return Status::OK();

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/logging.h"
 #include "decorr/common/string_util.h"
 #include "decorr/exec/aggregate.h"
@@ -1319,6 +1320,7 @@ Result<PhysicalPlan> Planner::PlanGraph(QueryGraph* graph) {
 }
 
 Result<PhysicalPlan> Planner::PlanQuery(const BoundQuery& bound) {
+  DECORR_FAULT_POINT("planner.plan");
   DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanGraph(bound.graph.get()));
   if (!bound.order_by.empty()) {
     plan.root = std::make_unique<SortOp>(std::move(plan.root), bound.order_by);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/logging.h"
 #include "decorr/qgm/analysis.h"
 
@@ -124,6 +125,7 @@ bool RemoveIdentitySelects(QueryGraph* graph) {
 }
 
 Status CleanupGraph(QueryGraph* graph, const RewriteStepFn& on_step) {
+  DECORR_FAULT_POINT("rewrite.cleanup");
   for (int iteration = 0; iteration < 100; ++iteration) {
     bool changed = false;
     while (TryMergeOne(graph)) {

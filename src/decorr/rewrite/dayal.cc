@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/qgm/analysis.h"
 #include "decorr/rewrite/pattern.h"
@@ -9,6 +10,7 @@
 namespace decorr {
 
 Status DayalRewrite(QueryGraph* graph, const Catalog& catalog) {
+  DECORR_FAULT_POINT("rewrite.dayal");
   (void)catalog;
   DECORR_ASSIGN_OR_RETURN(CorrelatedAggPattern p,
                           MatchCorrelatedAggPattern(graph));

@@ -1,5 +1,6 @@
 #include "decorr/rewrite/ganski.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/rewrite/magic.h"
 #include "decorr/rewrite/pattern.h"
 
@@ -7,6 +8,7 @@ namespace decorr {
 
 Status GanskiWongRewrite(QueryGraph* graph, const Catalog& catalog,
                         const RewriteStepFn& on_step) {
+  DECORR_FAULT_POINT("rewrite.ganski");
   // Ganski/Wong preconditions: a single outer table with one correlated
   // aggregate subquery ("This method considers a simple outer block
   // consisting of a single table, and a single correlated aggregate

@@ -1,5 +1,6 @@
 #include "decorr/rewrite/kim.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/qgm/analysis.h"
 #include "decorr/rewrite/pattern.h"
@@ -14,6 +15,7 @@ namespace decorr {
 //   * a group with no inner rows produces no tuple, so the outer row
 //     silently disappears — the COUNT bug.
 Status KimRewrite(QueryGraph* graph) {
+  DECORR_FAULT_POINT("rewrite.kim");
   DECORR_ASSIGN_OR_RETURN(CorrelatedAggPattern p,
                           MatchCorrelatedAggPattern(graph));
   Box* spj = p.spj;

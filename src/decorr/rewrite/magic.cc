@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/logging.h"
 #include "decorr/common/string_util.h"
 #include "decorr/planner/estimate.h"
@@ -673,6 +674,7 @@ class MagicRewriter {
 Status MagicDecorrelateNoCleanup(QueryGraph* graph, const Catalog& catalog,
                                  const DecorrelationOptions& options,
                                  const RewriteStepFn& on_step) {
+  DECORR_FAULT_POINT("rewrite.magic");
   MagicRewriter rewriter(graph, catalog, options, on_step);
   return rewriter.Run();
 }

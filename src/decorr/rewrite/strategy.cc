@@ -1,5 +1,6 @@
 #include "decorr/rewrite/strategy.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/rewrite/dayal.h"
 #include "decorr/rewrite/ganski.h"
 #include "decorr/rewrite/kim.h"
@@ -29,6 +30,7 @@ Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
                      const Catalog& catalog,
                      const DecorrelationOptions& options,
                      const RewriteStepFn& on_step) {
+  DECORR_FAULT_POINT("rewrite.strategy");
   switch (strategy) {
     case Strategy::kNestedIteration:
       return Status::OK();

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
@@ -167,6 +168,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
 
 Result<int64_t> ImportCsv(Database* db, const std::string& table,
                           const std::string& text, bool header) {
+  DECORR_FAULT_POINT("storage.csv.import");
   DECORR_ASSIGN_OR_RETURN(TablePtr target, db->catalog().GetTable(table));
   DECORR_ASSIGN_OR_RETURN(auto raw, ParseRaw(text));
   const TableSchema& schema = target->schema();

@@ -53,8 +53,75 @@ Result<QueryResult> Database::Explain(const std::string& sql,
   return Run(sql, options, /*execute=*/false);
 }
 
+namespace {
+
+// Prepare-phase failures eligible for the nested-iteration fallback: errors
+// a different strategy can plausibly avoid. Input errors (parse/bind/missing
+// table) and guardrail trips would recur identically under NI.
+bool FallbackEligible(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kParseError:
+    case StatusCode::kBindError:
+    case StatusCode::kNotFound:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Run(const std::string& sql,
                                   const QueryOptions& options, bool execute) {
+  ResourceGuard guard;
+  if (options.limits.timeout_micros > 0) {
+    guard.set_deadline_after_micros(options.limits.timeout_micros);
+  }
+  if (options.limits.memory_budget_bytes > 0) {
+    guard.memory().set_budget(options.limits.memory_budget_bytes);
+  }
+  if (options.limits.row_budget > 0) {
+    guard.set_row_budget(options.limits.row_budget);
+  }
+  if (options.limits.cancel) guard.set_cancel(options.limits.cancel);
+  // Catch an already-tripped token or pre-expired deadline before doing any
+  // work (the stride sampler always checks on the first call).
+  DECORR_RETURN_IF_ERROR(guard.Check());
+
+  bool prepared = false;
+  Result<QueryResult> result =
+      RunOnce(sql, options, execute, &guard, &prepared);
+  if (!result.ok() && options.fallback && !prepared &&
+      options.strategy != Strategy::kNestedIteration &&
+      FallbackEligible(result.status())) {
+    const Status failure = result.status();
+    QueryOptions ni = options;
+    ni.strategy = Strategy::kNestedIteration;
+    // The failed rewrite mutated the QGM in place; RunOnce re-parses and
+    // re-binds from the SQL text, so the fallback starts from a clean graph.
+    result = RunOnce(sql, ni, execute, &guard, &prepared);
+    if (result.ok()) {
+      result->fallback_reason =
+          StrFormat("%s rewrite failed (%s); fell back to nested iteration",
+                    StrategyName(options.strategy),
+                    failure.ToString().c_str());
+    }
+  }
+  if (result.ok()) {
+    result->stats.peak_memory_bytes = guard.memory().peak();
+    result->stats.rows_materialized = guard.rows_materialized();
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunOnce(const std::string& sql,
+                                      const QueryOptions& options,
+                                      bool execute, ResourceGuard* guard,
+                                      bool* prepared) {
+  *prepared = false;
   DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
                           ParseAndBind(sql, *catalog_));
   QueryResult result;
@@ -68,6 +135,13 @@ Result<QueryResult> Database::Run(const std::string& sql,
     DECORR_RETURN_IF_ERROR(verifier->Begin());
     on_step = verifier->AsCallback();
   }
+  // Long rewrites honor cancellation and the deadline between rule
+  // applications.
+  on_step = [guard, inner = std::move(on_step)](
+                const std::string& rule) -> Status {
+    DECORR_RETURN_IF_ERROR(guard->Check());
+    return inner ? inner(rule) : Status::OK();
+  };
   DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), options.strategy,
                                        *catalog_, options.decorr, on_step));
   DECORR_RETURN_IF_ERROR(Validate(bound->graph.get()));
@@ -87,12 +161,14 @@ Result<QueryResult> Database::Run(const std::string& sql,
   if (options.verify) {
     DECORR_RETURN_IF_ERROR(VerifyPlan(*plan.root));
   }
+  *prepared = true;
   result.column_names = plan.column_names;
   result.plan_text = plan.ToString();
   if (!execute) return result;
 
   ExecContext ctx;
   ctx.stats = &result.stats;
+  ctx.guard = guard;
   DECORR_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get(), &ctx));
   result.stats.rows_output = static_cast<int64_t>(result.rows.size());
   return result;

@@ -27,23 +27,39 @@ inline constexpr bool kVerifyByDefault = false;
 inline constexpr bool kVerifyByDefault = true;
 #endif
 
+// Execution guardrails for one query. Zero / null means unlimited.
+struct QueryLimits {
+  int64_t timeout_micros = 0;       // wall-clock deadline from Execute entry
+  int64_t memory_budget_bytes = 0;  // live materialized state (hash tables,
+                                    // sorts, aggregation, Apply results)
+  int64_t row_budget = 0;           // total rows materialized, query-wide
+  std::shared_ptr<CancellationToken> cancel;  // cooperative cancellation
+};
+
 struct QueryOptions {
   Strategy strategy = Strategy::kNestedIteration;
   DecorrelationOptions decorr;   // knobs for magic decorrelation
   PlannerOptions planner;
+  QueryLimits limits;
   bool capture_qgm = false;      // record before/after QGM dumps
   // Runs the semantic analyzer on the bound QGM, re-checks invariants after
   // every rewrite step, and verifies the physical plan before execution.
   bool verify = kVerifyByDefault;
+  // When the chosen rewrite fails (or fails verification) before execution
+  // begins, transparently re-run under nested iteration instead of surfacing
+  // the error; the reason lands in QueryResult::fallback_reason. Input
+  // errors (parse/bind/missing table) and guardrail trips never fall back.
+  bool fallback = true;
 };
 
 struct QueryResult {
   std::vector<Row> rows;
   std::vector<std::string> column_names;
   ExecStats stats;
-  std::string plan_text;   // physical plan (EXPLAIN)
-  std::string qgm_before;  // filled when capture_qgm is set
+  std::string plan_text;        // physical plan (EXPLAIN)
+  std::string qgm_before;       // filled when capture_qgm is set
   std::string qgm_after;
+  std::string fallback_reason;  // why the NI fallback ran (empty: it didn't)
 
   std::string ToString(size_t max_rows = 50) const;
 };
@@ -85,6 +101,11 @@ class Database {
  private:
   Result<QueryResult> Run(const std::string& sql, const QueryOptions& options,
                           bool execute);
+  // One prepare+execute attempt under `guard`; `*prepared` flips to true
+  // once the plan has been verified (i.e. execution is about to begin).
+  Result<QueryResult> RunOnce(const std::string& sql,
+                              const QueryOptions& options, bool execute,
+                              ResourceGuard* guard, bool* prepared);
 
   std::shared_ptr<Catalog> catalog_;
 };

@@ -1,5 +1,6 @@
 #include "decorr/storage/table.h"
 
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
@@ -12,6 +13,7 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
 }
 
 Status Table::AppendRow(const Row& row) {
+  DECORR_FAULT_POINT("storage.table.append");
   if (static_cast<int>(row.size()) != schema_.num_columns()) {
     return Status::InvalidArgument(
         StrFormat("row arity %zu does not match table %s arity %d", row.size(),

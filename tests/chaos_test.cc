@@ -1,0 +1,192 @@
+// Chaos sweep: discover every fault point a broad workload exercises, then
+// re-run the workload once per site with that site armed to fail, asserting
+// the injected Status reaches the API boundary unchanged — no crash, no
+// leak (the CI sanitize job runs this under ASan/UBSan), and no swallowed
+// error. A seeded random-faulting soak and a fallback-recovery pass ride
+// along.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "decorr/common/fault.h"
+#include "decorr/runtime/csv.h"
+#include "decorr/runtime/database.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+// Builds the paper's EMP/DEPT database through the status-checked Database
+// API (MakeEmpDeptCatalog ignores statuses, which would swallow injected
+// faults) and runs a workload covering scans, filters, joins, aggregation,
+// DISTINCT/ORDER BY/LIMIT, UNION ALL, lateral derived tables, correlated
+// subqueries under every rewrite strategy, index maintenance, and CSV
+// import. Aborts at the first error so an injected fault surfaces verbatim.
+Status RunChaosWorkload() {
+  Database db;
+  DECORR_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "dept",
+      {{"name", TypeId::kString, false},
+       {"budget", TypeId::kInt64, false},
+       {"num_emps", TypeId::kInt64, false},
+       {"building", TypeId::kInt64, false}},
+      /*primary_key=*/{0})));
+  DECORR_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "emp",
+      {{"emp_id", TypeId::kInt64, false},
+       {"name", TypeId::kString, false},
+       {"building", TypeId::kInt64, false},
+       {"salary", TypeId::kInt64, false}},
+      /*primary_key=*/{0})));
+  DECORR_RETURN_IF_ERROR(db.Insert("dept", {{S("math"), I(5000), I(4), I(10)},
+                                            {S("cs"), I(8000), I(6), I(10)},
+                                            {S("ee"), I(7000), I(2), I(20)},
+                                            {S("physics"), I(500), I(1), I(30)},
+                                            {S("bio"), I(20000), I(9), I(20)},
+                                            {S("chem"), I(3000), I(1), I(20)}}));
+  DECORR_RETURN_IF_ERROR(db.Insert("emp", {{I(1), S("ann"), I(10), I(50)},
+                                           {I(2), S("bob"), I(10), I(60)},
+                                           {I(3), S("cat"), I(10), I(70)},
+                                           {I(4), S("dan"), I(20), I(55)},
+                                           {I(5), S("eve"), I(20), I(65)},
+                                           {I(6), S("fox"), I(20), I(75)},
+                                           {I(7), S("gil"), I(20), I(45)},
+                                           {I(8), S("hal"), I(40), I(85)}}));
+  DECORR_RETURN_IF_ERROR(db.AnalyzeAll());
+  DECORR_RETURN_IF_ERROR(db.CreateIndex("emp", "emp_building", {"building"}));
+  DECORR_ASSIGN_OR_RETURN(int64_t imported,
+                          ImportCsv(&db, "emp", "9,ivy,10,52\n",
+                                    /*header=*/false));
+  if (imported != 1) return Status::Internal("CSV import row count");
+
+  auto run = [&db](const std::string& sql, Strategy strategy,
+                   bool decorrelate_existentials = false) -> Status {
+    QueryOptions options;
+    options.strategy = strategy;
+    options.fallback = false;  // an injected fault must surface, not degrade
+    options.decorr.decorrelate_existentials = decorrelate_existentials;
+    DECORR_ASSIGN_OR_RETURN(QueryResult result, db.Execute(sql, options));
+    if (result.column_names.empty()) return Status::Internal("no columns");
+    return Status::OK();
+  };
+
+  // The paper example under every strategy (Apply, hash join, aggregation,
+  // and all four rewrite families).
+  for (Strategy s : {Strategy::kNestedIteration, Strategy::kKim,
+                     Strategy::kDayal, Strategy::kGanskiWong, Strategy::kMagic,
+                     Strategy::kOptMagic}) {
+    DECORR_RETURN_IF_ERROR(run(kPaperExampleQuery, s));
+  }
+  // Decorrelated EXISTS (GroupProbeApply) and its NI baseline.
+  const char* exists_sql =
+      "SELECT d.name FROM dept d WHERE EXISTS "
+      "(SELECT 1 FROM emp e WHERE e.building = d.building)";
+  DECORR_RETURN_IF_ERROR(run(exists_sql, Strategy::kNestedIteration));
+  DECORR_RETURN_IF_ERROR(run(exists_sql, Strategy::kMagic,
+                             /*decorrelate_existentials=*/true));
+  // Lateral derived table over UNION ALL.
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT d.name, t.c FROM dept d, "
+      "(SELECT SUM(b) FROM ((SELECT e.salary FROM emp e "
+      "                      WHERE e.building = d.building) "
+      "   UNION ALL (SELECT e2.emp_id FROM emp e2 "
+      "              WHERE e2.building = d.building)) AS u(b)) AS t(c)",
+      Strategy::kNestedIteration));
+  // DISTINCT + ORDER BY + LIMIT; plain join; indexed point lookup.
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT DISTINCT building FROM emp ORDER BY building LIMIT 3",
+      Strategy::kNestedIteration));
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT d.name, e.name FROM dept d, emp e "
+      "WHERE d.building = e.building",
+      Strategy::kNestedIteration));
+  DECORR_RETURN_IF_ERROR(
+      run("SELECT name FROM emp WHERE building = 10",
+          Strategy::kNestedIteration));
+  // Non-equi join (nested-loop join, no hashable key).
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT d.name, e.name FROM dept d, emp e "
+      "WHERE d.building < e.building",
+      Strategy::kNestedIteration));
+  return Status::OK();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
+  FaultInjector& fi = FaultInjector::Global();
+
+  // Discovery: record every site the workload exercises.
+  fi.EnableRecording();
+  Status clean = RunChaosWorkload();
+  ASSERT_TRUE(clean.ok()) << clean.ToString();
+  const std::vector<std::string> sites = fi.Sites();
+  std::map<std::string, int64_t> hit_counts;
+  for (const std::string& site : sites) hit_counts[site] = fi.HitCount(site);
+  fi.Reset();
+  ASSERT_GE(sites.size(), 25u)
+      << "chaos workload exercises too few fault sites";
+
+  // Sweep: fail each site on its first hit, then again mid-stream; the
+  // workload must return exactly the injected status — anything else means
+  // an error was swallowed or transformed along the way.
+  for (const std::string& site : sites) {
+    const Status injected = Status::Internal("chaos: injected at " + site);
+    for (int64_t skip : {int64_t{0}, hit_counts[site] / 2}) {
+      fi.Arm(site, injected, skip);
+      Status st = RunChaosWorkload();
+      fi.Reset();
+      ASSERT_FALSE(st.ok())
+          << "fault at " << site << " (skip " << skip << ") was swallowed";
+      EXPECT_EQ(st.code(), StatusCode::kInternal)
+          << site << ": " << st.ToString();
+      EXPECT_EQ(st.message(), injected.message())
+          << site << " (skip " << skip << ")";
+      if (skip == hit_counts[site] / 2) break;  // skip 0 == count/2 for 1-hit
+    }
+  }
+}
+
+TEST_F(ChaosTest, SeededRandomFaultingSoak) {
+  FaultInjector& fi = FaultInjector::Global();
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    fi.ArmRandom(seed, /*period=*/200,
+                 Status::ExecutionError("chaos-random"));
+    Status st = RunChaosWorkload();
+    fi.Reset();
+    if (!st.ok()) {
+      ++failures;
+      // Whatever failed must be the injected fault, surfaced verbatim.
+      EXPECT_EQ(st.code(), StatusCode::kExecutionError) << st.ToString();
+      EXPECT_EQ(st.message(), "chaos-random");
+    }
+  }
+  EXPECT_GT(failures, 0) << "soak never faulted; period too large?";
+}
+
+TEST_F(ChaosTest, RewriteFaultsRecoverViaFallback) {
+  FaultInjector& fi = FaultInjector::Global();
+  for (const char* site : {"rewrite.magic", "rewrite.cleanup"}) {
+    fi.Arm(site, Status::Internal(std::string("chaos: ") + site));
+    Database db(MakeEmpDeptCatalog());
+    QueryOptions magic;
+    magic.strategy = Strategy::kMagic;  // fallback defaults on
+    auto r = db.Execute(kPaperExampleQuery, magic);
+    fi.Reset();
+    ASSERT_TRUE(r.ok()) << site << ": " << r.status().ToString();
+    EXPECT_FALSE(r->fallback_reason.empty()) << site;
+    std::vector<std::string> names;
+    for (const Row& row : r->rows) names.push_back(row[0].string_value());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, PaperExampleAnswers()) << site;
+  }
+}
+
+}  // namespace
+}  // namespace decorr

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 
+#include "decorr/common/fault.h"
+#include "decorr/common/resource.h"
 #include "decorr/common/rng.h"
 #include "decorr/common/status.h"
 #include "decorr/common/string_util.h"
@@ -40,6 +44,152 @@ TEST(StatusTest, EveryCodeHasAName) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kBindError), "BindError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kExecutionError), "ExecutionError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, GuardrailFactories) {
+  Status c = Status::Cancelled("stop");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stop");
+  Status d = Status::DeadlineExceeded("late");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.message(), "late");
+  Status r = Status::ResourceExhausted("budget");
+  EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.ToString(), "ResourceExhausted: budget");
+}
+
+TEST(StatusTest, CopySharesRepAndOutlivesOriginal) {
+  Status copy;
+  {
+    Status original = Status::ResourceExhausted("budget blown");
+    copy = original;
+  }  // `original` destroyed; the shared Rep keeps the message alive
+  EXPECT_EQ(copy.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(copy.message(), "budget blown");
+  Status ok_copy = copy = Status::OK();  // reassignment drops the Rep
+  EXPECT_TRUE(copy.ok());
+  EXPECT_TRUE(ok_copy.ok());
+  EXPECT_EQ(ok_copy.code(), StatusCode::kOk);
+}
+
+// ---- Resource governance ----
+
+TEST(MemoryTrackerTest, ChargesAgainstBudget) {
+  MemoryTracker t;
+  t.set_budget(100);
+  EXPECT_TRUE(t.Charge(60).ok());
+  EXPECT_EQ(t.used(), 60);
+  Status st = t.Charge(50);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(t.used(), 110);  // over-budget charge still recorded...
+  t.Release(110);            // ...so callers release symmetrically
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 110);
+}
+
+TEST(MemoryTrackerTest, UnlimitedByDefaultAndReleaseClamps) {
+  MemoryTracker t;
+  EXPECT_TRUE(t.Charge(1'000'000'000).ok());
+  t.Release(2'000'000'000);
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(CancellationTokenTest, CancelAfterChecksTripsOnNthPoll) {
+  CancellationToken token;
+  token.CancelAfterChecks(3);
+  EXPECT_FALSE(token.Poll());
+  EXPECT_FALSE(token.Poll());
+  EXPECT_TRUE(token.Poll());  // third poll trips
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Poll());  // and it stays tripped
+}
+
+TEST(ResourceGuardTest, RowBudgetExceeded) {
+  ResourceGuard g;
+  g.set_row_budget(3);
+  EXPECT_TRUE(g.ChargeRows(3).ok());
+  Status st = g.ChargeRows(1);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("row budget"), std::string::npos);
+  EXPECT_EQ(g.rows_materialized(), 4);
+}
+
+TEST(ResourceGuardTest, ExpiredDeadlineFailsOnFirstCheck) {
+  ResourceGuard g;
+  g.set_deadline_after_micros(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(g.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceGuardTest, CancellationPolledOnEveryCheck) {
+  auto token = std::make_shared<CancellationToken>();
+  ResourceGuard g;
+  g.set_cancel(token);
+  EXPECT_TRUE(g.Check().ok());
+  token->Cancel();
+  EXPECT_EQ(g.Check().code(), StatusCode::kCancelled);
+}
+
+// ---- Fault injection ----
+
+// The injector is process-global; every test leaves it disarmed.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+Status HitTwice(const char* site) {
+  DECORR_FAULT_POINT(site);
+  DECORR_FAULT_POINT(site);
+  return Status::OK();
+}
+
+TEST_F(FaultInjectorTest, InactiveByDefault) {
+  EXPECT_FALSE(FaultInjector::Global().active());
+  EXPECT_TRUE(HitTwice("test.site").ok());
+  EXPECT_TRUE(FaultInjector::Global().Sites().empty());
+}
+
+TEST_F(FaultInjectorTest, RecordingCountsSites) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.EnableRecording();
+  EXPECT_TRUE(HitTwice("test.a").ok());
+  EXPECT_TRUE(HitTwice("test.b").ok());
+  EXPECT_EQ(fi.HitCount("test.a"), 2);
+  EXPECT_EQ(fi.HitCount("test.b"), 2);
+  EXPECT_EQ(fi.Sites(), (std::vector<std::string>{"test.a", "test.b"}));
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteFailsAfterSkip) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("test.a", Status::Internal("injected"), /*skip=*/1);
+  Status st = HitTwice("test.a");  // first hit skipped, second fails
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "injected");
+  EXPECT_TRUE(HitTwice("test.other").ok());  // other sites unaffected
+}
+
+TEST_F(FaultInjectorTest, RandomFaultingIsDeterministic) {
+  FaultInjector& fi = FaultInjector::Global();
+  auto first_failure = [&](uint64_t seed) {
+    fi.Reset();
+    fi.ArmRandom(seed, /*period=*/7, Status::Internal("chaos"));
+    for (int i = 0; i < 1000; ++i) {
+      Status st = HitTwice("test.site");
+      if (!st.ok()) return i;
+    }
+    return -1;
+  };
+  const int a = first_failure(42);
+  const int b = first_failure(42);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0) << "period 7 over 2000 hits should fault at least once";
 }
 
 Result<int> ReturnsValue() { return 42; }

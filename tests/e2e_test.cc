@@ -34,6 +34,9 @@ class E2eTest : public ::testing::Test {
   QueryResult MustRun(const std::string& sql, Strategy strategy,
                       QueryOptions options = {}) {
     options.strategy = strategy;
+    // These tests exercise the named strategy itself; a silent NI fallback
+    // would mask a broken rewrite.
+    options.fallback = false;
     auto result = db_.Execute(sql, options);
     EXPECT_TRUE(result.ok()) << StrategyName(strategy) << ": "
                              << result.status().ToString() << "\nfor: " << sql;
@@ -231,12 +234,22 @@ TEST_F(E2eTest, LateralDerivedTableNonLinear) {
 
   QueryOptions kim;
   kim.strategy = Strategy::kKim;
+  kim.fallback = false;
   EXPECT_EQ(db_.Execute(sql, kim).status().code(),
             StatusCode::kNotImplemented);
   QueryOptions dayal;
   dayal.strategy = Strategy::kDayal;
+  dayal.fallback = false;
   EXPECT_EQ(db_.Execute(sql, dayal).status().code(),
             StatusCode::kNotImplemented);
+
+  // With fallback enabled (the default), the same rejections degrade to
+  // nested iteration and still produce the right answer.
+  kim.fallback = true;
+  auto fb = db_.Execute(sql, kim);
+  ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+  EXPECT_FALSE(fb->fallback_reason.empty());
+  EXPECT_EQ(Canon(*fb), Canon(ni));
 }
 
 TEST_F(E2eTest, MultiLevelCorrelationMagic) {
@@ -282,6 +295,7 @@ TEST_F(E2eTest, KimRejectsNonEqualityCorrelation) {
       "(SELECT COUNT(*) FROM emp e WHERE e.building < d.building)";
   QueryOptions kim;
   kim.strategy = Strategy::kKim;
+  kim.fallback = false;
   EXPECT_EQ(db_.Execute(sql, kim).status().code(),
             StatusCode::kNotImplemented);
   // Magic still handles it? Non-equality correlation is out of scope for

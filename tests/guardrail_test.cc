@@ -1,0 +1,149 @@
+// Execution guardrails end-to-end: memory budgets, row budgets, deadlines,
+// cooperative cancellation, and the nested-iteration rewrite fallback. Each
+// limit must surface as the right StatusCode with no partial-result
+// corruption: the same Database immediately answers the next (unlimited)
+// query correctly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decorr/common/fault.h"
+#include "decorr/runtime/database.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+class GuardrailTest : public ::testing::Test {
+ protected:
+  GuardrailTest() : db_(MakeEmpDeptCatalog()) {
+    // A table big enough that scans tick the guard well past the deadline
+    // sampling stride.
+    TableSchema big("big",
+                    {{"k", TypeId::kInt64, false}, {"v", TypeId::kInt64, false}},
+                    /*primary_key=*/{0});
+    EXPECT_TRUE(db_.CreateTable(big).ok());
+    std::vector<Row> rows;
+    for (int64_t k = 0; k < 512; ++k) rows.push_back({I(k), I(k % 7)});
+    EXPECT_TRUE(db_.Insert("big", rows).ok());
+    EXPECT_TRUE(db_.AnalyzeAll().ok());
+  }
+
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  // The database must answer correctly after a guardrail abort: no partial
+  // results, no stale charges, no corrupted state.
+  void ExpectIntact() {
+    auto r = db_.Execute("SELECT k FROM big");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows.size(), 512u);
+    EXPECT_TRUE(r->fallback_reason.empty());
+  }
+
+  Database db_;
+};
+
+TEST_F(GuardrailTest, MemoryBudgetExceeded) {
+  QueryOptions options;
+  options.limits.memory_budget_bytes = 1;
+  auto r = db_.Execute("SELECT v, COUNT(*) FROM big GROUP BY v", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget"), std::string::npos)
+      << r.status().ToString();
+  ExpectIntact();
+}
+
+TEST_F(GuardrailTest, RowBudgetExceeded) {
+  QueryOptions options;
+  options.limits.row_budget = 5;
+  auto r = db_.Execute("SELECT k FROM big", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("row budget"), std::string::npos)
+      << r.status().ToString();
+  ExpectIntact();
+}
+
+TEST_F(GuardrailTest, ExpiredDeadlineAbortsExecution) {
+  QueryOptions options;
+  options.limits.timeout_micros = 1;  // expires before the scan finishes
+  auto r = db_.Execute("SELECT k FROM big", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ExpectIntact();
+}
+
+TEST_F(GuardrailTest, CancellationMidScan) {
+  QueryOptions options;
+  options.limits.cancel = std::make_shared<CancellationToken>();
+  // As if a concurrent Cancel() landed after ten cooperative polls.
+  options.limits.cancel->CancelAfterChecks(10);
+  auto r = db_.Execute("SELECT k FROM big", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  ExpectIntact();
+}
+
+TEST_F(GuardrailTest, PreCancelledTokenFailsBeforeAnyWork) {
+  QueryOptions options;
+  options.limits.cancel = std::make_shared<CancellationToken>();
+  options.limits.cancel->Cancel();
+  auto r = db_.Execute("SELECT k FROM big", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  ExpectIntact();
+}
+
+TEST_F(GuardrailTest, StatsReportPeakMemoryAndRowsMaterialized) {
+  auto r = db_.Execute(kPaperExampleQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->stats.peak_memory_bytes, 0);
+  EXPECT_GT(r->stats.rows_materialized, 0);
+}
+
+TEST_F(GuardrailTest, ForcedRewriteFailureFallsBackToNestedIteration) {
+  FaultInjector::Global().Arm("rewrite.magic",
+                              Status::Internal("injected rewrite failure"));
+  QueryOptions magic;
+  magic.strategy = Strategy::kMagic;
+  auto r = db_.Execute(kPaperExampleQuery, magic);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->fallback_reason.find("fell back to nested iteration"),
+            std::string::npos)
+      << r->fallback_reason;
+  std::vector<std::string> names;
+  for (const Row& row : r->rows) names.push_back(row[0].string_value());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, PaperExampleAnswers());
+
+  // Opting out surfaces the rewrite error instead.
+  magic.fallback = false;
+  auto strict = db_.Execute(kPaperExampleQuery, magic);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(strict.status().message(), "injected rewrite failure");
+}
+
+TEST_F(GuardrailTest, GuardrailTripsNeverFallBack) {
+  // A budget trip under a rewrite strategy must NOT retry as NI — it would
+  // blow the same budget again.
+  QueryOptions magic;
+  magic.strategy = Strategy::kMagic;
+  magic.limits.row_budget = 1;
+  auto r = db_.Execute(kPaperExampleQuery, magic);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GuardrailTest, InputErrorsNeverFallBack) {
+  QueryOptions magic;
+  magic.strategy = Strategy::kMagic;
+  EXPECT_EQ(db_.Execute("SELECT FROM WHERE", magic).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(db_.Execute("SELECT x FROM no_such_table", magic).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace decorr

@@ -47,6 +47,7 @@ TEST_P(StrategyGridTest, AllStrategiesMatchNestedIteration) {
                      Strategy::kKim}) {
     QueryOptions options;
     options.strategy = s;
+    options.fallback = false;  // compare the rewrite itself, not NI fallback
     auto result = db.Execute(sql, options);
     ASSERT_TRUE(result.ok()) << StrategyName(s) << ": "
                              << result.status().ToString() << "\n" << sql;
@@ -122,6 +123,7 @@ TEST_P(RandomDbTest, MagicMatchesNestedIterationOnCountQuery) {
   ni.strategy = Strategy::kNestedIteration;
   mag.strategy = Strategy::kMagic;
   opt.strategy = Strategy::kOptMagic;
+  mag.fallback = opt.fallback = false;
   auto a = db.Execute(kPaperExampleQuery, ni);
   auto b = db.Execute(kPaperExampleQuery, mag);
   auto c = db.Execute(kPaperExampleQuery, opt);
@@ -141,6 +143,7 @@ TEST_P(RandomDbTest, MagicMatchesNiOnExistsAndNotExists) {
     QueryOptions ni, mag;
     ni.strategy = Strategy::kNestedIteration;
     mag.strategy = Strategy::kMagic;
+    mag.fallback = false;
     auto a = db.Execute(sql, ni);
     auto b = db.Execute(sql, mag);
     ASSERT_TRUE(a.ok() && b.ok());
@@ -159,6 +162,7 @@ TEST_P(RandomDbTest, MagicMatchesNiOnLateralUnionQuery) {
   QueryOptions ni, mag;
   ni.strategy = Strategy::kNestedIteration;
   mag.strategy = Strategy::kMagic;
+  mag.fallback = false;
   auto a = db.Execute(sql, ni);
   auto b = db.Execute(sql, mag);
   ASSERT_TRUE(a.ok() && b.ok());
@@ -191,6 +195,7 @@ TEST_P(RandomDbTest, AllStrategiesPassPerStepVerification) {
       QueryOptions options;
       options.strategy = s;
       options.verify = true;
+      options.fallback = false;  // a harness violation must fail loudly
       auto result = db.Execute(sql, options);
       if (result.status().code() == StatusCode::kNotImplemented) continue;
       ASSERT_TRUE(result.ok())
@@ -296,6 +301,7 @@ TEST_P(KnobSweepTest, KnobsNeverChangeAnswers) {
     ASSERT_TRUE(truth.ok());
     QueryOptions magic;
     magic.strategy = Strategy::kMagic;
+    magic.fallback = false;
     magic.decorr.use_outer_join = use_loj;
     magic.decorr.decorrelate_existentials = decorr_exists;
     auto result = db.Execute(sql, magic);
