@@ -3,97 +3,17 @@
 //   1. supplementary recompute (Mag) vs materialize (OptMag);
 //   2. decorrelating existential subqueries vs leaving them to NI;
 //   3. outer-join availability for COUNT-bug removal.
-#include <benchmark/benchmark.h>
+//
+// Emits {"meta":…,"ablations":[…]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-// An existential version of the supplier query: suppliers that offer some
-// part below the average cost for that part.
-std::string ExistentialQuery() {
-  return R"sql(
-SELECT s.s_name FROM suppliers s
-WHERE s.s_region = 'EUROPE' AND EXISTS
-  (SELECT 1 FROM partsupp ps
-   WHERE ps.ps_suppkey = s.s_suppkey AND ps.ps_supplycost < 50.0)
-)sql";
+int main(int argc, char** argv) {
+  using namespace decorr::bench;
+  decorr::JsonWriter w;
+  w.BeginObject();
+  WriteMeta(w);
+  w.Key("ablations");
+  WriteAblations(w, TpcdDb());
+  w.EndObject();
+  return EmitDocument(argc, argv, std::move(w).str());
 }
-
-// COUNT-bug sensitive query: parts with more offers than lineitems.
-std::string CountQuery() {
-  return R"sql(
-SELECT p.p_name FROM parts p
-WHERE p.p_size = 15 AND p.p_retailprice >
-  (SELECT COUNT(*) FROM lineitem l WHERE l.l_partkey = p.p_partkey)
-)sql";
-}
-
-void RunWith(benchmark::State& state, const std::string& sql,
-             const QueryOptions& options) {
-  Database& db = bench::TpcdDb();
-  for (auto _ : state) {
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result);
-  }
-}
-
-void BM_SuppRecompute(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kMagic;
-  RunWith(state, TpcdQuery1(), options);
-  state.SetLabel("Mag: supplementary recomputed");
-}
-BENCHMARK(BM_SuppRecompute)->Unit(benchmark::kMillisecond);
-
-void BM_SuppMaterialize(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kOptMagic;
-  RunWith(state, TpcdQuery1(), options);
-  state.SetLabel("OptMag: supplementary materialized");
-}
-BENCHMARK(BM_SuppMaterialize)->Unit(benchmark::kMillisecond);
-
-void BM_ExistentialDecorrelated(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kMagic;
-  options.decorr.decorrelate_existentials = true;
-  RunWith(state, ExistentialQuery(), options);
-  state.SetLabel("EXISTS decorrelated (hashed temporary)");
-}
-BENCHMARK(BM_ExistentialDecorrelated)->Unit(benchmark::kMillisecond);
-
-void BM_ExistentialNested(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kMagic;
-  options.decorr.decorrelate_existentials = false;
-  RunWith(state, ExistentialQuery(), options);
-  state.SetLabel("EXISTS left to nested iteration");
-}
-BENCHMARK(BM_ExistentialNested)->Unit(benchmark::kMillisecond);
-
-void BM_CountWithOuterJoin(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kMagic;
-  options.decorr.use_outer_join = true;
-  RunWith(state, CountQuery(), options);
-  state.SetLabel("COUNT decorrelated via LOJ+COALESCE");
-}
-BENCHMARK(BM_CountWithOuterJoin)->Unit(benchmark::kMillisecond);
-
-void BM_CountWithoutOuterJoin(benchmark::State& state) {
-  QueryOptions options;
-  options.strategy = Strategy::kMagic;
-  options.decorr.use_outer_join = false;
-  RunWith(state, CountQuery(), options);
-  state.SetLabel("COUNT kept correlated (no LOJ available)");
-}
-BENCHMARK(BM_CountWithoutOuterJoin)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
-
-BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// One-command perf baseline: runs every figure, the Table 1 cardinalities,
+// the knob ablations and the Section 6 parallel simulation, and emits the
+// combined BENCH_figures.json document:
+//
+//   build/bench/bench_figures_json -o BENCH_figures.json
+//
+// Figure 7 must run last: it drops the partsupp indexes from the shared
+// TPC-D database for the rest of the process (see bench::Fig7Database()).
+// CI compares the vs_ni ratios and row counts of a fresh run against the
+// committed baseline (bench/check_bench_regression.py).
+#include "bench/figures.h"
+
+int main(int argc, char** argv) {
+  using namespace decorr::bench;
+  decorr::JsonWriter w;
+  w.BeginObject();
+  WriteMeta(w);
+  w.Key("table1");
+  WriteTable1(w, TpcdDb());
+  w.Key("figures").BeginArray();
+  WriteFigure(w, TpcdDb(), Fig5Spec());
+  WriteFigure(w, TpcdDb(), Fig6Spec());
+  WriteFigure(w, TpcdDb(), Fig8Spec());
+  WriteFigure(w, TpcdDb(), Fig9Spec());
+  w.EndArray();
+  w.Key("ablations");
+  WriteAblations(w, TpcdDb());
+  w.Key("parallel");
+  WriteParallel(w);
+  // Last: mutates the shared database (drops partsupp indexes).
+  w.Key("figures_noindex").BeginArray();
+  WriteFigure(w, Fig7Database(), Fig7Spec());
+  w.EndArray();
+  w.EndObject();
+  return EmitDocument(argc, argv, std::move(w).str());
+}

@@ -1,17 +1,23 @@
 // Shared harness for the paper-reproduction benchmarks: a lazily loaded
 // TPC-D database (scale factor from env DECORR_SF, default 0.1 = the
-// paper's 120 MB database) and a figure-style summary printer that runs
-// every strategy once and reports times normalized to nested iteration —
-// the same presentation as the paper's Figures 5 through 9.
+// paper's 120 MB database) and a JSON emitter that runs every strategy and
+// records wall time, row counts, ExecStats, peak memory and the
+// per-operator metrics tree — the machine-readable form of the paper's
+// Figures 5 through 9. `bench_figures_json` aggregates every figure into
+// BENCH_figures.json, the committed perf baseline CI compares against.
 #ifndef DECORR_BENCH_BENCH_UTIL_H_
 #define DECORR_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "decorr/common/json.h"
+#include "decorr/common/string_util.h"
+#include "decorr/exec/metrics.h"
 #include "decorr/runtime/database.h"
 #include "decorr/tpcd/tpcd.h"
 
@@ -42,15 +48,21 @@ inline Database& TpcdDb() {
 struct StrategyRun {
   bool ok = false;
   std::string error;
-  double ms = 0.0;
+  double ms = 0.0;  // best-of-N unprofiled wall time
   size_t rows = 0;
   ExecStats stats;
+  std::string operators_json;  // metrics tree from one profiled run
+  std::string phases_json;     // phase breakdown from the same run
 };
 
-inline StrategyRun RunOnce(Database& db, const std::string& sql, Strategy s) {
+inline StrategyRun TimeOneRun(Database& db, const std::string& sql,
+                              Strategy s) {
   StrategyRun run;
   QueryOptions options;
   options.strategy = s;
+  // Inapplicable rewrites must surface as errors (the paper's "n/a"), not
+  // silently measure the nested-iteration fallback.
+  options.fallback = false;
   const auto start = std::chrono::steady_clock::now();
   auto result = db.Execute(sql, options);
   const auto stop = std::chrono::steady_clock::now();
@@ -65,39 +77,135 @@ inline StrategyRun RunOnce(Database& db, const std::string& sql, Strategy s) {
   return run;
 }
 
-// Median-of-three single-shot timings per strategy, printed as a figure.
-inline void PrintFigureSummary(const char* title, const char* paper_note,
-                               Database& db, const std::string& sql,
-                               const std::vector<Strategy>& strategies) {
-  std::printf("\n=== %s (SF %.3g) ===\n", title, ScaleFactor());
-  std::printf("paper: %s\n", paper_note);
-  std::printf("%-8s %10s %8s %8s %12s %12s %10s\n", "strategy", "time(ms)",
-              "vs NI", "rows", "subq-invoc", "rows-scanned", "idx-probes");
-  double ni_ms = -1.0;
-  for (Strategy s : strategies) {
-    StrategyRun best;
-    for (int i = 0; i < 3; ++i) {
-      StrategyRun run = RunOnce(db, sql, s);
-      if (!run.ok) {
-        best = run;
-        break;
-      }
-      if (!best.ok || run.ms < best.ms) best = run;
-      if (run.ms > 1000.0) break;  // slow runs: a single shot is enough
-    }
-    if (!best.ok) {
-      std::printf("%-8s %10s  -- %s\n", StrategyName(s), "n/a",
-                  best.error.c_str());
-      continue;
-    }
-    if (s == Strategy::kNestedIteration) ni_ms = best.ms;
-    std::printf("%-8s %10.2f %7.2fx %8zu %12lld %12lld %10lld\n",
-                StrategyName(s), best.ms,
-                ni_ms > 0 ? best.ms / ni_ms : 1.0, best.rows,
-                (long long)best.stats.subquery_invocations,
-                (long long)best.stats.rows_scanned,
-                (long long)best.stats.index_lookups);
+// Best-of-three unprofiled timings (slow runs: a single shot is enough),
+// then one profiled run for the operator breakdown.
+inline StrategyRun RunStrategy(Database& db, const std::string& sql,
+                               Strategy s) {
+  StrategyRun best;
+  for (int i = 0; i < 3; ++i) {
+    StrategyRun run = TimeOneRun(db, sql, s);
+    if (!run.ok) return run;
+    if (!best.ok || run.ms < best.ms) best = run;
+    if (run.ms > 1000.0) break;
   }
+  QueryOptions options;
+  options.strategy = s;
+  options.fallback = false;
+  auto profiled = db.ExplainAnalyze(sql, options);
+  if (profiled.ok()) {
+    best.operators_json = MetricsNodeToJson(profiled->profile.plan);
+    JsonWriter phases;
+    phases.BeginObject()
+        .Key("parse_ms").Double(profiled->profile.parse_nanos / 1e6)
+        .Key("bind_ms").Double(profiled->profile.bind_nanos / 1e6)
+        .Key("rewrite_ms").Double(profiled->profile.rewrite_nanos / 1e6)
+        .Key("plan_ms").Double(profiled->profile.plan_nanos / 1e6)
+        .Key("exec_ms").Double(profiled->profile.exec_nanos / 1e6)
+        .EndObject();
+    best.phases_json = std::move(phases).str();
+  }
+  return best;
+}
+
+// One strategy entry of a figure: identity, wall time (absolute and vs NI —
+// the ratio is what the regression check compares, absolute times are
+// machine-dependent), result cardinality, the paper's counters, and the
+// operator tree.
+inline void WriteStrategyRun(JsonWriter& w, Strategy s,
+                             const StrategyRun& run, double ni_ms) {
+  w.BeginObject();
+  w.Key("strategy").String(StrategyName(s));
+  w.Key("ok").Bool(run.ok);
+  if (!run.ok) {
+    w.Key("error").String(run.error);
+    w.EndObject();
+    return;
+  }
+  w.Key("wall_ms").Double(run.ms);
+  w.Key("vs_ni").Double(ni_ms > 0 ? run.ms / ni_ms : 1.0);
+  w.Key("rows").Int(static_cast<int64_t>(run.rows));
+  w.Key("subquery_invocations").Int(run.stats.subquery_invocations);
+  w.Key("rows_scanned").Int(run.stats.rows_scanned);
+  w.Key("index_lookups").Int(run.stats.index_lookups);
+  w.Key("peak_memory_bytes").Int(run.stats.peak_memory_bytes);
+  w.Key("rows_materialized").Int(run.stats.rows_materialized);
+  if (!run.phases_json.empty()) w.Key("phases").Raw(run.phases_json);
+  if (!run.operators_json.empty()) w.Key("operators").Raw(run.operators_json);
+  w.EndObject();
+}
+
+struct FigureSpec {
+  const char* id = "";
+  const char* title = "";
+  const char* paper_note = "";
+  std::string sql;
+  std::vector<Strategy> strategies;
+};
+
+// Runs every strategy of `spec` against `db` and writes one figure object.
+inline void WriteFigure(JsonWriter& w, Database& db, const FigureSpec& spec) {
+  std::fprintf(stderr, "[bench] %s: %s\n", spec.id, spec.title);
+  w.BeginObject();
+  w.Key("id").String(spec.id);
+  w.Key("title").String(spec.title);
+  w.Key("paper_note").String(spec.paper_note);
+  w.Key("strategies").BeginArray();
+  double ni_ms = -1.0;
+  for (Strategy s : spec.strategies) {
+    StrategyRun run = RunStrategy(db, spec.sql, s);
+    if (run.ok && s == Strategy::kNestedIteration) ni_ms = run.ms;
+    WriteStrategyRun(w, s, run, ni_ms);
+    std::fprintf(stderr, "[bench]   %-8s %s\n", StrategyName(s),
+                 run.ok ? StrFormat("%.2f ms, %zu rows", run.ms,
+                                    run.rows).c_str()
+                        : run.error.c_str());
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+// Shared meta header: everything a consumer needs to decide comparability.
+inline void WriteMeta(JsonWriter& w) {
+  w.Key("meta").BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("scale_factor").Double(ScaleFactor());
+  w.Key("sample_stride").Int(OperatorMetrics::kSampleStride);
+  w.EndObject();
+}
+
+// Writes `doc` to `-o <path>` (or stdout without the flag). Returns an exit
+// code for main().
+inline int EmitDocument(int argc, char** argv, const std::string& doc) {
+  const char* path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) path = argv[i + 1];
+  }
+  if (path == nullptr) {
+    std::printf("%s\n", doc.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "%s\n", doc.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path);
+  return 0;
+}
+
+// Standard main body for a single-figure binary: {"meta":…,"figures":[…]}.
+inline int FigureMain(int argc, char** argv, Database& db,
+                      const FigureSpec& spec) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteMeta(w);
+  w.Key("figures").BeginArray();
+  WriteFigure(w, db, spec);
+  w.EndArray();
+  w.EndObject();
+  return EmitDocument(argc, argv, std::move(w).str());
 }
 
 }  // namespace bench

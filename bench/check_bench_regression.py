@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_figures.json against the committed baseline.
+
+Absolute wall times are machine-dependent, so the check compares the
+vs_ni ratios (each strategy's wall time relative to nested iteration on
+the same machine, same run): a strategy regresses when its fresh ratio
+exceeds the baseline ratio by more than --tolerance (default 25%).
+Result cardinalities and the ok/error status of every strategy must
+match exactly — those are correctness, not noise.
+
+Ratios are skipped (with a note) when the nested-iteration time of
+either run is below --ni-floor-ms: dividing by a sub-millisecond NI
+time amplifies scheduler noise past any sane tolerance.
+
+Usage:
+  bench/check_bench_regression.py --baseline BENCH_figures.json \
+      --fresh build/BENCH_fresh.json [--tolerance 0.25] [--ni-floor-ms 5.0]
+
+Exit status: 0 = no regression, 1 = regression or incomparable inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def figures_by_id(doc):
+    out = {}
+    for key in ("figures", "figures_noindex"):
+        for fig in doc.get(key, []):
+            out[fig["id"]] = fig
+    return out
+
+
+def strategies_by_name(fig):
+    return {s["strategy"]: s for s in fig.get("strategies", [])}
+
+
+def ni_wall_ms(fig):
+    for s in fig.get("strategies", []):
+        if s["strategy"] == "NI" and s.get("ok"):
+            return s.get("wall_ms", 0.0)
+    return 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative increase of the vs_ni ratio")
+    ap.add_argument("--ni-floor-ms", type=float, default=5.0,
+                    help="skip ratio checks when NI ran faster than this")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    errors = []
+    notes = []
+
+    bmeta, fmeta = baseline.get("meta", {}), fresh.get("meta", {})
+    for key in ("schema_version", "scale_factor"):
+        if bmeta.get(key) != fmeta.get(key):
+            errors.append(
+                f"meta.{key} differs (baseline {bmeta.get(key)!r} vs fresh "
+                f"{fmeta.get(key)!r}); runs are not comparable — regenerate "
+                "the baseline instead")
+
+    base_figs = figures_by_id(baseline)
+    fresh_figs = figures_by_id(fresh)
+    for fig_id in sorted(base_figs):
+        if fig_id not in fresh_figs:
+            errors.append(f"{fig_id}: missing from fresh run")
+            continue
+        base_strats = strategies_by_name(base_figs[fig_id])
+        fresh_strats = strategies_by_name(fresh_figs[fig_id])
+        base_ni = ni_wall_ms(base_figs[fig_id])
+        fresh_ni = ni_wall_ms(fresh_figs[fig_id])
+        for name in sorted(base_strats):
+            b = base_strats[name]
+            f = fresh_strats.get(name)
+            tag = f"{fig_id}/{name}"
+            if f is None:
+                errors.append(f"{tag}: missing from fresh run")
+                continue
+            if b.get("ok") != f.get("ok"):
+                errors.append(
+                    f"{tag}: ok changed {b.get('ok')} -> {f.get('ok')}"
+                    + (f" ({f.get('error')})" if f.get("error") else ""))
+                continue
+            if not b.get("ok"):
+                continue  # both declined the same way; nothing to compare
+            if b.get("rows") != f.get("rows"):
+                errors.append(
+                    f"{tag}: result cardinality changed "
+                    f"{b.get('rows')} -> {f.get('rows')}")
+            if name == "NI":
+                continue  # NI's vs_ni is 1.0 by construction
+            if base_ni < args.ni_floor_ms or fresh_ni < args.ni_floor_ms:
+                notes.append(
+                    f"{tag}: ratio check skipped (NI {base_ni:.2f}/"
+                    f"{fresh_ni:.2f} ms below {args.ni_floor_ms} ms floor)")
+                continue
+            b_ratio, f_ratio = b.get("vs_ni"), f.get("vs_ni")
+            if not b_ratio or not f_ratio:
+                notes.append(f"{tag}: no vs_ni ratio recorded; skipped")
+                continue
+            if f_ratio > b_ratio * (1.0 + args.tolerance):
+                errors.append(
+                    f"{tag}: vs_ni regressed {b_ratio:.3f} -> {f_ratio:.3f} "
+                    f"(>{args.tolerance:.0%} over baseline)")
+            else:
+                notes.append(
+                    f"{tag}: vs_ni {b_ratio:.3f} -> {f_ratio:.3f} ok")
+
+    for note in notes:
+        print(f"[bench-check] {note}")
+    if errors:
+        for err in errors:
+            print(f"[bench-check] REGRESSION: {err}", file=sys.stderr)
+        return 1
+    print(f"[bench-check] OK: {len(notes)} comparisons, no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

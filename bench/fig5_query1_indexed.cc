@@ -1,45 +1,11 @@
 // Figure 5: Query 1 with all indexes present. Few subquery invocations, no
 // duplicate bindings. Paper: magic slightly beats NI, Dayal beats magic
 // (supplementary recomputation), Kim does poorly.
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-const std::vector<Strategy> kStrategies = {
-    Strategy::kNestedIteration, Strategy::kKim, Strategy::kDayal,
-    Strategy::kMagic, Strategy::kOptMagic};
-
-void BM_Fig5_Query1(benchmark::State& state) {
-  Database& db = bench::TpcdDb();
-  const Strategy strategy = kStrategies[state.range(0)];
-  const std::string sql = TpcdQuery1();
-  for (auto _ : state) {
-    QueryOptions options;
-    options.strategy = strategy;
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(StrategyName(strategy));
-}
-BENCHMARK(BM_Fig5_Query1)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
+//
+// Emits {"meta":…,"figures":[fig5]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  decorr::bench::PrintFigureSummary(
-      "Figure 5: Query 1, all indexes",
-      "Mag <~ NI; Dayal < Mag (supp recompute); Kim poor",
-      decorr::bench::TpcdDb(), decorr::TpcdQuery1(), decorr::kStrategies);
-  return 0;
+  using namespace decorr::bench;
+  return FigureMain(argc, argv, TpcdDb(), Fig5Spec());
 }

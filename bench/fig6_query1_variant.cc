@@ -2,46 +2,11 @@
 // Thousands of subquery invocations, many duplicate bindings. Paper: magic
 // continues to perform well, Kim improves, Dayal degrades (large join
 // before aggregation), NI pays for the repeated invocations.
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-const std::vector<Strategy> kStrategies = {
-    Strategy::kNestedIteration, Strategy::kKim, Strategy::kDayal,
-    Strategy::kMagic, Strategy::kOptMagic};
-
-void BM_Fig6_Query1Variant(benchmark::State& state) {
-  Database& db = bench::TpcdDb();
-  const Strategy strategy = kStrategies[state.range(0)];
-  const std::string sql = TpcdQuery1Variant();
-  for (auto _ : state) {
-    QueryOptions options;
-    options.strategy = strategy;
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(StrategyName(strategy));
-}
-BENCHMARK(BM_Fig6_Query1Variant)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
+//
+// Emits {"meta":…,"figures":[fig6]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  decorr::bench::PrintFigureSummary(
-      "Figure 6: Query 1 variant (3954-ish invocations, duplicates)",
-      "Mag good; Kim closes in; Dayal poor; NI repeats subquery work",
-      decorr::bench::TpcdDb(), decorr::TpcdQuery1Variant(),
-      decorr::kStrategies);
-  return 0;
+  using namespace decorr::bench;
+  return FigureMain(argc, argv, TpcdDb(), Fig6Spec());
 }

@@ -1,63 +1,12 @@
 // Figure 7: Query 1 variant with the partsupp indexes dropped, making each
 // subquery invocation expensive (full partsupp scans). Paper: NI degrades
-// sharply; magic (set-oriented) and Kim stay efficient.
+// sharply; magic (set-oriented) and Kim stay efficient. See
+// bench::Fig7Database() for the index-substitution note.
 //
-// Substitution note (DESIGN.md): the paper dropped only ps_suppkey; our
-// planner would still find the cheap ps_partkey path, hiding the effect, so
-// this benchmark drops both partsupp indexes — the same behavioural
-// condition (no index support inside the subquery).
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-const std::vector<Strategy> kStrategies = {
-    Strategy::kNestedIteration, Strategy::kKim, Strategy::kDayal,
-    Strategy::kMagic, Strategy::kOptMagic};
-
-Database& DbWithoutPartsuppIndexes() {
-  static Database* db = [] {
-    Database& base = bench::TpcdDb();
-    // Dropping is idempotent per process: ignore NotFound on re-entry.
-    (void)base.DropIndex("partsupp", "partsupp_partkey");
-    (void)base.DropIndex("partsupp", "partsupp_suppkey");
-    return &base;
-  }();
-  return *db;
-}
-
-void BM_Fig7_Query1NoIndex(benchmark::State& state) {
-  Database& db = DbWithoutPartsuppIndexes();
-  const Strategy strategy = kStrategies[state.range(0)];
-  const std::string sql = TpcdQuery1Variant();
-  for (auto _ : state) {
-    QueryOptions options;
-    options.strategy = strategy;
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(StrategyName(strategy));
-}
-BENCHMARK(BM_Fig7_Query1NoIndex)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
-
-}  // namespace
-}  // namespace decorr
+// Emits {"meta":…,"figures":[fig7]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  decorr::bench::PrintFigureSummary(
-      "Figure 7: Query 1 variant, partsupp indexes dropped",
-      "NI degrades sharply (expensive invocations); Mag ~ Kim stay flat",
-      decorr::DbWithoutPartsuppIndexes(), decorr::TpcdQuery1Variant(),
-      decorr::kStrategies);
-  return 0;
+  using namespace decorr::bench;
+  return FigureMain(argc, argv, Fig7Database(), Fig7Spec());
 }

@@ -3,45 +3,11 @@
 // OptMag matches NI, Mag is slightly worse (supplementary recomputation),
 // and Kim / Dayal are orders of magnitude worse (they aggregate the whole
 // of lineitem / join before aggregating).
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-const std::vector<Strategy> kStrategies = {
-    Strategy::kNestedIteration, Strategy::kKim, Strategy::kDayal,
-    Strategy::kMagic, Strategy::kOptMagic};
-
-void BM_Fig8_Query2(benchmark::State& state) {
-  Database& db = bench::TpcdDb();
-  const Strategy strategy = kStrategies[state.range(0)];
-  const std::string sql = TpcdQuery2();
-  for (auto _ : state) {
-    QueryOptions options;
-    options.strategy = strategy;
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(StrategyName(strategy));
-}
-BENCHMARK(BM_Fig8_Query2)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
+//
+// Emits {"meta":…,"figures":[fig8]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  decorr::bench::PrintFigureSummary(
-      "Figure 8: Query 2 (correlation on a key, cheap subquery)",
-      "OptMag ~ NI; Mag slightly worse; Kim and Dayal far worse",
-      decorr::bench::TpcdDb(), decorr::TpcdQuery2(), decorr::kStrategies);
-  return 0;
+  using namespace decorr::bench;
+  return FigureMain(argc, argv, TpcdDb(), Fig8Spec());
 }

@@ -1,51 +1,14 @@
 // Figure 9: Query 3 — non-linear (UNION ALL inside a correlated derived
 // table), heavy duplication in the correlation column (5 distinct nations
-// across ~200 European suppliers). Paper: Kim and Dayal are inapplicable;
-// magic decorrelation yields a tremendous improvement over NI thanks to the
-// duplicate elimination in the magic table.
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/tpcd/queries.h"
-
-namespace decorr {
-namespace {
-
-const std::vector<Strategy> kStrategies = {
-    Strategy::kNestedIteration, Strategy::kKim, Strategy::kDayal,
-    Strategy::kMagic, Strategy::kOptMagic};
-
-void BM_Fig9_Query3(benchmark::State& state) {
-  Database& db = bench::TpcdDb();
-  const Strategy strategy = kStrategies[state.range(0)];
-  const std::string sql = TpcdQuery3();
-  for (auto _ : state) {
-    QueryOptions options;
-    options.strategy = strategy;
-    auto result = db.Execute(sql, options);
-    if (!result.ok()) {
-      // Kim / Dayal are expected to refuse this query (non-linear).
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetLabel(StrategyName(strategy));
-}
-BENCHMARK(BM_Fig9_Query3)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
+// across ~200 European suppliers). Paper: Kim and Dayal are inapplicable
+// (recorded as ok=false entries); magic decorrelation yields a tremendous
+// improvement over NI thanks to the duplicate elimination in the magic
+// table.
+//
+// Emits {"meta":…,"figures":[fig9]} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  decorr::bench::PrintFigureSummary(
-      "Figure 9: Query 3 (non-linear, UNION, 5 distinct bindings)",
-      "Kim/Dayal not applicable; Mag >> NI (duplicate elimination)",
-      decorr::bench::TpcdDb(), decorr::TpcdQuery3(), decorr::kStrategies);
-  return 0;
+  using namespace decorr::bench;
+  return FigureMain(argc, argv, TpcdDb(), Fig9Spec());
 }

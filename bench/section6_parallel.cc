@@ -1,87 +1,20 @@
 // Section 6 reproduction: nested iteration vs magic decorrelation in a
 // shared-nothing parallel system. The paper argues (qualitatively) that NI
 // yields O(n^2) computation fragments and per-invocation messaging, while a
-// decorrelated plan repartitions once and works locally. This benchmark
-// measures both on the simulator and prints the fragment/message/elapsed
-// table over the node count.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
-#include "decorr/parallel/parallel.h"
-
-namespace decorr {
-namespace {
-
-CorrelatedWorkload& Workload() {
-  static CorrelatedWorkload* w = [] {
-    auto result = MakeBuildingWorkload(/*num_outer=*/20000,
-                                       /*num_inner=*/200000,
-                                       /*num_buildings=*/500, /*seed=*/7);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      std::exit(1);
-    }
-    return new CorrelatedWorkload(result.MoveValue());
-  }();
-  return *w;
-}
-
-void BM_ParallelNestedIteration(benchmark::State& state) {
-  ParallelConfig config;
-  config.num_nodes = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    ParallelStats stats = SimulateNestedIteration(Workload(), config);
-    benchmark::DoNotOptimize(stats);
-  }
-}
-BENCHMARK(BM_ParallelNestedIteration)->RangeMultiplier(2)->Range(2, 64);
-
-void BM_ParallelMagic(benchmark::State& state) {
-  ParallelConfig config;
-  config.num_nodes = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    ParallelStats stats = SimulateMagicDecorrelation(Workload(), config);
-    benchmark::DoNotOptimize(stats);
-  }
-}
-BENCHMARK(BM_ParallelMagic)->RangeMultiplier(2)->Range(2, 64);
-
-}  // namespace
-}  // namespace decorr
+// decorrelated plan repartitions once and works locally. The simulation
+// reports fragments/messages/elapsed over the node count, plus the
+// co-partitioned "Case 1" where NI parallelizes fine.
+//
+// Emits {"meta":…,"parallel":…} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-
-  using namespace decorr;
-  std::printf("\n=== Section 6: shared-nothing parallel evaluation ===\n");
-  std::printf("workload: 20000 outer tuples, 200000 inner tuples, 500 "
-              "bindings\n");
-  std::printf("%5s | %12s %12s %12s | %12s %12s %12s | %8s\n", "nodes",
-              "NI frags", "NI msgs", "NI elapsed", "Mag frags", "Mag msgs",
-              "Mag elapsed", "speedup");
-  for (int n : {2, 4, 8, 16, 32, 64}) {
-    ParallelConfig config;
-    config.num_nodes = n;
-    ParallelStats ni = SimulateNestedIteration(Workload(), config);
-    ParallelStats mag = SimulateMagicDecorrelation(Workload(), config);
-    std::printf("%5d | %12lld %12lld %12.0f | %12lld %12lld %12.0f | %7.1fx\n",
-                n, (long long)ni.fragments, (long long)ni.messages, ni.elapsed,
-                (long long)mag.fragments, (long long)mag.messages, mag.elapsed,
-                ni.elapsed / mag.elapsed);
-  }
-  std::printf("\nco-partitioned case (Section 6.1 'Case 1'): NI parallelizes "
-              "fine\n");
-  for (int n : {8, 32}) {
-    ParallelConfig config;
-    config.num_nodes = n;
-    config.copartitioned = true;
-    ParallelStats ni = SimulateNestedIteration(Workload(), config);
-    ParallelStats mag = SimulateMagicDecorrelation(Workload(), config);
-    std::printf("  nodes=%2d  NI: %s\n            Mag: %s\n", n,
-                ni.ToString().c_str(), mag.ToString().c_str());
-  }
-  return 0;
+  using namespace decorr::bench;
+  decorr::JsonWriter w;
+  w.BeginObject();
+  WriteMeta(w);
+  w.Key("parallel");
+  WriteParallel(w);
+  w.EndObject();
+  return EmitDocument(argc, argv, std::move(w).str());
 }

@@ -1,71 +1,15 @@
-// Table 1 reproduction: the TPC-D database (cardinalities at SF 0.1) plus
-// load-time benchmarks for the generator.
-#include <benchmark/benchmark.h>
-
-#include "bench/bench_util.h"
-#include "decorr/common/string_util.h"
-#include "decorr/tpcd/tpcd.h"
-
-namespace decorr {
-namespace {
-
-void BM_GenerateTpcd(benchmark::State& state) {
-  const double sf = static_cast<double>(state.range(0)) / 1000.0;
-  for (auto _ : state) {
-    Database db;
-    TpcdConfig config;
-    config.scale_factor = sf;
-    Status st = LoadTpcd(&db, config);
-    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-    benchmark::DoNotOptimize(db);
-  }
-  state.SetLabel(StrFormat("SF=%.3f", sf));
-}
-BENCHMARK(BM_GenerateTpcd)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
-
-void BM_AnalyzeStats(benchmark::State& state) {
-  Database& db = bench::TpcdDb();
-  for (auto _ : state) {
-    Status st = db.AnalyzeAll();
-    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-  }
-}
-BENCHMARK(BM_AnalyzeStats)->Unit(benchmark::kMillisecond);
-
-}  // namespace
-}  // namespace decorr
+// Table 1 reproduction: the TPC-D database cardinalities (exact at SF 0.1).
+//
+// Emits {"meta":…,"table1":…} as JSON to stdout (or `-o <path>`).
+#include "bench/figures.h"
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-
-  using namespace decorr;
-  using bench::TpcdDb;
-  Database& db = TpcdDb();
-  const double sf = bench::ScaleFactor();
-  std::printf("\n=== Table 1: TPC-D Database (SF %.3g) ===\n", sf);
-  std::printf("%-10s %12s %12s %s\n", "table", "tuples", "paper@0.1",
-              "match@0.1");
-  struct RowSpec {
-    const char* name;
-    int64_t paper;
-    int64_t expected;
-  };
-  const RowSpec specs[] = {
-      {"customers", 15000, TpcdCustomers(sf)},
-      {"parts", 20000, TpcdParts(sf)},
-      {"suppliers", 1000, TpcdSuppliers(sf)},
-      {"partsupp", 80000, TpcdPartsupp(sf)},
-      {"lineitem", 600000, TpcdLineitem(sf)},
-  };
-  for (const RowSpec& spec : specs) {
-    auto table = db.catalog().GetTable(spec.name);
-    const int64_t actual =
-        table.ok() ? static_cast<int64_t>((*table)->num_rows()) : -1;
-    std::printf("%-10s %12lld %12lld %s\n", spec.name, (long long)actual,
-                (long long)spec.paper,
-                sf == 0.1 ? (actual == spec.paper ? "YES" : "NO") : "n/a");
-  }
-  return 0;
+  using namespace decorr::bench;
+  decorr::JsonWriter w;
+  w.BeginObject();
+  WriteMeta(w);
+  w.Key("table1");
+  WriteTable1(w, TpcdDb());
+  w.EndObject();
+  return EmitDocument(argc, argv, std::move(w).str());
 }

@@ -10,6 +10,7 @@
 //   \load empdept     load the paper's EMP/DEPT example
 //   \strategy X       ni | kim | dayal | ganski | mag | optmag
 //   \explain SQL      show the physical plan instead of executing
+//   \analyze SQL      execute with profiling; show per-operator rows/time
 //   \qgm SQL          show the query graph before/after the rewrite
 //   \tables           list tables
 //   \timing on|off    toggle wall-clock reporting
@@ -121,6 +122,18 @@ int main() {
         std::string v;
         iss >> v;
         timing = (v != "off");
+      } else if (cmd == "analyze") {
+        std::string sql;
+        std::getline(iss, sql);
+        QueryOptions options;
+        options.strategy = strategy;
+        auto result = db.ExplainAnalyze(sql, options);
+        if (!result.ok()) {
+          std::printf("%s\n", result.status().ToString().c_str());
+        } else {
+          // analyze_text already ends with the phase-summary line.
+          std::printf("%s", result->analyze_text.c_str());
+        }
       } else if (cmd == "explain" || cmd == "qgm") {
         std::string sql;
         std::getline(iss, sql);

@@ -43,7 +43,8 @@ bool PredicateIsCorrelated(const QueryGraph* graph, const Box* box,
 // a column ref owned by `box`, the other a column ref owned elsewhere.
 bool IsBindingEquality(const QueryGraph* graph, const Box* box,
                        const Expr& pred) {
-  if (pred.kind != ExprKind::kComparison || pred.op != BinaryOp::kEq ||
+  if (pred.kind != ExprKind::kComparison ||
+      (pred.op != BinaryOp::kEq && pred.op != BinaryOp::kNullEq) ||
       pred.children.size() != 2) {
     return false;
   }

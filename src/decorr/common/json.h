@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer used by the observability layer (query
+// profiles, EXPLAIN ANALYZE JSON, the bench harness). Emits compact,
+// deterministically ordered documents — keys appear in the order written —
+// so committed baselines diff cleanly.
+#ifndef DECORR_COMMON_JSON_H_
+#define DECORR_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decorr {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Builder with explicit structure calls:
+//
+//   JsonWriter w;
+//   w.BeginObject().Key("rows").Int(42).Key("ok").Bool(true).EndObject();
+//   std::string doc = std::move(w).str();
+//
+// The writer inserts commas automatically. It does not validate nesting
+// beyond what the call pattern enforces; callers keep Begin/End balanced.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key inside an object; must be followed by exactly one value or
+  // Begin{Object,Array}.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  // Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Splices a pre-rendered JSON value verbatim (e.g. a nested document
+  // produced by another writer).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (so the next element needs a leading comma).
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_COMMON_JSON_H_

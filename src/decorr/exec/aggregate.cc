@@ -73,7 +73,7 @@ Value HashAggregateOp::Finalize(const AggSpec& spec,
   return Value::Null();
 }
 
-Status HashAggregateOp::Open(ExecContext* ctx) {
+Status HashAggregateOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.aggregate.open");
   ctx_ = ctx;
   result_rows_.clear();
@@ -117,6 +117,7 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
           return st;
         }
       }
+      ++metrics_.build_rows;
       group_keys.push_back(std::move(key));
       group_states.emplace_back(aggs_.size());
     }
@@ -137,10 +138,11 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     }
     result_rows_.push_back(std::move(out));
   }
+  metrics_.bytes_charged += charged_bytes_;
   return Status::OK();
 }
 
-Status HashAggregateOp::Next(Row* out, bool* eof) {
+Status HashAggregateOp::NextImpl(Row* out, bool* eof) {
   if (cursor_ >= result_rows_.size()) {
     *eof = true;
     return Status::OK();
@@ -150,7 +152,7 @@ Status HashAggregateOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void HashAggregateOp::Close() {
+void HashAggregateOp::CloseImpl() {
   result_rows_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
     ctx_->guard->ReleaseMemory(charged_bytes_);
@@ -175,7 +177,7 @@ std::string HashAggregateOp::ToString(int indent) const {
 
 DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
 
-Status DistinctOp::Open(ExecContext* ctx) {
+Status DistinctOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.distinct.open");
   ctx_ = ctx;
   seen_.clear();
@@ -183,16 +185,18 @@ Status DistinctOp::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Status DistinctOp::Next(Row* out, bool* eof) {
+Status DistinctOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.distinct.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
     if (*eof) return Status::OK();
     DECORR_RETURN_IF_ERROR(ctx_->Check());
     if (seen_.insert(*out).second) {
+      ++metrics_.build_rows;
       if (ctx_->guard) {
         const int64_t bytes = ApproxRowBytes(*out);
         charged_bytes_ += bytes;
+        metrics_.bytes_charged += bytes;
         DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeRows(1));
         DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemory(bytes));
       }
@@ -201,7 +205,7 @@ Status DistinctOp::Next(Row* out, bool* eof) {
   }
 }
 
-void DistinctOp::Close() {
+void DistinctOp::CloseImpl() {
   child_->Close();
   seen_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {

@@ -30,15 +30,17 @@ class HashAggregateOp : public Operator {
   HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_keys,
                   std::vector<AggSpec> aggs);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "HashAggregate"; }
   std::string ToString(int indent) const override;
   int output_width() const override {
     return static_cast<int>(group_keys_.size() + aggs_.size());
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   struct AggState {
@@ -68,13 +70,15 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Distinct"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

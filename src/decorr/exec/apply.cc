@@ -88,7 +88,7 @@ Value SubqueryVerdict(SubqueryMode mode, BinaryOp op, const Value& lhs,
 ApplyOp::ApplyOp(OperatorPtr input, std::vector<SubqueryPlan> subqueries)
     : input_(std::move(input)), subqueries_(std::move(subqueries)) {}
 
-Status ApplyOp::Open(ExecContext* ctx) {
+Status ApplyOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.apply.open");
   ctx_ = ctx;
   invariant_computed_.assign(subqueries_.size(), false);
@@ -113,6 +113,7 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
   inner_ctx.params = &params;
   inner_ctx.stats = ctx_->stats;
   inner_ctx.guard = ctx_->guard;
+  inner_ctx.profile = ctx_->profile;
   ++ctx_->stats->subquery_invocations;
   // The inner result set lives only until the verdict; release its charge
   // so per-outer-row invocations don't accumulate against the budget.
@@ -121,6 +122,7 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
       CollectRows(sub.plan.get(), &inner_ctx, &charged);
   if (!collected.ok()) return collected.status();
   std::vector<Row> rows = collected.MoveValue();
+  metrics_.build_rows += static_cast<int64_t>(rows.size());
 
   Value lhs;
   if (sub.lhs) {
@@ -135,7 +137,7 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
   return st;
 }
 
-Status ApplyOp::Next(Row* out, bool* eof) {
+Status ApplyOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.apply.next");
   Row in;
   DECORR_RETURN_IF_ERROR(input_->Next(&in, eof));
@@ -164,7 +166,7 @@ Status ApplyOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void ApplyOp::Close() { input_->Close(); }
+void ApplyOp::CloseImpl() { input_->Close(); }
 
 std::string ApplyOp::ToString(int indent) const {
   std::string out = Indent(indent) + "Apply\n";
@@ -192,7 +194,7 @@ GroupProbeApplyOp::GroupProbeApplyOp(OperatorPtr input, OperatorPtr inner,
       probe_keys_(std::move(probe_keys)),
       semantics_(std::move(semantics)) {}
 
-Status GroupProbeApplyOp::Open(ExecContext* ctx) {
+Status GroupProbeApplyOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.groupprobe.build");
   ctx_ = ctx;
   groups_.clear();
@@ -200,6 +202,8 @@ Status GroupProbeApplyOp::Open(ExecContext* ctx) {
   DECORR_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
       CollectRows(inner_.get(), ctx, &charged_bytes_));
+  metrics_.build_rows += static_cast<int64_t>(rows.size());
+  metrics_.bytes_charged += charged_bytes_;
   for (Row& row : rows) {
     Row key;
     key.reserve(inner_key_cols_.size());
@@ -214,7 +218,7 @@ Status GroupProbeApplyOp::Open(ExecContext* ctx) {
   return input_->Open(ctx);
 }
 
-Status GroupProbeApplyOp::Next(Row* out, bool* eof) {
+Status GroupProbeApplyOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.groupprobe.next");
   static const std::vector<Row> kEmpty;
   Row in;
@@ -232,6 +236,14 @@ Status GroupProbeApplyOp::Next(Row* out, bool* eof) {
     if (v.is_null()) null_key = true;
     key.push_back(std::move(v));
   }
+  // Probing the hashed inner relation is an "index on a temporary
+  // relation" (Section 4.4), so it counts as an index lookup — not as a
+  // subquery invocation (the whole point of decorrelation is that the inner
+  // plan ran exactly once).
+  if (!null_key) {
+    ++ctx_->stats->index_lookups;
+    ++metrics_.index_probes;
+  }
   auto it = null_key ? groups_.end() : groups_.find(key);
   const std::vector<Row>& rows = it == groups_.end() ? kEmpty : it->second;
 
@@ -246,7 +258,7 @@ Status GroupProbeApplyOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void GroupProbeApplyOp::Close() {
+void GroupProbeApplyOp::CloseImpl() {
   input_->Close();
   groups_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
@@ -273,7 +285,7 @@ LateralJoinOp::LateralJoinOp(OperatorPtr input, OperatorPtr inner,
       params_(std::move(params)),
       inner_width_(inner_width) {}
 
-Status LateralJoinOp::Open(ExecContext* ctx) {
+Status LateralJoinOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.lateral.open");
   ctx_ = ctx;
   input_eof_ = false;
@@ -283,7 +295,7 @@ Status LateralJoinOp::Open(ExecContext* ctx) {
   return input_->Open(ctx);
 }
 
-Status LateralJoinOp::Next(Row* out, bool* eof) {
+Status LateralJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.lateral.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
@@ -314,17 +326,19 @@ Status LateralJoinOp::Next(Row* out, bool* eof) {
     inner_ctx.params = &params;
     inner_ctx.stats = ctx_->stats;
     inner_ctx.guard = ctx_->guard;
+    inner_ctx.profile = ctx_->profile;
     ++ctx_->stats->subquery_invocations;
     // Replace the previous inner result set (and its memory charge).
     if (ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
     DECORR_ASSIGN_OR_RETURN(
         inner_rows_, CollectRows(inner_.get(), &inner_ctx, &charged_bytes_));
+    metrics_.build_rows += static_cast<int64_t>(inner_rows_.size());
     inner_cursor_ = 0;
   }
 }
 
-void LateralJoinOp::Close() {
+void LateralJoinOp::CloseImpl() {
   input_->Close();
   inner_rows_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {

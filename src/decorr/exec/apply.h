@@ -57,15 +57,17 @@ class ApplyOp : public Operator {
  public:
   ApplyOp(OperatorPtr input, std::vector<SubqueryPlan> subqueries);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Apply"; }
   std::string ToString(int indent) const override;
   int output_width() const override {
     return input_->output_width() + static_cast<int>(subqueries_.size());
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   Status EvaluateSubquery(const SubqueryPlan& sub, const Row& in, Value* out);
@@ -92,13 +94,15 @@ class GroupProbeApplyOp : public Operator {
                     std::vector<int> inner_key_cols,
                     std::vector<ExprPtr> probe_keys, SubqueryPlan semantics);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "GroupProbeApply"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return input_->output_width() + 1; }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr input_;
@@ -119,15 +123,17 @@ class LateralJoinOp : public Operator {
   LateralJoinOp(OperatorPtr input, OperatorPtr inner,
                 std::vector<ParamSource> params, int inner_width);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "LateralJoin"; }
   std::string ToString(int indent) const override;
   int output_width() const override {
     return input_->output_width() + inner_width_;
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr input_;

@@ -9,12 +9,12 @@ namespace decorr {
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open(ExecContext* ctx) {
+Status FilterOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   return child_->Open(ctx);
 }
 
-Status FilterOp::Next(Row* out, bool* eof) {
+Status FilterOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.filter.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
@@ -26,7 +26,7 @@ Status FilterOp::Next(Row* out, bool* eof) {
   }
 }
 
-void FilterOp::Close() { child_->Close(); }
+void FilterOp::CloseImpl() { child_->Close(); }
 
 std::string FilterOp::ToString(int indent) const {
   return Indent(indent) + "Filter " + predicate_->ToString() + "\n" +
@@ -36,12 +36,12 @@ std::string FilterOp::ToString(int indent) const {
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs)
     : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-Status ProjectOp::Open(ExecContext* ctx) {
+Status ProjectOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   return child_->Open(ctx);
 }
 
-Status ProjectOp::Next(Row* out, bool* eof) {
+Status ProjectOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.project.next");
   Row in;
   DECORR_RETURN_IF_ERROR(child_->Next(&in, eof));
@@ -55,7 +55,7 @@ Status ProjectOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void ProjectOp::Close() { child_->Close(); }
+void ProjectOp::CloseImpl() { child_->Close(); }
 
 std::string ProjectOp::ToString(int indent) const {
   std::string out = Indent(indent) + "Project [";

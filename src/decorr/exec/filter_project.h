@@ -14,13 +14,15 @@ class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Filter"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -32,13 +34,15 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Project"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return static_cast<int>(exprs_.size()); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

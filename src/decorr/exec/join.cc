@@ -9,17 +9,20 @@ namespace decorr {
 namespace {
 
 // Evaluates key expressions over `row`; returns false if any key is NULL
-// (SQL equality join keys never match NULL).
+// (SQL equality join keys never match NULL). Positions flagged in
+// `null_safe` (empty = none) keep their NULL as a key value instead —
+// RowHash/RowEq group NULLs together, giving IS NOT DISTINCT FROM matches.
 bool EvalKeys(const std::vector<ExprPtr>& exprs, const Row& row,
-              const Row* params, Row* out) {
+              const Row* params, const std::vector<bool>& null_safe,
+              Row* out) {
   EvalContext ectx;
   ectx.row = &row;
   ectx.params = params;
   out->clear();
   out->reserve(exprs.size());
-  for (const ExprPtr& expr : exprs) {
-    Value v = Eval(*expr, ectx);
-    if (v.is_null()) return false;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    Value v = Eval(*exprs[i], ectx);
+    if (v.is_null() && (null_safe.empty() || !null_safe[i])) return false;
     out->push_back(std::move(v));
   }
   return true;
@@ -36,15 +39,16 @@ void AppendNullPadding(Row* row, int width) {
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
                        std::vector<ExprPtr> left_keys,
                        std::vector<ExprPtr> right_keys, ExprPtr residual,
-                       JoinType join_type)
+                       JoinType join_type, std::vector<bool> null_safe_keys)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
       residual_(std::move(residual)),
-      join_type_(join_type) {}
+      join_type_(join_type),
+      null_safe_keys_(std::move(null_safe_keys)) {}
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.hashjoin.build");
   ctx_ = ctx;
   table_.clear();
@@ -65,7 +69,9 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     }
     if (eof) break;
     Row key;
-    if (!EvalKeys(right_keys_, row, ctx->params, &key)) continue;
+    if (!EvalKeys(right_keys_, row, ctx->params, null_safe_keys_, &key)) {
+      continue;
+    }
     if (ctx->guard) {
       const int64_t bytes = ApproxRowBytes(row) + ApproxRowBytes(key);
       charged_bytes_ += bytes;
@@ -76,13 +82,15 @@ Status HashJoinOp::Open(ExecContext* ctx) {
         return st;
       }
     }
+    ++metrics_.build_rows;
     table_[std::move(key)].push_back(std::move(row));
   }
   right_->Close();
+  metrics_.bytes_charged += charged_bytes_;
   return left_->Open(ctx);
 }
 
-Status HashJoinOp::Next(Row* out, bool* eof) {
+Status HashJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.hashjoin.next");
   while (true) {
     // Drain matches for the current probe row.
@@ -124,7 +132,8 @@ Status HashJoinOp::Next(Row* out, bool* eof) {
     }
     emitted_match_ = false;
     Row key;
-    if (!EvalKeys(left_keys_, current_left_, ctx_->params, &key)) {
+    if (!EvalKeys(left_keys_, current_left_, ctx_->params, null_safe_keys_,
+                  &key)) {
       // NULL key: no match possible.
       if (join_type_ == JoinType::kLeftOuter) {
         *out = current_left_;
@@ -147,7 +156,7 @@ Status HashJoinOp::Next(Row* out, bool* eof) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   left_->Close();
   table_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
@@ -165,7 +174,9 @@ std::string HashJoinOp::ToString(int indent) const {
   std::string out = Indent(indent) + name() + " on ";
   for (size_t i = 0; i < left_keys_.size(); ++i) {
     if (i > 0) out += " AND ";
-    out += left_keys_[i]->ToString() + "=" + right_keys_[i]->ToString();
+    const bool null_safe = !null_safe_keys_.empty() && null_safe_keys_[i];
+    out += left_keys_[i]->ToString() + (null_safe ? "<=>" : "=") +
+           right_keys_[i]->ToString();
   }
   if (residual_) out += " residual=" + residual_->ToString();
   out += "\n";
@@ -183,19 +194,21 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
       predicate_(std::move(predicate)),
       join_type_(join_type) {}
 
-Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+Status NestedLoopJoinOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.nlj.open");
   ctx_ = ctx;
   charged_bytes_ = 0;
   DECORR_ASSIGN_OR_RETURN(right_rows_,
                           CollectRows(right_.get(), ctx, &charged_bytes_));
+  metrics_.build_rows += static_cast<int64_t>(right_rows_.size());
+  metrics_.bytes_charged += charged_bytes_;
   left_eof_ = false;
   right_cursor_ = right_rows_.size();  // force first left fetch
   emitted_match_ = true;
   return left_->Open(ctx);
 }
 
-Status NestedLoopJoinOp::Next(Row* out, bool* eof) {
+Status NestedLoopJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.nlj.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
@@ -236,7 +249,7 @@ Status NestedLoopJoinOp::Next(Row* out, bool* eof) {
   }
 }
 
-void NestedLoopJoinOp::Close() {
+void NestedLoopJoinOp::CloseImpl() {
   left_->Close();
   right_rows_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
@@ -266,7 +279,7 @@ IndexJoinOp::IndexJoinOp(OperatorPtr left, TablePtr table,
       key_exprs_(std::move(key_exprs)),
       residual_(std::move(residual)) {}
 
-Status IndexJoinOp::Open(ExecContext* ctx) {
+Status IndexJoinOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.indexjoin.open");
   ctx_ = ctx;
   matches_ = nullptr;
@@ -274,7 +287,7 @@ Status IndexJoinOp::Open(ExecContext* ctx) {
   return left_->Open(ctx);
 }
 
-Status IndexJoinOp::Next(Row* out, bool* eof) {
+Status IndexJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.indexjoin.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
@@ -282,6 +295,7 @@ Status IndexJoinOp::Next(Row* out, bool* eof) {
       while (match_cursor_ < matches_->size()) {
         const size_t r = (*matches_)[match_cursor_++];
         ++ctx_->stats->rows_scanned;
+        ++metrics_.rows_in_self;
         Row combined = current_left_;
         for (int c = 0; c < table_->num_columns(); ++c) {
           combined.push_back(table_->GetValue(r, c));
@@ -321,12 +335,13 @@ Status IndexJoinOp::Next(Row* out, bool* eof) {
     }
     if (null_key) continue;
     ++ctx_->stats->index_lookups;
+    ++metrics_.index_probes;
     matches_ = &index_->Lookup(key);
     match_cursor_ = 0;
   }
 }
 
-void IndexJoinOp::Close() {
+void IndexJoinOp::CloseImpl() {
   left_->Close();
   matches_ = nullptr;
 }

@@ -23,20 +23,26 @@ class HashJoinOp : public Operator {
  public:
   // `left_keys` are evaluated over left rows, `right_keys` over right rows
   // (same arity). `residual` (may be null) is evaluated over the combined
-  // row. The right side is built into the hash table.
+  // row. The right side is built into the hash table. `null_safe_keys`
+  // (empty = all false) marks key positions joined with IS NOT DISTINCT
+  // FROM semantics: NULL matches NULL there, as required by the binding
+  // joins decorrelation emits (a NULL correlation value is a binding, not a
+  // mismatch).
   HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr>
              left_keys, std::vector<ExprPtr> right_keys, ExprPtr residual,
-             JoinType join_type);
+             JoinType join_type, std::vector<bool> null_safe_keys = {});
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override;
   std::string ToString(int indent) const override;
   int output_width() const override {
     return left_->output_width() + right_->output_width();
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   // SQL join keys never match on NULL; such build/probe rows are skipped
@@ -47,6 +53,7 @@ class HashJoinOp : public Operator {
   std::vector<ExprPtr> right_keys_;
   ExprPtr residual_;
   JoinType join_type_;
+  std::vector<bool> null_safe_keys_;  // empty = all NULL-rejecting
 
   ExecContext* ctx_ = nullptr;
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
@@ -65,15 +72,17 @@ class NestedLoopJoinOp : public Operator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
                    JoinType join_type);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "NestedLoopJoin"; }
   std::string ToString(int indent) const override;
   int output_width() const override {
     return left_->output_width() + right_->output_width();
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;
@@ -101,15 +110,17 @@ class IndexJoinOp : public Operator {
               std::shared_ptr<HashIndex> index, std::vector<ExprPtr>
               key_exprs, ExprPtr residual);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "IndexJoin"; }
   std::string ToString(int indent) const override;
   int output_width() const override {
     return left_->output_width() + table_->num_columns();
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;

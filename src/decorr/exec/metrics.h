@@ -1,0 +1,129 @@
+// Per-operator profiling: the OperatorMetrics counters every Operator
+// collects through the base-class Open/Next/Close wrappers, the snapshot
+// tree assembled from a finished plan, and the per-phase QueryProfile
+// surfaced on QueryResult.
+//
+// Cost model: call/row counters are plain int64 increments and are always
+// collected (the same cost class as the existing ExecStats counters). Clocks
+// are read only when profiling is enabled on the ExecContext, and Next()
+// calls are timed with the same stride-sampling trick ResourceGuard uses for
+// its deadline clock: one call in every kSampleStride is measured and the
+// total is extrapolated, so per-row overhead stays at a branch and an
+// increment.
+#ifndef DECORR_EXEC_METRICS_H_
+#define DECORR_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace decorr {
+
+class Operator;
+
+// Raw counters owned by one Operator instance. Accumulates across re-opens
+// (an Apply inner plan is opened once per outer row), which is exactly how
+// inner-context work rolls up into the outer tree.
+struct OperatorMetrics {
+  // One Next() call in every kSampleStride is wall-clocked when profiling.
+  static constexpr int64_t kSampleStride = 64;
+
+  int64_t open_calls = 0;
+  int64_t next_calls = 0;  // includes the final eof-returning call
+  int64_t close_calls = 0;
+  int64_t rows_out = 0;  // rows produced (non-eof successful Next calls)
+  // Self-reported input rows for leaves (base-table / index-entry visits);
+  // operators with children report 0 and the snapshot derives rows_in from
+  // the children's rows_out instead.
+  int64_t rows_in_self = 0;
+
+  // Wall time, nanoseconds, inclusive of children (a Filter's Next includes
+  // its child's Next). Open/Close are timed fully; Next is sampled.
+  int64_t open_nanos = 0;
+  int64_t close_nanos = 0;
+  int64_t sampled_next_nanos = 0;
+  int64_t sampled_next_calls = 0;
+
+  // Operator-specific totals, bumped by the concrete operators:
+  int64_t build_rows = 0;      // rows materialized into hash tables /
+                               // buffers / cached result sets
+  int64_t index_probes = 0;    // probes of persistent or temporary indexes
+  int64_t bytes_charged = 0;   // bytes charged to the MemoryTracker
+
+  // Extrapolated total Next() time from the sampled calls.
+  int64_t EstimatedNextNanos() const {
+    if (sampled_next_calls == 0) return 0;
+    return sampled_next_nanos * next_calls / sampled_next_calls;
+  }
+  // open + estimated next + close.
+  int64_t TotalNanos() const {
+    return open_nanos + EstimatedNextNanos() + close_nanos;
+  }
+};
+
+// One node of the snapshot tree: a copy of an operator's metrics plus its
+// display strings and children (subplans included — Apply subqueries and
+// lateral inners appear as children, so their accumulated work is visible in
+// the outer tree).
+struct MetricsNode {
+  std::string name;    // Operator::name()
+  std::string detail;  // first line of Operator::ToString (expressions etc.)
+  std::string role;    // edge label from the parent ("input", "subquery 0")
+
+  int64_t rows_in = 0;  // rows_in_self + sum of children rows_out
+  int64_t rows_out = 0;
+  int64_t open_calls = 0;   // "loops": how often this operator was (re)opened
+  int64_t next_calls = 0;
+  int64_t open_nanos = 0;
+  int64_t next_nanos = 0;   // extrapolated
+  int64_t close_nanos = 0;
+  int64_t total_nanos = 0;
+  int64_t build_rows = 0;
+  int64_t index_probes = 0;
+  int64_t bytes_charged = 0;
+
+  std::vector<MetricsNode> children;
+};
+
+// Walks the finished plan via Introspect() and snapshots every operator's
+// metrics. Safe to call whether or not profiling was enabled (timings are
+// zero when it was not).
+MetricsNode CollectMetricsTree(const Operator& root);
+
+// Indented plan rendering annotated with metrics, one operator per line:
+//   role: detail (rows=N in=M loops=K time=T ms)
+// With include_timing=false the time/bytes fields are omitted, which makes
+// the output deterministic for golden tests.
+std::string RenderMetricsTree(const MetricsNode& node, bool include_timing);
+
+// Wall-clock phase breakdown plus the operator tree for one query.
+struct QueryProfile {
+  // True once operator-level metrics were collected (QueryOptions::profile
+  // or ExplainAnalyze). Phase timings are recorded for every query.
+  bool enabled = false;
+
+  int64_t parse_nanos = 0;
+  int64_t bind_nanos = 0;
+  int64_t rewrite_nanos = 0;  // strategy rewrite incl. verification steps
+  int64_t plan_nanos = 0;
+  int64_t exec_nanos = 0;
+  int64_t TotalNanos() const {
+    return parse_nanos + bind_nanos + rewrite_nanos + plan_nanos + exec_nanos;
+  }
+
+  MetricsNode plan;  // meaningful when `enabled`
+
+  // One-line phase summary: "parse=0.01ms bind=0.02ms ...".
+  std::string PhaseSummary() const;
+
+  // {"phases":{...},"plan":{...}} — the schema documented in DESIGN.md §8.
+  std::string ToJson() const;
+};
+
+// JSON form of one metrics node (object with "children" array), reused by
+// QueryProfile::ToJson and the bench harness.
+std::string MetricsNodeToJson(const MetricsNode& node);
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_METRICS_H_

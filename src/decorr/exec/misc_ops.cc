@@ -12,7 +12,7 @@ namespace decorr {
 UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
     : children_(std::move(children)) {}
 
-Status UnionAllOp::Open(ExecContext* ctx) {
+Status UnionAllOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.union.open");
   ctx_ = ctx;
   current_ = 0;
@@ -20,7 +20,7 @@ Status UnionAllOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status UnionAllOp::Next(Row* out, bool* eof) {
+Status UnionAllOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.union.next");
   while (current_ < children_.size()) {
     bool child_eof = false;
@@ -39,7 +39,7 @@ Status UnionAllOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void UnionAllOp::Close() {
+void UnionAllOp::CloseImpl() {
   // Children past `current_` were never opened; the current one (if any)
   // may still be open.
   if (current_ < children_.size()) children_[current_]->Close();
@@ -56,12 +56,14 @@ std::string UnionAllOp::ToString(int indent) const {
 SortOp::SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> sort_keys)
     : child_(std::move(child)), sort_keys_(std::move(sort_keys)) {}
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.sort.open");
   ctx_ = ctx;
   charged_bytes_ = 0;
   DECORR_ASSIGN_OR_RETURN(rows_,
                           CollectRows(child_.get(), ctx, &charged_bytes_));
+  metrics_.build_rows += static_cast<int64_t>(rows_.size());
+  metrics_.bytes_charged += charged_bytes_;
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
                      for (const auto& [col, asc] : sort_keys_) {
@@ -74,7 +76,7 @@ Status SortOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status SortOp::Next(Row* out, bool* eof) {
+Status SortOp::NextImpl(Row* out, bool* eof) {
   if (cursor_ >= rows_.size()) {
     *eof = true;
     return Status::OK();
@@ -84,7 +86,7 @@ Status SortOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void SortOp::Close() {
+void SortOp::CloseImpl() {
   rows_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
     ctx_->guard->ReleaseMemory(charged_bytes_);
@@ -107,13 +109,13 @@ std::string SortOp::ToString(int indent) const {
 LimitOp::LimitOp(OperatorPtr child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
-Status LimitOp::Open(ExecContext* ctx) {
+Status LimitOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.limit.open");
   produced_ = 0;
   return child_->Open(ctx);
 }
 
-Status LimitOp::Next(Row* out, bool* eof) {
+Status LimitOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.limit.next");
   if (produced_ >= limit_) {
     *eof = true;
@@ -124,7 +126,7 @@ Status LimitOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void LimitOp::Close() { child_->Close(); }
+void LimitOp::CloseImpl() { child_->Close(); }
 
 std::string LimitOp::ToString(int indent) const {
   return Indent(indent) + StrFormat("Limit %lld", (long long)limit_) + "\n" +
@@ -136,7 +138,7 @@ std::string LimitOp::ToString(int indent) const {
 CachedMaterializeOp::CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared)
     : shared_(std::move(shared)) {}
 
-Status CachedMaterializeOp::Open(ExecContext* ctx) {
+Status CachedMaterializeOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.materialize.open");
   cursor_ = 0;
   if (!shared_->computed) {
@@ -144,11 +146,13 @@ Status CachedMaterializeOp::Open(ExecContext* ctx) {
         shared_->rows,
         CollectRows(shared_->plan.get(), ctx, &shared_->charged_bytes));
     shared_->computed = true;
+    metrics_.build_rows += static_cast<int64_t>(shared_->rows.size());
+    metrics_.bytes_charged += shared_->charged_bytes;
   }
   return Status::OK();
 }
 
-Status CachedMaterializeOp::Next(Row* out, bool* eof) {
+Status CachedMaterializeOp::NextImpl(Row* out, bool* eof) {
   if (cursor_ >= shared_->rows.size()) {
     *eof = true;
     return Status::OK();
@@ -158,7 +162,7 @@ Status CachedMaterializeOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void CachedMaterializeOp::Close() {}
+void CachedMaterializeOp::CloseImpl() {}
 
 std::string CachedMaterializeOp::ToString(int indent) const {
   std::string out = Indent(indent) + "CachedMaterialize\n";

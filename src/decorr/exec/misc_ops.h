@@ -14,13 +14,15 @@ class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "UnionAll"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return children_[0]->output_width(); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   std::vector<OperatorPtr> children_;
@@ -33,13 +35,15 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> sort_keys);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Sort"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -54,13 +58,15 @@ class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Limit"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return child_->output_width(); }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -87,13 +93,15 @@ class CachedMaterializeOp : public Operator {
  public:
   explicit CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "CachedMaterialize"; }
   std::string ToString(int indent) const override;
   int output_width() const override { return shared_->width; }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   std::shared_ptr<SharedSubplan> shared_;

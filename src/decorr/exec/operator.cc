@@ -1,9 +1,61 @@
 #include "decorr/exec/operator.h"
 
+#include <chrono>
+
 #include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 
 namespace decorr {
+
+namespace {
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status Operator::Open(ExecContext* ctx) {
+  profile_ = ctx != nullptr && ctx->profile;
+  ++metrics_.open_calls;
+  if (!profile_) return OpenImpl(ctx);
+  const int64_t start = NowNanos();
+  Status st = OpenImpl(ctx);
+  metrics_.open_nanos += NowNanos() - start;
+  return st;
+}
+
+Status Operator::Next(Row* out, bool* eof) {
+  ++metrics_.next_calls;
+  // Stride sampling: when profiling, one call in every kSampleStride is
+  // wall-clocked and the total extrapolated (metrics.h). The first call is
+  // always sampled so short streams still get a measurement.
+  if (profile_ &&
+      metrics_.next_calls % OperatorMetrics::kSampleStride == 1) {
+    const int64_t start = NowNanos();
+    Status st = NextImpl(out, eof);
+    metrics_.sampled_next_nanos += NowNanos() - start;
+    ++metrics_.sampled_next_calls;
+    if (st.ok() && !*eof) ++metrics_.rows_out;
+    return st;
+  }
+  Status st = NextImpl(out, eof);
+  if (st.ok() && !*eof) ++metrics_.rows_out;
+  return st;
+}
+
+void Operator::Close() {
+  ++metrics_.close_calls;
+  if (!profile_) {
+    CloseImpl();
+    return;
+  }
+  const int64_t start = NowNanos();
+  CloseImpl();
+  metrics_.close_nanos += NowNanos() - start;
+}
 
 std::string Operator::ToString(int indent) const {
   return Indent(indent) + name() + "\n";

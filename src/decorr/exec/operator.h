@@ -13,6 +13,7 @@
 #include "decorr/common/resource.h"
 #include "decorr/common/status.h"
 #include "decorr/common/value.h"
+#include "decorr/exec/metrics.h"
 
 namespace decorr {
 
@@ -78,29 +79,36 @@ struct ExecStats {
 // Per-execution context threaded through Open(). `params` carries the
 // correlation bindings of the innermost enclosing Apply; `guard` (optional)
 // enforces cancellation, deadlines and row/memory budgets and is shared by
-// every nested context of the same query.
+// every nested context of the same query; `profile` turns operator clock
+// sampling on and, like the guard, must be propagated into every nested
+// context (Apply/lateral inner executions).
 struct ExecContext {
   const Row* params = nullptr;
   ExecStats* stats = nullptr;
   ResourceGuard* guard = nullptr;
+  bool profile = false;
 
   // Cancellation/deadline poll; OK when no guard is attached.
   Status Check() const { return guard ? guard->Check() : Status::OK(); }
 };
 
+// Operators implement the protected OpenImpl/NextImpl/CloseImpl; the public
+// Open/Next/Close are non-virtual wrappers that maintain OperatorMetrics
+// (call/row counters always; wall clocks only when ctx->profile is set, with
+// Next() stride-sampled — see metrics.h for the cost model).
 class Operator {
  public:
   virtual ~Operator() = default;
 
   // Prepares for iteration. May be called again after Close() — Apply
   // re-opens its inner plan once per outer row.
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx);
 
   // Produces the next row. Sets *eof=true (and leaves *out untouched) at
   // end of stream.
-  virtual Status Next(Row* out, bool* eof) = 0;
+  Status Next(Row* out, bool* eof);
 
-  virtual void Close() = 0;
+  void Close();
 
   virtual std::string name() const = 0;
 
@@ -111,13 +119,31 @@ class Operator {
   virtual int output_width() const = 0;
 
   // Reports the operator's expressions, subplans, parameter bindings and
-  // ordinal uses for the physical-plan verifier. The base implementation
-  // reports nothing; every concrete operator overrides it.
+  // ordinal uses for the physical-plan verifier and the metrics snapshot.
+  // The base implementation reports nothing; every concrete operator
+  // overrides it.
   virtual void Introspect(PlanIntrospection* out) const;
 
+  // Counters accumulated so far (across re-opens).
+  const OperatorMetrics& metrics() const { return metrics_; }
+
  protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Status NextImpl(Row* out, bool* eof) = 0;
+  virtual void CloseImpl() = 0;
+
+  // True while the current Open()'s context had profiling enabled.
+  bool profiling() const { return profile_; }
+
   // Children pretty-printing helper.
   static std::string Indent(int n);
+
+  // Concrete operators bump the operator-specific fields (build_rows,
+  // index_probes, bytes_charged, rows_in_self) directly.
+  OperatorMetrics metrics_;
+
+ private:
+  bool profile_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -35,7 +35,7 @@ SeqScanOp::SeqScanOp(TablePtr table, std::vector<int> projection,
   filter_columns_ = FilterColumns(filter_.get());
 }
 
-Status SeqScanOp::Open(ExecContext* ctx) {
+Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.seqscan.open");
   ctx_ = ctx;
   cursor_ = 0;
@@ -43,7 +43,7 @@ Status SeqScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status SeqScanOp::Next(Row* out, bool* eof) {
+Status SeqScanOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.seqscan.next");
   const size_t n = table_->num_rows();
   EvalContext ectx;
@@ -53,6 +53,7 @@ Status SeqScanOp::Next(Row* out, bool* eof) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
     const size_t r = cursor_++;
     ++ctx_->stats->rows_scanned;
+    ++metrics_.rows_in_self;
     if (filter_) {
       for (int c : filter_columns_) scratch_[c] = table_->GetValue(r, c);
       if (!EvalPredicate(*filter_, ectx)) continue;
@@ -67,7 +68,7 @@ Status SeqScanOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void SeqScanOp::Close() {}
+void SeqScanOp::CloseImpl() {}
 
 std::string SeqScanOp::name() const {
   return "SeqScan(" + table_->schema().name() + ")";
@@ -93,7 +94,7 @@ IndexLookupOp::IndexLookupOp(TablePtr table, std::shared_ptr<HashIndex> index,
   filter_columns_ = FilterColumns(filter_.get());
 }
 
-Status IndexLookupOp::Open(ExecContext* ctx) {
+Status IndexLookupOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.indexlookup.open");
   ctx_ = ctx;
   cursor_ = 0;
@@ -109,12 +110,17 @@ Status IndexLookupOp::Open(ExecContext* ctx) {
     if (v.is_null()) null_key_ = true;
     key.push_back(std::move(v));
   }
-  ++ctx->stats->index_lookups;
+  // A NULL key matches nothing and performs no probe, so it is not counted
+  // as an index lookup.
+  if (!null_key_) {
+    ++ctx->stats->index_lookups;
+    ++metrics_.index_probes;
+  }
   matches_ = null_key_ ? nullptr : &index_->Lookup(key);
   return Status::OK();
 }
 
-Status IndexLookupOp::Next(Row* out, bool* eof) {
+Status IndexLookupOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.indexlookup.next");
   if (matches_ == nullptr) {
     *eof = true;
@@ -127,6 +133,7 @@ Status IndexLookupOp::Next(Row* out, bool* eof) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
     const size_t r = (*matches_)[cursor_++];
     ++ctx_->stats->rows_scanned;
+    ++metrics_.rows_in_self;
     if (filter_) {
       for (int c : filter_columns_) scratch_[c] = table_->GetValue(r, c);
       if (!EvalPredicate(*filter_, ectx)) continue;
@@ -141,7 +148,7 @@ Status IndexLookupOp::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void IndexLookupOp::Close() { matches_ = nullptr; }
+void IndexLookupOp::CloseImpl() { matches_ = nullptr; }
 
 std::string IndexLookupOp::name() const {
   return "IndexLookup(" + table_->schema().name() + ")";
@@ -163,24 +170,26 @@ std::string IndexLookupOp::ToString(int indent) const {
 RowsScanOp::RowsScanOp(std::shared_ptr<const std::vector<Row>> rows, int width)
     : rows_(std::move(rows)), width_(width) {}
 
-Status RowsScanOp::Open(ExecContext* ctx) {
+Status RowsScanOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.rowsscan.open");
-  (void)ctx;
+  ctx_ = ctx;
   cursor_ = 0;
   return Status::OK();
 }
 
-Status RowsScanOp::Next(Row* out, bool* eof) {
+Status RowsScanOp::NextImpl(Row* out, bool* eof) {
+  DECORR_RETURN_IF_ERROR(ctx_->Check());
   if (cursor_ >= rows_->size()) {
     *eof = true;
     return Status::OK();
   }
+  ++metrics_.rows_in_self;
   *out = (*rows_)[cursor_++];
   *eof = false;
   return Status::OK();
 }
 
-void RowsScanOp::Close() {}
+void RowsScanOp::CloseImpl() {}
 
 
 void SeqScanOp::Introspect(PlanIntrospection* out) const {

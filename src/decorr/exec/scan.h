@@ -23,15 +23,17 @@ class SeqScanOp : public Operator {
  public:
   SeqScanOp(TablePtr table, std::vector<int> projection, ExprPtr filter);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override;
   std::string ToString(int indent) const override;
   int output_width() const override {
     return static_cast<int>(projection_.size());
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   TablePtr table_;
@@ -52,15 +54,17 @@ class IndexLookupOp : public Operator {
                 std::vector<ExprPtr> key_exprs, std::vector<int> projection,
                 ExprPtr residual_filter);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override;
   std::string ToString(int indent) const override;
   int output_width() const override {
     return static_cast<int>(projection_.size());
   }
   void Introspect(PlanIntrospection* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   TablePtr table_;
@@ -81,15 +85,18 @@ class RowsScanOp : public Operator {
  public:
   RowsScanOp(std::shared_ptr<const std::vector<Row>> rows, int width);
 
-  Status Open(ExecContext* ctx) override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "RowsScan"; }
   int output_width() const override { return width_; }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   std::shared_ptr<const std::vector<Row>> rows_;
   int width_;
+  ExecContext* ctx_ = nullptr;
   size_t cursor_ = 0;
 };
 

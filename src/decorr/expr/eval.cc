@@ -8,6 +8,12 @@
 namespace decorr {
 
 Value CompareValues(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (op == BinaryOp::kNullEq) {  // null-safe: never returns NULL
+    if (lhs.is_null() || rhs.is_null()) {
+      return Value::Bool(lhs.is_null() && rhs.is_null());
+    }
+    return Value::Bool(lhs.Compare(rhs) == 0);
+  }
   if (lhs.is_null() || rhs.is_null()) return Value::Null();
   const int cmp = lhs.Compare(rhs);
   switch (op) {

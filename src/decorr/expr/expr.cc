@@ -19,6 +19,8 @@ const char* BinaryOpName(BinaryOp op) {
       return ">";
     case BinaryOp::kGe:
       return ">=";
+    case BinaryOp::kNullEq:
+      return "<=>";
     case BinaryOp::kAdd:
       return "+";
     case BinaryOp::kSub:
@@ -89,6 +91,7 @@ BinaryOp MirrorComparison(BinaryOp op) {
   switch (op) {
     case BinaryOp::kEq:
     case BinaryOp::kNe:
+    case BinaryOp::kNullEq:
       return op;
     case BinaryOp::kLt:
       return BinaryOp::kGt;

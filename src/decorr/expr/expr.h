@@ -48,7 +48,12 @@ enum class ExprKind : uint8_t {
   kQuantifiedComparison,    // lhs op ANY/ALL (SELECT ...)
 };
 
-enum class BinaryOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe,
+// kNullEq is null-safe equality (IS NOT DISTINCT FROM): NULL <=> NULL is
+// TRUE, NULL <=> x is FALSE. The parser never produces it; decorrelation
+// rewrites use it for binding joins, where a NULL correlation value is a
+// legitimate binding (nested iteration binds the parameter to NULL and runs
+// the inner query) rather than a join-key mismatch.
+enum class BinaryOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kNullEq,
                                 kAdd, kSub, kMul, kDiv };
 enum class AggKind : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
 enum class FuncKind : uint8_t { kCoalesce, kAbs, kUpper, kLower, kLength };

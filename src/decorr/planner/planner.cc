@@ -584,8 +584,10 @@ class Planner::Impl {
         DECORR_RETURN_IF_ERROR(attach_step_extras(step));
         continue;
       }
-      // Extract equality join keys between bound set and the new quantifier.
+      // Extract equality join keys between bound set and the new quantifier
+      // (plain or null-safe binding equality).
       std::vector<ExprPtr> left_keys, right_keys;
+      std::vector<bool> null_safe_keys;
       std::map<SlotKey, int> right_slots;
       int right_width = 0;
       RegisterSlotsInto(info.quantifier, &right_slots, &right_width);
@@ -595,7 +597,8 @@ class Planner::Impl {
       for (size_t p = 0; p < preds.size(); ++p) {
         if (pred_used[p]) continue;
         const Expr& pred = *preds[p];
-        if (pred.kind != ExprKind::kComparison || pred.op != BinaryOp::kEq) {
+        if (pred.kind != ExprKind::kComparison ||
+            (pred.op != BinaryOp::kEq && pred.op != BinaryOp::kNullEq)) {
           continue;
         }
         const Expr* lhs = pred.children[0].get();
@@ -621,14 +624,20 @@ class Planner::Impl {
         DECORR_ASSIGN_OR_RETURN(ExprPtr rkey, Slotify(*new_side, right_ctx));
         left_keys.push_back(std::move(lkey));
         right_keys.push_back(std::move(rkey));
+        null_safe_keys.push_back(pred.op == BinaryOp::kNullEq);
         pred_used[p] = true;
       }
+      const bool any_null_safe =
+          std::find(null_safe_keys.begin(), null_safe_keys.end(), true) !=
+          null_safe_keys.end();
       // Small-outer + indexed base table: index nested-loop join (the
       // access pattern the paper's NI plans and decoupled subqueries rely
       // on). Otherwise hash join on the extracted keys, else a cross
-      // product.
+      // product. Null-safe keys disqualify index joins: HashIndex drops
+      // NULL-key rows at build time, exactly the rows a binding join must
+      // find.
       bool used_index_join = false;
-      if (options_.use_indexes && !left_keys.empty() &&
+      if (options_.use_indexes && !left_keys.empty() && !any_null_safe &&
           info.quantifier->child->kind() == BoxKind::kBaseTable &&
           est_after[step - 1] <
               static_cast<double>(info.quantifier->child->table->num_rows())) {
@@ -644,7 +653,8 @@ class Planner::Impl {
         if (!left_keys.empty()) {
           current = std::make_unique<HashJoinOp>(
               std::move(current), std::move(right), std::move(left_keys),
-              std::move(right_keys), nullptr, JoinType::kInner);
+              std::move(right_keys), nullptr, JoinType::kInner,
+              std::move(null_safe_keys));
         } else {
           current = std::make_unique<NestedLoopJoinOp>(
               std::move(current), std::move(right), nullptr, JoinType::kInner);
@@ -717,6 +727,7 @@ class Planner::Impl {
       for (QuantPlanInfo* info : remaining) {
         // Join keys between bound set and the new quantifier.
         std::vector<ExprPtr> left_keys, right_keys;
+        std::vector<bool> null_safe_keys;
         std::map<SlotKey, int> right_slots;
         int right_width = 0;
         RegisterSlotsInto(info->quantifier, &right_slots, &right_width);
@@ -728,7 +739,8 @@ class Planner::Impl {
             if (pred_used[p]) continue;
             const Expr& pred = *preds[p];
             if (pred.kind != ExprKind::kComparison ||
-                pred.op != BinaryOp::kEq) {
+                (pred.op != BinaryOp::kEq &&
+                 pred.op != BinaryOp::kNullEq)) {
               continue;
             }
             const Expr* lhs = pred.children[0].get();
@@ -756,11 +768,16 @@ class Planner::Impl {
                                                           right_ctx));
             left_keys.push_back(std::move(lkey));
             right_keys.push_back(std::move(rkey));
+            null_safe_keys.push_back(pred.op == BinaryOp::kNullEq);
             pred_used[p] = true;
           }
         }
+        const bool any_null_safe =
+            std::find(null_safe_keys.begin(), null_safe_keys.end(), true) !=
+            null_safe_keys.end();
         bool used_index_join = false;
         if (left && options_.use_indexes && !left_keys.empty() &&
+            !any_null_safe &&
             info->quantifier->child->kind() == BoxKind::kBaseTable &&
             running_est <
                 static_cast<double>(
@@ -779,7 +796,8 @@ class Planner::Impl {
           } else if (!left_keys.empty()) {
             left = std::make_unique<HashJoinOp>(
                 std::move(left), std::move(access), std::move(left_keys),
-                std::move(right_keys), nullptr, JoinType::kInner);
+                std::move(right_keys), nullptr, JoinType::kInner,
+                std::move(null_safe_keys));
           } else {
             left = std::make_unique<NestedLoopJoinOp>(
                 std::move(left), std::move(access), nullptr, JoinType::kInner);
@@ -825,6 +843,7 @@ class Planner::Impl {
 
     // Predicates touching the padded quantifier form the join condition.
     std::vector<ExprPtr> left_keys, right_keys;
+    std::vector<bool> null_safe_keys;
     std::vector<ExprPtr> residual_parts;
     // Combined row layout: left columns, then the padded side's columns.
     std::map<SlotKey, int> combined_slots = slots;
@@ -844,7 +863,8 @@ class Planner::Impl {
                                               : pred.children[0].get();
       const Expr* rhs =
           pred.children.size() > 1 ? pred.children[1].get() : nullptr;
-      if (pred.kind == ExprKind::kComparison && pred.op == BinaryOp::kEq &&
+      if (pred.kind == ExprKind::kComparison &&
+          (pred.op == BinaryOp::kEq || pred.op == BinaryOp::kNullEq) &&
           lhs && rhs && lhs->kind == ExprKind::kColumnRef &&
           rhs->kind == ExprKind::kColumnRef) {
         const Expr* outer_side =
@@ -858,6 +878,7 @@ class Planner::Impl {
                                   Slotify(*inner_side, right_ctx));
           left_keys.push_back(std::move(lkey));
           right_keys.push_back(std::move(rkey));
+          null_safe_keys.push_back(pred.op == BinaryOp::kNullEq);
           pred_used[p] = true;
           continue;
         }
@@ -879,7 +900,8 @@ class Planner::Impl {
                                           std::move(left_keys),
                                           std::move(right_keys),
                                           std::move(residual),
-                                          JoinType::kLeftOuter);
+                                          JoinType::kLeftOuter,
+                                          std::move(null_safe_keys));
     } else {
       join = std::make_unique<NestedLoopJoinOp>(std::move(left),
                                                 std::move(right),
@@ -919,7 +941,8 @@ class Planner::Impl {
     (void)box;
     double card = current * next.card;
     for (const ExprPtr& pred : preds) {
-      if (pred->kind != ExprKind::kComparison || pred->op != BinaryOp::kEq) {
+      if (pred->kind != ExprKind::kComparison ||
+          (pred->op != BinaryOp::kEq && pred->op != BinaryOp::kNullEq)) {
         continue;
       }
       const Expr* lhs = pred->children[0].get();
@@ -1229,7 +1252,12 @@ class Planner::Impl {
                !child->OwnsQuantifier(node.qid);
       });
       if (!references_outside) continue;  // stays in the inner plan
-      if (pred->kind != ExprKind::kComparison || pred->op != BinaryOp::kEq) {
+      // Plain or null-safe binding equality. kNullEq needs no special
+      // probing here: a NULL binding's group is always empty (the inner
+      // body re-applies the original null-rejecting correlation predicate),
+      // so skipping the NULL probe gives the same verdict.
+      if (pred->kind != ExprKind::kComparison ||
+          (pred->op != BinaryOp::kEq && pred->op != BinaryOp::kNullEq)) {
         return false;
       }
       const Expr* lhs = pred->children[0].get();

@@ -346,8 +346,11 @@ class MagicRewriter {
     for (const auto& [qid, col] : source_cols) {
       (void)qid;
       const int j = magic_col.at(col);
+      // Null-safe: the magic table carries every distinct binding including
+      // NULL (nested iteration runs the subquery for a NULL binding too,
+      // yielding e.g. COUNT = 0), so the back-join must not drop it.
       ci->predicates.push_back(MakeComparison(
-          BinaryOp::kEq,
+          BinaryOp::kNullEq,
           MakeColumnRef(q_ci->id, n + j, magic->OutputType(j),
                         magic->OutputName(j)),
           MakeColumnRef(source_q->id, col,
@@ -440,10 +443,10 @@ class MagicRewriter {
     ci->predicates.clear();
 
     // Convert the DCO into a join of the magic table with the grouped
-    // result on the binding columns.
+    // result on the binding columns (null-safe: NULL is a binding value).
     for (int j = 0; j < k; ++j) {
       dco->predicates.push_back(MakeComparison(
-          BinaryOp::kEq,
+          BinaryOp::kNullEq,
           MakeColumnRef(q_md->id, j, magic->OutputType(j),
                         magic->OutputName(j)),
           MakeColumnRef(q_dc->id, ng + j, box->OutputType(ng + j),
@@ -552,10 +555,10 @@ class MagicRewriter {
                          first->child->OutputName(n + j))});
     }
 
-    // DCO becomes a join on the binding columns.
+    // DCO becomes a join on the binding columns (null-safe).
     for (int j = 0; j < k; ++j) {
       dco->predicates.push_back(MakeComparison(
-          BinaryOp::kEq,
+          BinaryOp::kNullEq,
           MakeColumnRef(q_md->id, j, magic->OutputType(j),
                         magic->OutputName(j)),
           MakeColumnRef(q_dc->id, n + j, box->OutputType(n + j),
@@ -645,7 +648,8 @@ class MagicRewriter {
       if (!contained) continue;
       if (!ReferencedSubqueryQuantifiers(*pred).empty()) continue;
       // Equality join between two distinct members: divide by max ndv.
-      if (pred->kind == ExprKind::kComparison && pred->op == BinaryOp::kEq &&
+      if (pred->kind == ExprKind::kComparison &&
+          (pred->op == BinaryOp::kEq || pred->op == BinaryOp::kNullEq) &&
           pred->children[0]->kind == ExprKind::kColumnRef &&
           pred->children[1]->kind == ExprKind::kColumnRef &&
           pred->children[0]->qid != pred->children[1]->qid) {

@@ -1,15 +1,27 @@
 #include "decorr/runtime/database.h"
 
+#include <chrono>
 #include <optional>
 
 #include "decorr/analysis/plan_verify.h"
 #include "decorr/analysis/rewrite_verify.h"
 #include "decorr/binder/binder.h"
 #include "decorr/common/string_util.h"
+#include "decorr/parser/parser.h"
 #include "decorr/qgm/print.h"
 #include "decorr/qgm/validate.h"
 
 namespace decorr {
+
+namespace {
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out = Join(column_names, " | ") + "\n";
@@ -51,6 +63,12 @@ Result<QueryResult> Database::Execute(const std::string& sql,
 Result<QueryResult> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
   return Run(sql, options, /*execute=*/false);
+}
+
+Result<QueryResult> Database::ExplainAnalyze(const std::string& sql,
+                                             QueryOptions options) {
+  options.profile = true;
+  return Run(sql, options, /*execute=*/true);
 }
 
 namespace {
@@ -122,9 +140,21 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
                                       bool execute, ResourceGuard* guard,
                                       bool* prepared) {
   *prepared = false;
-  DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
-                          ParseAndBind(sql, *catalog_));
   QueryResult result;
+  result.profile.enabled = options.profile;
+  int64_t mark = NowNanos();
+  // Phase clock: each Lap() charges the time since the previous mark to one
+  // QueryProfile field.
+  auto lap = [&mark](int64_t* phase_nanos) {
+    const int64_t now = NowNanos();
+    *phase_nanos += now - mark;
+    mark = now;
+  };
+  DECORR_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
+  lap(&result.profile.parse_nanos);
+  DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                          Bind(*ast, *catalog_));
+  lap(&result.profile.bind_nanos);
   if (options.capture_qgm) {
     result.qgm_before = PrintQgm(bound->graph.get());
   }
@@ -151,6 +181,7 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   if (options.capture_qgm) {
     result.qgm_after = PrintQgm(bound->graph.get());
   }
+  lap(&result.profile.rewrite_nanos);
 
   PlannerOptions planner_options = options.planner;
   if (options.strategy == Strategy::kOptMagic) {
@@ -164,12 +195,25 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   *prepared = true;
   result.column_names = plan.column_names;
   result.plan_text = plan.ToString();
+  lap(&result.profile.plan_nanos);
   if (!execute) return result;
 
   ExecContext ctx;
   ctx.stats = &result.stats;
   ctx.guard = guard;
-  DECORR_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get(), &ctx));
+  ctx.profile = options.profile;
+  auto collected = CollectRows(plan.root.get(), &ctx);
+  lap(&result.profile.exec_nanos);
+  // Snapshot the operator metrics while the plan is still alive — even on
+  // failure the partial tree is informative, but the error wins.
+  if (options.profile) {
+    result.profile.plan = CollectMetricsTree(*plan.root);
+    result.analyze_text =
+        RenderMetricsTree(result.profile.plan, /*include_timing=*/true) +
+        result.profile.PhaseSummary() + "\n";
+  }
+  if (!collected.ok()) return collected.status();
+  result.rows = collected.MoveValue();
   result.stats.rows_output = static_cast<int64_t>(result.rows.size());
   return result;
 }

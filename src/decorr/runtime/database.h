@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "decorr/catalog/catalog.h"
+#include "decorr/exec/metrics.h"
 #include "decorr/exec/operator.h"
 #include "decorr/planner/planner.h"
 #include "decorr/rewrite/strategy.h"
@@ -50,6 +51,10 @@ struct QueryOptions {
   // the error; the reason lands in QueryResult::fallback_reason. Input
   // errors (parse/bind/missing table) and guardrail trips never fall back.
   bool fallback = true;
+  // Collects per-operator metrics with wall clocks (QueryResult::profile and
+  // analyze_text). Phase timings are recorded regardless; this only turns on
+  // the operator-level clock sampling.
+  bool profile = false;
 };
 
 struct QueryResult {
@@ -60,6 +65,11 @@ struct QueryResult {
   std::string qgm_before;       // filled when capture_qgm is set
   std::string qgm_after;
   std::string fallback_reason;  // why the NI fallback ran (empty: it didn't)
+  // Phase timings (always) and the per-operator metrics tree (when
+  // QueryOptions::profile / ExplainAnalyze); JSON-serializable via ToJson().
+  QueryProfile profile;
+  // Annotated plan (EXPLAIN ANALYZE rendering); filled when profiling.
+  std::string analyze_text;
 
   std::string ToString(size_t max_rows = 50) const;
 };
@@ -97,6 +107,12 @@ class Database {
   // Like Execute but stops after planning (no rows).
   Result<QueryResult> Explain(const std::string& sql,
                               const QueryOptions& options = {});
+
+  // Executes with operator-level profiling forced on; the result's
+  // analyze_text holds the annotated plan (rows, loops, per-operator time)
+  // and result.profile the structured form.
+  Result<QueryResult> ExplainAnalyze(const std::string& sql,
+                                     QueryOptions options = {});
 
  private:
   Result<QueryResult> Run(const std::string& sql, const QueryOptions& options,
