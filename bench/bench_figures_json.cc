@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   WriteAblations(w, TpcdDb());
   w.Key("parallel");
   WriteParallel(w);
+  w.Key("parallel_measured");
+  WriteParallelMeasured(w, TpcdDb());
   // Last: mutates the shared database (drops partsupp indexes).
   w.Key("figures_noindex").BeginArray();
   WriteFigure(w, Fig7Database(), Fig7Spec());

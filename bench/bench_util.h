@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "decorr/common/json.h"
@@ -170,6 +171,11 @@ inline void WriteMeta(JsonWriter& w) {
   w.Key("schema_version").Int(1);
   w.Key("scale_factor").Double(ScaleFactor());
   w.Key("sample_stride").Int(OperatorMetrics::kSampleStride);
+  // Real cores available to the worker pool when this JSON was produced:
+  // dop > hardware_threads cannot yield wall-clock speedup, so the measured
+  // parallel numbers are only meaningful relative to this.
+  w.Key("hardware_threads")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
   w.EndObject();
 }
 

@@ -9,6 +9,8 @@
 //   \load tpcd [sf]   load the TPC-D database at a scale factor
 //   \load empdept     load the paper's EMP/DEPT example
 //   \strategy X       ni | kim | dayal | ganski | mag | optmag
+//   \dop N            degree of parallelism (1 = serial; >1 uses exchange
+//                     operators and the shared worker pool)
 //   \explain SQL      show the physical plan instead of executing
 //   \analyze SQL      execute with profiling; show per-operator rows/time
 //   \qgm SQL          show the query graph before/after the rewrite
@@ -77,6 +79,7 @@ bool ParseStrategy(const std::string& name, Strategy* out) {
 int main() {
   Database db;
   Strategy strategy = Strategy::kMagic;
+  int dop = 1;
   bool timing = true;
 
   std::printf("decorr shell — magic decorrelation engine\n");
@@ -116,6 +119,14 @@ int main() {
         } else {
           std::printf("strategy = %s\n", StrategyName(strategy));
         }
+      } else if (cmd == "dop") {
+        int n = 0;
+        if (iss >> n && n >= 1) {
+          dop = n;
+          std::printf("dop = %d\n", dop);
+        } else {
+          std::printf("usage: \\dop N (N >= 1)\n");
+        }
       } else if (cmd == "tables") {
         std::printf("%s", db.catalog().ToString().c_str());
       } else if (cmd == "timing") {
@@ -127,6 +138,7 @@ int main() {
         std::getline(iss, sql);
         QueryOptions options;
         options.strategy = strategy;
+        options.dop = dop;
         auto result = db.ExplainAnalyze(sql, options);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
@@ -139,6 +151,7 @@ int main() {
         std::getline(iss, sql);
         QueryOptions options;
         options.strategy = strategy;
+        options.dop = dop;
         options.capture_qgm = (cmd == "qgm");
         auto result = db.Explain(sql, options);
         if (!result.ok()) {
@@ -166,6 +179,7 @@ int main() {
     }
     QueryOptions options;
     options.strategy = strategy;
+    options.dop = dop;
     const auto start = std::chrono::steady_clock::now();
     auto result = db.Execute(buffer, options);
     const auto stop = std::chrono::steady_clock::now();

@@ -16,19 +16,27 @@ int64_t ApproxRowBytes(const Row& row) {
 }
 
 Status MemoryTracker::Charge(int64_t bytes) {
-  used_ += bytes;
-  if (used_ > peak_) peak_ = used_;
-  if (budget_ > 0 && used_ > budget_) {
+  const int64_t now =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t p = peak_.load(std::memory_order_relaxed);
+  while (now > p &&
+         !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+  }
+  if (budget_ > 0 && now > budget_) {
     return Status::ResourceExhausted(
         StrFormat("memory budget exceeded: %lld bytes used, budget %lld",
-                  (long long)used_, (long long)budget_));
+                  (long long)now, (long long)budget_));
   }
   return Status::OK();
 }
 
 void MemoryTracker::Release(int64_t bytes) {
-  used_ -= bytes;
-  if (used_ < 0) used_ = 0;
+  const int64_t now =
+      used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  // Clamp at zero for the single-threaded over-release case the old code
+  // tolerated; concurrent charge/release pairs are symmetric so the clamp
+  // never fires for them.
+  if (now < 0) used_.store(0, std::memory_order_relaxed);
 }
 
 bool CancellationToken::Poll() {
@@ -55,7 +63,8 @@ Status ResourceGuard::Check() {
     return Status::Cancelled("query cancelled");
   }
   if (has_deadline_) {
-    if ((ticks_++ % kDeadlineStride) == 0 &&
+    if ((ticks_.fetch_add(1, std::memory_order_relaxed) % kDeadlineStride) ==
+            0 &&
         std::chrono::steady_clock::now() >= deadline_) {
       return Status::DeadlineExceeded("query deadline exceeded");
     }
@@ -64,11 +73,11 @@ Status ResourceGuard::Check() {
 }
 
 Status ResourceGuard::ChargeRows(int64_t n) {
-  rows_ += n;
-  if (row_budget_ > 0 && rows_ > row_budget_) {
+  const int64_t now = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (row_budget_ > 0 && now > row_budget_) {
     return Status::ResourceExhausted(
         StrFormat("row budget exceeded: %lld rows materialized, budget %lld",
-                  (long long)rows_, (long long)row_budget_));
+                  (long long)now, (long long)row_budget_));
   }
   return Status::OK();
 }

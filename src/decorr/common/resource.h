@@ -9,6 +9,12 @@
 // sort buffers, and Apply/lateral result sets. Exceeding any limit surfaces
 // as StatusCode::kCancelled / kDeadlineExceeded / kResourceExhausted, which
 // the executor propagates without retry and without partial results.
+//
+// Thread safety: one guard is shared by every worker of a parallel query
+// (exchange operators hand the same guard to all their worker contexts), so
+// all counters — memory used/peak, the row count, the deadline tick — are
+// atomics. Configuration (budgets, deadline, token) is still single-writer:
+// set everything before execution starts.
 #ifndef DECORR_COMMON_RESOURCE_H_
 #define DECORR_COMMON_RESOURCE_H_
 
@@ -27,8 +33,9 @@ namespace decorr {
 // deliberately an estimate — budgets bound order of magnitude, not bytes.
 int64_t ApproxRowBytes(const Row& row);
 
-// Tracks bytes charged against an optional budget. Not thread-safe: one
-// tracker belongs to one (single-threaded) query execution.
+// Tracks bytes charged against an optional budget. Charge/Release/used/peak
+// are thread-safe (parallel workers all charge the same tracker);
+// set_budget is configuration and must happen before execution.
 class MemoryTracker {
  public:
   // 0 = unlimited.
@@ -40,13 +47,13 @@ class MemoryTracker {
   Status Charge(int64_t bytes);
   void Release(int64_t bytes);
 
-  int64_t used() const { return used_; }
-  int64_t peak() const { return peak_; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
   int64_t budget_ = 0;
-  int64_t used_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 // Thread-safe cancellation flag, shareable between the thread running the
@@ -98,15 +105,17 @@ class ResourceGuard {
   Status ChargeMemory(int64_t bytes) { return memory_.Charge(bytes); }
   void ReleaseMemory(int64_t bytes) { memory_.Release(bytes); }
 
-  int64_t rows_materialized() const { return rows_; }
+  int64_t rows_materialized() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::shared_ptr<CancellationToken> cancel_;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
-  uint64_t ticks_ = 0;
+  std::atomic<uint64_t> ticks_{0};
   int64_t row_budget_ = 0;
-  int64_t rows_ = 0;
+  std::atomic<int64_t> rows_{0};
   MemoryTracker memory_;
 };
 

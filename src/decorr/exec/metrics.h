@@ -50,6 +50,26 @@ struct OperatorMetrics {
   int64_t index_probes = 0;    // probes of persistent or temporary indexes
   int64_t bytes_charged = 0;   // bytes charged to the MemoryTracker
 
+  // Folds a worker clone's counters into this (coordinator-side) instance.
+  // Exchange operators run one operator clone per worker, each with its own
+  // single-threaded metrics, and merge them after the workers join — so the
+  // metrics tree reports one aggregated node per logical operator and the
+  // counters themselves never need to be atomic.
+  void Merge(const OperatorMetrics& other) {
+    open_calls += other.open_calls;
+    next_calls += other.next_calls;
+    close_calls += other.close_calls;
+    rows_out += other.rows_out;
+    rows_in_self += other.rows_in_self;
+    open_nanos += other.open_nanos;
+    close_nanos += other.close_nanos;
+    sampled_next_nanos += other.sampled_next_nanos;
+    sampled_next_calls += other.sampled_next_calls;
+    build_rows += other.build_rows;
+    index_probes += other.index_probes;
+    bytes_charged += other.bytes_charged;
+  }
+
   // Extrapolated total Next() time from the sampled calls.
   int64_t EstimatedNextNanos() const {
     if (sampled_next_calls == 0) return 0;

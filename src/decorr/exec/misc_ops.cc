@@ -141,6 +141,7 @@ CachedMaterializeOp::CachedMaterializeOp(std::shared_ptr<SharedSubplan> shared)
 Status CachedMaterializeOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.materialize.open");
   cursor_ = 0;
+  std::lock_guard<std::mutex> lock(shared_->mu);
   if (!shared_->computed) {
     DECORR_ASSIGN_OR_RETURN(
         shared_->rows,

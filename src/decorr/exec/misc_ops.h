@@ -3,6 +3,7 @@
 #define DECORR_EXEC_MISC_OPS_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "decorr/exec/operator.h"
@@ -87,6 +88,10 @@ struct SharedSubplan {
   // Memory charged when the shared rows were computed; intentionally held
   // for the rest of the query (the cache lives that long).
   int64_t charged_bytes = 0;
+  // Two consumers may sit in different branches of a parallel exchange and
+  // Open concurrently; the first-Open-computes handshake runs under this
+  // lock (the cached rows are immutable once `computed`).
+  std::mutex mu;
 };
 
 class CachedMaterializeOp : public Operator {

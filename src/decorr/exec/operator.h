@@ -127,6 +127,13 @@ class Operator {
   // Counters accumulated so far (across re-opens).
   const OperatorMetrics& metrics() const { return metrics_; }
 
+  // Folds `other`'s counters into this operator's, recursing into children
+  // matched positionally via Introspect(). `other` must be a structural
+  // clone of this operator (same shape) — exchange operators use this to
+  // aggregate per-worker clone pipelines into one representative subtree so
+  // the metrics snapshot shows a single merged node per logical operator.
+  void MergeMetricsFrom(const Operator& other);
+
  protected:
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Status NextImpl(Row* out, bool* eof) = 0;

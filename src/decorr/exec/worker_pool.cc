@@ -1,0 +1,143 @@
+#include "decorr/exec/worker_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace decorr {
+
+WorkerPool::WorkerPool(int num_threads) {
+  threads_.reserve(num_threads > 0 ? num_threads : 0);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && threads_.empty()) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  // Drain-on-shutdown: anything still queued runs on the shutting-down
+  // thread so pending work is never dropped.
+  while (true) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+int64_t WorkerPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+WorkerPool& WorkerPool::Global() {
+  static WorkerPool* pool = [] {
+    unsigned n = std::thread::hardware_concurrency();
+    if (n == 0) n = 2;
+    return new WorkerPool(static_cast<int>(n));
+  }();
+  return *pool;
+}
+
+Status ParallelRun(WorkerPool* pool,
+                   std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  if (tasks.size() == 1) return tasks[0]();
+
+  // Shared batch state: a claim counter hands tasks to whoever asks first
+  // (pool workers and the caller alike); the per-task statuses are written
+  // by exactly one claimant each and read only after `remaining` hits zero.
+  struct Batch {
+    std::vector<std::function<Status()>> tasks;
+    std::vector<Status> statuses;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  batch->statuses.assign(batch->tasks.size(), Status::OK());
+  batch->remaining.store(batch->tasks.size(), std::memory_order_relaxed);
+
+  auto run_some = [batch] {
+    while (true) {
+      const size_t i =
+          batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->tasks.size()) return;
+      Status st;
+      try {
+        st = batch->tasks[i]();
+      } catch (const std::exception& e) {
+        st = Status::Internal(std::string("worker task threw: ") + e.what());
+      } catch (...) {
+        st = Status::Internal("worker task threw a non-std exception");
+      }
+      batch->statuses[i] = std::move(st);
+      if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task out wakes the coordinator (which may be mid-wait).
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->done.notify_all();
+      }
+    }
+  };
+
+  // One helper per extra task is enough; the caller is the +1 worker.
+  const size_t helpers = batch->tasks.size() - 1;
+  for (size_t i = 0; i < helpers; ++i) pool->Submit(run_some);
+  run_some();
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&batch] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  for (Status& st : batch->statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

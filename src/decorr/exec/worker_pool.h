@@ -1,0 +1,80 @@
+// A process-wide worker pool for intra-query parallelism.
+//
+// The pool owns long-lived threads; exchange operators submit short task
+// batches per Open() instead of spawning threads, so parallel plans inside
+// tight re-open loops (and the differential sweep's thousands of tiny
+// queries) stay cheap. Batches are run through ParallelRun(), which lets the
+// *calling* thread claim tasks too: a batch always completes even when every
+// pool thread is busy (or the pool has zero threads), so nested parallel
+// operators can never deadlock waiting for each other's workers.
+//
+// Error semantics match the exchange contract: every task runs to completion
+// (all workers drain), the batch's Status is the error of the lowest-indexed
+// failing task (deterministic "first error wins"), and exceptions escaping a
+// task are captured as StatusCode::kInternal rather than tearing the process
+// down.
+#ifndef DECORR_EXEC_WORKER_POOL_H_
+#define DECORR_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "decorr/common/status.h"
+
+namespace decorr {
+
+class WorkerPool {
+ public:
+  // `num_threads` may be 0: Submit still works, but tasks only run when a
+  // ParallelRun caller drains its own batch (useful for deterministic tests).
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues one task. Tasks submitted after Shutdown() began are rejected
+  // (silently dropped); ParallelRun tolerates this because the caller drains
+  // the batch itself.
+  void Submit(std::function<void()> task);
+
+  // Stops accepting work, runs every task still queued, joins all threads.
+  // Safe to call more than once; the destructor calls it.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Tasks executed by pool threads so far (tests: proves work actually ran
+  // on workers and that shutdown drained the queue).
+  int64_t tasks_executed() const;
+
+  // The process-wide pool used by exchange operators, sized to the hardware
+  // concurrency. Created on first use; never destroyed (process-lifetime).
+  static WorkerPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+  int64_t tasks_executed_ = 0;
+};
+
+// Runs `tasks` to completion using `pool` workers plus the calling thread
+// and returns the Status of the lowest-indexed failing task (OK when all
+// succeed). Every task is executed exactly once even if it fails — parallel
+// operators rely on "all workers drain" so no partition is left half
+// consumed. An exception escaping a task becomes kInternal.
+Status ParallelRun(WorkerPool* pool,
+                   std::vector<std::function<Status()>> tasks);
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_WORKER_POOL_H_

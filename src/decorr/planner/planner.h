@@ -32,6 +32,12 @@ struct PlannerOptions {
   // Materialize uncorrelated boxes used by more than one quantifier instead
   // of re-planning (recomputing) them per use.
   bool materialize_common_subexpressions = false;
+  // Degree of parallelism. With dop > 1 the planner substitutes exchange
+  // operators (ParallelScan / ParallelHashJoin / ParallelHashAggregate /
+  // Gather) for their serial counterparts — but only at correlated depth 0:
+  // Apply/lateral inner plans re-open once per outer row and stay serial.
+  // dop == 1 (the default) keeps every existing plan byte-identical.
+  int dop = 1;
 };
 
 struct PhysicalPlan {

@@ -187,6 +187,7 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   if (options.strategy == Strategy::kOptMagic) {
     planner_options.materialize_common_subexpressions = true;
   }
+  if (options.dop > 1) planner_options.dop = options.dop;
   Planner planner(*catalog_, planner_options);
   DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
   if (options.verify) {

@@ -41,6 +41,11 @@ struct QueryOptions {
   Strategy strategy = Strategy::kNestedIteration;
   DecorrelationOptions decorr;   // knobs for magic decorrelation
   PlannerOptions planner;
+  // Degree of intra-query parallelism. > 1 makes the planner substitute
+  // exchange operators at correlated depth 0 (see PlannerOptions::dop,
+  // which this overrides when set); 1 keeps plans byte-identical to the
+  // serial ones.
+  int dop = 1;
   QueryLimits limits;
   bool capture_qgm = false;      // record before/after QGM dumps
   // Runs the semantic analyzer on the bound QGM, re-checks invariants after

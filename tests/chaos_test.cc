@@ -23,7 +23,7 @@ namespace {
 // DISTINCT/ORDER BY/LIMIT, UNION ALL, lateral derived tables, correlated
 // subqueries under every rewrite strategy, index maintenance, and CSV
 // import. Aborts at the first error so an injected fault surfaces verbatim.
-Status RunChaosWorkload() {
+Status RunChaosWorkload(int dop = 1) {
   Database db;
   DECORR_RETURN_IF_ERROR(db.CreateTable(TableSchema(
       "dept",
@@ -60,10 +60,11 @@ Status RunChaosWorkload() {
                                     /*header=*/false));
   if (imported != 1) return Status::Internal("CSV import row count");
 
-  auto run = [&db](const std::string& sql, Strategy strategy,
-                   bool decorrelate_existentials = false) -> Status {
+  auto run = [&db, dop](const std::string& sql, Strategy strategy,
+                        bool decorrelate_existentials = false) -> Status {
     QueryOptions options;
     options.strategy = strategy;
+    options.dop = dop;
     options.fallback = false;  // an injected fault must surface, not degrade
     options.decorr.decorrelate_existentials = decorrelate_existentials;
     DECORR_ASSIGN_OR_RETURN(QueryResult result, db.Execute(sql, options));
@@ -109,6 +110,11 @@ Status RunChaosWorkload() {
       "SELECT d.name, e.name FROM dept d, emp e "
       "WHERE d.building < e.building",
       Strategy::kNestedIteration));
+  // Top-level UNION ALL: at dop > 1 this plans as a GatherOp, putting the
+  // gather-side fault sites in reach of the sweep.
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT building FROM dept UNION ALL SELECT building FROM emp",
+      Strategy::kNestedIteration));
   return Status::OK();
 }
 
@@ -140,6 +146,45 @@ TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
     for (int64_t skip : {int64_t{0}, hit_counts[site] / 2}) {
       fi.Arm(site, injected, skip);
       Status st = RunChaosWorkload();
+      fi.Reset();
+      ASSERT_FALSE(st.ok())
+          << "fault at " << site << " (skip " << skip << ") was swallowed";
+      EXPECT_EQ(st.code(), StatusCode::kInternal)
+          << site << ": " << st.ToString();
+      EXPECT_EQ(st.message(), injected.message())
+          << site << " (skip " << skip << ")";
+      if (skip == hit_counts[site] / 2) break;  // skip 0 == count/2 for 1-hit
+    }
+  }
+}
+
+TEST_F(ChaosTest, ParallelSweepReachesWorkerSitesAtDopFour) {
+  // Same discovery-then-sweep protocol with the whole workload at dop = 4.
+  // Faults now fire on pool threads inside exchange workers; the injected
+  // Status must still surface verbatim — first error wins, every worker
+  // drains, nothing deadlocks or leaks (the TSan/ASan lanes run this).
+  FaultInjector& fi = FaultInjector::Global();
+  fi.EnableRecording();
+  Status clean = RunChaosWorkload(/*dop=*/4);
+  ASSERT_TRUE(clean.ok()) << clean.ToString();
+  const std::vector<std::string> sites = fi.Sites();
+  std::map<std::string, int64_t> hit_counts;
+  for (const std::string& site : sites) hit_counts[site] = fi.HitCount(site);
+  fi.Reset();
+
+  // The parallel plans must actually reach the worker-side fault sites.
+  for (const char* required :
+       {"exec.pscan.morsel", "exec.pjoin.worker", "exec.pagg.worker",
+        "exec.gather.worker"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
+        << required << " never hit at dop=4";
+  }
+
+  for (const std::string& site : sites) {
+    const Status injected = Status::Internal("chaos: injected at " + site);
+    for (int64_t skip : {int64_t{0}, hit_counts[site] / 2}) {
+      fi.Arm(site, injected, skip);
+      Status st = RunChaosWorkload(/*dop=*/4);
       fi.Reset();
       ASSERT_FALSE(st.ok())
           << "fault at " << site << " (skip " << skip << ") was swallowed";

@@ -235,5 +235,60 @@ TEST(PropertyDiffTest, RandomizedSweepAllStrategiesMatchNestedIteration) {
   }
 }
 
+// Parallel differential sweep: the same 240 seeded queries, every strategy
+// (nested iteration included) at dop in {2, 4}, compared as sorted multisets
+// against the strategy's own dop=1 run. The baseline here is the serial plan
+// under the *same* strategy — not NI — so Kim's sanctioned COUNT bug cancels
+// out and the comparison isolates exactly what the exchange operators change.
+TEST(PropertyDiffTest, ParallelSweepRowIdenticalToSerialForEveryStrategy) {
+  constexpr uint64_t kDatabases = 8;
+  constexpr int kQueriesPerDatabase = 30;  // 240 total, same seeds as above
+  static const Strategy kStrategies[] = {
+      Strategy::kNestedIteration, Strategy::kKim,    Strategy::kDayal,
+      Strategy::kGanskiWong,      Strategy::kMagic,  Strategy::kOptMagic};
+  static const int kDops[] = {2, 4};
+  int queries_run = 0;
+  std::map<Strategy, int> compared;
+
+  for (uint64_t seed = 1; seed <= kDatabases; ++seed) {
+    Database db(MakeNullHeavyCatalog(seed));
+    Rng rng(seed * 7919);  // identical stream -> identical query text
+    DiffQueryGen gen(&rng);
+    for (int q = 0; q < kQueriesPerDatabase; ++q) {
+      const std::string sql = gen.RandomQuery();
+      ++queries_run;
+      for (Strategy s : kStrategies) {
+        QueryOptions serial;
+        serial.strategy = s;
+        serial.fallback = false;  // a declined rewrite must say so loudly
+        auto base = db.Execute(sql, serial);
+        if (base.status().code() == StatusCode::kNotImplemented) continue;
+        ASSERT_TRUE(base.ok())
+            << StrategyName(s) << " dop=1 failed (seed " << seed << " q" << q
+            << "): " << base.status().ToString() << "\n" << sql;
+        const std::vector<std::string> serial_rows = Canon(*base);
+        for (int dop : kDops) {
+          QueryOptions parallel = serial;
+          parallel.dop = dop;
+          auto result = db.Execute(sql, parallel);
+          ASSERT_TRUE(result.ok())
+              << StrategyName(s) << " dop=" << dop << " failed (seed " << seed
+              << " q" << q << "): " << result.status().ToString() << "\n"
+              << sql;
+          ++compared[s];
+          EXPECT_EQ(Canon(*result), serial_rows)
+              << StrategyName(s) << " dop=" << dop << " diverged (seed "
+              << seed << " q" << q << ")\n" << sql;
+        }
+      }
+    }
+  }
+  EXPECT_GE(queries_run, 200);
+  for (Strategy s : kStrategies) {
+    EXPECT_GT(compared[s], 0)
+        << StrategyName(s) << " never ran in parallel";
+  }
+}
+
 }  // namespace
 }  // namespace decorr
