@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   WriteFigure(w, TpcdDb(), Fig8Spec());
   WriteFigure(w, TpcdDb(), Fig9Spec());
   w.EndArray();
+  w.Key("cache_sweep");
+  WriteCacheSweep(w, TpcdDb(), "all indexes");
   w.Key("ablations");
   WriteAblations(w, TpcdDb());
   w.Key("parallel");
@@ -33,6 +35,11 @@ int main(int argc, char** argv) {
   w.Key("figures_noindex").BeginArray();
   WriteFigure(w, Fig7Database(), Fig7Spec());
   w.EndArray();
+  // Same sweep under Figure 7's expensive-invocation condition: with the
+  // partsupp indexes gone every cache miss pays a full scan, so the
+  // duplicate-heavy levels show memoization decisively beating plain NI.
+  w.Key("cache_sweep_noindex");
+  WriteCacheSweep(w, Fig7Database(), "partsupp indexes dropped");
   w.EndObject();
   return EmitDocument(argc, argv, std::move(w).str());
 }

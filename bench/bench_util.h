@@ -126,6 +126,18 @@ inline void WriteStrategyRun(JsonWriter& w, Strategy s,
   w.Key("vs_ni").Double(ni_ms > 0 ? run.ms / ni_ms : 1.0);
   w.Key("rows").Int(static_cast<int64_t>(run.rows));
   w.Key("subquery_invocations").Int(run.stats.subquery_invocations);
+  // Memoization counters, present only when a subquery cache was active
+  // (NI+C and lateral plans): absent keys keep cache-off runs byte-stable
+  // and the regression checker ignores them for comparability either way.
+  const int64_t cache_probes =
+      run.stats.subquery_cache_hits + run.stats.subquery_cache_misses;
+  if (cache_probes > 0) {
+    w.Key("subquery_cache_hits").Int(run.stats.subquery_cache_hits);
+    w.Key("subquery_cache_misses").Int(run.stats.subquery_cache_misses);
+    w.Key("cache_hit_rate")
+        .Double(static_cast<double>(run.stats.subquery_cache_hits) /
+                static_cast<double>(cache_probes));
+  }
   w.Key("rows_scanned").Int(run.stats.rows_scanned);
   w.Key("index_lookups").Int(run.stats.index_lookups);
   w.Key("peak_memory_bytes").Int(run.stats.peak_memory_bytes);

@@ -12,6 +12,15 @@ Ratios are skipped (with a note) when the nested-iteration time of
 either run is below --ni-floor-ms: dividing by a sub-millisecond NI
 time amplifies scheduler noise past any sane tolerance.
 
+Subquery-cache telemetry (subquery_cache_hits / subquery_cache_misses /
+cache_hit_rate on strategy entries, and the cache_sweep section's timing
+and hit-rate fields) is machine- and run-dependent and deliberately NOT
+compared — a baseline produced before those fields existed stays
+comparable. What IS enforced for the NI+C strategy: its ok status and
+row counts in every figure (like any other strategy), plus every fresh
+cache_sweep level must report rows_match_ni — a memoized run returning
+different rows than plain NI is a correctness bug, never noise.
+
 Usage:
   bench/check_bench_regression.py --baseline BENCH_figures.json \
       --fresh build/BENCH_fresh.json [--tolerance 0.25] [--ni-floor-ms 5.0]
@@ -117,6 +126,16 @@ def main():
             else:
                 notes.append(
                     f"{tag}: vs_ni {b_ratio:.3f} -> {f_ratio:.3f} ok")
+
+    # NI+C correctness gate: every completed sweep level in the fresh run
+    # must have returned exactly plain NI's rows. Hit rates and timings in
+    # the same sections are telemetry and are not compared.
+    for section in ("cache_sweep", "cache_sweep_noindex"):
+        for level in fresh.get(section, {}).get("levels", []):
+            if level.get("ok") and not level.get("rows_match_ni", True):
+                errors.append(
+                    f"{section}/{level.get('id')}: NI+C rows diverge from NI "
+                    f"(memoization correctness bug)")
 
     for note in notes:
         print(f"[bench-check] {note}")

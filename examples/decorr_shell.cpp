@@ -8,9 +8,11 @@
 // Meta commands:
 //   \load tpcd [sf]   load the TPC-D database at a scale factor
 //   \load empdept     load the paper's EMP/DEPT example
-//   \strategy X       ni | kim | dayal | ganski | mag | optmag
+//   \strategy X       ni | ni_cached | kim | dayal | ganski | mag | optmag
 //   \dop N            degree of parallelism (1 = serial; >1 uses exchange
 //                     operators and the shared worker pool)
+//   \cache N          subquery memoization cache budget in bytes
+//                     (0 disables; plain NI never caches)
 //   \explain SQL      show the physical plan instead of executing
 //   \analyze SQL      execute with profiling; show per-operator rows/time
 //   \qgm SQL          show the query graph before/after the rewrite
@@ -65,6 +67,7 @@ Status LoadEmpDept(Database* db) {
 
 bool ParseStrategy(const std::string& name, Strategy* out) {
   if (name == "ni") *out = Strategy::kNestedIteration;
+  else if (name == "ni_cached") *out = Strategy::kNestedIterationCached;
   else if (name == "kim") *out = Strategy::kKim;
   else if (name == "dayal") *out = Strategy::kDayal;
   else if (name == "ganski") *out = Strategy::kGanskiWong;
@@ -80,6 +83,7 @@ int main() {
   Database db;
   Strategy strategy = Strategy::kMagic;
   int dop = 1;
+  long long cache_bytes = kDefaultSubqueryCacheBytes;
   bool timing = true;
 
   std::printf("decorr shell — magic decorrelation engine\n");
@@ -115,7 +119,7 @@ int main() {
         std::string name;
         iss >> name;
         if (!ParseStrategy(name, &strategy)) {
-          std::printf("strategies: ni kim dayal ganski mag optmag\n");
+          std::printf("strategies: ni ni_cached kim dayal ganski mag optmag\n");
         } else {
           std::printf("strategy = %s\n", StrategyName(strategy));
         }
@@ -126,6 +130,15 @@ int main() {
           std::printf("dop = %d\n", dop);
         } else {
           std::printf("usage: \\dop N (N >= 1)\n");
+        }
+      } else if (cmd == "cache") {
+        long long n = -1;
+        if (iss >> n && n >= 0) {
+          cache_bytes = n;
+          std::printf("subquery cache = %lld bytes%s\n", cache_bytes,
+                      cache_bytes == 0 ? " (off)" : "");
+        } else {
+          std::printf("usage: \\cache BYTES (0 disables)\n");
         }
       } else if (cmd == "tables") {
         std::printf("%s", db.catalog().ToString().c_str());
@@ -139,6 +152,7 @@ int main() {
         QueryOptions options;
         options.strategy = strategy;
         options.dop = dop;
+        options.subquery_cache_bytes = cache_bytes;
         auto result = db.ExplainAnalyze(sql, options);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
@@ -152,6 +166,7 @@ int main() {
         QueryOptions options;
         options.strategy = strategy;
         options.dop = dop;
+        options.subquery_cache_bytes = cache_bytes;
         options.capture_qgm = (cmd == "qgm");
         auto result = db.Explain(sql, options);
         if (!result.ok()) {
@@ -180,6 +195,7 @@ int main() {
     QueryOptions options;
     options.strategy = strategy;
     options.dop = dop;
+    options.subquery_cache_bytes = cache_bytes;
     const auto start = std::chrono::steady_clock::now();
     auto result = db.Execute(buffer, options);
     const auto stop = std::chrono::steady_clock::now();

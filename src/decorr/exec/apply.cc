@@ -93,13 +93,24 @@ Status ApplyOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   invariant_computed_.assign(subqueries_.size(), false);
   invariant_value_.assign(subqueries_.size(), Value());
+  invariant_rows_.assign(subqueries_.size(), nullptr);
+  invariant_charged_ = 0;
+  caches_.clear();
+  caches_.resize(subqueries_.size());
+  if (ctx->subquery_cache_bytes > 0) {
+    for (size_t i = 0; i < subqueries_.size(); ++i) {
+      // Invariant subqueries run once per Open anyway; only correlated ones
+      // need a keyed cache.
+      if (!subqueries_[i].params.empty()) {
+        caches_[i] = std::make_unique<BindingKeyCache>(
+            ctx->subquery_cache_bytes, ctx->guard, &metrics_);
+      }
+    }
+  }
   return input_->Open(ctx);
 }
 
-Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
-                                 Value* out) {
-  DECORR_FAULT_POINT("exec.apply.subquery");
-  // Bind correlation parameters from the input row / enclosing params.
+Row ApplyOp::BindParams(const SubqueryPlan& sub, const Row& in) const {
   Row params;
   params.reserve(sub.params.size());
   for (const ParamSource& src : sub.params) {
@@ -109,21 +120,28 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
       params.push_back(in[src.index]);
     }
   }
+  return params;
+}
+
+Status ApplyOp::RunInner(const SubqueryPlan& sub, const Row& params,
+                         std::vector<Row>* rows, int64_t* charged_bytes) {
+  DECORR_FAULT_POINT("exec.apply.subquery");
   ExecContext inner_ctx;
   inner_ctx.params = &params;
   inner_ctx.stats = ctx_->stats;
   inner_ctx.guard = ctx_->guard;
   inner_ctx.profile = ctx_->profile;
+  inner_ctx.subquery_cache_bytes = ctx_->subquery_cache_bytes;
   ++ctx_->stats->subquery_invocations;
-  // The inner result set lives only until the verdict; release its charge
-  // so per-outer-row invocations don't accumulate against the budget.
-  int64_t charged = 0;
-  Result<std::vector<Row>> collected =
-      CollectRows(sub.plan.get(), &inner_ctx, &charged);
-  if (!collected.ok()) return collected.status();
-  std::vector<Row> rows = collected.MoveValue();
-  metrics_.build_rows += static_cast<int64_t>(rows.size());
+  DECORR_ASSIGN_OR_RETURN(*rows,
+                          CollectRows(sub.plan.get(), &inner_ctx,
+                                      charged_bytes));
+  metrics_.build_rows += static_cast<int64_t>(rows->size());
+  return Status::OK();
+}
 
+Status ApplyOp::Verdict(const SubqueryPlan& sub, const Row& in,
+                        const std::vector<Row>& rows, Value* out) const {
   Value lhs;
   if (sub.lhs) {
     EvalContext ectx;
@@ -133,7 +151,6 @@ Status ApplyOp::EvaluateSubquery(const SubqueryPlan& sub, const Row& in,
   }
   Status st;
   *out = SubqueryVerdict(sub.mode, sub.op, lhs, rows, sub.negated, &st);
-  if (ctx_->guard) ctx_->guard->ReleaseMemory(charged);
   return st;
 }
 
@@ -146,19 +163,62 @@ Status ApplyOp::NextImpl(Row* out, bool* eof) {
   for (size_t i = 0; i < subqueries_.size(); ++i) {
     const SubqueryPlan& sub = subqueries_[i];
     Value v;
-    // Parameter-free subqueries are loop-invariant: evaluate once. (With a
-    // row-dependent lhs we must still re-evaluate the verdict, but can reuse
-    // the row set — kept simple here: only fully row-independent subqueries
-    // are cached, i.e. scalar/exists without lhs.)
-    const bool cacheable = sub.params.empty() && sub.lhs == nullptr;
-    if (cacheable && invariant_computed_[i]) {
-      v = invariant_value_[i];
-    } else {
-      DECORR_RETURN_IF_ERROR(EvaluateSubquery(sub, in, &v));
-      if (cacheable) {
-        invariant_computed_[i] = true;
-        invariant_value_[i] = v;
+    if (sub.params.empty()) {
+      // Parameter-free subqueries are loop-invariant: the inner plan runs
+      // once per Open even when a row-dependent lhs forces the *verdict* to
+      // be recomputed per row (degenerate correlation — e.g. an
+      // uncorrelated IN list).
+      if (sub.lhs == nullptr) {
+        if (!invariant_computed_[i]) {
+          std::vector<Row> rows;
+          int64_t charged = 0;
+          DECORR_RETURN_IF_ERROR(RunInner(sub, Row{}, &rows, &charged));
+          Status st = Verdict(sub, in, rows, &invariant_value_[i]);
+          // The verdict is all that survives; release the rows' charge.
+          if (ctx_->guard) ctx_->guard->ReleaseMemory(charged);
+          DECORR_RETURN_IF_ERROR(st);
+          invariant_computed_[i] = true;
+        }
+        v = invariant_value_[i];
+      } else {
+        if (invariant_rows_[i] == nullptr) {
+          std::vector<Row> rows;
+          int64_t charged = 0;
+          DECORR_RETURN_IF_ERROR(RunInner(sub, Row{}, &rows, &charged));
+          invariant_rows_[i] =
+              std::make_shared<const std::vector<Row>>(std::move(rows));
+          invariant_charged_ += charged;  // held until Close
+        }
+        DECORR_RETURN_IF_ERROR(Verdict(sub, in, *invariant_rows_[i], &v));
       }
+    } else if (caches_[i] != nullptr) {
+      // NI+C: memoize the inner result set on the binding key.
+      Row params = BindParams(sub, in);
+      std::shared_ptr<const std::vector<Row>> rows;
+      DECORR_RETURN_IF_ERROR(caches_[i]->Lookup(params, &rows));
+      if (rows != nullptr) {
+        ++ctx_->stats->subquery_cache_hits;
+      } else {
+        ++ctx_->stats->subquery_cache_misses;
+        std::vector<Row> fresh;
+        int64_t charged = 0;
+        DECORR_RETURN_IF_ERROR(RunInner(sub, params, &fresh, &charged));
+        // The cache takes ownership of the rows and their charge.
+        DECORR_RETURN_IF_ERROR(
+            caches_[i]->Insert(params, std::move(fresh), charged, &rows));
+      }
+      DECORR_RETURN_IF_ERROR(Verdict(sub, in, *rows, &v));
+    } else {
+      // Plain nested iteration: re-execute per outer row. The inner result
+      // set lives only until the verdict; release its charge so per-row
+      // invocations don't accumulate against the budget.
+      Row params = BindParams(sub, in);
+      std::vector<Row> rows;
+      int64_t charged = 0;
+      DECORR_RETURN_IF_ERROR(RunInner(sub, params, &rows, &charged));
+      Status st = Verdict(sub, in, rows, &v);
+      if (ctx_->guard) ctx_->guard->ReleaseMemory(charged);
+      DECORR_RETURN_IF_ERROR(st);
     }
     in.push_back(std::move(v));
   }
@@ -166,7 +226,15 @@ Status ApplyOp::NextImpl(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void ApplyOp::CloseImpl() { input_->Close(); }
+void ApplyOp::CloseImpl() {
+  input_->Close();
+  caches_.clear();  // releases each cache's guard charges
+  invariant_rows_.clear();
+  if (ctx_ != nullptr && ctx_->guard != nullptr) {
+    ctx_->guard->ReleaseMemory(invariant_charged_);
+  }
+  invariant_charged_ = 0;
+}
 
 std::string ApplyOp::ToString(int indent) const {
   std::string out = Indent(indent) + "Apply\n";
@@ -289,9 +357,13 @@ Status LateralJoinOp::OpenImpl(ExecContext* ctx) {
   DECORR_FAULT_POINT("exec.lateral.open");
   ctx_ = ctx;
   input_eof_ = false;
-  inner_rows_.clear();
+  inner_rows_ = nullptr;
   charged_bytes_ = 0;
   inner_cursor_ = 0;
+  cache_ = ctx->subquery_cache_bytes > 0
+               ? std::make_unique<BindingKeyCache>(ctx->subquery_cache_bytes,
+                                                   ctx->guard, &metrics_)
+               : nullptr;
   return input_->Open(ctx);
 }
 
@@ -299,9 +371,9 @@ Status LateralJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.lateral.next");
   while (true) {
     DECORR_RETURN_IF_ERROR(ctx_->Check());
-    if (inner_cursor_ < inner_rows_.size()) {
+    if (inner_rows_ != nullptr && inner_cursor_ < inner_rows_->size()) {
       *out = current_input_;
-      const Row& inner_row = inner_rows_[inner_cursor_++];
+      const Row& inner_row = (*inner_rows_)[inner_cursor_++];
       out->insert(out->end(), inner_row.begin(), inner_row.end());
       *eof = false;
       return Status::OK();
@@ -322,25 +394,47 @@ Status LateralJoinOp::NextImpl(Row* out, bool* eof) {
       params.push_back(src.from_outer ? (*ctx_->params)[src.index]
                                       : current_input_[src.index]);
     }
+    // Drop the previous inner result set (and any charge owned here; a
+    // cache-owned set's charge stays with the cache).
+    if (ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
+    charged_bytes_ = 0;
+    inner_rows_ = nullptr;
+    inner_cursor_ = 0;
+    if (cache_ != nullptr) {
+      DECORR_RETURN_IF_ERROR(cache_->Lookup(params, &inner_rows_));
+      if (inner_rows_ != nullptr) {
+        ++ctx_->stats->subquery_cache_hits;
+        continue;
+      }
+      ++ctx_->stats->subquery_cache_misses;
+    }
     ExecContext inner_ctx;
     inner_ctx.params = &params;
     inner_ctx.stats = ctx_->stats;
     inner_ctx.guard = ctx_->guard;
     inner_ctx.profile = ctx_->profile;
+    inner_ctx.subquery_cache_bytes = ctx_->subquery_cache_bytes;
     ++ctx_->stats->subquery_invocations;
-    // Replace the previous inner result set (and its memory charge).
-    if (ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
-    charged_bytes_ = 0;
+    int64_t charged = 0;
     DECORR_ASSIGN_OR_RETURN(
-        inner_rows_, CollectRows(inner_.get(), &inner_ctx, &charged_bytes_));
-    metrics_.build_rows += static_cast<int64_t>(inner_rows_.size());
-    inner_cursor_ = 0;
+        std::vector<Row> fresh,
+        CollectRows(inner_.get(), &inner_ctx, &charged));
+    metrics_.build_rows += static_cast<int64_t>(fresh.size());
+    if (cache_ != nullptr) {
+      // The cache takes ownership of the rows and their charge.
+      DECORR_RETURN_IF_ERROR(
+          cache_->Insert(params, std::move(fresh), charged, &inner_rows_));
+    } else {
+      inner_rows_ = std::make_shared<const std::vector<Row>>(std::move(fresh));
+      charged_bytes_ = charged;
+    }
   }
 }
 
 void LateralJoinOp::CloseImpl() {
   input_->Close();
-  inner_rows_.clear();
+  inner_rows_ = nullptr;
+  cache_.reset();  // releases the cache's guard charges
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
     ctx_->guard->ReleaseMemory(charged_bytes_);
   }

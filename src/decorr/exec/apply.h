@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "decorr/exec/operator.h"
+#include "decorr/exec/subquery_cache.h"
 #include "decorr/expr/expr.h"
 
 namespace decorr {
@@ -52,7 +53,10 @@ struct SubqueryPlan {
 
 // Appends, for each attached subquery, one column to every input row (the
 // scalar value, or the BOOL/NULL verdict). Inner plans with no parameters
-// are invariant: they execute once and the result is reused.
+// are invariant: they execute once and the result is reused (the row set
+// when the verdict depends on a per-row lhs, otherwise the verdict itself).
+// With ExecContext::subquery_cache_bytes set, correlated subqueries memoize
+// their result sets per binding through a BindingKeyCache (NI+C).
 class ApplyOp : public Operator {
  public:
   ApplyOp(OperatorPtr input, std::vector<SubqueryPlan> subqueries);
@@ -70,14 +74,30 @@ class ApplyOp : public Operator {
   void CloseImpl() override;
 
  private:
-  Status EvaluateSubquery(const SubqueryPlan& sub, const Row& in, Value* out);
+  // Binds the correlation parameters for `sub` from the input row.
+  Row BindParams(const SubqueryPlan& sub, const Row& in) const;
+  // Runs the inner plan once under a nested context (one paper-metric
+  // "subquery invocation"); the rows' memory charge is transferred to
+  // *charged_bytes.
+  Status RunInner(const SubqueryPlan& sub, const Row& params,
+                  std::vector<Row>* rows, int64_t* charged_bytes);
+  // Applies the subquery mode to `rows`, evaluating lhs over `in`.
+  Status Verdict(const SubqueryPlan& sub, const Row& in,
+                 const std::vector<Row>& rows, Value* out) const;
 
   OperatorPtr input_;
   std::vector<SubqueryPlan> subqueries_;
   ExecContext* ctx_ = nullptr;
-  // Cache for invariant (parameter-free) subqueries.
+  // Invariant (parameter-free) subqueries: the verdict when it is itself
+  // row-independent, the materialized row set when only the inner plan is
+  // (its charge is held in invariant_charged_ until Close).
   std::vector<bool> invariant_computed_;
   std::vector<Value> invariant_value_;
+  std::vector<std::shared_ptr<const std::vector<Row>>> invariant_rows_;
+  int64_t invariant_charged_ = 0;
+  // Per-subquery memoization caches; null entries mean caching is off (or
+  // the subquery is invariant and needs no keyed cache).
+  std::vector<std::unique_ptr<BindingKeyCache>> caches_;
 };
 
 // Computes the verdict of one subquery result set under a mode (shared by
@@ -142,10 +162,13 @@ class LateralJoinOp : public Operator {
   int inner_width_;
   ExecContext* ctx_ = nullptr;
   Row current_input_;
-  std::vector<Row> inner_rows_;
-  int64_t charged_bytes_ = 0;  // memory of the current inner result set
+  // Current inner result set: freshly collected, or borrowed from the
+  // memoization cache (which keeps it alive across evictions).
+  std::shared_ptr<const std::vector<Row>> inner_rows_;
+  int64_t charged_bytes_ = 0;  // charge owned here (0 when cache-owned)
   size_t inner_cursor_ = 0;
   bool input_eof_ = true;
+  std::unique_ptr<BindingKeyCache> cache_;  // null when caching is off
 };
 
 }  // namespace decorr

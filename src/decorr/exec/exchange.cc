@@ -99,6 +99,7 @@ Status GatherOp::OpenImpl(ExecContext* ctx) {
       wctx.stats = &worker_stats[i];
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
+      wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
       DECORR_ASSIGN_OR_RETURN(
           buffers_[i],
           CollectRows(children_[i].get(), &wctx, &worker_charged[i]));
@@ -345,6 +346,7 @@ Status ParallelHashJoinOp::OpenImpl(ExecContext* ctx) {
       wctx.stats = &worker_stats[p];
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
+      wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
       DECORR_ASSIGN_OR_RETURN(
           partitions_out_[p],
           CollectRows(clones[p].get(), &wctx, &worker_charged[p]));
@@ -491,6 +493,7 @@ Status ParallelHashAggregateOp::OpenImpl(ExecContext* ctx) {
       wctx.stats = &worker_stats[p];
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
+      wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
       DECORR_ASSIGN_OR_RETURN(
           partitions_out_[p],
           CollectRows(clones[p].get(), &wctx, &worker_charged[p]));

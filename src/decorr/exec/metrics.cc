@@ -32,6 +32,9 @@ MetricsNode Collect(const Operator& op, std::string role) {
   node.build_rows = m.build_rows;
   node.index_probes = m.index_probes;
   node.bytes_charged = m.bytes_charged;
+  node.cache_hits = m.cache_hits;
+  node.cache_misses = m.cache_misses;
+  node.cache_evictions = m.cache_evictions;
 
   PlanIntrospection pi;
   op.Introspect(&pi);
@@ -61,6 +64,15 @@ void Render(const MetricsNode& node, int indent, bool include_timing,
   if (node.index_probes > 0) {
     *out += StrFormat(" probes=%lld", (long long)node.index_probes);
   }
+  // Cache counters only appear once caching actually ran, so uncached plans
+  // render byte-identically to before (same contract as build=/probes=).
+  if (node.cache_hits + node.cache_misses > 0) {
+    *out += StrFormat(" hits=%lld misses=%lld", (long long)node.cache_hits,
+                      (long long)node.cache_misses);
+    if (node.cache_evictions > 0) {
+      *out += StrFormat(" evict=%lld", (long long)node.cache_evictions);
+    }
+  }
   if (include_timing) {
     *out += StrFormat(" time=%.3fms", Ms(node.total_nanos));
     if (node.bytes_charged > 0) {
@@ -89,6 +101,11 @@ void NodeJson(JsonWriter* w, const MetricsNode& node) {
   if (node.build_rows > 0) w->Key("build_rows").Int(node.build_rows);
   if (node.index_probes > 0) w->Key("index_probes").Int(node.index_probes);
   if (node.bytes_charged > 0) w->Key("bytes_charged").Int(node.bytes_charged);
+  if (node.cache_hits + node.cache_misses > 0) {
+    w->Key("cache_hits").Int(node.cache_hits);
+    w->Key("cache_misses").Int(node.cache_misses);
+    w->Key("cache_evictions").Int(node.cache_evictions);
+  }
   w->Key("children").BeginArray();
   for (const MetricsNode& child : node.children) NodeJson(w, child);
   w->EndArray();

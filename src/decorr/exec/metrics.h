@@ -49,6 +49,13 @@ struct OperatorMetrics {
                                // buffers / cached result sets
   int64_t index_probes = 0;    // probes of persistent or temporary indexes
   int64_t bytes_charged = 0;   // bytes charged to the MemoryTracker
+  // Subquery memoization (BindingKeyCache in Apply/lateral operators):
+  // bindings served from cache, bindings that ran the inner plan, and
+  // entries evicted by the LRU budget. All zero when caching is off, so the
+  // rendered output of uncached plans is unchanged.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 
   // Folds a worker clone's counters into this (coordinator-side) instance.
   // Exchange operators run one operator clone per worker, each with its own
@@ -68,6 +75,9 @@ struct OperatorMetrics {
     build_rows += other.build_rows;
     index_probes += other.index_probes;
     bytes_charged += other.bytes_charged;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
   }
 
   // Extrapolated total Next() time from the sampled calls.
@@ -101,6 +111,9 @@ struct MetricsNode {
   int64_t build_rows = 0;
   int64_t index_probes = 0;
   int64_t bytes_charged = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 
   std::vector<MetricsNode> children;
 };

@@ -74,6 +74,11 @@ struct ExecStats {
   int64_t rows_output = 0;           // rows produced at the root
   int64_t peak_memory_bytes = 0;     // high-water mark of tracked state
   int64_t rows_materialized = 0;     // rows buffered by blocking operators
+  // Subquery memoization (NI+C): inner invocations skipped because the
+  // correlation binding was already cached, and lookups that had to run the
+  // inner plan. Zero under plain nested iteration (NI never caches).
+  int64_t subquery_cache_hits = 0;
+  int64_t subquery_cache_misses = 0;
 };
 
 // Per-execution context threaded through Open(). `params` carries the
@@ -87,6 +92,10 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   ResourceGuard* guard = nullptr;
   bool profile = false;
+  // Per-operator budget for the correlated-subquery memoization cache
+  // (BindingKeyCache); <= 0 disables caching. Like guard/profile this must
+  // be propagated into every nested context so nested Applies cache too.
+  int64_t subquery_cache_bytes = 0;
 
   // Cancellation/deadline poll; OK when no guard is attached.
   Status Check() const { return guard ? guard->Check() : Status::OK(); }

@@ -1,0 +1,96 @@
+#include "decorr/exec/subquery_cache.h"
+
+#include <utility>
+
+#include "decorr/common/fault.h"
+
+namespace decorr {
+
+BindingKeyCache::BindingKeyCache(int64_t budget_bytes, ResourceGuard* guard,
+                                 OperatorMetrics* metrics)
+    : budget_bytes_(budget_bytes), guard_(guard), metrics_(metrics) {}
+
+BindingKeyCache::~BindingKeyCache() { Clear(); }
+
+Status BindingKeyCache::Lookup(const Row& key,
+                               std::shared_ptr<const std::vector<Row>>* out) {
+  DECORR_FAULT_POINT("exec.subqcache.lookup");
+  *out = nullptr;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    if (metrics_ != nullptr) ++metrics_->cache_misses;
+    return Status::OK();
+  }
+  ++hits_;
+  if (metrics_ != nullptr) ++metrics_->cache_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->rows;
+  return Status::OK();
+}
+
+Status BindingKeyCache::Insert(const Row& key, std::vector<Row> rows,
+                               int64_t charged_bytes,
+                               std::shared_ptr<const std::vector<Row>>* out) {
+  auto shared = std::make_shared<const std::vector<Row>>(std::move(rows));
+  *out = shared;
+  const Status fault = FaultInjector::Global().active()
+                           ? FaultInjector::Global().Hit("exec.subqcache.insert")
+                           : Status::OK();
+  if (!fault.ok()) {
+    if (guard_ != nullptr) guard_->ReleaseMemory(charged_bytes);
+    return fault;
+  }
+  // Account the key alongside the rows; a failed charge means the *query*
+  // budget is exhausted — decline gracefully rather than fail the query for
+  // an optional optimization.
+  const int64_t key_bytes = ApproxRowBytes(key);
+  const int64_t entry_bytes = charged_bytes + key_bytes;
+  bool charge_ok = true;
+  if (guard_ != nullptr) {
+    charge_ok = guard_->ChargeMemory(key_bytes).ok();
+  }
+  if (entry_bytes > budget_bytes_ || !charge_ok) {
+    if (guard_ != nullptr) {
+      guard_->ReleaseMemory(key_bytes + charged_bytes);
+    }
+    return Status::OK();
+  }
+  while (bytes_used_ + entry_bytes > budget_bytes_ && !lru_.empty()) {
+    EvictOne();
+  }
+  // Re-inserting an existing key (possible after a fault-failed lookup)
+  // replaces the old entry.
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_used_ -= it->second->bytes;
+    if (guard_ != nullptr) guard_->ReleaseMemory(it->second->bytes);
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.push_front(Entry{key, shared, entry_bytes});
+  map_.emplace(key, lru_.begin());
+  bytes_used_ += entry_bytes;
+  return Status::OK();
+}
+
+void BindingKeyCache::EvictOne() {
+  Entry& victim = lru_.back();
+  bytes_used_ -= victim.bytes;
+  if (guard_ != nullptr) guard_->ReleaseMemory(victim.bytes);
+  map_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+  if (metrics_ != nullptr) ++metrics_->cache_evictions;
+}
+
+void BindingKeyCache::Clear() {
+  if (guard_ != nullptr && bytes_used_ > 0) {
+    guard_->ReleaseMemory(bytes_used_);
+  }
+  bytes_used_ = 0;
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace decorr

@@ -1218,6 +1218,19 @@ class Planner::Impl {
     return op;
   }
 
+  // An Apply/lateral inner plan that turned out to draw no parameters from
+  // its outer row is loop-invariant; with hoisting enabled it moves into the
+  // SharedSubplan compute-once path, so the per-outer-row re-opens iterate
+  // one materialized result (persisting even across re-opens of the
+  // enclosing operator, unlike the executor's per-Open invariant caching).
+  OperatorPtr MaybeHoistInvariant(OperatorPtr inner, int width) {
+    if (!options_.hoist_invariant_subplans) return inner;
+    auto shared = std::make_shared<SharedSubplan>();
+    shared->plan = std::move(inner);
+    shared->width = width;
+    return std::make_unique<CachedMaterializeOp>(std::move(shared));
+  }
+
   // Plans one correlated derived table as a lateral join step.
   Status AttachLateral(Box* box, QuantPlanInfo* info, ParamEnv* env,
                        OperatorPtr* current, std::map<SlotKey, int>* slots,
@@ -1230,6 +1243,9 @@ class Planner::Impl {
                             PlanBoxNoShare(info->quantifier->child,
                                            &child_env));
     const int inner_width = info->quantifier->child->num_outputs();
+    if (child_env.sources.empty()) {
+      inner = MaybeHoistInvariant(std::move(inner), inner_width);
+    }
     *current = std::make_unique<LateralJoinOp>(std::move(*current),
                                                std::move(inner),
                                                std::move(child_env.sources),
@@ -1261,6 +1277,9 @@ class Planner::Impl {
       child_env.outer_slots = sctx.slots;
       DECORR_ASSIGN_OR_RETURN(OperatorPtr inner,
                               PlanBoxNoShare(child, &child_env));
+      if (child_env.sources.empty()) {
+        inner = MaybeHoistInvariant(std::move(inner), child->num_outputs());
+      }
       SubqueryPlan sub;
       sub.plan = std::move(inner);
       sub.params = std::move(child_env.sources);

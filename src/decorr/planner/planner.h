@@ -32,6 +32,12 @@ struct PlannerOptions {
   // Materialize uncorrelated boxes used by more than one quantifier instead
   // of re-planning (recomputing) them per use.
   bool materialize_common_subexpressions = false;
+  // Hoist fully-uncorrelated Apply/lateral inner subplans into the
+  // SharedSubplan compute-once path, so re-opening the inner per outer row
+  // iterates a materialized result instead of recomputing. Set by the
+  // runtime whenever subquery memoization is enabled; off keeps plans
+  // byte-identical to the uncached ones.
+  bool hoist_invariant_subplans = false;
   // Degree of parallelism. With dop > 1 the planner substitutes exchange
   // operators (ParallelScan / ParallelHashJoin / ParallelHashAggregate /
   // Gather) for their serial counterparts — but only at correlated depth 0:

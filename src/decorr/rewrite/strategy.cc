@@ -12,6 +12,8 @@ const char* StrategyName(Strategy strategy) {
   switch (strategy) {
     case Strategy::kNestedIteration:
       return "NI";
+    case Strategy::kNestedIterationCached:
+      return "NI+C";
     case Strategy::kKim:
       return "Kim";
     case Strategy::kDayal:
@@ -33,6 +35,8 @@ Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
   DECORR_FAULT_POINT("rewrite.strategy");
   switch (strategy) {
     case Strategy::kNestedIteration:
+    case Strategy::kNestedIterationCached:
+      // NI+C differs at the executor level only (binding-key memoization).
       return Status::OK();
     case Strategy::kKim:
       DECORR_RETURN_IF_ERROR(KimRewrite(graph));

@@ -14,6 +14,11 @@ namespace decorr {
 
 enum class Strategy {
   kNestedIteration,  // NI: no rewrite; correlated subqueries become Applies
+  // NI+C: nested iteration with binding-key memoization [GS08] — no rewrite
+  // either, but the executor caches inner invocations per correlation
+  // binding and the planner hoists invariant subplans. The strongest
+  // non-rewrite competitor to decorrelation.
+  kNestedIterationCached,
   kKim,              // Kim's method [Kim82] (COUNT bug faithfully included)
   kDayal,            // Dayal's method [Day87]
   kGanskiWong,       // Ganski/Wong [GW87] (special case of magic)

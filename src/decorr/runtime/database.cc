@@ -187,6 +187,12 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   if (options.strategy == Strategy::kOptMagic) {
     planner_options.materialize_common_subexpressions = true;
   }
+  // Subquery memoization is forced off under plain NI so the baseline stays
+  // paper-faithful (and its plans, counters and goldens stay byte-identical).
+  const int64_t cache_bytes = options.strategy == Strategy::kNestedIteration
+                                  ? 0
+                                  : options.subquery_cache_bytes;
+  planner_options.hoist_invariant_subplans = cache_bytes > 0;
   if (options.dop > 1) planner_options.dop = options.dop;
   Planner planner(*catalog_, planner_options);
   DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
@@ -203,6 +209,7 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   ctx.stats = &result.stats;
   ctx.guard = guard;
   ctx.profile = options.profile;
+  ctx.subquery_cache_bytes = cache_bytes;
   auto collected = CollectRows(plan.root.get(), &ctx);
   lap(&result.profile.exec_nanos);
   // Snapshot the operator metrics while the plan is still alive — even on

@@ -28,6 +28,9 @@ inline constexpr bool kVerifyByDefault = false;
 inline constexpr bool kVerifyByDefault = true;
 #endif
 
+// Default LRU budget for the correlated-subquery memoization cache.
+inline constexpr int64_t kDefaultSubqueryCacheBytes = 16 << 20;  // 16 MiB
+
 // Execution guardrails for one query. Zero / null means unlimited.
 struct QueryLimits {
   int64_t timeout_micros = 0;       // wall-clock deadline from Execute entry
@@ -46,6 +49,12 @@ struct QueryOptions {
   // which this overrides when set); 1 keeps plans byte-identical to the
   // serial ones.
   int dop = 1;
+  // Per-operator byte budget for memoizing correlated subquery results on
+  // their binding key (NI+C; DESIGN.md §10). 0 disables. Plain nested
+  // iteration (Strategy::kNestedIteration) never caches regardless — it is
+  // the paper-faithful baseline the other strategies are measured against;
+  // use Strategy::kNestedIterationCached for cached nested iteration.
+  int64_t subquery_cache_bytes = kDefaultSubqueryCacheBytes;
   QueryLimits limits;
   bool capture_qgm = false;      // record before/after QGM dumps
   // Runs the semantic analyzer on the bound QGM, re-checks invariants after

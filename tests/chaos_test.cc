@@ -73,8 +73,10 @@ Status RunChaosWorkload(int dop = 1) {
   };
 
   // The paper example under every strategy (Apply, hash join, aggregation,
-  // and all four rewrite families).
-  for (Strategy s : {Strategy::kNestedIteration, Strategy::kKim,
+  // and all four rewrite families). NI+C puts the subquery-memoization
+  // fault sites (exec.subqcache.*) in reach — plain NI never caches.
+  for (Strategy s : {Strategy::kNestedIteration,
+                     Strategy::kNestedIterationCached, Strategy::kKim,
                      Strategy::kDayal, Strategy::kGanskiWong, Strategy::kMagic,
                      Strategy::kOptMagic}) {
     DECORR_RETURN_IF_ERROR(run(kPaperExampleQuery, s));
@@ -94,6 +96,14 @@ Status RunChaosWorkload(int dop = 1) {
       "   UNION ALL (SELECT e2.emp_id FROM emp e2 "
       "              WHERE e2.building = d.building)) AS u(b)) AS t(c)",
       Strategy::kNestedIteration));
+  // Same lateral plan memoized (LateralJoinOp's binding-key cache path).
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT d.name, t.c FROM dept d, "
+      "(SELECT SUM(b) FROM ((SELECT e.salary FROM emp e "
+      "                      WHERE e.building = d.building) "
+      "   UNION ALL (SELECT e2.emp_id FROM emp e2 "
+      "              WHERE e2.building = d.building)) AS u(b)) AS t(c)",
+      Strategy::kNestedIterationCached));
   // DISTINCT + ORDER BY + LIMIT; plain join; indexed point lookup.
   DECORR_RETURN_IF_ERROR(run(
       "SELECT DISTINCT building FROM emp ORDER BY building LIMIT 3",
@@ -137,6 +147,13 @@ TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
   fi.Reset();
   ASSERT_GE(sites.size(), 25u)
       << "chaos workload exercises too few fault sites";
+  // The NI+C runs must reach the subquery-cache fault sites, or the sweep
+  // below never proves cache faults propagate.
+  for (const char* required :
+       {"exec.subqcache.lookup", "exec.subqcache.insert"}) {
+    ASSERT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
+        << required << " never hit by the chaos workload";
+  }
 
   // Sweep: fail each site on its first hit, then again mid-stream; the
   // workload must return exactly the injected status — anything else means
@@ -194,6 +211,56 @@ TEST_F(ChaosTest, ParallelSweepReachesWorkerSitesAtDopFour) {
           << site << " (skip " << skip << ")";
       if (skip == hit_counts[site] / 2) break;  // skip 0 == count/2 for 1-hit
     }
+  }
+}
+
+TEST_F(ChaosTest, CacheFaultsNeverYieldStaleOrPartialRows) {
+  // Fail each subquery-cache site at every offset the paper query reaches.
+  // Each faulted run must return the injected status verbatim — never a
+  // partial row set assembled from a cache in an undefined state — and a
+  // clean re-run right after must produce exactly the uncached answer (a
+  // faulted query must not poison anything observable by later queries).
+  FaultInjector& fi = FaultInjector::Global();
+  Database db(MakeEmpDeptCatalog());
+  auto sorted_names = [](const std::vector<Row>& rows) {
+    std::vector<std::string> names;
+    for (const Row& row : rows) names.push_back(row[0].string_value());
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+
+  QueryOptions cached;
+  cached.strategy = Strategy::kNestedIterationCached;
+  cached.fallback = false;  // an injected fault must surface, not degrade
+
+  for (const char* site :
+       {"exec.subqcache.lookup", "exec.subqcache.insert"}) {
+    bool fired = false;
+    for (int64_t skip = 0; skip < 64; ++skip) {
+      const Status injected =
+          Status::Internal(std::string("chaos: injected at ") + site);
+      fi.Arm(site, injected, skip);
+      auto r = db.Execute(kPaperExampleQuery, cached);
+      fi.Reset();
+      if (r.ok()) {
+        // Armed past the site's last hit: the run was clean and must match.
+        EXPECT_EQ(sorted_names(r->rows), PaperExampleAnswers())
+            << site << " (skip " << skip << ")";
+        break;
+      }
+      fired = true;
+      EXPECT_EQ(r.status().code(), StatusCode::kInternal)
+          << site << ": " << r.status().ToString();
+      EXPECT_EQ(r.status().message(), injected.message())
+          << site << " (skip " << skip << ")";
+      auto clean = db.Execute(kPaperExampleQuery, cached);
+      ASSERT_TRUE(clean.ok())
+          << site << " (skip " << skip << "): fault leaked into a clean run: "
+          << clean.status().ToString();
+      EXPECT_EQ(sorted_names(clean->rows), PaperExampleAnswers())
+          << site << " (skip " << skip << ")";
+    }
+    EXPECT_TRUE(fired) << site << " never fired; cache path not exercised";
   }
 }
 

@@ -538,6 +538,31 @@ TEST(ApplyTest, InvariantSubqueryCachedAcrossRows) {
   EXPECT_TRUE((*rows)[2][1].Equals(I(42)));
 }
 
+// Regression: a subquery whose predicate references zero outer columns
+// (degenerate correlation, e.g. an uncorrelated IN list surviving rewrite
+// cleanup) used to re-open the inner plan per outer row because its
+// row-dependent lhs defeated the verdict cache. The row *set* is still
+// invariant: one inner execution, verdicts recomputed per row.
+TEST(ApplyTest, DegenerateCorrelationRunsInnerOnce) {
+  SubqueryPlan sub;
+  sub.plan = Rows({{I(100)}, {I(200)}}, 1);
+  sub.mode = SubqueryMode::kIn;
+  sub.lhs = MakeSlotRef(0, TypeId::kInt64);  // per-row lhs, no params
+  std::vector<SubqueryPlan> subs;
+  subs.push_back(std::move(sub));
+  ApplyOp apply(Rows({{I(100)}, {I(300)}, {I(200)}}, 1), std::move(subs));
+  ExecStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  auto rows = CollectRows(&apply, &ctx);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_TRUE((*rows)[0][1].Equals(Value::Bool(true)));
+  EXPECT_TRUE((*rows)[1][1].Equals(Value::Bool(false)));
+  EXPECT_TRUE((*rows)[2][1].Equals(Value::Bool(true)));
+  EXPECT_EQ(stats.subquery_invocations, 1);  // was 3 before the fix
+}
+
 TEST(GroupProbeApplyTest, HashedExistential) {
   SubqueryPlan semantics;
   semantics.mode = SubqueryMode::kExists;

@@ -290,5 +290,83 @@ TEST(PropertyDiffTest, ParallelSweepRowIdenticalToSerialForEveryStrategy) {
   }
 }
 
+// Cache differential sweep: the same 240 seeded queries, every strategy
+// (NI+C included), with subquery memoization on vs off at dop {1, 4} —
+// multiset-identical, fallback off. The baseline is the strategy's own
+// cache-off serial run, so the comparison isolates exactly what the
+// BindingKeyCache changes (nothing, if it is correct). A tiny-budget pass
+// (1 KB) forces constant eviction through the same queries.
+TEST(PropertyDiffTest, CacheSweepRowIdenticalOnVsOffForEveryStrategy) {
+  constexpr uint64_t kDatabases = 8;
+  constexpr int kQueriesPerDatabase = 30;  // 240 total, same seeds as above
+  static const Strategy kStrategies[] = {
+      Strategy::kNestedIteration, Strategy::kNestedIterationCached,
+      Strategy::kKim,             Strategy::kDayal,
+      Strategy::kGanskiWong,      Strategy::kMagic,
+      Strategy::kOptMagic};
+  int queries_run = 0;
+  std::map<Strategy, int> compared;
+  int64_t cached_hits = 0;
+
+  for (uint64_t seed = 1; seed <= kDatabases; ++seed) {
+    Database db(MakeNullHeavyCatalog(seed));
+    Rng rng(seed * 7919);  // identical stream -> identical query text
+    DiffQueryGen gen(&rng);
+    for (int q = 0; q < kQueriesPerDatabase; ++q) {
+      const std::string sql = gen.RandomQuery();
+      ++queries_run;
+      for (Strategy s : kStrategies) {
+        QueryOptions off;
+        off.strategy = s;
+        off.fallback = false;  // a declined rewrite must say so loudly
+        off.subquery_cache_bytes = 0;
+        auto base = db.Execute(sql, off);
+        if (base.status().code() == StatusCode::kNotImplemented) continue;
+        ASSERT_TRUE(base.ok())
+            << StrategyName(s) << " cache-off failed (seed " << seed << " q"
+            << q << "): " << base.status().ToString() << "\n" << sql;
+        const std::vector<std::string> off_rows = Canon(*base);
+        // Cache on (default budget) at dop {1, 4}, plus a 1 KB budget that
+        // keeps the cache thrashing (insert/evict on nearly every binding).
+        struct Variant {
+          int64_t cache_bytes;
+          int dop;
+        };
+        static const Variant kVariants[] = {
+            {kDefaultSubqueryCacheBytes, 1},
+            {kDefaultSubqueryCacheBytes, 4},
+            {1024, 1}};
+        for (const Variant& v : kVariants) {
+          QueryOptions on = off;
+          on.subquery_cache_bytes = v.cache_bytes;
+          on.dop = v.dop;
+          auto result = db.Execute(sql, on);
+          ASSERT_TRUE(result.ok())
+              << StrategyName(s) << " cache-on dop=" << v.dop << " budget="
+              << v.cache_bytes << " failed (seed " << seed << " q" << q
+              << "): " << result.status().ToString() << "\n" << sql;
+          ++compared[s];
+          cached_hits += result->stats.subquery_cache_hits;
+          EXPECT_EQ(Canon(*result), off_rows)
+              << StrategyName(s) << " cache-on dop=" << v.dop << " budget="
+              << v.cache_bytes << " diverged (seed " << seed << " q" << q
+              << ")\n" << sql;
+          if (s == Strategy::kNestedIteration) {
+            // Plain NI must never cache, whatever the option says.
+            EXPECT_EQ(result->stats.subquery_cache_hits, 0) << sql;
+            EXPECT_EQ(result->stats.subquery_cache_misses, 0) << sql;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(queries_run, 200);
+  for (Strategy s : kStrategies) {
+    EXPECT_GT(compared[s], 0) << StrategyName(s) << " never ran cached";
+  }
+  // The sweep is vacuous unless the cache actually served hits somewhere.
+  EXPECT_GT(cached_hits, 0);
+}
+
 }  // namespace
 }  // namespace decorr
