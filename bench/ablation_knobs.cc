@@ -2,7 +2,9 @@
 // "knobs" plus the supplementary-table handling of Section 5.1):
 //   1. supplementary recompute (Mag) vs materialize (OptMag);
 //   2. decorrelating existential subqueries vs leaving them to NI;
-//   3. outer-join availability for COUNT-bug removal.
+//   3. outer-join availability for COUNT-bug removal;
+//   4. property-derived dedup pruning on vs off (redundant DISTINCT /
+//      back-join elimination, ISSUE 6).
 //
 // Emits {"meta":…,"ablations":[…]} as JSON to stdout (or `-o <path>`).
 #include "bench/figures.h"

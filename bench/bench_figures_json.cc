@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   w.EndArray();
   w.Key("cache_sweep");
   WriteCacheSweep(w, TpcdDb(), "all indexes");
+  w.Key("dedup_prune_sweep");
+  WriteDedupPruneSweep(w, TpcdDb());
   w.Key("ablations");
   WriteAblations(w, TpcdDb());
   w.Key("parallel");

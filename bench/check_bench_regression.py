@@ -21,6 +21,13 @@ row counts in every figure (like any other strategy), plus every fresh
 cache_sweep level must report rows_match_ni — a memoized run returning
 different rows than plain NI is a correctness bug, never noise.
 
+The dedup_prune_sweep section follows the same split: its timings,
+speedups and `dedup pruned` notes are telemetry (not compared against
+the baseline — older baselines without the section stay comparable),
+but every fresh case must report rows_match_unpruned — a pruned plan
+returning different rows than the unpruned plan means a derived key was
+wrong, which is a correctness bug, never noise.
+
 Usage:
   bench/check_bench_regression.py --baseline BENCH_figures.json \
       --fresh build/BENCH_fresh.json [--tolerance 0.25] [--ni-floor-ms 5.0]
@@ -136,6 +143,15 @@ def main():
                 errors.append(
                     f"{section}/{level.get('id')}: NI+C rows diverge from NI "
                     f"(memoization correctness bug)")
+
+    # Dedup-pruning correctness gate: a pruned plan must return exactly the
+    # unpruned plan's rows. Speedups and the pruned-note telemetry in the
+    # same section are machine-dependent and are not compared.
+    for case in fresh.get("dedup_prune_sweep", {}).get("cases", []):
+        if case.get("ok") and not case.get("rows_match_unpruned", True):
+            errors.append(
+                f"dedup_prune_sweep/{case.get('id')}: pruned rows diverge "
+                f"from unpruned (derived-key correctness bug)")
 
     for note in notes:
         print(f"[bench-check] {note}")

@@ -1,0 +1,692 @@
+#include "decorr/analysis/properties.h"
+
+#include <algorithm>
+#include <set>
+
+#include "decorr/common/string_util.h"
+#include "decorr/expr/expr.h"
+
+namespace decorr {
+
+namespace {
+
+using Slot = std::pair<int, int>;  // (quantifier id, output ordinal)
+
+void NormalizeSet(ColumnSet* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+// a ⊆ b, both sorted.
+bool IsSubset(const ColumnSet& a, const ColumnSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void AddKey(std::vector<ColumnSet>* keys, ColumnSet key) {
+  NormalizeSet(&key);
+  // Drop keys that are supersets of an existing key; skip if a subset key
+  // already covers this one.
+  for (const ColumnSet& existing : *keys) {
+    if (IsSubset(existing, key)) return;
+  }
+  keys->erase(std::remove_if(keys->begin(), keys->end(),
+                             [&key](const ColumnSet& existing) {
+                               return IsSubset(key, existing);
+                             }),
+              keys->end());
+  keys->push_back(std::move(key));
+}
+
+// Caps that keep the derivation linear-ish on adversarial shapes. Exceeding
+// a cap loses precision, never soundness.
+constexpr size_t kMaxKeysPerBox = 16;
+constexpr size_t kMaxKeysPerChild = 4;
+
+// Union-find over slots, used for the `=` / `<=>` equivalence classes.
+class SlotUnionFind {
+ public:
+  Slot Find(Slot s) {
+    auto it = parent_.find(s);
+    if (it == parent_.end() || it->second == s) return s;
+    Slot root = Find(it->second);
+    parent_[s] = root;
+    return root;
+  }
+  void Merge(Slot a, Slot b) { parent_[Find(a)] = Find(b); }
+  bool Same(Slot a, Slot b) { return Find(a) == Find(b); }
+
+ private:
+  std::map<Slot, Slot> parent_;
+};
+
+// A pure column reference, possibly to a non-local quantifier.
+const Expr* AsColumnRef(const Expr& expr) {
+  return expr.kind == ExprKind::kColumnRef ? &expr : nullptr;
+}
+
+}  // namespace
+
+bool BoxProperties::HasKeyWithin(const ColumnSet& columns) const {
+  for (const ColumnSet& key : keys) {
+    if (IsSubset(key, columns)) return true;
+  }
+  return false;
+}
+
+bool BoxProperties::Determines(const ColumnSet& determinant,
+                               int column) const {
+  ColumnSet closure = determinant;
+  NormalizeSet(&closure);
+  if (std::binary_search(closure.begin(), closure.end(), column)) return true;
+  // A contained key determines everything.
+  if (HasKeyWithin(closure)) return true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      if (std::binary_search(closure.begin(), closure.end(), fd.dependent)) {
+        continue;
+      }
+      if (!IsSubset(fd.determinant, closure)) continue;
+      closure.insert(
+          std::lower_bound(closure.begin(), closure.end(), fd.dependent),
+          fd.dependent);
+      changed = true;
+      if (fd.dependent == column) return true;
+      if (HasKeyWithin(closure)) return true;
+    }
+  }
+  return false;
+}
+
+std::string BoxProperties::ToString() const {
+  std::string out = StrFormat("arity=%d", arity);
+  out += " nullable={";
+  for (int i = 0; i < arity; ++i) {
+    if (i > 0) out += ",";
+    out += nullable[i] ? "1" : "0";
+  }
+  out += "} keys=[";
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (k > 0) out += " ";
+    out += "{";
+    for (size_t i = 0; i < keys[k].size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("%d", keys[k][i]);
+    }
+    out += "}";
+  }
+  out += StrFormat("] fds=%zu dup_free=%d", fds.size(),
+                   duplicate_free ? 1 : 0);
+  return out;
+}
+
+const BoxProperties& PropertyDeriver::Derive(const Box* box) {
+  auto it = cache_.find(box);
+  if (it != cache_.end()) return it->second;
+  // Insert a conservative placeholder first so a (malformed) cyclic graph
+  // terminates with empty properties instead of recursing forever.
+  BoxProperties& cached = cache_[box];
+  cached.arity = box->num_outputs();
+  cached.nullable.assign(cached.arity, true);
+
+  BoxProperties derived;
+  switch (box->kind()) {
+    case BoxKind::kBaseTable:
+      derived = DeriveBaseTable(box);
+      break;
+    case BoxKind::kSelect:
+      derived = DeriveSelect(box);
+      break;
+    case BoxKind::kGroupBy:
+      derived = DeriveGroupBy(box);
+      break;
+    case BoxKind::kUnion:
+      derived = DeriveUnion(box);
+      break;
+  }
+  cached = std::move(derived);
+  return cached;
+}
+
+BoxProperties PropertyDeriver::DeriveBaseTable(const Box* box) {
+  BoxProperties props;
+  props.arity = box->num_outputs();
+  props.nullable.assign(props.arity, true);
+  if (!box->table) return props;
+  const TableSchema& schema = box->table->schema();
+  for (int i = 0; i < props.arity && i < schema.num_columns(); ++i) {
+    props.nullable[i] = schema.column(i).nullable;
+  }
+  for (std::vector<int> key : schema.CandidateKeys()) {
+    bool in_range = true;
+    for (int col : key) {
+      if (col < 0 || col >= props.arity) in_range = false;
+    }
+    if (in_range && props.keys.size() < kMaxKeysPerBox) {
+      AddKey(&props.keys, std::move(key));
+    }
+  }
+  props.duplicate_free = props.HasKey();
+  props.duplicate_free_without_distinct = props.duplicate_free;
+  return props;
+}
+
+BoxProperties PropertyDeriver::DeriveGroupBy(const Box* box) {
+  BoxProperties props;
+  props.arity = box->num_outputs();
+  props.nullable.assign(props.arity, true);
+  if (box->quantifiers().size() != 1) return props;
+  const Quantifier* q = box->quantifiers()[0];
+  const BoxProperties child = Derive(q->child);  // copy: cache may rehash
+
+  auto slot_nullable = [&child, q](const Expr& ref) {
+    if (ref.qid != q->id || ref.col < 0 || ref.col >= child.arity) {
+      return true;  // correlated ref: unknown, assume nullable
+    }
+    return child.nullable[ref.col] != false;
+  };
+  // Conservative expression nullability over the input quantifier.
+  std::function<bool(const Expr&)> expr_nullable =
+      [&](const Expr& expr) -> bool {
+    switch (expr.kind) {
+      case ExprKind::kConstant:
+        return expr.value.is_null();
+      case ExprKind::kColumnRef:
+        return slot_nullable(expr);
+      case ExprKind::kComparison:
+      case ExprKind::kArithmetic:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kNot:
+      case ExprKind::kNegate:
+      case ExprKind::kLike: {
+        for (const ExprPtr& c : expr.children) {
+          if (expr_nullable(*c)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kIsNull:
+      case ExprKind::kExists:
+        return false;  // always a non-null boolean
+      case ExprKind::kFunction:
+        if (expr.func == FuncKind::kCoalesce) {
+          for (const ExprPtr& c : expr.children) {
+            if (!expr_nullable(*c)) return false;
+          }
+          return true;
+        }
+        for (const ExprPtr& c : expr.children) {
+          if (expr_nullable(*c)) return true;
+        }
+        return false;
+      default:
+        return true;
+    }
+  };
+
+  // Classify each output: a group-key output (expression structurally equal
+  // to some GROUP BY expression) or an aggregate output.
+  const bool global_agg = box->group_by.empty();
+  std::vector<int> key_output_for_group(box->group_by.size(), -1);
+  for (int i = 0; i < props.arity; ++i) {
+    const Expr* expr = box->outputs[i].expr.get();
+    if (expr == nullptr) continue;
+    bool is_key_output = false;
+    for (size_t g = 0; g < box->group_by.size(); ++g) {
+      if (ExprEquals(*expr, *box->group_by[g])) {
+        if (key_output_for_group[g] < 0) key_output_for_group[g] = i;
+        is_key_output = true;
+        break;
+      }
+    }
+    if (is_key_output) {
+      props.nullable[i] = expr_nullable(*expr);
+      continue;
+    }
+    // Aggregate output. COUNT is never NULL; the other aggregates are NULL
+    // exactly for the empty global group, or when the argument can be NULL
+    // for every row of a (non-empty) group.
+    const Expr* agg = nullptr;
+    VisitExpr(*expr, [&agg](const Expr& node) {
+      if (agg == nullptr && node.kind == ExprKind::kAggregate) agg = &node;
+    });
+    if (agg != nullptr && expr->kind == ExprKind::kAggregate) {
+      if (agg->agg == AggKind::kCountStar || agg->agg == AggKind::kCount) {
+        props.nullable[i] = false;
+      } else if (!global_agg && !agg->children.empty()) {
+        props.nullable[i] = expr_nullable(*agg->children[0]);
+      } else {
+        props.nullable[i] = true;
+      }
+    } else {
+      props.nullable[i] = true;
+    }
+  }
+
+  if (global_agg) {
+    props.keys.push_back({});  // exactly one row
+  } else {
+    ColumnSet group_key;
+    bool all_projected = true;
+    for (size_t g = 0; g < box->group_by.size(); ++g) {
+      if (key_output_for_group[g] < 0) {
+        all_projected = false;
+        break;
+      }
+      group_key.push_back(key_output_for_group[g]);
+    }
+    if (all_projected) {
+      AddKey(&props.keys, group_key);
+      // Group keys functionally determine every aggregate output.
+      NormalizeSet(&group_key);
+      for (int i = 0; i < props.arity; ++i) {
+        if (std::binary_search(group_key.begin(), group_key.end(), i)) {
+          continue;
+        }
+        props.fds.push_back({group_key, i});
+      }
+    }
+  }
+  props.duplicate_free = props.HasKey();
+  props.duplicate_free_without_distinct = props.duplicate_free;
+  return props;
+}
+
+BoxProperties PropertyDeriver::DeriveUnion(const Box* box) {
+  BoxProperties props;
+  props.arity = box->num_outputs();
+  props.nullable.assign(props.arity, false);
+  for (const Quantifier* q : box->quantifiers()) {
+    const BoxProperties& child = Derive(q->child);
+    for (int i = 0; i < props.arity; ++i) {
+      if (i >= child.arity || child.nullable[i]) props.nullable[i] = true;
+    }
+  }
+  if (!box->union_all) {
+    ColumnSet all;
+    for (int i = 0; i < props.arity; ++i) all.push_back(i);
+    props.keys.push_back(std::move(all));
+    props.duplicate_free = true;
+  }
+  // Never prunable: branch disjointness is not derived, so a UNION's
+  // duplicate elimination is always considered load-bearing.
+  props.duplicate_free_without_distinct = false;
+  return props;
+}
+
+BoxProperties PropertyDeriver::DeriveSelect(const Box* box) {
+  BoxProperties props;
+  props.arity = box->num_outputs();
+  props.nullable.assign(props.arity, true);
+
+  // ---- 1. Gather the foreach quantifiers and per-slot child properties.
+  std::vector<const Quantifier*> foreach;
+  std::map<int, const BoxProperties*> child_props;  // by quantifier id
+  for (const Quantifier* q : box->quantifiers()) {
+    if (q->kind != QuantifierKind::kForeach) continue;
+    foreach.push_back(q);
+  }
+  // Derive children first (Derive() may grow the cache; keep references
+  // valid by deriving everything before taking pointers).
+  for (const Quantifier* q : foreach) (void)Derive(q->child);
+  for (const Quantifier* q : foreach) {
+    child_props[q->id] = &cache_.at(q->child);
+  }
+  const int padded_qid = box->null_padded_qid;
+
+  auto local_foreach = [&child_props](int qid) {
+    return child_props.find(qid) != child_props.end();
+  };
+  auto slot_base_nullable = [&](Slot s) {
+    auto it = child_props.find(s.first);
+    if (it == child_props.end()) return true;
+    if (s.first == padded_qid) return true;  // outer-join padding
+    if (s.second < 0 || s.second >= it->second->arity) return true;
+    return it->second->nullable[s.second] != false;
+  };
+
+  // ---- 2. Interpret the predicates.
+  //
+  // `eq` merges slots linked by `=`; `nulleq` additionally merges `<=>`
+  // links (x = y implies x <=> y on surviving rows, so every `=` link is
+  // also a `<=>` link; the converse does not hold for NULLs). Links that
+  // involve the null-padded side of an outer join hold only for matched
+  // rows and are excluded from the classes, but are still recorded in
+  // `links` for the key-absorption step (where "at most one match" is all
+  // that is needed).
+  SlotUnionFind eq;
+  SlotUnionFind nulleq;
+  struct Link {
+    Slot a;
+    Slot b;
+  };
+  std::vector<Link> links;             // all equi-links, padded included
+  std::set<Slot> const_bound;          // pinned to a single value per scan
+  std::set<Slot> filtered_notnull;     // NULL rejected by some predicate
+
+  for (const ExprPtr& pred : box->predicates) {
+    // The binder splits conjunctions, but stay safe on AND trees.
+    std::vector<const Expr*> conjuncts;
+    std::vector<const Expr*> stack = {pred.get()};
+    while (!stack.empty()) {
+      const Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == ExprKind::kAnd) {
+        for (const ExprPtr& c : e->children) stack.push_back(c.get());
+      } else {
+        conjuncts.push_back(e);
+      }
+    }
+    for (const Expr* conjunct : conjuncts) {
+      const bool touches_padded =
+          padded_qid >= 0 &&
+          AnyNode(*conjunct, [padded_qid](const Expr& node) {
+            return node.kind == ExprKind::kColumnRef &&
+                   node.qid == padded_qid;
+          });
+      if (conjunct->kind != ExprKind::kComparison ||
+          conjunct->children.size() != 2 ||
+          (conjunct->op != BinaryOp::kEq &&
+           conjunct->op != BinaryOp::kNullEq)) {
+        // Non-equality predicate: only useful as a NULL filter. Predicates
+        // touching the padded side are join conditions — padding can
+        // reintroduce NULLs after they ran.
+        if (!touches_padded) {
+          std::vector<const Expr*> refs;
+          CollectColumnRefs(*conjunct, &refs);
+          for (const Expr* ref : refs) {
+            if (local_foreach(ref->qid) &&
+                IsNullRejecting(*conjunct, ref->qid)) {
+              filtered_notnull.insert({ref->qid, ref->col});
+            }
+          }
+        }
+        continue;
+      }
+      const Expr* lhs = AsColumnRef(*conjunct->children[0]);
+      const Expr* rhs = AsColumnRef(*conjunct->children[1]);
+      const bool null_safe = conjunct->op == BinaryOp::kNullEq;
+      const bool lhs_local = lhs != nullptr && local_foreach(lhs->qid);
+      const bool rhs_local = rhs != nullptr && local_foreach(rhs->qid);
+      if (lhs_local && rhs_local) {
+        const Slot a{lhs->qid, lhs->col};
+        const Slot b{rhs->qid, rhs->col};
+        links.push_back({a, b});
+        if (!touches_padded) {
+          nulleq.Merge(a, b);
+          if (!null_safe) {
+            eq.Merge(a, b);
+            filtered_notnull.insert(a);
+            filtered_notnull.insert(b);
+          }
+        }
+        continue;
+      }
+      // One local side against a constant, a correlated (external) column
+      // reference, or a parameter: the local side is pinned to a single
+      // value for the duration of one scan of this box.
+      auto classify_other = [&](const Expr& other) {
+        // Opaque expressions (subqueries, arithmetic over other locals)
+        // pin nothing.
+        if (other.kind == ExprKind::kConstant) return !other.value.is_null();
+        if (other.kind == ExprKind::kParamRef) return true;
+        const Expr* ref = AsColumnRef(other);
+        return ref != nullptr && !local_foreach(ref->qid);
+      };
+      const Expr* local = lhs_local ? lhs : (rhs_local ? rhs : nullptr);
+      const Expr* other =
+          lhs_local ? conjunct->children[1].get() : conjunct->children[0].get();
+      if (local == nullptr || touches_padded) continue;
+      if (classify_other(*other)) {
+        const Slot s{local->qid, local->col};
+        const_bound.insert(s);
+        // With plain `=`, a NULL on either side never matches: the local
+        // column is non-NULL on every surviving row.
+        if (!null_safe) filtered_notnull.insert(s);
+      }
+    }
+  }
+
+  auto slot_nullable = [&](Slot s) {
+    if (s.first == padded_qid) return true;
+    if (filtered_notnull.count(s) != 0) return false;
+    return slot_base_nullable(s);
+  };
+
+  // ---- 3. Candidate keys of the join, by child-key absorption.
+  //
+  // Start with every foreach child contributing a key; repeatedly absorb a
+  // child whose candidate key is fully pinned (each key slot constant-bound
+  // or equated to a slot of a different, not-yet-absorbed child) — such a
+  // child contributes at most one row per combination of the others. In an
+  // outer-join box only the padded child may be absorbed: preserved rows
+  // survive unmatched, so the padded side never constrains them.
+  std::set<int> absorbed;
+  auto slot_pinned = [&](const Quantifier* q, Slot s) {
+    if (const_bound.count(s) != 0) return true;
+    for (const Link& link : links) {
+      const Slot other = link.a == s ? link.b : (link.b == s ? link.a : s);
+      if (other == s) continue;
+      if (other.first != q->id && absorbed.count(other.first) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Quantifier* q : foreach) {
+      if (absorbed.count(q->id) != 0) continue;
+      if (padded_qid >= 0 && q->id != padded_qid) continue;
+      const BoxProperties& child = *child_props.at(q->id);
+      for (const ColumnSet& key : child.keys) {
+        bool pinned = true;
+        for (int col : key) {
+          if (!slot_pinned(q, {q->id, col})) {
+            pinned = false;
+            break;
+          }
+        }
+        if (pinned) {
+          absorbed.insert(q->id);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Combined candidate keys in slot space: the cross product of one
+  // candidate key per remaining child (capped), with constant-bound slots
+  // dropped.
+  std::vector<std::vector<Slot>> slot_keys = {{}};
+  bool have_keys = true;
+  for (const Quantifier* q : foreach) {
+    if (absorbed.count(q->id) != 0) continue;
+    const BoxProperties& child = *child_props.at(q->id);
+    if (child.keys.empty()) {
+      have_keys = false;
+      break;
+    }
+    std::vector<std::vector<Slot>> next;
+    const size_t take = std::min(child.keys.size(), kMaxKeysPerChild);
+    for (const std::vector<Slot>& base : slot_keys) {
+      for (size_t k = 0; k < take; ++k) {
+        std::vector<Slot> extended = base;
+        for (int col : child.keys[k]) {
+          const Slot s{q->id, col};
+          if (const_bound.count(s) == 0) extended.push_back(s);
+        }
+        next.push_back(std::move(extended));
+        if (next.size() >= kMaxKeysPerBox) break;
+      }
+      if (next.size() >= kMaxKeysPerBox) break;
+    }
+    slot_keys = std::move(next);
+  }
+  if (!have_keys) slot_keys.clear();
+
+  // ---- 4. Map through the projection.
+  std::map<Slot, int> projected;  // slot -> first output ordinal
+  std::vector<Slot> out_slot(props.arity, Slot{-1, -1});
+  for (int i = 0; i < props.arity; ++i) {
+    const Expr* expr = box->outputs[i].expr.get();
+    if (expr == nullptr) continue;
+    const Expr* ref = AsColumnRef(*expr);
+    if (ref != nullptr && local_foreach(ref->qid)) {
+      const Slot s{ref->qid, ref->col};
+      out_slot[i] = s;
+      projected.emplace(s, i);
+    }
+  }
+  // A key slot may be substituted by any projected slot of its `<=>` class
+  // (class members hold identical values on every surviving row).
+  auto find_projected = [&](Slot s) -> int {
+    auto it = projected.find(s);
+    if (it != projected.end()) return it->second;
+    for (const auto& entry : projected) {
+      if (nulleq.Same(entry.first, s)) return entry.second;
+    }
+    return -1;
+  };
+  for (const std::vector<Slot>& slot_key : slot_keys) {
+    ColumnSet key;
+    bool ok = true;
+    for (Slot s : slot_key) {
+      const int ordinal = find_projected(s);
+      if (ordinal < 0) {
+        ok = false;
+        break;
+      }
+      key.push_back(ordinal);
+    }
+    if (ok && props.keys.size() < kMaxKeysPerBox) {
+      AddKey(&props.keys, std::move(key));
+    }
+  }
+
+  // ---- 5. Output nullability.
+  std::function<bool(const Expr&)> expr_nullable =
+      [&](const Expr& expr) -> bool {
+    switch (expr.kind) {
+      case ExprKind::kConstant:
+        return expr.value.is_null();
+      case ExprKind::kColumnRef:
+        if (local_foreach(expr.qid)) {
+          return slot_nullable({expr.qid, expr.col});
+        }
+        return true;  // correlated or E/A/S-sourced: unknown
+      case ExprKind::kComparison:
+      case ExprKind::kArithmetic:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kNot:
+      case ExprKind::kNegate:
+      case ExprKind::kLike: {
+        for (const ExprPtr& c : expr.children) {
+          if (expr_nullable(*c)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kIsNull:
+      case ExprKind::kExists:
+        return false;
+      case ExprKind::kFunction:
+        if (expr.func == FuncKind::kCoalesce) {
+          for (const ExprPtr& c : expr.children) {
+            if (!expr_nullable(*c)) return false;
+          }
+          return true;
+        }
+        for (const ExprPtr& c : expr.children) {
+          if (expr_nullable(*c)) return true;
+        }
+        return false;
+      default:
+        return true;
+    }
+  };
+  for (int i = 0; i < props.arity; ++i) {
+    const Expr* expr = box->outputs[i].expr.get();
+    props.nullable[i] = expr == nullptr || expr_nullable(*expr);
+  }
+
+  // ---- 6. Functional dependencies: projected members of one equivalence
+  // class determine each other; constant-bound outputs are determined by ∅.
+  for (int i = 0; i < props.arity; ++i) {
+    if (out_slot[i].first < 0) continue;
+    if (const_bound.count(out_slot[i]) != 0) {
+      props.fds.push_back({{}, i});
+      continue;
+    }
+    for (int j = 0; j < props.arity; ++j) {
+      if (i == j || out_slot[j].first < 0) continue;
+      if (nulleq.Same(out_slot[i], out_slot[j])) {
+        props.fds.push_back({{i}, j});
+      }
+    }
+  }
+
+  if (foreach.empty()) {
+    // Degenerate select (no FROM multiplicity): at most one row.
+    props.keys.clear();
+    props.keys.push_back({});
+  }
+
+  props.duplicate_free_without_distinct = props.HasKey();
+  props.duplicate_free = props.duplicate_free_without_distinct ||
+                         box->distinct;
+  if (box->distinct) {
+    ColumnSet all;
+    for (int i = 0; i < props.arity; ++i) all.push_back(i);
+    AddKey(&props.keys, std::move(all));
+  }
+  return props;
+}
+
+Status CheckPropertiesWellFormed(const Box& box, const BoxProperties& props) {
+  if (props.arity != box.num_outputs()) {
+    return Status::Internal(StrFormat(
+        "box %d: derived arity %d != %d outputs", box.id(), props.arity,
+        box.num_outputs()));
+  }
+  if (static_cast<int>(props.nullable.size()) != props.arity) {
+    return Status::Internal(
+        StrFormat("box %d: nullable vector size mismatch", box.id()));
+  }
+  for (const ColumnSet& key : props.keys) {
+    if (!std::is_sorted(key.begin(), key.end()) ||
+        std::adjacent_find(key.begin(), key.end()) != key.end()) {
+      return Status::Internal(
+          StrFormat("box %d: candidate key not sorted/unique", box.id()));
+    }
+    for (int col : key) {
+      if (col < 0 || col >= props.arity) {
+        return Status::Internal(StrFormat(
+            "box %d: key ordinal %d out of range", box.id(), col));
+      }
+    }
+  }
+  for (const FunctionalDependency& fd : props.fds) {
+    if (fd.dependent < 0 || fd.dependent >= props.arity) {
+      return Status::Internal(StrFormat(
+          "box %d: FD dependent %d out of range", box.id(), fd.dependent));
+    }
+    for (int col : fd.determinant) {
+      if (col < 0 || col >= props.arity) {
+        return Status::Internal(StrFormat(
+            "box %d: FD determinant ordinal %d out of range", box.id(), col));
+      }
+    }
+  }
+  if (props.duplicate_free_without_distinct && !props.duplicate_free) {
+    return Status::Internal(StrFormat(
+        "box %d: duplicate_free_without_distinct without duplicate_free",
+        box.id()));
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

@@ -1,0 +1,103 @@
+// Stage 3 of the static-analysis layer: derived plan properties.
+//
+// A bottom-up abstract interpretation over QGM boxes that derives, per box
+// output:
+//   * candidate keys, seeded from catalog primary-key / unique constraints
+//     and propagated through select/project/join/group-by;
+//   * functional dependencies (group-by keys determine the aggregates,
+//     equi-join predicates merge equivalence classes — `<=>` links are
+//     tracked separately from `=` because only the former identifies NULLs);
+//   * column nullability (outer-join padding makes the padded side
+//     nullable — load-bearing for the COUNT-bug machinery);
+//   * distinctness (duplicate-freedom) of the box output.
+//
+// "Key" here means duplicate-freedom over a column set in the multiset
+// sense: no two output rows agree on the columns, with NULL comparing equal
+// to NULL (exactly the guarantee DISTINCT provides and exactly what the
+// dedup-pruning rewrite needs). Every derivation is conservative: a missing
+// key / a nullable=true answer is always sound, so consumers may only *act*
+// on positive findings (a derived key, a derived non-nullable column).
+//
+// Consumers: rewrite/prune.cc (drops provably redundant DISTINCTs and
+// magic/DCO dedup back-joins), analysis/rewrite_verify.cc (re-proves every
+// recorded pruning decision after each rewrite step), and the planner
+// (Debug-build runtime uniqueness assertions).
+#ifndef DECORR_ANALYSIS_PROPERTIES_H_
+#define DECORR_ANALYSIS_PROPERTIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+
+namespace decorr {
+
+// A set of output column ordinals, sorted and duplicate-free.
+using ColumnSet = std::vector<int>;
+
+// `determinant` functionally determines the single `dependent` column.
+struct FunctionalDependency {
+  ColumnSet determinant;
+  int dependent = -1;
+};
+
+struct BoxProperties {
+  int arity = 0;
+  // Per-output: may the column be NULL? (true is always sound)
+  std::vector<bool> nullable;
+  // Candidate keys over output ordinals. An *empty* ColumnSet is the
+  // strongest key: the box produces at most one row. An empty `keys` vector
+  // means no key is known.
+  std::vector<ColumnSet> keys;
+  // Explicit functional dependencies beyond the keys (group-by determinacy,
+  // equality-class links). Keys implicitly determine every column.
+  std::vector<FunctionalDependency> fds;
+  // The box output provably carries no duplicate rows (flags honored).
+  bool duplicate_free = false;
+  // Duplicate-free even ignoring the box's own DISTINCT flag — i.e. the
+  // flag is provably redundant and may be pruned.
+  bool duplicate_free_without_distinct = false;
+
+  [[nodiscard]] bool HasKey() const { return !keys.empty(); }
+  // Some candidate key is contained in `columns` (sorted).
+  [[nodiscard]] bool HasKeyWithin(const ColumnSet& columns) const;
+  // `determinant` functionally determines `column` under the FD closure
+  // (keys included).
+  [[nodiscard]] bool Determines(const ColumnSet& determinant,
+                                int column) const;
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Derives (and memoizes) properties bottom-up over the QGM DAG. The graph
+// must not be mutated while a deriver is alive; rewrites construct a fresh
+// deriver after every mutation.
+class PropertyDeriver {
+ public:
+  explicit PropertyDeriver(const QueryGraph* graph) : graph_(graph) {}
+  PropertyDeriver(const PropertyDeriver&) = delete;
+  PropertyDeriver& operator=(const PropertyDeriver&) = delete;
+
+  [[nodiscard]] const BoxProperties& Derive(const Box* box);
+
+ private:
+  BoxProperties DeriveBaseTable(const Box* box);
+  BoxProperties DeriveSelect(const Box* box);
+  BoxProperties DeriveGroupBy(const Box* box);
+  BoxProperties DeriveUnion(const Box* box);
+
+  const QueryGraph* graph_;
+  std::map<const Box*, BoxProperties> cache_;
+};
+
+// Structural sanity of a derived property set against its box: vector sizes
+// match the arity, key/FD ordinals are in range, keys are sorted and
+// duplicate-free. Run by the rewrite verifier after every step so a broken
+// derivation fails loudly instead of licensing an unsound prune.
+[[nodiscard]] Status CheckPropertiesWellFormed(const Box& box,
+                                               const BoxProperties& props);
+
+}  // namespace decorr
+
+#endif  // DECORR_ANALYSIS_PROPERTIES_H_

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "decorr/analysis/properties.h"
 #include "decorr/analysis/type_check.h"
 #include "decorr/common/string_util.h"
 #include "decorr/qgm/analysis.h"
@@ -120,7 +121,9 @@ Status CheckRoleShapes(QueryGraph* graph) {
         break;
     }
     if (box->role == BoxRole::kMagic) {
-      if (!box->distinct) {
+      // The binding-set projection must be duplicate-free: DISTINCT, unless
+      // the pruning pass proved the flag redundant and recorded why.
+      if (!box->distinct && box->dedup_pruned.empty()) {
         return Status::Internal(
             Describe(box) +
             ": MAGIC box must be DISTINCT (it projects the binding set)");
@@ -190,6 +193,25 @@ Status RewriteVerifier::Verify(const std::string& stage) {
   st = CheckRoleShapes(graph_);
   if (!st.ok()) return fail(st);
 
+  // Derived-property audit: every box's properties must be well-formed, and
+  // every recorded prune (a cleared DISTINCT that relied on a derived key)
+  // must still be provable on the current graph. Re-proving after *every*
+  // step — not just the pruning one — guards against later rewrites
+  // invalidating an earlier proof.
+  {
+    PropertyDeriver deriver(graph_);
+    for (Box* box : SubtreeBoxes(root)) {
+      const BoxProperties& props = deriver.Derive(box);
+      st = CheckPropertiesWellFormed(*box, props);
+      if (!st.ok()) return fail(st);
+      if (box->dedup_check && !props.duplicate_free) {
+        return fail(Status::Internal(
+            Describe(box) +
+            ": pruned DISTINCT is no longer provably redundant"));
+      }
+    }
+  }
+
   if (root->num_outputs() != static_cast<int>(root_types_.size())) {
     return Status::Internal(StrFormat(
         "rewrite step '%s' changed the root arity from %zu to %d",
@@ -206,11 +228,23 @@ Status RewriteVerifier::Verify(const std::string& stage) {
     }
   }
   if (RootEliminatesDuplicates(root) != root_dup_eliminating_) {
-    return Status::Internal(StrFormat(
-        "rewrite step '%s' changed the root's duplicate semantics "
-        "(DISTINCT %s -> %s)",
-        stage.c_str(), root_dup_eliminating_ ? "on" : "off",
-        root_dup_eliminating_ ? "off" : "on"));
+    // One sound weakening exists: the pruning pass may clear the root's
+    // DISTINCT when a derived key proves the output duplicate-free anyway.
+    // The prune must be recorded on the box and re-provable right now.
+    bool justified = false;
+    if (root_dup_eliminating_ && !RootEliminatesDuplicates(root) &&
+        !root->dedup_pruned.empty()) {
+      PropertyDeriver deriver(graph_);
+      justified = deriver.Derive(root).duplicate_free;
+    }
+    if (!justified) {
+      return Status::Internal(StrFormat(
+          "rewrite step '%s' changed the root's duplicate semantics "
+          "(DISTINCT %s -> %s)",
+          stage.c_str(), root_dup_eliminating_ ? "on" : "off",
+          root_dup_eliminating_ ? "off" : "on"));
+    }
+    root_dup_eliminating_ = RootEliminatesDuplicates(root);
   }
 
   const int constructs = CountSubqueryConstructs(graph_);

@@ -11,7 +11,17 @@
 //     existential/universal/scalar quantifiers) never increases — every
 //     decorrelation rule removes or preserves them, none introduces one,
 //   * SUPP/MAGIC/DCO/CI role tags satisfy their shape invariants from
-//     Section 4 of the paper.
+//     Section 4 of the paper,
+//   * derived plan properties (analysis/properties.h) are well-formed for
+//     every reachable box, and every recorded dedup prune (Box::dedup_check)
+//     is re-proved against the current graph — a later rewrite must not
+//     invalidate the key that licensed an earlier prune.
+// The root's duplicate semantics may weaken in exactly one way: DISTINCT on
+// -> off, when the pruning pass recorded the decision on the root box and
+// the output is re-provably duplicate-free. Nullability is deliberately NOT
+// compared across steps: rewrites may soundly strengthen (COALESCE) or lose
+// (class merges) nullability facts, so only per-step derivability is
+// checked.
 // Finish() additionally asserts, for the magic family (Mag/OptMag/Ganski),
 // that the end-to-end correlated-reference count did not increase. (The
 // per-step count may transiently rise: FEED retargets the child's refs onto

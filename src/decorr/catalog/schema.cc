@@ -19,14 +19,41 @@ std::optional<int> TableSchema::FindColumn(const std::string& name) const {
   return std::nullopt;
 }
 
-bool TableSchema::IsKey(const std::vector<int>& columns) const {
-  if (primary_key_.empty()) return false;
-  for (int key_col : primary_key_) {
-    if (std::find(columns.begin(), columns.end(), key_col) == columns.end()) {
-      return false;
-    }
+void TableSchema::AddUniqueKey(std::vector<int> columns) {
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  if (columns.empty()) return;
+  for (int col : columns) {
+    if (col < 0 || col >= num_columns()) return;
   }
-  return true;
+  for (const std::vector<int>& existing : CandidateKeys()) {
+    std::vector<int> sorted = existing;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted == columns) return;
+  }
+  unique_keys_.push_back(std::move(columns));
+}
+
+std::vector<std::vector<int>> TableSchema::CandidateKeys() const {
+  std::vector<std::vector<int>> keys;
+  if (!primary_key_.empty()) keys.push_back(primary_key_);
+  keys.insert(keys.end(), unique_keys_.begin(), unique_keys_.end());
+  return keys;
+}
+
+bool TableSchema::IsKey(const std::vector<int>& columns) const {
+  for (const std::vector<int>& key : CandidateKeys()) {
+    bool covered = true;
+    for (int key_col : key) {
+      if (std::find(columns.begin(), columns.end(), key_col) ==
+          columns.end()) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
+  }
+  return false;
 }
 
 std::string TableSchema::ToString() const {

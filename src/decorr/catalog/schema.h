@@ -32,12 +32,24 @@ class TableSchema {
   // Column ordinals forming the primary key; empty if none declared.
   const std::vector<int>& primary_key() const { return primary_key_; }
 
+  // Declares an additional unique constraint (candidate key) over `columns`.
+  // Ordinals must be valid; duplicates of an existing key are ignored.
+  void AddUniqueKey(std::vector<int> columns);
+  const std::vector<std::vector<int>>& unique_keys() const {
+    return unique_keys_;
+  }
+
+  // Every declared candidate key: the primary key (if any) followed by the
+  // unique constraints. Feeds the static property derivation
+  // (analysis/properties.h).
+  std::vector<std::vector<int>> CandidateKeys() const;
+
   // Case-insensitive lookup; nullopt when absent.
   std::optional<int> FindColumn(const std::string& name) const;
 
-  // True iff `columns` is a superset of the primary key (and a key exists).
-  // Used by OptMag: "when the correlation attributes form a key of the
-  // supplementary table".
+  // True iff `columns` is a superset of some declared candidate key (the
+  // primary key or a unique constraint). Used by OptMag: "when the
+  // correlation attributes form a key of the supplementary table".
   bool IsKey(const std::vector<int>& columns) const;
 
   std::string ToString() const;
@@ -46,6 +58,7 @@ class TableSchema {
   std::string name_;
   std::vector<ColumnDef> columns_;
   std::vector<int> primary_key_;
+  std::vector<std::vector<int>> unique_keys_;
 };
 
 }  // namespace decorr

@@ -9,6 +9,7 @@
 #include "decorr/common/string_util.h"
 #include "decorr/exec/aggregate.h"
 #include "decorr/exec/apply.h"
+#include "decorr/exec/check.h"
 #include "decorr/exec/exchange.h"
 #include "decorr/exec/filter_project.h"
 #include "decorr/exec/join.h"
@@ -223,6 +224,14 @@ class Planner::Impl {
     plan.root = std::move(op);
     for (int i = 0; i < graph->root()->num_outputs(); ++i) {
       plan.column_names.push_back(graph->root()->OutputName(i));
+    }
+    for (const std::unique_ptr<Box>& box : graph->boxes()) {
+      if (box->dedup_pruned.empty()) continue;
+      std::string where = StrFormat("box %d", box->id());
+      if (!box->label.empty()) where += " (" + box->label + ")";
+      plan.notes.push_back(
+          StrFormat("dedup pruned: %s: %s", where.c_str(),
+                    box->dedup_pruned.c_str()));
     }
     return plan;
   }
@@ -737,6 +746,11 @@ class Planner::Impl {
                                           std::move(projections));
     if (box->distinct) {
       current = std::make_unique<DistinctOp>(std::move(current));
+    } else if (box->dedup_check && options_.check_derived_keys) {
+      // A DISTINCT was pruned here on the strength of a derived key; assert
+      // the key at runtime so a wrong derivation fails loudly.
+      current = std::make_unique<UniquenessCheckOp>(std::move(current),
+                                                    box->dedup_key);
     }
     return current;
   }
@@ -980,6 +994,11 @@ class Planner::Impl {
                                           std::move(projections));
     if (box->distinct) {
       current = std::make_unique<DistinctOp>(std::move(current));
+    } else if (box->dedup_check && options_.check_derived_keys) {
+      // A DISTINCT was pruned here on the strength of a derived key; assert
+      // the key at runtime so a wrong derivation fails loudly.
+      current = std::make_unique<UniquenessCheckOp>(std::move(current),
+                                                    box->dedup_key);
     }
     return current;
   }

@@ -44,14 +44,29 @@ struct PlannerOptions {
   // Apply/lateral inner plans re-open once per outer row and stay serial.
   // dop == 1 (the default) keeps every existing plan byte-identical.
   int dop = 1;
+  // Plant a runtime UniquenessCheckOp wherever rewrite/prune.cc dropped a
+  // DISTINCT on the strength of a derived candidate key (Box::dedup_check),
+  // so a wrong derivation fails the query loudly instead of silently
+  // returning duplicates. Defaults on in Debug builds; goldens and benches
+  // turn it off explicitly for build-type-independent plans.
+#ifdef NDEBUG
+  bool check_derived_keys = false;
+#else
+  bool check_derived_keys = true;
+#endif
 };
 
 struct PhysicalPlan {
   OperatorPtr root;
   std::vector<std::string> column_names;
+  // "dedup pruned: <reason>" annotations collected from the QGM during
+  // lowering, rendered after the operator tree in EXPLAIN.
+  std::vector<std::string> notes;
 
   std::string ToString() const {
-    return root ? root->ToString(0) : "(empty)";
+    std::string out = root ? root->ToString(0) : "(empty)";
+    for (const std::string& note : notes) out += note + "\n";
+    return out;
   }
 };
 

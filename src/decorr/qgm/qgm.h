@@ -125,6 +125,18 @@ class Box {
   int dco_magic_qid = -1;  // quantifier over the magic box
   int dco_child_qid = -1;  // quantifier over the box being decorrelated
 
+  // ---- Dedup pruning (rewrite/prune.cc) ----
+  // Human-readable reason when a DISTINCT flag or dedup back-join of this
+  // box was removed because a derived key proved it redundant; empty if the
+  // box was never pruned. Surfaces in EXPLAIN as "dedup pruned: <reason>"
+  // and licenses the rewrite verifier's dup-semantics weakening.
+  std::string dedup_pruned;
+  // Set when the prune relied on a derived candidate key of this box's
+  // output (`dedup_key`, output ordinals). Debug builds plant a runtime
+  // UniquenessCheckOp on it so a wrong derivation fails loudly.
+  bool dedup_check = false;
+  std::vector<int> dedup_key;
+
   // All expression slots of this box (outputs, predicates, group_by), for
   // uniform traversal by analysis and rewrites.
   std::vector<Expr*> AllExprs() const;

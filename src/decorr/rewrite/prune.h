@@ -1,0 +1,38 @@
+// Property-driven dedup pruning (consumes analysis/properties.h).
+//
+// Two rules, both licensed by statically derived candidate keys:
+//
+//   Rule A (distinct-clear): a kSelect box whose output is provably
+//   duplicate-free *without* its DISTINCT flag drops the flag. The derived
+//   key is recorded on the box (`dedup_check` / `dedup_key`) so Debug builds
+//   can plant a runtime UniquenessCheckOp on the claim.
+//
+//   Rule B (back-join elimination): a join against a duplicate-free box M is
+//   removed when every predicate over M is a binding equality whose other
+//   side provably carries the very same M row (it traces through pure
+//   column-ref projections back to the *same* box M in the DAG, all columns
+//   along one common quantifier path), the bound columns cover a key of M,
+//   and every other reference to M's quantifier is substitutable. This is
+//   exactly the magic/DCO dedup back-join the paper introduces for
+//   correctness: when the child side already reproduces the MAGIC rows, the
+//   join is the identity.
+//
+// Invoked by the runtime after decorrelation (QueryOptions::prune_dedup,
+// default on); every application fires `on_step` so the rewrite verifier
+// re-proves the decision. Prunes are recorded in Box::dedup_pruned and
+// surface in EXPLAIN as "dedup pruned: <reason>".
+#ifndef DECORR_REWRITE_PRUNE_H_
+#define DECORR_REWRITE_PRUNE_H_
+
+#include "decorr/common/status.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/rewrite_step.h"
+
+namespace decorr {
+
+[[nodiscard]] Status PruneRedundantDedup(QueryGraph* graph,
+                                         const RewriteStepFn& on_step = {});
+
+}  // namespace decorr
+
+#endif  // DECORR_REWRITE_PRUNE_H_

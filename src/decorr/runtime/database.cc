@@ -6,10 +6,12 @@
 #include "decorr/analysis/plan_verify.h"
 #include "decorr/analysis/rewrite_verify.h"
 #include "decorr/binder/binder.h"
+#include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/parser/parser.h"
 #include "decorr/qgm/print.h"
 #include "decorr/qgm/validate.h"
+#include "decorr/rewrite/prune.h"
 
 namespace decorr {
 
@@ -150,6 +152,9 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
     *phase_nanos += now - mark;
     mark = now;
   };
+  // Same boundary name as binder.cc's ParseAndBind convenience wrapper: one
+  // logical fault site for "SQL text -> bound QGM", whichever entry point.
+  DECORR_FAULT_POINT("runtime.parse_bind");
   DECORR_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
   lap(&result.profile.parse_nanos);
   DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
@@ -174,6 +179,14 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   };
   DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), options.strategy,
                                        *catalog_, options.decorr, on_step));
+  // Dedup pruning runs after decorrelation, over the final graph. Plain NI
+  // stays untouched for the same reason it never caches: it is the
+  // paper-faithful baseline every other strategy is measured against.
+  if (options.prune_dedup &&
+      options.strategy != Strategy::kNestedIteration) {
+    DECORR_RETURN_IF_ERROR(
+        PruneRedundantDedup(bound->graph.get(), on_step));
+  }
   DECORR_RETURN_IF_ERROR(Validate(bound->graph.get()));
   if (verifier) {
     DECORR_RETURN_IF_ERROR(verifier->Finish());

@@ -55,6 +55,13 @@ struct QueryOptions {
   // the paper-faithful baseline the other strategies are measured against;
   // use Strategy::kNestedIterationCached for cached nested iteration.
   int64_t subquery_cache_bytes = kDefaultSubqueryCacheBytes;
+  // Run the property-driven dedup-pruning pass (rewrite/prune.cc) after
+  // decorrelation: DISTINCT flags and magic/DCO back-joins statically proven
+  // redundant by derived keys are removed, and EXPLAIN reports each prune as
+  // "dedup pruned: <reason>". Plain nested iteration skips the pass
+  // regardless — it is the paper-faithful baseline (same carve-out as the
+  // subquery cache above).
+  bool prune_dedup = true;
   QueryLimits limits;
   bool capture_qgm = false;      // record before/after QGM dumps
   // Runs the semantic analyzer on the bound QGM, re-checks invariants after

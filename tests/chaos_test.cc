@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 
 #include "decorr/common/fault.h"
@@ -67,6 +68,10 @@ Status RunChaosWorkload(int dop = 1) {
     options.dop = dop;
     options.fallback = false;  // an injected fault must surface, not degrade
     options.decorr.decorrelate_existentials = decorrelate_existentials;
+    // Force the runtime uniqueness assertions on (they default off in
+    // Release) so the exec.uniqcheck fault site is in reach of the sweep in
+    // every build type.
+    options.planner.check_derived_keys = true;
     DECORR_ASSIGN_OR_RETURN(QueryResult result, db.Execute(sql, options));
     if (result.column_names.empty()) return Status::Internal("no columns");
     return Status::OK();
@@ -81,6 +86,14 @@ Status RunChaosWorkload(int dop = 1) {
                      Strategy::kOptMagic}) {
     DECORR_RETURN_IF_ERROR(run(kPaperExampleQuery, s));
   }
+  // Correlation on the outer table's PRIMARY KEY: the magic rewrite's
+  // binding set covers a key, so the pruning pass drops the MAGIC DISTINCT
+  // (Rule A) and the planner plants a UniquenessCheckOp — putting the
+  // rewrite.prune.dedup and exec.uniqcheck fault sites in reach.
+  DECORR_RETURN_IF_ERROR(run(
+      "SELECT d.name FROM dept d WHERE d.budget > "
+      "(SELECT SUM(e.salary) FROM emp e WHERE e.name <> d.name)",
+      Strategy::kMagic));
   // Decorrelated EXISTS (GroupProbeApply) and its NI baseline.
   const char* exists_sql =
       "SELECT d.name FROM dept d WHERE EXISTS "
@@ -148,9 +161,11 @@ TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
   ASSERT_GE(sites.size(), 25u)
       << "chaos workload exercises too few fault sites";
   // The NI+C runs must reach the subquery-cache fault sites, or the sweep
-  // below never proves cache faults propagate.
+  // below never proves cache faults propagate; likewise the PK-correlated
+  // magic run must reach the dedup-pruning pass and its runtime assertion.
   for (const char* required :
-       {"exec.subqcache.lookup", "exec.subqcache.insert"}) {
+       {"exec.subqcache.lookup", "exec.subqcache.insert",
+        "rewrite.prune.dedup", "exec.uniqcheck"}) {
     ASSERT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
         << required << " never hit by the chaos workload";
   }
@@ -212,6 +227,49 @@ TEST_F(ChaosTest, ParallelSweepReachesWorkerSitesAtDopFour) {
       if (skip == hit_counts[site] / 2) break;  // skip 0 == count/2 for 1-hit
     }
   }
+}
+
+// Runtime half of the fault-site registry lint: tests/fault_sites.txt is
+// kept equal to the set of sites compiled into src/ by
+// scripts/check_fault_sites.py (CI runs it); this test proves the sweep can
+// actually reach every registered site — the dop-1 + dop-4 workload,
+// recorded together, must cover the manifest. A site listed here but never
+// hit is dead robustness coverage: the sweeps above would silently stop
+// injecting at it.
+TEST_F(ChaosTest, SweepReachesEveryRegisteredSite) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.EnableRecording();
+  Status st = RunChaosWorkload(/*dop=*/1);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  st = RunChaosWorkload(/*dop=*/4);  // worker-side sites need dop > 1
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const std::vector<std::string> sites = fi.Sites();
+  fi.Reset();
+
+  std::ifstream manifest(std::string(DECORR_SOURCE_DIR) +
+                         "/tests/fault_sites.txt");
+  ASSERT_TRUE(manifest.good())
+      << "tests/fault_sites.txt missing; regenerate with "
+         "scripts/check_fault_sites.py --update";
+  std::vector<std::string> missing;
+  std::string line;
+  int registered = 0;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++registered;
+    if (std::find(sites.begin(), sites.end(), line) == sites.end()) {
+      missing.push_back(line);
+    }
+  }
+  ASSERT_GT(registered, 25) << "manifest suspiciously small";
+  EXPECT_TRUE(missing.empty())
+      << "registered fault sites never reached by the chaos workload "
+         "(extend RunChaosWorkload or retire the site): "
+      << [&missing] {
+           std::string joined;
+           for (const std::string& site : missing) joined += site + " ";
+           return joined;
+         }();
 }
 
 TEST_F(ChaosTest, CacheFaultsNeverYieldStaleOrPartialRows) {
@@ -284,7 +342,8 @@ TEST_F(ChaosTest, SeededRandomFaultingSoak) {
 
 TEST_F(ChaosTest, RewriteFaultsRecoverViaFallback) {
   FaultInjector& fi = FaultInjector::Global();
-  for (const char* site : {"rewrite.magic", "rewrite.cleanup"}) {
+  for (const char* site :
+       {"rewrite.magic", "rewrite.cleanup", "rewrite.prune.dedup"}) {
     fi.Arm(site, Status::Internal(std::string("chaos: ") + site));
     Database db(MakeEmpDeptCatalog());
     QueryOptions magic;

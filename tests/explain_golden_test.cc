@@ -67,14 +67,21 @@ void CheckGolden(const std::string& name, const std::string& content) {
                                    "DECORR_UPDATE_GOLDEN=1";
 }
 
-// One golden file per (figure, strategy): the EXPLAIN plan followed by the
-// timing-free EXPLAIN ANALYZE tree.
-void CheckFigure(const std::string& tag, bool indexes, const std::string& sql,
-                 Strategy strategy) {
+// One golden file per (figure, strategy, prune setting): the EXPLAIN plan
+// followed by the timing-free EXPLAIN ANALYZE tree. Default-named goldens
+// run with dedup pruning on (the default); `_noprune` variants pin the
+// unpruned plans so both sides of the rewrite stay under golden control.
+// The runtime uniqueness assertions are forced off so Debug and Release
+// builds produce byte-identical plans.
+void CheckFigureVariant(const std::string& tag, bool indexes,
+                        const std::string& sql, Strategy strategy,
+                        bool prune_dedup) {
   Database& db = GoldenDb(indexes);
   QueryOptions options;
   options.strategy = strategy;
   options.fallback = false;
+  options.prune_dedup = prune_dedup;
+  options.planner.check_derived_keys = false;
 
   auto plan = db.Explain(sql, options);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
@@ -85,7 +92,19 @@ void CheckFigure(const std::string& tag, bool indexes, const std::string& sql,
                         "== EXPLAIN ANALYZE (timings normalized) ==\n" +
                         RenderMetricsTree(analyzed->profile.plan,
                                           /*include_timing=*/false);
-  CheckGolden(tag + "_" + StrategyName(strategy) + ".golden", content);
+  const std::string suffix = prune_dedup ? "" : "_noprune";
+  CheckGolden(tag + "_" + StrategyName(strategy) + suffix + ".golden",
+              content);
+}
+
+void CheckFigure(const std::string& tag, bool indexes, const std::string& sql,
+                 Strategy strategy) {
+  CheckFigureVariant(tag, indexes, sql, strategy, /*prune_dedup=*/true);
+  // Plain NI skips the pruning pass entirely, so its unpruned plan is the
+  // default-named golden already.
+  if (strategy != Strategy::kNestedIteration) {
+    CheckFigureVariant(tag, indexes, sql, strategy, /*prune_dedup=*/false);
+  }
 }
 
 TEST(ExplainGoldenTest, Fig5Query1Indexed) {

@@ -1,0 +1,438 @@
+// Unit battery for the static property derivation (analysis/properties.h)
+// and the dedup-pruning rewrite it licenses (rewrite/prune.cc): key / FD /
+// nullability derivation on hand-built QGM shapes, plus negative cases where
+// pruning must NOT fire.
+#include "decorr/analysis/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "decorr/expr/expr.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/qgm/validate.h"
+#include "decorr/rewrite/prune.h"
+#include "tests/test_util.h"
+
+namespace decorr {
+namespace {
+
+// people(id INT64 PK, code INT64 NULL, name STRING, UNIQUE(name)).
+TablePtr PeopleTable() {
+  TableSchema schema("people",
+                     {{"id", TypeId::kInt64, false},
+                      {"code", TypeId::kInt64, true},
+                      {"name", TypeId::kString, false}},
+                     /*primary_key=*/{0});
+  schema.AddUniqueKey({2});
+  auto table = std::make_shared<Table>(schema);
+  (void)table->AppendRow({I(1), I(10), S("ann")});
+  (void)table->AppendRow({I(2), N(), S("bob")});
+  return table;
+}
+
+// heap(x INT64, y INT64 NULL) — no keys at all.
+TablePtr HeapTable() {
+  TableSchema schema("heap", {{"x", TypeId::kInt64, false},
+                              {"y", TypeId::kInt64, true}});
+  auto table = std::make_shared<Table>(schema);
+  (void)table->AppendRow({I(1), I(2)});
+  return table;
+}
+
+ExprPtr Ref(const Quantifier* q, int col, TypeId type = TypeId::kInt64) {
+  return MakeColumnRef(q->id, col, type, "");
+}
+
+bool HasKeyExactly(const BoxProperties& props, ColumnSet key) {
+  for (const ColumnSet& k : props.keys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(PropertiesTest, BaseTableSeedsCatalogConstraints) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  graph.set_root(t);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(t);
+  EXPECT_EQ(props.arity, 3);
+  EXPECT_FALSE(props.nullable[0]);
+  EXPECT_TRUE(props.nullable[1]);
+  EXPECT_FALSE(props.nullable[2]);
+  EXPECT_TRUE(HasKeyExactly(props, {0}));  // primary key
+  EXPECT_TRUE(HasKeyExactly(props, {2}));  // unique constraint
+  EXPECT_TRUE(props.duplicate_free);
+  EXPECT_TRUE(CheckPropertiesWellFormed(*t, props).ok());
+}
+
+TEST(PropertiesTest, KeylessTableDerivesNothing) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(HeapTable());
+  graph.set_root(t);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(t);
+  EXPECT_FALSE(props.HasKey());
+  EXPECT_FALSE(props.duplicate_free);
+}
+
+TEST(PropertiesTest, ProjectionKeepsOrLosesKeys) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* sel = graph.NewBox(BoxKind::kSelect);
+  Quantifier* q = graph.NewQuantifier(sel, t, QuantifierKind::kForeach, "p");
+  sel->outputs.push_back({"id", Ref(q, 0)});
+  sel->outputs.push_back({"code", Ref(q, 1)});
+  graph.set_root(sel);
+  {
+    PropertyDeriver deriver(&graph);
+    const BoxProperties& props = deriver.Derive(sel);
+    EXPECT_TRUE(HasKeyExactly(props, {0}));
+    EXPECT_TRUE(props.duplicate_free_without_distinct);
+    EXPECT_FALSE(props.nullable[0]);
+    EXPECT_TRUE(props.nullable[1]);
+  }
+  // Dropping the key column loses every key: only `code` projected.
+  sel->outputs.clear();
+  sel->outputs.push_back({"code", Ref(q, 1)});
+  {
+    PropertyDeriver deriver(&graph);
+    const BoxProperties& props = deriver.Derive(sel);
+    EXPECT_FALSE(props.HasKey());
+    EXPECT_FALSE(props.duplicate_free);
+  }
+}
+
+TEST(PropertiesTest, EquiJoinAbsorbsKeyedChild) {
+  // people p JOIN people q ON p.id = q.id, projecting p.id, q.code: one
+  // side's key is pinned by the other's, so the pair behaves like one scan
+  // and {p.id} remains a key of the join.
+  QueryGraph graph;
+  Box* t1 = graph.NewBaseTableBox(PeopleTable());
+  Box* t2 = graph.NewBaseTableBox(PeopleTable());
+  Box* join = graph.NewBox(BoxKind::kSelect);
+  Quantifier* qa = graph.NewQuantifier(join, t1, QuantifierKind::kForeach,
+                                       "p");
+  Quantifier* qb = graph.NewQuantifier(join, t2, QuantifierKind::kForeach,
+                                       "q");
+  join->predicates.push_back(
+      MakeComparison(BinaryOp::kEq, Ref(qa, 0), Ref(qb, 0)));
+  join->outputs.push_back({"id", Ref(qa, 0)});
+  join->outputs.push_back({"code", Ref(qb, 1)});
+  graph.set_root(join);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(join);
+  EXPECT_TRUE(HasKeyExactly(props, {0}));
+  EXPECT_TRUE(props.duplicate_free_without_distinct);
+}
+
+TEST(PropertiesTest, CrossJoinComposesMultiColumnKey) {
+  // No join predicate: the combined key is the concatenation of both
+  // children's keys.
+  QueryGraph graph;
+  Box* t1 = graph.NewBaseTableBox(PeopleTable());
+  Box* t2 = graph.NewBaseTableBox(PeopleTable());
+  Box* join = graph.NewBox(BoxKind::kSelect);
+  Quantifier* qa = graph.NewQuantifier(join, t1, QuantifierKind::kForeach,
+                                       "p");
+  Quantifier* qb = graph.NewQuantifier(join, t2, QuantifierKind::kForeach,
+                                       "q");
+  join->outputs.push_back({"a_id", Ref(qa, 0)});
+  join->outputs.push_back({"b_id", Ref(qb, 0)});
+  graph.set_root(join);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(join);
+  EXPECT_TRUE(HasKeyExactly(props, {0, 1}));
+  // But neither column alone is a key.
+  EXPECT_FALSE(HasKeyExactly(props, {0}));
+  EXPECT_FALSE(HasKeyExactly(props, {1}));
+}
+
+TEST(PropertiesTest, EqualityClassSubstitutesProjectedKey) {
+  // p JOIN q ON p.id <=> q.id projecting only q.id: p's key column is not
+  // projected itself, but its `<=>` classmate is — the key survives through
+  // the equivalence class.
+  QueryGraph graph;
+  Box* t1 = graph.NewBaseTableBox(PeopleTable());
+  Box* t2 = graph.NewBaseTableBox(PeopleTable());
+  Box* join = graph.NewBox(BoxKind::kSelect);
+  Quantifier* qa = graph.NewQuantifier(join, t1, QuantifierKind::kForeach,
+                                       "p");
+  Quantifier* qb = graph.NewQuantifier(join, t2, QuantifierKind::kForeach,
+                                       "q");
+  join->predicates.push_back(
+      MakeComparison(BinaryOp::kNullEq, Ref(qa, 0), Ref(qb, 0)));
+  join->outputs.push_back({"id", Ref(qb, 0)});
+  graph.set_root(join);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(join);
+  EXPECT_TRUE(HasKeyExactly(props, {0}));
+}
+
+TEST(PropertiesTest, PlainEqFiltersNullsButNullSafeDoesNot) {
+  // code = 7 rejects NULLs; code <=> NULL-safe comparisons do not.
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* sel = graph.NewBox(BoxKind::kSelect);
+  Quantifier* q = graph.NewQuantifier(sel, t, QuantifierKind::kForeach, "p");
+  sel->predicates.push_back(
+      MakeComparison(BinaryOp::kEq, Ref(q, 1), MakeConstant(I(7))));
+  sel->outputs.push_back({"code", Ref(q, 1)});
+  graph.set_root(sel);
+  {
+    PropertyDeriver deriver(&graph);
+    const BoxProperties& props = deriver.Derive(sel);
+    EXPECT_FALSE(props.nullable[0]);  // nullable column, but NULLs filtered
+    // Constant-bound column is determined by the empty set.
+    EXPECT_TRUE(props.Determines({}, 0));
+  }
+  sel->predicates.clear();
+  sel->predicates.push_back(
+      MakeComparison(BinaryOp::kNullEq, Ref(q, 1), MakeConstant(I(7))));
+  {
+    PropertyDeriver deriver(&graph);
+    const BoxProperties& props = deriver.Derive(sel);
+    EXPECT_TRUE(props.nullable[0]);  // <=> matches NULL; nothing filtered
+  }
+}
+
+TEST(PropertiesTest, OuterJoinPadsInnerSideNullable) {
+  // people p LEFT JOIN people q ON p.id = q.id: every q column becomes
+  // nullable; the padded side may still be absorbed for keys (at most one
+  // match per preserved row), but the preserved side must not be.
+  QueryGraph graph;
+  Box* t1 = graph.NewBaseTableBox(PeopleTable());
+  Box* t2 = graph.NewBaseTableBox(PeopleTable());
+  Box* join = graph.NewBox(BoxKind::kSelect);
+  Quantifier* qa = graph.NewQuantifier(join, t1, QuantifierKind::kForeach,
+                                       "p");
+  Quantifier* qb = graph.NewQuantifier(join, t2, QuantifierKind::kForeach,
+                                       "q");
+  join->null_padded_qid = qb->id;
+  join->predicates.push_back(
+      MakeComparison(BinaryOp::kEq, Ref(qa, 0), Ref(qb, 0)));
+  join->outputs.push_back({"p_id", Ref(qa, 0)});
+  join->outputs.push_back({"q_id", Ref(qb, 0)});
+  graph.set_root(join);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(join);
+  EXPECT_FALSE(props.nullable[0]);  // preserved side, NOT NULL in schema
+  EXPECT_TRUE(props.nullable[1]);   // non-nullable column made nullable by
+                                    // outer-join padding
+  EXPECT_TRUE(HasKeyExactly(props, {0}));
+  EXPECT_FALSE(HasKeyExactly(props, {1}));
+}
+
+TEST(PropertiesTest, GroupByKeysDetermineAggregates) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* gb = graph.NewBox(BoxKind::kGroupBy);
+  Quantifier* q = graph.NewQuantifier(gb, t, QuantifierKind::kForeach, "p");
+  gb->group_by.push_back(Ref(q, 1));
+  gb->outputs.push_back({"code", Ref(q, 1)});
+  gb->outputs.push_back(
+      {"total", MakeAggregate(AggKind::kSum, Ref(q, 0), false)});
+  gb->outputs.push_back(
+      {"n", MakeAggregate(AggKind::kCountStar, nullptr, false)});
+  graph.set_root(gb);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(gb);
+  EXPECT_TRUE(HasKeyExactly(props, {0}));
+  EXPECT_TRUE(props.duplicate_free);
+  EXPECT_TRUE(props.Determines({0}, 1));
+  EXPECT_TRUE(props.Determines({0}, 2));
+  EXPECT_FALSE(props.Determines({1}, 0));
+  EXPECT_FALSE(props.nullable[2]);  // COUNT(*) is never NULL
+}
+
+TEST(PropertiesTest, GlobalAggregateIsSingleRowWithNullableSum) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* gb = graph.NewBox(BoxKind::kGroupBy);
+  Quantifier* q = graph.NewQuantifier(gb, t, QuantifierKind::kForeach, "p");
+  gb->outputs.push_back(
+      {"total", MakeAggregate(AggKind::kSum, Ref(q, 0), false)});
+  graph.set_root(gb);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(gb);
+  EXPECT_TRUE(HasKeyExactly(props, {}));  // at most one row
+  EXPECT_TRUE(props.HasKeyWithin({0}));
+  EXPECT_TRUE(props.duplicate_free);
+  EXPECT_TRUE(props.nullable[0]);  // empty input -> SUM is NULL
+}
+
+TEST(PropertiesTest, UnionDistinctIsDuplicateFreeButNeverPrunable) {
+  QueryGraph graph;
+  Box* t1 = graph.NewBaseTableBox(PeopleTable());
+  Box* t2 = graph.NewBaseTableBox(PeopleTable());
+  Box* u = graph.NewBox(BoxKind::kUnion);
+  graph.NewQuantifier(u, t1, QuantifierKind::kForeach, "a");
+  graph.NewQuantifier(u, t2, QuantifierKind::kForeach, "b");
+  u->union_all = false;
+  u->outputs.push_back({"id", nullptr});
+  u->outputs.push_back({"code", nullptr});
+  u->outputs.push_back({"name", nullptr});
+  graph.set_root(u);
+  PropertyDeriver deriver(&graph);
+  const BoxProperties& props = deriver.Derive(u);
+  EXPECT_TRUE(props.duplicate_free);
+  EXPECT_TRUE(HasKeyExactly(props, {0, 1, 2}));
+  // Branch disjointness is not derived, so UNION's dedup is load-bearing.
+  EXPECT_FALSE(props.duplicate_free_without_distinct);
+}
+
+// ---- Pruning: Rule A ------------------------------------------------------
+
+TEST(PropertiesTest, PruneDropsDistinctOverKeyedProjection) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* sel = graph.NewBox(BoxKind::kSelect);
+  Quantifier* q = graph.NewQuantifier(sel, t, QuantifierKind::kForeach, "p");
+  sel->outputs.push_back({"id", Ref(q, 0)});
+  sel->outputs.push_back({"code", Ref(q, 1)});
+  sel->distinct = true;
+  graph.set_root(sel);
+  ASSERT_TRUE(PruneRedundantDedup(&graph).ok());
+  EXPECT_FALSE(sel->distinct);
+  EXPECT_TRUE(sel->dedup_check);
+  EXPECT_EQ(sel->dedup_key, (std::vector<int>{0}));
+  EXPECT_FALSE(sel->dedup_pruned.empty());
+  EXPECT_TRUE(Validate(&graph).ok());
+}
+
+TEST(PropertiesTest, PruneKeepsDistinctWithoutAKey) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  Box* sel = graph.NewBox(BoxKind::kSelect);
+  Quantifier* q = graph.NewQuantifier(sel, t, QuantifierKind::kForeach, "p");
+  sel->outputs.push_back({"code", Ref(q, 1)});  // not a key
+  sel->distinct = true;
+  graph.set_root(sel);
+  ASSERT_TRUE(PruneRedundantDedup(&graph).ok());
+  EXPECT_TRUE(sel->distinct);  // dedup is load-bearing: must survive
+  EXPECT_TRUE(sel->dedup_pruned.empty());
+}
+
+// ---- Pruning: Rule B ------------------------------------------------------
+
+// Builds the magic-shaped DAG:  J joins M (DISTINCT projection) against a
+// chain C that ranges over the *same* M, on a binding equality. Returns the
+// boxes for assertions. `op` is the binding comparison operator;
+// `source_col` selects which people column M projects.
+struct BackJoinShape {
+  QueryGraph graph;
+  Box* magic = nullptr;
+  Box* chain = nullptr;
+  Box* join = nullptr;
+  Quantifier* qm = nullptr;  // join's quantifier over magic
+  Quantifier* qc = nullptr;  // join's quantifier over chain
+};
+
+void BuildBackJoin(BackJoinShape* s, BinaryOp op, int source_col,
+                   TypeId type) {
+  Box* t = s->graph.NewBaseTableBox(PeopleTable());
+  s->magic = s->graph.NewBox(BoxKind::kSelect);
+  s->magic->label = "MAGIC";
+  Quantifier* qt = s->graph.NewQuantifier(s->magic, t,
+                                          QuantifierKind::kForeach, "p");
+  s->magic->outputs.push_back({"bind0", Ref(qt, source_col, type)});
+  s->magic->distinct = true;
+
+  s->chain = s->graph.NewBox(BoxKind::kSelect);
+  Quantifier* qm_inner = s->graph.NewQuantifier(
+      s->chain, s->magic, QuantifierKind::kForeach, "m");
+  s->chain->outputs.push_back({"bind0", Ref(qm_inner, 0, type)});
+
+  s->join = s->graph.NewBox(BoxKind::kSelect);
+  s->qm = s->graph.NewQuantifier(s->join, s->magic, QuantifierKind::kForeach,
+                                 "magic");
+  s->qc = s->graph.NewQuantifier(s->join, s->chain, QuantifierKind::kForeach,
+                                 "c");
+  s->join->predicates.push_back(
+      MakeComparison(op, Ref(s->qm, 0, type), Ref(s->qc, 0, type)));
+  s->join->outputs.push_back({"m0", Ref(s->qm, 0, type)});
+  s->graph.set_root(s->join);
+}
+
+TEST(PropertiesTest, PruneEliminatesMagicBackJoin) {
+  BackJoinShape s;
+  // Binding on the nullable `code` column with `<=>`: NULL bindings are
+  // legitimate and null-safe equality keeps them.
+  BuildBackJoin(&s, BinaryOp::kNullEq, /*source_col=*/1, TypeId::kInt64);
+  ASSERT_TRUE(PruneRedundantDedup(&s.graph).ok());
+  EXPECT_FALSE(s.join->dedup_pruned.empty());
+  ASSERT_EQ(s.join->quantifiers().size(), 1u);
+  EXPECT_EQ(s.join->quantifiers()[0], s.qc);
+  EXPECT_TRUE(s.join->predicates.empty());
+  // The output that referenced the deleted quantifier was retargeted onto
+  // its witness.
+  EXPECT_EQ(s.join->outputs[0].expr->qid, s.qc->id);
+  EXPECT_TRUE(Validate(&s.graph).ok());
+}
+
+TEST(PropertiesTest, PrunePlainEqNeedsNonNullableBinding) {
+  BackJoinShape s;
+  // Plain `=` over the nullable `code` column: a NULL binding row joins to
+  // nothing, so removing the join would change results. Must NOT fire.
+  BuildBackJoin(&s, BinaryOp::kEq, /*source_col=*/1, TypeId::kInt64);
+  ASSERT_TRUE(PruneRedundantDedup(&s.graph).ok());
+  EXPECT_TRUE(s.join->dedup_pruned.empty());
+  EXPECT_EQ(s.join->quantifiers().size(), 2u);
+}
+
+TEST(PropertiesTest, PrunePlainEqFiresOnNonNullableBinding) {
+  BackJoinShape s;
+  BuildBackJoin(&s, BinaryOp::kEq, /*source_col=*/2, TypeId::kString);
+  ASSERT_TRUE(PruneRedundantDedup(&s.graph).ok());
+  EXPECT_FALSE(s.join->dedup_pruned.empty());
+  EXPECT_EQ(s.join->quantifiers().size(), 1u);
+}
+
+TEST(PropertiesTest, PruneRefusesForeignWitness) {
+  // The witness ranges over a *different* scan of people, not the same M in
+  // the DAG: equal values are not the same rows, the join still dedups.
+  BackJoinShape s;
+  BuildBackJoin(&s, BinaryOp::kNullEq, /*source_col=*/1, TypeId::kInt64);
+  // Re-point the chain at a fresh table scan instead of the shared magic.
+  Box* other = s.graph.NewBaseTableBox(PeopleTable());
+  Quantifier* qm_inner = s.chain->quantifiers()[0];
+  s.graph.DeleteQuantifier(qm_inner->id);
+  Quantifier* qo = s.graph.NewQuantifier(s.chain, other,
+                                         QuantifierKind::kForeach, "o");
+  s.chain->outputs[0].expr = Ref(qo, 1, TypeId::kInt64);
+  ASSERT_TRUE(PruneRedundantDedup(&s.graph).ok());
+  EXPECT_TRUE(s.join->dedup_pruned.empty());
+  EXPECT_EQ(s.join->quantifiers().size(), 2u);
+}
+
+TEST(PropertiesTest, PruneRefusesResidualPredicateOnJoin) {
+  BackJoinShape s;
+  BuildBackJoin(&s, BinaryOp::kNullEq, /*source_col=*/1, TypeId::kInt64);
+  // A non-equality predicate over the magic quantifier: the join does
+  // filtering work beyond dedup, so it must survive.
+  s.join->predicates.push_back(MakeComparison(
+      BinaryOp::kGt, Ref(s.qm, 0, TypeId::kInt64), MakeConstant(I(5))));
+  ASSERT_TRUE(PruneRedundantDedup(&s.graph).ok());
+  EXPECT_TRUE(s.join->dedup_pruned.empty());
+  EXPECT_EQ(s.join->quantifiers().size(), 2u);
+}
+
+TEST(PropertiesTest, WellFormednessCatchesBrokenDerivations) {
+  QueryGraph graph;
+  Box* t = graph.NewBaseTableBox(PeopleTable());
+  graph.set_root(t);
+  BoxProperties props;
+  props.arity = 2;  // table has 3 columns
+  props.nullable = {true, true};
+  EXPECT_FALSE(CheckPropertiesWellFormed(*t, props).ok());
+  props.arity = 3;
+  props.nullable = {true, true, true};
+  props.keys.push_back({5});  // ordinal out of range
+  EXPECT_FALSE(CheckPropertiesWellFormed(*t, props).ok());
+  props.keys = {{2, 1}};  // not sorted
+  EXPECT_FALSE(CheckPropertiesWellFormed(*t, props).ok());
+  props.keys = {{1, 2}};
+  EXPECT_TRUE(CheckPropertiesWellFormed(*t, props).ok());
+}
+
+}  // namespace
+}  // namespace decorr

@@ -48,17 +48,28 @@ std::shared_ptr<Catalog> MakeNullHeavyCatalog(uint64_t seed) {
     return rng.Bernoulli(0.25) ? N() : I(rng.Uniform(0, buildings + 2));
   };
 
-  auto dept = std::make_shared<Table>(
-      TableSchema("dept",
-                  {{"name", TypeId::kString, false},
-                   {"budget", TypeId::kInt64, false},
-                   {"num_emps", TypeId::kInt64, false},
-                   {"building", TypeId::kInt64, true}},
-                  {0}));
+  // `budget` carries a declared UNIQUE constraint (and the generated values
+  // honor it): queries whose subquery correlates on d.budget hand the magic
+  // rewrite a binding set covering a dept key, so the dedup-pruning pass has
+  // prunable shapes to find — and the forced-on UniquenessCheckOp has a
+  // derived key to validate — inside the randomized sweeps.
+  TableSchema dept_schema("dept",
+                          {{"name", TypeId::kString, false},
+                           {"budget", TypeId::kInt64, false},
+                           {"num_emps", TypeId::kInt64, false},
+                           {"building", TypeId::kInt64, true}},
+                          {0});
+  dept_schema.AddUniqueKey({1});
+  auto dept = std::make_shared<Table>(std::move(dept_schema));
   const int64_t num_depts = rng.Uniform(3, 12);
+  std::vector<int64_t> budgets(60);
+  for (int64_t i = 0; i < 60; ++i) budgets[i] = i;
   for (int64_t i = 0; i < num_depts; ++i) {
+    // Distinct budgets: draw without replacement from [0, 60).
+    const int64_t pick = rng.Uniform(i, 59);
+    std::swap(budgets[i], budgets[pick]);
     EXPECT_TRUE(dept->AppendRow({S(StrFormat("d%lld", (long long)i)),
-                                 I(rng.Uniform(0, 60)), I(rng.Uniform(0, 8)),
+                                 I(budgets[i]), I(rng.Uniform(0, 8)),
                                  nullable_building()})
                     .ok());
   }
@@ -134,6 +145,12 @@ class DiffQueryGen {
     if (rng_->Bernoulli(0.4)) {
       where += StrFormat(" AND %s.%s %s %lld", a.c_str(), t.val, Cmp(),
                          (long long)rng_->Uniform(0, 60));
+    }
+    if (outer == "d" && rng_->Bernoulli(0.35)) {
+      // Extra correlation on dept's UNIQUE budget column: the magic binding
+      // set then covers a dept key, making the rewrite's DISTINCT provably
+      // redundant — the shapes the dedup-pruning sweep must exercise.
+      where += StrFormat(" AND %s.%s %s d.budget", a.c_str(), t.val, Cmp());
     }
     if (depth > 1 && rng_->Bernoulli(0.45)) {
       where += " AND " + Predicate(a, t.val, depth - 1);
@@ -366,6 +383,79 @@ TEST(PropertyDiffTest, CacheSweepRowIdenticalOnVsOffForEveryStrategy) {
   }
   // The sweep is vacuous unless the cache actually served hits somewhere.
   EXPECT_GT(cached_hits, 0);
+}
+
+// Dedup-pruning differential sweep (the ISSUE 6 acceptance gate): the same
+// 240 seeded queries, every rewrite strategy, with the property-derived
+// pruning pass on vs off at dop {1, 4}, fallback off. The baseline is the
+// strategy's own prune-off serial run, so the comparison isolates exactly
+// what PruneRedundantDedup changes (nothing observable, if the derivations
+// are sound); the main sweep above already pins the prune-on default
+// against the NI ground truth. Runtime key assertions are forced on, so a
+// wrong derived key fails as a loud UniquenessCheck error in every build
+// type, not a silent row divergence.
+TEST(PropertyDiffTest, PruneSweepRowIdenticalOnVsOffForEveryStrategy) {
+  constexpr uint64_t kDatabases = 8;
+  constexpr int kQueriesPerDatabase = 30;  // 240 total, same seeds as above
+  static const Strategy kRewrites[] = {Strategy::kKim, Strategy::kDayal,
+                                       Strategy::kGanskiWong, Strategy::kMagic,
+                                       Strategy::kOptMagic};
+  int queries_run = 0;
+  int pruned_plans = 0;
+  std::map<Strategy, int> compared;
+
+  for (uint64_t seed = 1; seed <= kDatabases; ++seed) {
+    Database db(MakeNullHeavyCatalog(seed));
+    Rng rng(seed * 7919);  // identical stream -> identical query text
+    DiffQueryGen gen(&rng);
+    for (int q = 0; q < kQueriesPerDatabase; ++q) {
+      const std::string sql = gen.RandomQuery();
+      ++queries_run;
+      for (Strategy s : kRewrites) {
+        QueryOptions off;
+        off.strategy = s;
+        off.fallback = false;  // a declined rewrite must say so loudly
+        off.prune_dedup = false;
+        off.planner.check_derived_keys = true;
+        auto base = db.Execute(sql, off);
+        if (base.status().code() == StatusCode::kNotImplemented) continue;
+        ASSERT_TRUE(base.ok())
+            << StrategyName(s) << " prune-off failed (seed " << seed << " q"
+            << q << "): " << base.status().ToString() << "\n" << sql;
+        const std::vector<std::string> off_rows = Canon(*base);
+        for (int dop : {1, 4}) {
+          QueryOptions on = off;
+          on.prune_dedup = true;
+          on.dop = dop;
+          auto result = db.Execute(sql, on);
+          ASSERT_TRUE(result.ok())
+              << StrategyName(s) << " prune-on dop=" << dop << " failed (seed "
+              << seed << " q" << q << "): " << result.status().ToString()
+              << "\n" << sql;
+          ++compared[s];
+          EXPECT_EQ(Canon(*result), off_rows)
+              << StrategyName(s) << " prune-on dop=" << dop
+              << " diverged (seed " << seed << " q" << q << ")\n" << sql;
+        }
+        // EXPLAIN surfaces prunes as `dedup pruned:` notes; count them so
+        // the sweep is provably non-vacuous (some plans must actually lose
+        // a DISTINCT or a back-join).
+        QueryOptions explain_on = off;
+        explain_on.prune_dedup = true;
+        auto plan = db.Explain(sql, explain_on);
+        if (plan.ok() &&
+            plan->plan_text.find("dedup pruned:") != std::string::npos) {
+          ++pruned_plans;
+        }
+      }
+    }
+  }
+  EXPECT_GE(queries_run, 200);
+  for (Strategy s : kRewrites) {
+    EXPECT_GT(compared[s], 0) << StrategyName(s) << " never ran pruned";
+  }
+  // The sweep proves nothing unless the pruning pass fired somewhere.
+  EXPECT_GT(pruned_plans, 0);
 }
 
 }  // namespace
