@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   WriteCacheSweep(w, TpcdDb(), "all indexes");
   w.Key("dedup_prune_sweep");
   WriteDedupPruneSweep(w, TpcdDb());
+  w.Key("spill_sweep");
+  WriteSpillSweep(w, TpcdDb(), "all indexes",
+                  {{"fig8_mag", "fig8", decorr::TpcdQuery2()}});
   w.Key("ablations");
   WriteAblations(w, TpcdDb());
   w.Key("parallel");
@@ -42,6 +45,10 @@ int main(int argc, char** argv) {
   // duplicate-heavy levels show memoization decisively beating plain NI.
   w.Key("cache_sweep_noindex");
   WriteCacheSweep(w, Fig7Database(), "partsupp indexes dropped");
+  // Figure 7's expensive-invocation condition for the spill ladder too.
+  w.Key("spill_sweep_noindex");
+  WriteSpillSweep(w, Fig7Database(), "partsupp indexes dropped",
+                  {{"fig7_mag", "fig7", decorr::TpcdQuery1Variant()}});
   w.EndObject();
   return EmitDocument(argc, argv, std::move(w).str());
 }

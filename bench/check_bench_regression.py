@@ -28,6 +28,14 @@ but every fresh case must report rows_match_unpruned — a pruned plan
 returning different rows than the unpruned plan means a derived key was
 wrong, which is a correctness bug, never noise.
 
+The spill_sweep sections get the same treatment: wall times, slowdowns
+and spilled-bytes counters are telemetry, but every budget rung that
+completed must report rows_match_unbounded (a spilled run returning
+different rows than the in-memory run is a correctness bug), and each
+case must report spilled_and_completed — a ladder where no rung ever
+both spilled and finished means graceful degradation silently stopped
+working.
+
 Usage:
   bench/check_bench_regression.py --baseline BENCH_figures.json \
       --fresh build/BENCH_fresh.json [--tolerance 0.25] [--ni-floor-ms 5.0]
@@ -152,6 +160,31 @@ def main():
             errors.append(
                 f"dedup_prune_sweep/{case.get('id')}: pruned rows diverge "
                 f"from unpruned (derived-key correctness bug)")
+
+    # Spill correctness gate: every completed budget rung must return
+    # exactly the unbounded run's rows, and each case's ladder must contain
+    # at least one rung that completed by actually spilling. Wall times and
+    # spilled-bytes counters in the same sections are telemetry and are not
+    # compared.
+    for section in ("spill_sweep", "spill_sweep_noindex"):
+        for case in fresh.get(section, {}).get("cases", []):
+            if not case.get("ok"):
+                errors.append(
+                    f"{section}/{case.get('id')}: unbounded run failed "
+                    f"({case.get('error')})")
+                continue
+            for rung in case.get("rungs", []):
+                if rung.get("ok") and not rung.get(
+                        "rows_match_unbounded", True):
+                    errors.append(
+                        f"{section}/{case.get('id')}@"
+                        f"{rung.get('budget_pct_of_peak')}%: spilled rows "
+                        f"diverge from the in-memory run (spill correctness "
+                        f"bug)")
+            if not case.get("spilled_and_completed", True):
+                errors.append(
+                    f"{section}/{case.get('id')}: no budget rung both "
+                    f"spilled and completed (graceful degradation broken)")
 
     for note in notes:
         print(f"[bench-check] {note}")

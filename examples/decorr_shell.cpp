@@ -13,6 +13,11 @@
 //                     operators and the shared worker pool)
 //   \cache N          subquery memoization cache budget in bytes
 //                     (0 disables; plain NI never caches)
+//   \memory N         memory budget in bytes (0 = unlimited); trips surface
+//                     as ResourceExhausted unless spilling is on
+//   \spill on|off [DISK_BYTES]
+//                     spill hash state to temp files when the memory budget
+//                     trips (DISK_BYTES bounds scratch space; 0 = unlimited)
 //   \explain SQL      show the physical plan instead of executing
 //   \analyze SQL      execute with profiling; show per-operator rows/time
 //   \qgm SQL          show the query graph before/after the rewrite
@@ -84,6 +89,9 @@ int main() {
   Strategy strategy = Strategy::kMagic;
   int dop = 1;
   long long cache_bytes = kDefaultSubqueryCacheBytes;
+  long long memory_bytes = 0;
+  bool spill = false;
+  long long spill_bytes = 0;
   bool timing = true;
 
   std::printf("decorr shell — magic decorrelation engine\n");
@@ -140,6 +148,31 @@ int main() {
         } else {
           std::printf("usage: \\cache BYTES (0 disables)\n");
         }
+      } else if (cmd == "memory") {
+        long long n = -1;
+        if (iss >> n && n >= 0) {
+          memory_bytes = n;
+          std::printf("memory budget = %lld bytes%s\n", memory_bytes,
+                      memory_bytes == 0 ? " (unlimited)" : "");
+        } else {
+          std::printf("usage: \\memory BYTES (0 = unlimited)\n");
+        }
+      } else if (cmd == "spill") {
+        std::string v;
+        iss >> v;
+        if (v == "on" || v == "off") {
+          spill = (v == "on");
+          long long n = 0;
+          if (iss >> n && n >= 0) spill_bytes = n;
+          if (spill) {
+            std::printf("spill = on, disk budget = %lld bytes%s\n",
+                        spill_bytes, spill_bytes == 0 ? " (unlimited)" : "");
+          } else {
+            std::printf("spill = off\n");
+          }
+        } else {
+          std::printf("usage: \\spill on|off [DISK_BYTES]\n");
+        }
       } else if (cmd == "tables") {
         std::printf("%s", db.catalog().ToString().c_str());
       } else if (cmd == "timing") {
@@ -153,6 +186,9 @@ int main() {
         options.strategy = strategy;
         options.dop = dop;
         options.subquery_cache_bytes = cache_bytes;
+        options.limits.memory_budget_bytes = memory_bytes;
+        options.spill = spill;
+        options.spill_bytes = spill_bytes;
         auto result = db.ExplainAnalyze(sql, options);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
@@ -196,6 +232,9 @@ int main() {
     options.strategy = strategy;
     options.dop = dop;
     options.subquery_cache_bytes = cache_bytes;
+    options.limits.memory_budget_bytes = memory_bytes;
+    options.spill = spill;
+    options.spill_bytes = spill_bytes;
     const auto start = std::chrono::steady_clock::now();
     auto result = db.Execute(buffer, options);
     const auto stop = std::chrono::steady_clock::now();

@@ -72,6 +72,21 @@ Status ResourceGuard::Check() {
   return Status::OK();
 }
 
+Status ResourceGuard::ChargeMemoryOrSpill(
+    int64_t bytes, const std::function<Status()>& spill_fn, bool* spilled) {
+  *spilled = false;
+  Status st = memory_.Charge(bytes);
+  if (st.ok() || st.code() != StatusCode::kResourceExhausted || !spill_fn) {
+    return st;
+  }
+  // The failed charge was still recorded (MemoryTracker contract); release
+  // it — the caller's data is heading to disk, not memory.
+  memory_.Release(bytes);
+  DECORR_RETURN_IF_ERROR(spill_fn());
+  *spilled = true;
+  return Status::OK();
+}
+
 Status ResourceGuard::ChargeRows(int64_t n) {
   const int64_t now = rows_.fetch_add(n, std::memory_order_relaxed) + n;
   if (row_budget_ > 0 && now > row_budget_) {

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "decorr/common/status.h"
@@ -104,6 +105,18 @@ class ResourceGuard {
   Status ChargeRows(int64_t n);
   Status ChargeMemory(int64_t bytes) { return memory_.Charge(bytes); }
   void ReleaseMemory(int64_t bytes) { memory_.Release(bytes); }
+
+  // Charge-with-spill-callback: like ChargeMemory, but when the charge trips
+  // the memory budget and `spill_fn` is provided, the failed charge is
+  // un-recorded, `spill_fn` is invoked (the operator migrates its build state
+  // to disk and releases its charges) and *spilled is set — the caller then
+  // routes the data to disk instead of keeping the charge. Any error from
+  // `spill_fn` (I/O fault, disk budget, recursion-depth cap) propagates
+  // verbatim. Without a callback this degrades to plain ChargeMemory, so
+  // spill-off behavior is byte-identical to before.
+  Status ChargeMemoryOrSpill(int64_t bytes,
+                             const std::function<Status()>& spill_fn,
+                             bool* spilled);
 
   int64_t rows_materialized() const {
     return rows_.load(std::memory_order_relaxed);

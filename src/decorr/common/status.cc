@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }
@@ -83,6 +85,9 @@ Status Status::DeadlineExceeded(std::string msg) {
 }
 Status Status::ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
 }
 
 }  // namespace decorr

@@ -28,6 +28,7 @@ enum class StatusCode {
   kCancelled,         // the query's cancellation token was tripped
   kDeadlineExceeded,  // wall-clock deadline passed during execution
   kResourceExhausted, // row or memory budget exceeded
+  kIoError,           // temp-file / spill I/O failure (incl. corruption)
 };
 
 // Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -51,6 +52,7 @@ class Status {
   static Status Cancelled(std::string msg);
   static Status DeadlineExceeded(std::string msg);
   static Status ResourceExhausted(std::string msg);
+  static Status IoError(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }

@@ -13,6 +13,28 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
       group_keys_(std::move(group_keys)),
       aggs_(std::move(aggs)) {}
 
+void HashAggregateOp::AccumulateValue(const AggSpec& spec, const Value& v,
+                                      AggState* state) {
+  ++state->count;
+  switch (spec.kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      state->sum += v.AsDouble();
+      if (v.type() == TypeId::kInt64) state->isum += v.int64_value();
+      break;
+    case AggKind::kMin:
+      if (state->min.is_null() || v.Compare(state->min) < 0) state->min = v;
+      break;
+    case AggKind::kMax:
+      if (state->max.is_null() || v.Compare(state->max) > 0) state->max = v;
+      break;
+    default:
+      break;
+  }
+}
+
 void HashAggregateOp::Accumulate(const Row& in,
                                  std::vector<AggState>* states) {
   EvalContext ectx;
@@ -28,27 +50,9 @@ void HashAggregateOp::Accumulate(const Row& in,
     Value v = Eval(*spec.arg, ectx);
     if (v.is_null()) continue;  // aggregates ignore NULL inputs
     if (spec.distinct) {
-      std::string key = v.ToString();
-      if (!state.distinct_seen.insert(std::move(key)).second) continue;
+      if (!state.distinct_seen.emplace(v.ToString(), v).second) continue;
     }
-    ++state.count;
-    switch (spec.kind) {
-      case AggKind::kCount:
-        break;
-      case AggKind::kSum:
-      case AggKind::kAvg:
-        state.sum += v.AsDouble();
-        if (v.type() == TypeId::kInt64) state.isum += v.int64_value();
-        break;
-      case AggKind::kMin:
-        if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
-        break;
-      case AggKind::kMax:
-        if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
-        break;
-      default:
-        break;
-    }
+    AccumulateValue(spec, v, &state);
   }
 }
 
@@ -79,12 +83,10 @@ Status HashAggregateOp::OpenImpl(ExecContext* ctx) {
   result_rows_.clear();
   charged_bytes_ = 0;
   cursor_ = 0;
-
-  // Group states keyed by the group-key row; insertion order retained for
-  // deterministic output.
-  std::unordered_map<Row, size_t, RowHash, RowEq> group_index;
-  std::vector<Row> group_keys;
-  std::vector<std::vector<AggState>> group_states;
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
+  ResetSpillState();
 
   DECORR_RETURN_IF_ERROR(child_->Open(ctx));
   while (true) {
@@ -103,61 +105,346 @@ Status HashAggregateOp::OpenImpl(ExecContext* ctx) {
     Row key;
     key.reserve(group_keys_.size());
     for (const ExprPtr& expr : group_keys_) key.push_back(Eval(*expr, ectx));
-    auto [it, inserted] = group_index.try_emplace(key, group_keys.size());
+    auto [it, inserted] = group_index_.try_emplace(key, build_keys_.size());
     if (inserted) {
       if (ctx->guard) {
         const int64_t bytes =
             ApproxRowBytes(key) +
             static_cast<int64_t>(aggs_.size() * sizeof(AggState));
-        charged_bytes_ += bytes;
-        st = ctx->guard->ChargeRows(1);
-        if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
+        if (ctx->temp != nullptr) {
+          // Hybrid aggregation: when a new group would exceed the budget,
+          // flush every in-memory partial state to the partition files and
+          // keep aggregating into a fresh (re-charged) table.
+          st = ctx->guard->ChargeRows(1);
+          bool spilled = false;
+          if (st.ok()) {
+            st = ctx->guard->ChargeMemoryOrSpill(
+                bytes, [this] { return FlushGroups(); }, &spilled);
+          }
+          if (st.ok()) {
+            charged_bytes_ += bytes;
+            if (spilled) st = ctx->guard->ChargeMemory(bytes);
+          }
+        } else {
+          charged_bytes_ += bytes;
+          st = ctx->guard->ChargeRows(1);
+          if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
+        }
         if (!st.ok()) {
           child_->Close();
           return st;
         }
       }
       ++metrics_.build_rows;
-      group_keys.push_back(std::move(key));
-      group_states.emplace_back(aggs_.size());
+      // try_emplace slotted the key at the pre-flush size; refresh after a
+      // potential flush emptied the vectors.
+      it->second = build_keys_.size();
+      build_keys_.push_back(std::move(key));
+      build_states_.emplace_back(aggs_.size());
     }
-    Accumulate(in, &group_states[it->second]);
+    Accumulate(in, &build_states_[it->second]);
   }
   child_->Close();
 
-  // Scalar aggregation produces exactly one (possibly empty-input) group.
-  if (group_keys_.empty() && group_keys.empty()) {
-    group_keys.emplace_back();
-    group_states.emplace_back(aggs_.size());
+  if (spilling_) {
+    DECORR_RETURN_IF_ERROR(FlushGroups());  // flush the tail generation
+    int64_t written = 0;
+    for (auto& p : spill_out_) {
+      DECORR_RETURN_IF_ERROR(p.out.writer->Finish());
+      written += p.out.writer->bytes_written();
+    }
+    AddSpillWritten(written);
+    spill_work_ = std::move(spill_out_);
+    spill_out_.clear();
+    return Status::OK();  // NextImpl merges partitions one at a time
   }
 
-  for (size_t g = 0; g < group_keys.size(); ++g) {
-    Row out = group_keys[g];
+  // Scalar aggregation produces exactly one (possibly empty-input) group.
+  if (group_keys_.empty() && build_keys_.empty()) {
+    build_keys_.emplace_back();
+    build_states_.emplace_back(aggs_.size());
+  }
+
+  for (size_t g = 0; g < build_keys_.size(); ++g) {
+    Row out = build_keys_[g];
     for (size_t i = 0; i < aggs_.size(); ++i) {
-      out.push_back(Finalize(aggs_[i], group_states[g][i]));
+      out.push_back(Finalize(aggs_[i], build_states_[g][i]));
     }
     result_rows_.push_back(std::move(out));
   }
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
   metrics_.bytes_charged += charged_bytes_;
   return Status::OK();
 }
 
 Status HashAggregateOp::NextImpl(Row* out, bool* eof) {
-  if (cursor_ >= result_rows_.size()) {
-    *eof = true;
-    return Status::OK();
+  while (true) {
+    if (cursor_ < result_rows_.size()) {
+      *out = std::move(result_rows_[cursor_++]);
+      *eof = false;
+      return Status::OK();
+    }
+    if (!spilling_ || spill_work_.empty()) {
+      *eof = true;
+      return Status::OK();
+    }
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
+    result_rows_.clear();
+    cursor_ = 0;
+    DECORR_RETURN_IF_ERROR(LoadNextAggPartition());
   }
-  *out = std::move(result_rows_[cursor_++]);
-  *eof = false;
-  return Status::OK();
 }
 
 void HashAggregateOp::CloseImpl() {
   result_rows_.clear();
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
-    ctx_->guard->ReleaseMemory(charged_bytes_);
+    ctx_->guard->ReleaseMemory(charged_bytes_ + part_charged_);
   }
   charged_bytes_ = 0;
+  ResetSpillState();
+}
+
+void HashAggregateOp::AddSpillWritten(int64_t bytes) {
+  metrics_.spill_bytes_written += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_written += bytes;
+  }
+}
+
+void HashAggregateOp::AddSpillRead(int64_t bytes) {
+  metrics_.spill_bytes_read += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_read += bytes;
+  }
+}
+
+void HashAggregateOp::ResetSpillState() {
+  spilling_ = false;
+  spill_out_.clear();
+  spill_work_.clear();
+  part_charged_ = 0;
+}
+
+// Partial-state record: group key values, then per aggregate either
+// [n, v1..vn] (DISTINCT — merge replays the set so a value seen in two flush
+// generations is counted once) or [count, sum, isum, min, max].
+Row HashAggregateOp::EncodePartial(
+    const Row& key, const std::vector<AggState>& states) const {
+  Row rec = key;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggState& s = states[i];
+    if (aggs_[i].distinct) {
+      rec.push_back(
+          Value::Int64(static_cast<int64_t>(s.distinct_seen.size())));
+      for (const auto& [unused, v] : s.distinct_seen) rec.push_back(v);
+    } else {
+      rec.push_back(Value::Int64(s.count));
+      rec.push_back(Value::Double(s.sum));
+      rec.push_back(Value::Int64(s.isum));
+      rec.push_back(s.min);
+      rec.push_back(s.max);
+    }
+  }
+  return rec;
+}
+
+Status HashAggregateOp::MergePartialInto(
+    const Row& rec, std::vector<AggState>* states) const {
+  size_t pos = group_keys_.size();
+  const auto malformed = [] {
+    return Status::IoError("spill partial-aggregate record malformed");
+  };
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    AggState& s = (*states)[i];
+    if (aggs_[i].distinct) {
+      if (pos >= rec.size()) return malformed();
+      const int64_t n = rec[pos++].int64_value();
+      if (pos + static_cast<size_t>(n) > rec.size()) return malformed();
+      for (int64_t j = 0; j < n; ++j) {
+        const Value& v = rec[pos++];
+        if (s.distinct_seen.emplace(v.ToString(), v).second) {
+          AccumulateValue(aggs_[i], v, &s);
+        }
+      }
+    } else {
+      if (pos + 5 > rec.size()) return malformed();
+      s.count += rec[pos].int64_value();
+      s.sum += rec[pos + 1].double_value();
+      s.isum += rec[pos + 2].int64_value();
+      const Value& mn = rec[pos + 3];
+      const Value& mx = rec[pos + 4];
+      if (!mn.is_null() && (s.min.is_null() || mn.Compare(s.min) < 0)) {
+        s.min = mn;
+      }
+      if (!mx.is_null() && (s.max.is_null() || mx.Compare(s.max) > 0)) {
+        s.max = mx;
+      }
+      pos += 5;
+    }
+  }
+  if (pos != rec.size()) return malformed();
+  return Status::OK();
+}
+
+Status HashAggregateOp::FlushGroups() {
+  DECORR_FAULT_POINT("exec.spill.agg.partition");
+  if (spill_out_.empty()) {
+    DECORR_ASSIGN_OR_RETURN(
+        std::vector<SpillBucket> buckets,
+        CreateSpillBuckets(ctx_->temp, "agg-part", kSpillFanout));
+    spill_out_.resize(kSpillFanout);
+    for (int i = 0; i < kSpillFanout; ++i) {
+      spill_out_[i].out = std::move(buckets[i]);
+      spill_out_[i].depth = 0;
+    }
+    spilling_ = true;
+    metrics_.spill_partitions += kSpillFanout;
+    if (ctx_->stats != nullptr) {
+      ctx_->stats->spill_partitions += kSpillFanout;
+    }
+  }
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) ++ctx_->stats->spill_passes;
+  for (size_t g = 0; g < build_keys_.size(); ++g) {
+    const Row rec = EncodePartial(build_keys_[g], build_states_[g]);
+    const size_t idx =
+        SpillPartitionHash(build_keys_[g], /*depth=*/0) % kSpillFanout;
+    DECORR_RETURN_IF_ERROR(spill_out_[idx].out.writer->WriteRow(rec));
+  }
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
+  if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(charged_bytes_);
+  metrics_.bytes_charged += charged_bytes_;
+  charged_bytes_ = 0;
+  return Status::OK();
+}
+
+Status HashAggregateOp::LoadNextAggPartition() {
+  if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+  part_charged_ = 0;
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
+
+  SpillPart part = std::move(spill_work_.back());
+  spill_work_.pop_back();
+  SpillReader reader(part.out.file.get());
+  const size_t nk = group_keys_.size();
+  bool repartitioned = false;
+  while (true) {
+    Row rec;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(reader.ReadRow(&rec, &reof));
+    if (reof) break;
+    if (rec.size() < nk) {
+      return Status::IoError("spill partial-aggregate record malformed");
+    }
+    Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nk));
+    auto [it, inserted] = group_index_.try_emplace(key, build_keys_.size());
+    if (inserted) {
+      if (ctx_->guard != nullptr) {
+        const int64_t bytes =
+            ApproxRowBytes(key) +
+            static_cast<int64_t>(aggs_.size() * sizeof(AggState));
+        bool spilled = false;
+        Status st = ctx_->guard->ChargeMemoryOrSpill(
+            bytes, [&] { return RepartitionAgg(&part, &reader, rec); },
+            &spilled);
+        if (!st.ok()) return st;
+        if (spilled) {
+          repartitioned = true;
+          break;
+        }
+        part_charged_ += bytes;
+      }
+      build_keys_.push_back(std::move(key));
+      build_states_.emplace_back(aggs_.size());
+    }
+    DECORR_RETURN_IF_ERROR(MergePartialInto(rec, &build_states_[it->second]));
+  }
+  AddSpillRead(reader.bytes_read());
+  if (repartitioned) {
+    group_index_.clear();
+    build_keys_.clear();
+    build_states_.clear();
+    if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+    part_charged_ = 0;
+    return Status::OK();  // result_rows_ stays empty; NextImpl loops
+  }
+  for (size_t g = 0; g < build_keys_.size(); ++g) {
+    Row out = build_keys_[g];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      out.push_back(Finalize(aggs_[i], build_states_[g][i]));
+    }
+    result_rows_.push_back(std::move(out));
+  }
+  group_index_.clear();
+  build_keys_.clear();
+  build_states_.clear();
+  return Status::OK();
+}
+
+Status HashAggregateOp::RepartitionAgg(SpillPart* part, SpillReader* reader,
+                                       const Row& cur_rec) {
+  DECORR_FAULT_POINT("exec.spill.agg.partition");
+  const int depth = part->depth + 1;
+  if (depth > kSpillMaxDepth) {
+    return Status::ResourceExhausted(StrFormat(
+        "hash aggregate spill exceeded max repartition depth %d under the "
+        "memory budget",
+        kSpillMaxDepth));
+  }
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> buckets,
+      CreateSpillBuckets(ctx_->temp, "agg-part", kSpillFanout));
+  std::vector<SpillPart> subs(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    subs[i].out = std::move(buckets[i]);
+    subs[i].depth = depth;
+  }
+  const size_t nk = group_keys_.size();
+  auto write_rec = [&](const Row& rec) -> Status {
+    const Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nk));
+    const size_t idx = SpillPartitionHash(key, depth) % kSpillFanout;
+    return subs[idx].out.writer->WriteRow(rec);
+  };
+  // Groups merged so far, the record whose charge tripped, then the unread
+  // remainder of the partition file.
+  for (size_t g = 0; g < build_keys_.size(); ++g) {
+    DECORR_RETURN_IF_ERROR(
+        write_rec(EncodePartial(build_keys_[g], build_states_[g])));
+  }
+  DECORR_RETURN_IF_ERROR(write_rec(cur_rec));
+  while (true) {
+    Row rec;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(reader->ReadRow(&rec, &reof));
+    if (reof) break;
+    if (rec.size() < nk) {
+      return Status::IoError("spill partial-aggregate record malformed");
+    }
+    DECORR_RETURN_IF_ERROR(write_rec(rec));
+  }
+  int64_t written = 0;
+  for (auto& s : subs) {
+    DECORR_RETURN_IF_ERROR(s.out.writer->Finish());
+    written += s.out.writer->bytes_written();
+  }
+  AddSpillWritten(written);
+  for (auto& s : subs) spill_work_.push_back(std::move(s));
+  metrics_.spill_partitions += kSpillFanout;
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) {
+    ctx_->stats->spill_partitions += kSpillFanout;
+    ++ctx_->stats->spill_passes;
+  }
+  return Status::OK();
 }
 
 std::string HashAggregateOp::ToString(int indent) const {
@@ -182,26 +469,122 @@ Status DistinctOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   seen_.clear();
   charged_bytes_ = 0;
+  ResetSpillState();
   return child_->Open(ctx);
 }
 
 Status DistinctOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.distinct.next");
-  while (true) {
-    DECORR_RETURN_IF_ERROR(child_->Next(out, eof));
-    if (*eof) return Status::OK();
+  // Phase 1: stream the child. In-memory dedup until the budget trips; after
+  // that every child row is routed to its partition's pending file.
+  while (!child_done_) {
+    Row row;
+    bool ceof = false;
+    DECORR_RETURN_IF_ERROR(child_->Next(&row, &ceof));
+    if (ceof) {
+      child_done_ = true;
+      if (!spilling_) {
+        *eof = true;
+        return Status::OK();
+      }
+      int64_t written = 0;
+      for (auto& p : spill_out_) {
+        DECORR_RETURN_IF_ERROR(p.seen.writer->Finish());
+        DECORR_RETURN_IF_ERROR(p.pending.writer->Finish());
+        written += p.seen.writer->bytes_written();
+        written += p.pending.writer->bytes_written();
+      }
+      AddSpillWritten(written);
+      spill_work_ = std::move(spill_out_);
+      spill_out_.clear();
+      break;
+    }
     DECORR_RETURN_IF_ERROR(ctx_->Check());
-    if (seen_.insert(*out).second) {
-      ++metrics_.build_rows;
-      if (ctx_->guard) {
-        const int64_t bytes = ApproxRowBytes(*out);
+    if (spilling_) {
+      const size_t idx =
+          SpillPartitionHash(row, /*depth=*/0) % spill_out_.size();
+      DECORR_RETURN_IF_ERROR(spill_out_[idx].pending.writer->WriteRow(row));
+      continue;
+    }
+    if (!seen_.insert(row).second) continue;
+    ++metrics_.build_rows;
+    if (ctx_->guard) {
+      const int64_t bytes = ApproxRowBytes(row);
+      metrics_.bytes_charged += bytes;
+      DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeRows(1));
+      if (ctx_->temp != nullptr) {
+        bool spilled = false;
+        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemoryOrSpill(
+            bytes, [this] { return BeginSpillDistinct(); }, &spilled));
+        // Either way the row is a first occurrence: charged in memory, or
+        // flushed to its partition's seen file by BeginSpillDistinct (it was
+        // inserted into seen_ before the charge). Emit it.
+        if (!spilled) charged_bytes_ += bytes;
+      } else {
         charged_bytes_ += bytes;
-        metrics_.bytes_charged += bytes;
-        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeRows(1));
         DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemory(bytes));
       }
+    }
+    *out = std::move(row);
+    *eof = false;
+    return Status::OK();
+  }
+
+  // Phase 2: drain partitions. Load a partition's seen file into memory,
+  // then scan its pending file, emitting first occurrences.
+  while (true) {
+    if (pending_reader_ != nullptr) {
+      Row row;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(pending_reader_->ReadRow(&row, &reof));
+      if (reof) {
+        AddSpillRead(pending_reader_->bytes_read());
+        pending_reader_.reset();
+        current_part_ = SpillPart{};  // unlinks the partition's files
+        seen_.clear();
+        if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+        part_charged_ = 0;
+        continue;
+      }
+      if (!seen_.insert(row).second) continue;
+      ++metrics_.build_rows;
+      if (ctx_->guard) {
+        const int64_t bytes = ApproxRowBytes(row);
+        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeRows(1));
+        bool spilled = false;
+        DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemoryOrSpill(
+            bytes,
+            [&] {
+              return RepartitionDistinct(&current_part_, nullptr,
+                                         pending_reader_.get());
+            },
+            &spilled));
+        if (spilled) {
+          // The row went to a sub-partition's seen file with the rest of
+          // seen_, so it will not be re-emitted; tear down the parent
+          // partition and emit it now.
+          AddSpillRead(pending_reader_->bytes_read());
+          pending_reader_.reset();
+          current_part_ = SpillPart{};
+          seen_.clear();
+          ctx_->guard->ReleaseMemory(part_charged_);
+          part_charged_ = 0;
+          *out = std::move(row);
+          *eof = false;
+          return Status::OK();
+        }
+        part_charged_ += bytes;
+      }
+      *out = std::move(row);
+      *eof = false;
       return Status::OK();
     }
+    if (spill_work_.empty()) {
+      *eof = true;
+      return Status::OK();
+    }
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
+    DECORR_RETURN_IF_ERROR(LoadNextDistinctPartition());
   }
 }
 
@@ -209,9 +592,189 @@ void DistinctOp::CloseImpl() {
   child_->Close();
   seen_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
-    ctx_->guard->ReleaseMemory(charged_bytes_);
+    ctx_->guard->ReleaseMemory(charged_bytes_ + part_charged_);
   }
   charged_bytes_ = 0;
+  ResetSpillState();
+}
+
+Status DistinctOp::BeginSpillDistinct() {
+  DECORR_FAULT_POINT("exec.spill.distinct.partition");
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> seen_buckets,
+      CreateSpillBuckets(ctx_->temp, "distinct-seen", kSpillFanout));
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> pend_buckets,
+      CreateSpillBuckets(ctx_->temp, "distinct-pend", kSpillFanout));
+  spill_out_.resize(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    spill_out_[i].seen = std::move(seen_buckets[i]);
+    spill_out_[i].pending = std::move(pend_buckets[i]);
+    spill_out_[i].depth = 0;
+  }
+  spilling_ = true;
+  // Everything in seen_ has been emitted already (including the row whose
+  // charge tripped) — record that fact in the partition seen files.
+  for (const Row& row : seen_) {
+    const size_t idx = SpillPartitionHash(row, /*depth=*/0) % kSpillFanout;
+    DECORR_RETURN_IF_ERROR(spill_out_[idx].seen.writer->WriteRow(row));
+  }
+  seen_.clear();
+  if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(charged_bytes_);
+  charged_bytes_ = 0;
+  metrics_.spill_partitions += kSpillFanout;
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) {
+    ctx_->stats->spill_partitions += kSpillFanout;
+    ++ctx_->stats->spill_passes;
+  }
+  return Status::OK();
+}
+
+Status DistinctOp::LoadNextDistinctPartition() {
+  seen_.clear();
+  SpillPart part = std::move(spill_work_.back());
+  spill_work_.pop_back();
+  SpillReader seen_reader(part.seen.file.get());
+  bool repartitioned = false;
+  while (true) {
+    Row row;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(seen_reader.ReadRow(&row, &reof));
+    if (reof) break;
+    if (!seen_.insert(row).second) continue;
+    if (ctx_->guard != nullptr) {
+      // No row charge: seen rows were charged when first emitted.
+      const int64_t bytes = ApproxRowBytes(row);
+      bool spilled = false;
+      DECORR_RETURN_IF_ERROR(ctx_->guard->ChargeMemoryOrSpill(
+          bytes,
+          [&] { return RepartitionDistinct(&part, &seen_reader, nullptr); },
+          &spilled));
+      if (spilled) {
+        repartitioned = true;
+        break;
+      }
+      part_charged_ += bytes;
+    }
+  }
+  AddSpillRead(seen_reader.bytes_read());
+  if (repartitioned) {
+    seen_.clear();
+    if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+    part_charged_ = 0;
+    return Status::OK();  // parent partition unlinked as `part` goes out
+  }
+  current_part_ = std::move(part);
+  pending_reader_ =
+      std::make_unique<SpillReader>(current_part_.pending.file.get());
+  return Status::OK();
+}
+
+Status DistinctOp::RepartitionDistinct(SpillPart* part,
+                                       SpillReader* seen_rest,
+                                       SpillReader* pending_rest) {
+  DECORR_FAULT_POINT("exec.spill.distinct.partition");
+  const int depth = part->depth + 1;
+  if (depth > kSpillMaxDepth) {
+    return Status::ResourceExhausted(StrFormat(
+        "distinct spill exceeded max repartition depth %d under the memory "
+        "budget",
+        kSpillMaxDepth));
+  }
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> seen_buckets,
+      CreateSpillBuckets(ctx_->temp, "distinct-seen", kSpillFanout));
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> pend_buckets,
+      CreateSpillBuckets(ctx_->temp, "distinct-pend", kSpillFanout));
+  std::vector<SpillPart> subs(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    subs[i].seen = std::move(seen_buckets[i]);
+    subs[i].pending = std::move(pend_buckets[i]);
+    subs[i].depth = depth;
+  }
+  const auto write_seen = [&](const Row& row) -> Status {
+    const size_t idx = SpillPartitionHash(row, depth) % kSpillFanout;
+    return subs[idx].seen.writer->WriteRow(row);
+  };
+  const auto write_pend = [&](const Row& row) -> Status {
+    const size_t idx = SpillPartitionHash(row, depth) % kSpillFanout;
+    return subs[idx].pending.writer->WriteRow(row);
+  };
+  // The in-memory seen set (which already contains the row whose charge
+  // tripped), then whatever part of the parent's files is still unread.
+  for (const Row& row : seen_) DECORR_RETURN_IF_ERROR(write_seen(row));
+  if (seen_rest != nullptr) {
+    while (true) {
+      Row row;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(seen_rest->ReadRow(&row, &reof));
+      if (reof) break;
+      DECORR_RETURN_IF_ERROR(write_seen(row));
+    }
+  }
+  if (pending_rest != nullptr) {
+    while (true) {
+      Row row;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(pending_rest->ReadRow(&row, &reof));
+      if (reof) break;
+      DECORR_RETURN_IF_ERROR(write_pend(row));
+    }
+  } else {
+    // Called while loading the seen file — the pending file is untouched;
+    // re-bucket all of it.
+    SpillReader pr(part->pending.file.get());
+    while (true) {
+      Row row;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(pr.ReadRow(&row, &reof));
+      if (reof) break;
+      DECORR_RETURN_IF_ERROR(write_pend(row));
+    }
+    AddSpillRead(pr.bytes_read());
+  }
+  int64_t written = 0;
+  for (auto& s : subs) {
+    DECORR_RETURN_IF_ERROR(s.seen.writer->Finish());
+    DECORR_RETURN_IF_ERROR(s.pending.writer->Finish());
+    written += s.seen.writer->bytes_written();
+    written += s.pending.writer->bytes_written();
+  }
+  AddSpillWritten(written);
+  for (auto& s : subs) spill_work_.push_back(std::move(s));
+  metrics_.spill_partitions += kSpillFanout;
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) {
+    ctx_->stats->spill_partitions += kSpillFanout;
+    ++ctx_->stats->spill_passes;
+  }
+  return Status::OK();
+}
+
+void DistinctOp::AddSpillWritten(int64_t bytes) {
+  metrics_.spill_bytes_written += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_written += bytes;
+  }
+}
+
+void DistinctOp::AddSpillRead(int64_t bytes) {
+  metrics_.spill_bytes_read += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_read += bytes;
+  }
+}
+
+void DistinctOp::ResetSpillState() {
+  spilling_ = false;
+  child_done_ = false;
+  spill_out_.clear();
+  spill_work_.clear();
+  pending_reader_.reset();
+  current_part_ = SpillPart{};
+  part_charged_ = 0;
 }
 
 std::string DistinctOp::ToString(int indent) const {

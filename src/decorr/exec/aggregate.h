@@ -2,13 +2,15 @@
 #ifndef DECORR_EXEC_AGGREGATE_H_
 #define DECORR_EXEC_AGGREGATE_H_
 
-#include <set>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "decorr/exec/operator.h"
 #include "decorr/expr/expr.h"
+#include "decorr/storage/temp_file.h"
 
 namespace decorr {
 
@@ -49,10 +51,17 @@ class HashAggregateOp : public Operator {
     int64_t isum = 0;
     Value min;
     Value max;
-    std::set<std::string> distinct_seen;  // serialized values for DISTINCT
+    // DISTINCT dedup keyed by the rendered value; the Value itself is kept
+    // so spilled partial states can replay the set at merge time (the only
+    // way to avoid double-counting a value seen in two flush generations).
+    std::map<std::string, Value> distinct_seen;
   };
 
   void Accumulate(const Row& in, std::vector<AggState>* states);
+  // Post-dedup accumulation of one non-null input value; shared by the
+  // normal path and the spill-merge replay of distinct sets.
+  static void AccumulateValue(const AggSpec& spec, const Value& v,
+                              AggState* state);
   Value Finalize(const AggSpec& spec, const AggState& state) const;
 
   OperatorPtr child_;
@@ -63,6 +72,37 @@ class HashAggregateOp : public Operator {
   std::vector<Row> result_rows_;
   int64_t charged_bytes_ = 0;  // group-state memory charged to the guard
   size_t cursor_ = 0;
+
+  // In-memory group table. Promoted from OpenImpl locals so the spill path
+  // can flush it wholesale; also reused as the per-partition merge table.
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index_;
+  std::vector<Row> build_keys_;
+  std::vector<std::vector<AggState>> build_states_;
+
+  // --- Grace spill state (see DESIGN.md §12). Records are partial-state
+  // rows: group key values, then per aggregate either the mergeable partials
+  // (count/sum/isum/min/max) or, for DISTINCT aggregates, the distinct value
+  // set itself.
+  struct SpillPart {
+    SpillBucket out;
+    int depth = 0;
+  };
+  bool spilling_ = false;
+  std::vector<SpillPart> spill_out_;
+  std::vector<SpillPart> spill_work_;
+  int64_t part_charged_ = 0;
+
+  Status FlushGroups();
+  Row EncodePartial(const Row& key, const std::vector<AggState>& states)
+      const;
+  Status MergePartialInto(const Row& rec, std::vector<AggState>* states)
+      const;
+  Status LoadNextAggPartition();
+  Status RepartitionAgg(SpillPart* part, SpillReader* reader,
+                        const Row& cur_rec);
+  void AddSpillWritten(int64_t bytes);
+  void AddSpillRead(int64_t bytes);
+  void ResetSpillState();
 };
 
 // DISTINCT over full rows (order-preserving on first occurrence).
@@ -85,6 +125,35 @@ class DistinctOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::unordered_set<Row, RowHash, RowEq> seen_;
   int64_t charged_bytes_ = 0;
+
+  // --- Grace spill state. Each partition keeps two files: "seen" (rows
+  // already emitted — loaded first to suppress re-emission) and "pending"
+  // (rows whose first-occurrence status is still unknown). First-occurrence
+  // order is not preserved once spilling starts; DISTINCT output order is
+  // unspecified, and all differential sweeps compare multisets.
+  struct SpillPart {
+    SpillBucket seen;
+    SpillBucket pending;
+    int depth = 0;
+  };
+  bool spilling_ = false;
+  bool child_done_ = false;
+  std::vector<SpillPart> spill_out_;
+  std::vector<SpillPart> spill_work_;
+  SpillPart current_part_;
+  std::unique_ptr<SpillReader> pending_reader_;
+  int64_t part_charged_ = 0;
+
+  Status BeginSpillDistinct();
+  Status LoadNextDistinctPartition();
+  // Repartitions the in-memory seen set plus the unread remainders of the
+  // given readers (either may be null; a null pending_rest re-streams the
+  // partition's whole pending file).
+  Status RepartitionDistinct(SpillPart* part, SpillReader* seen_rest,
+                             SpillReader* pending_rest);
+  void AddSpillWritten(int64_t bytes);
+  void AddSpillRead(int64_t bytes);
+  void ResetSpillState();
 };
 
 }  // namespace decorr

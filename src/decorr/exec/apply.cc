@@ -132,6 +132,7 @@ Status ApplyOp::RunInner(const SubqueryPlan& sub, const Row& params,
   inner_ctx.guard = ctx_->guard;
   inner_ctx.profile = ctx_->profile;
   inner_ctx.subquery_cache_bytes = ctx_->subquery_cache_bytes;
+  inner_ctx.temp = ctx_->temp;
   ++ctx_->stats->subquery_invocations;
   DECORR_ASSIGN_OR_RETURN(*rows,
                           CollectRows(sub.plan.get(), &inner_ctx,
@@ -414,6 +415,7 @@ Status LateralJoinOp::NextImpl(Row* out, bool* eof) {
     inner_ctx.guard = ctx_->guard;
     inner_ctx.profile = ctx_->profile;
     inner_ctx.subquery_cache_bytes = ctx_->subquery_cache_bytes;
+    inner_ctx.temp = ctx_->temp;
     ++ctx_->stats->subquery_invocations;
     int64_t charged = 0;
     DECORR_ASSIGN_OR_RETURN(

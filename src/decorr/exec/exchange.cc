@@ -22,6 +22,10 @@ void MergeStats(const ExecStats& in, ExecStats* out) {
   out->subquery_invocations += in.subquery_invocations;
   out->rows_output += in.rows_output;
   out->rows_materialized += in.rows_materialized;
+  out->spill_partitions += in.spill_partitions;
+  out->spill_passes += in.spill_passes;
+  out->spill_bytes_written += in.spill_bytes_written;
+  out->spill_bytes_read += in.spill_bytes_read;
   out->peak_memory_bytes =
       std::max(out->peak_memory_bytes, in.peak_memory_bytes);
 }
@@ -34,15 +38,28 @@ std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& exprs) {
 }
 
 // Streaming cursor over a vector of per-partition (or per-morsel) buffers;
-// the emission half of every exchange operator is the same.
-Status NextFromBuffers(const std::vector<std::vector<Row>>& buffers,
+// the emission half of every exchange operator is the same. Rows move out,
+// and each buffer is freed — and its memory charge returned — the moment it
+// is fully drained, so a consumer that re-materializes the stream (the root
+// collector, an outer exchange) is not double-billed for the tail of the
+// query. Under a tight budget that halving is what lets a bounded run fit.
+Status NextFromBuffers(std::vector<std::vector<Row>>* buffers,
+                       std::vector<int64_t>* buffer_bytes,
+                       ResourceGuard* guard, int64_t* charged_bytes,
                        size_t* buffer, size_t* cursor, Row* out, bool* eof) {
-  while (*buffer < buffers.size()) {
-    const std::vector<Row>& rows = buffers[*buffer];
+  while (*buffer < buffers->size()) {
+    std::vector<Row>& rows = (*buffers)[*buffer];
     if (*cursor < rows.size()) {
-      *out = rows[(*cursor)++];
+      *out = std::move(rows[(*cursor)++]);
       *eof = false;
       return Status::OK();
+    }
+    rows = {};
+    if (*buffer < buffer_bytes->size()) {
+      const int64_t bytes = (*buffer_bytes)[*buffer];
+      (*buffer_bytes)[*buffer] = 0;
+      *charged_bytes -= bytes;
+      if (guard) guard->ReleaseMemory(bytes);
     }
     ++*buffer;
     *cursor = 0;
@@ -86,13 +103,13 @@ Status GatherOp::OpenImpl(ExecContext* ctx) {
   buffer_ = cursor_ = 0;
   charged_bytes_ = 0;
   buffers_.assign(children_.size(), {});
+  buffer_bytes_.assign(children_.size(), 0);
 
   std::vector<ExecStats> worker_stats(children_.size());
-  std::vector<int64_t> worker_charged(children_.size(), 0);
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(children_.size());
   for (size_t i = 0; i < children_.size(); ++i) {
-    tasks.push_back([this, ctx, i, &worker_stats, &worker_charged] {
+    tasks.push_back([this, ctx, i, &worker_stats] {
       DECORR_FAULT_POINT("exec.gather.worker");
       ExecContext wctx;
       wctx.params = ctx->params;
@@ -100,16 +117,17 @@ Status GatherOp::OpenImpl(ExecContext* ctx) {
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
       wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
+      wctx.temp = ctx->temp;
       DECORR_ASSIGN_OR_RETURN(
           buffers_[i],
-          CollectRows(children_[i].get(), &wctx, &worker_charged[i]));
+          CollectRows(children_[i].get(), &wctx, &buffer_bytes_[i]));
       return Status::OK();
     });
   }
   Status st = ParallelRun(&WorkerPool::Global(), std::move(tasks));
   for (size_t i = 0; i < children_.size(); ++i) {
     MergeStats(worker_stats[i], ctx->stats);
-    charged_bytes_ += worker_charged[i];
+    charged_bytes_ += buffer_bytes_[i];
     metrics_.build_rows += static_cast<int64_t>(buffers_[i].size());
   }
   metrics_.bytes_charged += charged_bytes_;
@@ -119,17 +137,20 @@ Status GatherOp::OpenImpl(ExecContext* ctx) {
     if (ctx->guard) ctx->guard->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
     buffers_.clear();
+    buffer_bytes_.clear();
   }
   return st;
 }
 
 Status GatherOp::NextImpl(Row* out, bool* eof) {
   DECORR_RETURN_IF_ERROR(ctx_->Check());
-  return NextFromBuffers(buffers_, &buffer_, &cursor_, out, eof);
+  return NextFromBuffers(&buffers_, &buffer_bytes_, ctx_->guard,
+                         &charged_bytes_, &buffer_, &cursor_, out, eof);
 }
 
 void GatherOp::CloseImpl() {
   buffers_.clear();
+  buffer_bytes_.clear();
   if (ctx_ && ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
   charged_bytes_ = 0;
 }
@@ -185,15 +206,18 @@ Status ParallelScanOp::OpenImpl(ExecContext* ctx) {
   const size_t n = table_->num_rows();
   const size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
   morsel_buffers_.assign(num_morsels, {});
+  // Indexed by morsel, not worker: each morsel is claimed by exactly one
+  // worker, and the emission cursor returns a morsel's charge as soon as it
+  // drains.
+  morsel_bytes_.assign(num_morsels, 0);
 
   auto next_morsel = std::make_shared<std::atomic<size_t>>(0);
   std::vector<ExecStats> worker_stats(dop_);
-  std::vector<int64_t> worker_charged(dop_, 0);
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(dop_);
   for (int w = 0; w < dop_; ++w) {
     tasks.push_back([this, ctx, w, n, num_morsels, next_morsel,
-                     &worker_stats, &worker_charged] {
+                     &worker_stats] {
       ExecStats* stats = &worker_stats[w];
       Row scratch(table_->num_columns());
       EvalContext ectx;
@@ -220,7 +244,7 @@ Status ParallelScanOp::OpenImpl(ExecContext* ctx) {
           if (ctx->guard) {
             DECORR_RETURN_IF_ERROR(ctx->guard->ChargeRows(1));
             const int64_t bytes = ApproxRowBytes(out_row);
-            worker_charged[w] += bytes;
+            morsel_bytes_[m] += bytes;
             DECORR_RETURN_IF_ERROR(ctx->guard->ChargeMemory(bytes));
           }
           buf.push_back(std::move(out_row));
@@ -233,8 +257,8 @@ Status ParallelScanOp::OpenImpl(ExecContext* ctx) {
   for (int w = 0; w < dop_; ++w) {
     MergeStats(worker_stats[w], ctx->stats);
     metrics_.rows_in_self += worker_stats[w].rows_scanned;
-    charged_bytes_ += worker_charged[w];
   }
+  for (int64_t bytes : morsel_bytes_) charged_bytes_ += bytes;
   for (const std::vector<Row>& buf : morsel_buffers_) {
     produced += static_cast<int64_t>(buf.size());
   }
@@ -244,17 +268,20 @@ Status ParallelScanOp::OpenImpl(ExecContext* ctx) {
     if (ctx->guard) ctx->guard->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
     morsel_buffers_.clear();
+    morsel_bytes_.clear();
   }
   return st;
 }
 
 Status ParallelScanOp::NextImpl(Row* out, bool* eof) {
   DECORR_RETURN_IF_ERROR(ctx_->Check());
-  return NextFromBuffers(morsel_buffers_, &buffer_, &cursor_, out, eof);
+  return NextFromBuffers(&morsel_buffers_, &morsel_bytes_, ctx_->guard,
+                         &charged_bytes_, &buffer_, &cursor_, out, eof);
 }
 
 void ParallelScanOp::CloseImpl() {
   morsel_buffers_.clear();
+  morsel_bytes_.clear();
   if (ctx_ && ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
   charged_bytes_ = 0;
 }
@@ -321,9 +348,9 @@ Status ParallelHashJoinOp::OpenImpl(ExecContext* ctx) {
 
   // Worker phase: one private HashJoinOp clone per partition pair.
   partitions_out_.assign(dop_, {});
+  buffer_bytes_.assign(dop_, 0);
   std::vector<OperatorPtr> clones(dop_);
   std::vector<ExecStats> worker_stats(dop_);
-  std::vector<int64_t> worker_charged(dop_, 0);
   for (int p = 0; p < dop_; ++p) {
     auto lp = std::make_shared<const std::vector<Row>>(
         std::move(left_parts[p]));
@@ -339,7 +366,7 @@ Status ParallelHashJoinOp::OpenImpl(ExecContext* ctx) {
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(dop_);
   for (int p = 0; p < dop_; ++p) {
-    tasks.push_back([this, ctx, p, &clones, &worker_stats, &worker_charged] {
+    tasks.push_back([this, ctx, p, &clones, &worker_stats] {
       DECORR_FAULT_POINT("exec.pjoin.worker");
       ExecContext wctx;
       wctx.params = ctx->params;
@@ -347,16 +374,17 @@ Status ParallelHashJoinOp::OpenImpl(ExecContext* ctx) {
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
       wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
+      wctx.temp = ctx->temp;
       DECORR_ASSIGN_OR_RETURN(
           partitions_out_[p],
-          CollectRows(clones[p].get(), &wctx, &worker_charged[p]));
+          CollectRows(clones[p].get(), &wctx, &buffer_bytes_[p]));
       return Status::OK();
     });
   }
   Status st = ParallelRun(&WorkerPool::Global(), std::move(tasks));
   for (int p = 0; p < dop_; ++p) {
     MergeStats(worker_stats[p], ctx->stats);
-    charged_bytes_ += worker_charged[p];
+    charged_bytes_ += buffer_bytes_[p];
   }
   metrics_.bytes_charged += charged_bytes_;
   // Aggregate the clone pipelines into one representative subtree for the
@@ -367,17 +395,20 @@ Status ParallelHashJoinOp::OpenImpl(ExecContext* ctx) {
     if (ctx->guard) ctx->guard->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
     partitions_out_.clear();
+    buffer_bytes_.clear();
   }
   return st;
 }
 
 Status ParallelHashJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_RETURN_IF_ERROR(ctx_->Check());
-  return NextFromBuffers(partitions_out_, &buffer_, &cursor_, out, eof);
+  return NextFromBuffers(&partitions_out_, &buffer_bytes_, ctx_->guard,
+                         &charged_bytes_, &buffer_, &cursor_, out, eof);
 }
 
 void ParallelHashJoinOp::CloseImpl() {
   partitions_out_.clear();
+  buffer_bytes_.clear();
   if (ctx_ && ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
   charged_bytes_ = 0;
 }
@@ -462,9 +493,9 @@ Status ParallelHashAggregateOp::OpenImpl(ExecContext* ctx) {
                                            ctx->params, dop_, &parts));
 
   partitions_out_.assign(dop_, {});
+  buffer_bytes_.assign(dop_, 0);
   std::vector<OperatorPtr> clones(dop_);
   std::vector<ExecStats> worker_stats(dop_);
-  std::vector<int64_t> worker_charged(dop_, 0);
   for (int p = 0; p < dop_; ++p) {
     auto part =
         std::make_shared<const std::vector<Row>>(std::move(parts[p]));
@@ -486,7 +517,7 @@ Status ParallelHashAggregateOp::OpenImpl(ExecContext* ctx) {
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(dop_);
   for (int p = 0; p < dop_; ++p) {
-    tasks.push_back([this, ctx, p, &clones, &worker_stats, &worker_charged] {
+    tasks.push_back([this, ctx, p, &clones, &worker_stats] {
       DECORR_FAULT_POINT("exec.pagg.worker");
       ExecContext wctx;
       wctx.params = ctx->params;
@@ -494,16 +525,17 @@ Status ParallelHashAggregateOp::OpenImpl(ExecContext* ctx) {
       wctx.guard = ctx->guard;
       wctx.profile = ctx->profile;
       wctx.subquery_cache_bytes = ctx->subquery_cache_bytes;
+      wctx.temp = ctx->temp;
       DECORR_ASSIGN_OR_RETURN(
           partitions_out_[p],
-          CollectRows(clones[p].get(), &wctx, &worker_charged[p]));
+          CollectRows(clones[p].get(), &wctx, &buffer_bytes_[p]));
       return Status::OK();
     });
   }
   Status st = ParallelRun(&WorkerPool::Global(), std::move(tasks));
   for (int p = 0; p < dop_; ++p) {
     MergeStats(worker_stats[p], ctx->stats);
-    charged_bytes_ += worker_charged[p];
+    charged_bytes_ += buffer_bytes_[p];
   }
   metrics_.bytes_charged += charged_bytes_;
   worker_ = std::move(clones[0]);
@@ -512,17 +544,20 @@ Status ParallelHashAggregateOp::OpenImpl(ExecContext* ctx) {
     if (ctx->guard) ctx->guard->ReleaseMemory(charged_bytes_);
     charged_bytes_ = 0;
     partitions_out_.clear();
+    buffer_bytes_.clear();
   }
   return st;
 }
 
 Status ParallelHashAggregateOp::NextImpl(Row* out, bool* eof) {
   DECORR_RETURN_IF_ERROR(ctx_->Check());
-  return NextFromBuffers(partitions_out_, &buffer_, &cursor_, out, eof);
+  return NextFromBuffers(&partitions_out_, &buffer_bytes_, ctx_->guard,
+                         &charged_bytes_, &buffer_, &cursor_, out, eof);
 }
 
 void ParallelHashAggregateOp::CloseImpl() {
   partitions_out_.clear();
+  buffer_bytes_.clear();
   if (ctx_ && ctx_->guard) ctx_->guard->ReleaseMemory(charged_bytes_);
   charged_bytes_ = 0;
 }

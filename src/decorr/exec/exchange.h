@@ -69,6 +69,7 @@ class GatherOp : public Operator {
  private:
   std::vector<OperatorPtr> children_;
   std::vector<std::vector<Row>> buffers_;
+  std::vector<int64_t> buffer_bytes_;  // per-buffer charge, returned on drain
   int64_t charged_bytes_ = 0;
   size_t buffer_ = 0;
   size_t cursor_ = 0;
@@ -82,7 +83,11 @@ class GatherOp : public Operator {
 // order, which makes the output order identical to SeqScanOp.
 class ParallelScanOp : public Operator {
  public:
-  static constexpr size_t kMorselRows = 1024;
+  // Output order is morsel order, so the size only sets scheduling and
+  // charge-release granularity: a drained morsel's memory charge is returned
+  // immediately, so smaller morsels let a bounded-memory consumer that
+  // re-materializes the stream stay under budget while it drains the scan.
+  static constexpr size_t kMorselRows = 128;
 
   ParallelScanOp(TablePtr table, std::vector<int> projection, ExprPtr filter,
                  int dop);
@@ -107,6 +112,7 @@ class ParallelScanOp : public Operator {
   int dop_;
 
   std::vector<std::vector<Row>> morsel_buffers_;
+  std::vector<int64_t> morsel_bytes_;  // per-morsel charge, returned on drain
   int64_t charged_bytes_ = 0;
   size_t buffer_ = 0;
   size_t cursor_ = 0;
@@ -152,6 +158,7 @@ class ParallelHashJoinOp : public Operator {
   // (all other clones are merged into it and discarded).
   OperatorPtr worker_;
   std::vector<std::vector<Row>> partitions_out_;
+  std::vector<int64_t> buffer_bytes_;  // per-partition charge (outputs only)
   int64_t charged_bytes_ = 0;
   size_t buffer_ = 0;
   size_t cursor_ = 0;
@@ -188,6 +195,7 @@ class ParallelHashAggregateOp : public Operator {
 
   OperatorPtr worker_;  // representative clone (see ParallelHashJoinOp)
   std::vector<std::vector<Row>> partitions_out_;
+  std::vector<int64_t> buffer_bytes_;  // per-partition charge (outputs only)
   int64_t charged_bytes_ = 0;
   size_t buffer_ = 0;
   size_t cursor_ = 0;

@@ -55,6 +55,7 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   charged_bytes_ = 0;
   matches_ = nullptr;
   left_eof_ = false;
+  ResetSpillState();
 
   // Build phase over the right child.
   DECORR_RETURN_IF_ERROR(right_->Open(ctx));
@@ -74,12 +75,43 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
     }
     if (ctx->guard) {
       const int64_t bytes = ApproxRowBytes(row) + ApproxRowBytes(key);
-      charged_bytes_ += bytes;
-      st = ctx->guard->ChargeRows(1);
-      if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
-      if (!st.ok()) {
-        right_->Close();
-        return st;
+      if (spilling_) {
+        // Already partitioned to disk: route the row there, no memory
+        // charge (rows are still charged — disk materialization is work).
+        st = ctx->guard->ChargeRows(1);
+        if (st.ok()) st = WriteBuildRecord(key, row);
+        if (!st.ok()) {
+          right_->Close();
+          return st;
+        }
+        ++metrics_.build_rows;
+        continue;
+      }
+      if (ctx->temp != nullptr) {
+        st = ctx->guard->ChargeRows(1);
+        bool spilled = false;
+        if (st.ok()) {
+          st = ctx->guard->ChargeMemoryOrSpill(
+              bytes, [this] { return BeginSpillBuild(); }, &spilled);
+        }
+        if (st.ok() && spilled) st = WriteBuildRecord(key, row);
+        if (!st.ok()) {
+          right_->Close();
+          return st;
+        }
+        if (spilled) {
+          ++metrics_.build_rows;
+          continue;
+        }
+        charged_bytes_ += bytes;
+      } else {
+        charged_bytes_ += bytes;
+        st = ctx->guard->ChargeRows(1);
+        if (st.ok()) st = ctx->guard->ChargeMemory(bytes);
+        if (!st.ok()) {
+          right_->Close();
+          return st;
+        }
       }
     }
     ++metrics_.build_rows;
@@ -87,11 +119,354 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   }
   right_->Close();
   metrics_.bytes_charged += charged_bytes_;
+  if (spilling_) return SpillProbeSide(ctx);
   return left_->Open(ctx);
+}
+
+void HashJoinOp::AddSpillWritten(int64_t bytes) {
+  metrics_.spill_bytes_written += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_written += bytes;
+  }
+}
+
+void HashJoinOp::AddSpillRead(int64_t bytes) {
+  metrics_.spill_bytes_read += bytes;
+  if (ctx_ != nullptr && ctx_->stats != nullptr) {
+    ctx_->stats->spill_bytes_read += bytes;
+  }
+}
+
+void HashJoinOp::ResetSpillState() {
+  spilling_ = false;
+  spill_out_.clear();
+  spill_work_.clear();
+  probe_reader_.reset();
+  current_part_ = SpillPart{};
+  loj_null_reader_.reset();
+  loj_null_ = SpillBucket{};
+  part_charged_ = 0;
+}
+
+Status HashJoinOp::WriteBuildRecord(const Row& key, const Row& row) {
+  Row rec;
+  rec.reserve(key.size() + row.size());
+  rec.insert(rec.end(), key.begin(), key.end());
+  rec.insert(rec.end(), row.begin(), row.end());
+  const size_t idx =
+      SpillPartitionHash(key, /*depth=*/0) % spill_out_.size();
+  return spill_out_[idx].build.writer->WriteRow(rec);
+}
+
+// First budget trip during the build: migrate the in-memory table to
+// kSpillFanout partition files and release its charges; the rest of the
+// build side streams straight to the partitions.
+Status HashJoinOp::BeginSpillBuild() {
+  DECORR_FAULT_POINT("exec.spill.join.partition");
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> buckets,
+      CreateSpillBuckets(ctx_->temp, "join-build", kSpillFanout));
+  spill_out_.clear();
+  spill_out_.resize(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    spill_out_[i].build = std::move(buckets[i]);
+    spill_out_[i].depth = 0;
+  }
+  spilling_ = true;
+  for (const auto& [key, rows] : table_) {
+    for (const Row& r : rows) {
+      DECORR_RETURN_IF_ERROR(WriteBuildRecord(key, r));
+    }
+  }
+  table_.clear();
+  if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(charged_bytes_);
+  metrics_.bytes_charged += charged_bytes_;
+  charged_bytes_ = 0;
+  metrics_.spill_partitions += kSpillFanout;
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) {
+    ctx_->stats->spill_partitions += kSpillFanout;
+    ++ctx_->stats->spill_passes;
+  }
+  return Status::OK();
+}
+
+// Build side fully partitioned: drain the probe (left) child into matching
+// probe partition files so NextImpl can process partition pairs one at a
+// time. LOJ probe rows with a NULL key can never match; they go to a
+// dedicated file and are emitted null-padded first.
+Status HashJoinOp::SpillProbeSide(ExecContext* ctx) {
+  for (auto& p : spill_out_) {
+    DECORR_RETURN_IF_ERROR(p.build.writer->Finish());
+  }
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> buckets,
+      CreateSpillBuckets(ctx->temp, "join-probe", kSpillFanout));
+  for (int i = 0; i < kSpillFanout; ++i) {
+    spill_out_[i].probe = std::move(buckets[i]);
+  }
+  if (join_type_ == JoinType::kLeftOuter) {
+    DECORR_ASSIGN_OR_RETURN(loj_null_.file, ctx->temp->Create("join-lojnull"));
+    loj_null_.writer = std::make_unique<SpillWriter>(loj_null_.file.get());
+  }
+  DECORR_RETURN_IF_ERROR(left_->Open(ctx));
+  while (true) {
+    Row row;
+    bool eof = false;
+    Status st = left_->Next(&row, &eof);
+    if (st.ok() && ctx->guard) st = ctx->guard->Check();
+    if (!st.ok()) {
+      left_->Close();
+      return st;
+    }
+    if (eof) break;
+    Row key;
+    if (!EvalKeys(left_keys_, row, ctx->params, null_safe_keys_, &key)) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        st = loj_null_.writer->WriteRow(row);
+        if (!st.ok()) {
+          left_->Close();
+          return st;
+        }
+      }
+      continue;
+    }
+    Row rec;
+    rec.reserve(key.size() + row.size());
+    rec.insert(rec.end(), key.begin(), key.end());
+    rec.insert(rec.end(), row.begin(), row.end());
+    const size_t idx = SpillPartitionHash(key, /*depth=*/0) % kSpillFanout;
+    st = spill_out_[idx].probe.writer->WriteRow(rec);
+    if (!st.ok()) {
+      left_->Close();
+      return st;
+    }
+  }
+  left_->Close();
+  int64_t written = 0;
+  for (auto& p : spill_out_) {
+    DECORR_RETURN_IF_ERROR(p.probe.writer->Finish());
+    written += p.build.writer->bytes_written() +
+               p.probe.writer->bytes_written();
+  }
+  if (loj_null_.writer) {
+    DECORR_RETURN_IF_ERROR(loj_null_.writer->Finish());
+    written += loj_null_.writer->bytes_written();
+    loj_null_reader_ = std::make_unique<SpillReader>(loj_null_.file.get());
+  }
+  AddSpillWritten(written);
+  spill_work_ = std::move(spill_out_);
+  spill_out_.clear();
+  left_eof_ = true;
+  return Status::OK();
+}
+
+// Loads one build partition into the in-memory table; when even one
+// partition does not fit, repartitions it with a deeper salt and pushes the
+// sub-partitions back onto the work stack.
+Status HashJoinOp::LoadNextPartition() {
+  SpillPart part = std::move(spill_work_.back());
+  spill_work_.pop_back();
+  table_.clear();
+  SpillReader reader(part.build.file.get());
+  const size_t nk = right_keys_.size();
+  bool repartitioned = false;
+  while (true) {
+    Row rec;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(reader.ReadRow(&rec, &reof));
+    if (reof) break;
+    Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nk));
+    Row row(rec.begin() + static_cast<ptrdiff_t>(nk), rec.end());
+    if (ctx_->guard != nullptr) {
+      const int64_t bytes = ApproxRowBytes(row) + ApproxRowBytes(key);
+      bool spilled = false;
+      Status st = ctx_->guard->ChargeMemoryOrSpill(
+          bytes,
+          [&] { return RepartitionBuild(&part, &reader, key, row); },
+          &spilled);
+      if (!st.ok()) return st;
+      if (spilled) {
+        repartitioned = true;
+        break;
+      }
+      part_charged_ += bytes;
+    }
+    table_[std::move(key)].push_back(std::move(row));
+  }
+  AddSpillRead(reader.bytes_read());
+  if (repartitioned) {
+    table_.clear();
+    if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+    part_charged_ = 0;
+    return Status::OK();
+  }
+  current_part_ = std::move(part);
+  probe_reader_ = std::make_unique<SpillReader>(current_part_.probe.file.get());
+  return Status::OK();
+}
+
+Status HashJoinOp::RepartitionBuild(SpillPart* part, SpillReader* reader,
+                                    const Row& cur_key, const Row& cur_row) {
+  DECORR_FAULT_POINT("exec.spill.join.partition");
+  const int depth = part->depth + 1;
+  if (depth > kSpillMaxDepth) {
+    return Status::ResourceExhausted(StrFormat(
+        "hash join spill exceeded max repartition depth %d under the memory "
+        "budget",
+        kSpillMaxDepth));
+  }
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> bbuckets,
+      CreateSpillBuckets(ctx_->temp, "join-build", kSpillFanout));
+  DECORR_ASSIGN_OR_RETURN(
+      std::vector<SpillBucket> pbuckets,
+      CreateSpillBuckets(ctx_->temp, "join-probe", kSpillFanout));
+  std::vector<SpillPart> subs(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    subs[i].build = std::move(bbuckets[i]);
+    subs[i].probe = std::move(pbuckets[i]);
+    subs[i].depth = depth;
+  }
+  auto write_build = [&](const Row& key, const Row& row) -> Status {
+    Row rec;
+    rec.reserve(key.size() + row.size());
+    rec.insert(rec.end(), key.begin(), key.end());
+    rec.insert(rec.end(), row.begin(), row.end());
+    const size_t idx = SpillPartitionHash(key, depth) % kSpillFanout;
+    return subs[idx].build.writer->WriteRow(rec);
+  };
+  // Rows already loaded for this partition, the row whose charge tripped,
+  // then the unread remainder of the partition's build file.
+  for (const auto& [key, rows] : table_) {
+    for (const Row& r : rows) DECORR_RETURN_IF_ERROR(write_build(key, r));
+  }
+  DECORR_RETURN_IF_ERROR(write_build(cur_key, cur_row));
+  const size_t nk = right_keys_.size();
+  while (true) {
+    Row rec;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(reader->ReadRow(&rec, &reof));
+    if (reof) break;
+    Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nk));
+    Row row(rec.begin() + static_cast<ptrdiff_t>(nk), rec.end());
+    DECORR_RETURN_IF_ERROR(write_build(key, row));
+  }
+  // Re-bucket the matching probe file with the same deeper salt.
+  const size_t nkl = left_keys_.size();
+  SpillReader preader(part->probe.file.get());
+  while (true) {
+    Row rec;
+    bool reof = false;
+    DECORR_RETURN_IF_ERROR(preader.ReadRow(&rec, &reof));
+    if (reof) break;
+    const Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nkl));
+    const size_t idx = SpillPartitionHash(key, depth) % kSpillFanout;
+    DECORR_RETURN_IF_ERROR(subs[idx].probe.writer->WriteRow(rec));
+  }
+  AddSpillRead(preader.bytes_read());
+  int64_t written = 0;
+  for (auto& s : subs) {
+    DECORR_RETURN_IF_ERROR(s.build.writer->Finish());
+    DECORR_RETURN_IF_ERROR(s.probe.writer->Finish());
+    written += s.build.writer->bytes_written() +
+               s.probe.writer->bytes_written();
+  }
+  AddSpillWritten(written);
+  for (auto& s : subs) spill_work_.push_back(std::move(s));
+  metrics_.spill_partitions += kSpillFanout;
+  ++metrics_.spill_passes;
+  if (ctx_->stats != nullptr) {
+    ctx_->stats->spill_partitions += kSpillFanout;
+    ++ctx_->stats->spill_passes;
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::SpillNext(Row* out, bool* eof) {
+  while (true) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
+    if (matches_ != nullptr) {
+      while (match_cursor_ < matches_->size()) {
+        const Row& right_row = (*matches_)[match_cursor_++];
+        Row combined = current_left_;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        if (residual_) {
+          EvalContext ectx;
+          ectx.row = &combined;
+          ectx.params = ctx_->params;
+          if (!EvalPredicate(*residual_, ectx)) continue;
+        }
+        emitted_match_ = true;
+        *out = std::move(combined);
+        *eof = false;
+        return Status::OK();
+      }
+      matches_ = nullptr;
+      if (join_type_ == JoinType::kLeftOuter && !emitted_match_) {
+        *out = current_left_;
+        AppendNullPadding(out, right_->output_width());
+        *eof = false;
+        return Status::OK();
+      }
+    }
+    if (loj_null_reader_) {
+      Row row;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(loj_null_reader_->ReadRow(&row, &reof));
+      if (!reof) {
+        *out = std::move(row);
+        AppendNullPadding(out, right_->output_width());
+        *eof = false;
+        return Status::OK();
+      }
+      AddSpillRead(loj_null_reader_->bytes_read());
+      loj_null_reader_.reset();
+      loj_null_ = SpillBucket{};
+      continue;
+    }
+    if (probe_reader_) {
+      Row rec;
+      bool reof = false;
+      DECORR_RETURN_IF_ERROR(probe_reader_->ReadRow(&rec, &reof));
+      if (reof) {
+        AddSpillRead(probe_reader_->bytes_read());
+        probe_reader_.reset();
+        current_part_ = SpillPart{};
+        table_.clear();
+        if (ctx_->guard != nullptr) ctx_->guard->ReleaseMemory(part_charged_);
+        part_charged_ = 0;
+        continue;
+      }
+      const size_t nk = left_keys_.size();
+      Row key(rec.begin(), rec.begin() + static_cast<ptrdiff_t>(nk));
+      current_left_.assign(rec.begin() + static_cast<ptrdiff_t>(nk),
+                           rec.end());
+      emitted_match_ = false;
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        matches_ = &it->second;
+        match_cursor_ = 0;
+      } else if (join_type_ == JoinType::kLeftOuter) {
+        *out = current_left_;
+        AppendNullPadding(out, right_->output_width());
+        *eof = false;
+        return Status::OK();
+      }
+      continue;
+    }
+    if (!spill_work_.empty()) {
+      DECORR_RETURN_IF_ERROR(LoadNextPartition());
+      continue;
+    }
+    *eof = true;
+    return Status::OK();
+  }
 }
 
 Status HashJoinOp::NextImpl(Row* out, bool* eof) {
   DECORR_FAULT_POINT("exec.hashjoin.next");
+  if (spilling_) return SpillNext(out, eof);
   while (true) {
     // Drain matches for the current probe row.
     if (matches_ != nullptr) {
@@ -160,10 +535,14 @@ void HashJoinOp::CloseImpl() {
   left_->Close();
   table_.clear();
   if (ctx_ != nullptr && ctx_->guard != nullptr) {
-    ctx_->guard->ReleaseMemory(charged_bytes_);
+    ctx_->guard->ReleaseMemory(charged_bytes_ + part_charged_);
   }
   charged_bytes_ = 0;
   matches_ = nullptr;
+  // Drops any remaining spill files (partition stacks, readers) so a
+  // cancelled or failed query leaves no scratch data behind and an Apply
+  // re-open starts clean.
+  ResetSpillState();
 }
 
 std::string HashJoinOp::name() const {

@@ -7,6 +7,7 @@
 #ifndef DECORR_EXEC_JOIN_H_
 #define DECORR_EXEC_JOIN_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "decorr/expr/expr.h"
 #include "decorr/storage/hash_index.h"
 #include "decorr/storage/table.h"
+#include "decorr/storage/temp_file.h"
 
 namespace decorr {
 
@@ -63,6 +65,34 @@ class HashJoinOp : public Operator {
   size_t match_cursor_ = 0;
   bool emitted_match_ = false;  // for LOJ null padding
   bool left_eof_ = true;
+
+  // --- Grace spill state (active only when ctx->temp is set and a build
+  // charge trips the memory budget; see DESIGN.md §12). Build records are
+  // stored as key ++ row so partition loads never re-evaluate keys.
+  struct SpillPart {
+    SpillBucket build;
+    SpillBucket probe;
+    int depth = 0;
+  };
+  bool spilling_ = false;
+  std::vector<SpillPart> spill_out_;   // partitions being written (depth 0)
+  std::vector<SpillPart> spill_work_;  // partitions awaiting processing
+  SpillPart current_part_;             // partition currently being probed
+  std::unique_ptr<SpillReader> probe_reader_;
+  SpillBucket loj_null_;  // LOJ probe rows with a NULL (non-null-safe) key
+  std::unique_ptr<SpillReader> loj_null_reader_;
+  int64_t part_charged_ = 0;  // memory charged for the loaded partition
+
+  Status BeginSpillBuild();
+  Status WriteBuildRecord(const Row& key, const Row& row);
+  Status SpillProbeSide(ExecContext* ctx);
+  Status SpillNext(Row* out, bool* eof);
+  Status LoadNextPartition();
+  Status RepartitionBuild(SpillPart* part, SpillReader* reader,
+                          const Row& cur_key, const Row& cur_row);
+  void AddSpillWritten(int64_t bytes);
+  void AddSpillRead(int64_t bytes);
+  void ResetSpillState();
 };
 
 class NestedLoopJoinOp : public Operator {

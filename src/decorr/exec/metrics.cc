@@ -35,6 +35,10 @@ MetricsNode Collect(const Operator& op, std::string role) {
   node.cache_hits = m.cache_hits;
   node.cache_misses = m.cache_misses;
   node.cache_evictions = m.cache_evictions;
+  node.spill_partitions = m.spill_partitions;
+  node.spill_passes = m.spill_passes;
+  node.spill_bytes_written = m.spill_bytes_written;
+  node.spill_bytes_read = m.spill_bytes_read;
 
   PlanIntrospection pi;
   op.Introspect(&pi);
@@ -73,6 +77,15 @@ void Render(const MetricsNode& node, int indent, bool include_timing,
       *out += StrFormat(" evict=%lld", (long long)node.cache_evictions);
     }
   }
+  // Spill counters only appear once an operator actually spilled, keeping
+  // in-memory plans (and the goldens) byte-identical.
+  if (node.spill_partitions > 0) {
+    *out += StrFormat(
+        " spill_parts=%lld spill_passes=%lld spilled=%lldB read=%lldB",
+        (long long)node.spill_partitions, (long long)node.spill_passes,
+        (long long)node.spill_bytes_written,
+        (long long)node.spill_bytes_read);
+  }
   if (include_timing) {
     *out += StrFormat(" time=%.3fms", Ms(node.total_nanos));
     if (node.bytes_charged > 0) {
@@ -105,6 +118,12 @@ void NodeJson(JsonWriter* w, const MetricsNode& node) {
     w->Key("cache_hits").Int(node.cache_hits);
     w->Key("cache_misses").Int(node.cache_misses);
     w->Key("cache_evictions").Int(node.cache_evictions);
+  }
+  if (node.spill_partitions > 0) {
+    w->Key("spill_partitions").Int(node.spill_partitions);
+    w->Key("spill_passes").Int(node.spill_passes);
+    w->Key("spill_bytes_written").Int(node.spill_bytes_written);
+    w->Key("spill_bytes_read").Int(node.spill_bytes_read);
   }
   w->Key("children").BeginArray();
   for (const MetricsNode& child : node.children) NodeJson(w, child);

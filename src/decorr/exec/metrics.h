@@ -56,6 +56,14 @@ struct OperatorMetrics {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+  // Spill-to-disk (Grace partitioning): partition files created, partitioning
+  // passes, and page bytes written/read through the temp-file layer. All zero
+  // unless the operator actually spilled, so rendered output of in-memory
+  // runs (and every golden) is unchanged.
+  int64_t spill_partitions = 0;
+  int64_t spill_passes = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
 
   // Folds a worker clone's counters into this (coordinator-side) instance.
   // Exchange operators run one operator clone per worker, each with its own
@@ -78,6 +86,10 @@ struct OperatorMetrics {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_evictions += other.cache_evictions;
+    spill_partitions += other.spill_partitions;
+    spill_passes += other.spill_passes;
+    spill_bytes_written += other.spill_bytes_written;
+    spill_bytes_read += other.spill_bytes_read;
   }
 
   // Extrapolated total Next() time from the sampled calls.
@@ -114,6 +126,10 @@ struct MetricsNode {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+  int64_t spill_partitions = 0;
+  int64_t spill_passes = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
 
   std::vector<MetricsNode> children;
 };

@@ -19,6 +19,7 @@ namespace decorr {
 
 struct Expr;
 class Operator;
+class TempFileManager;
 
 // Structural self-description of one operator, filled in by Introspect()
 // and consumed by the physical-plan verifier (decorr/analysis/plan_verify.h).
@@ -79,6 +80,14 @@ struct ExecStats {
   // inner plan. Zero under plain nested iteration (NI never caches).
   int64_t subquery_cache_hits = 0;
   int64_t subquery_cache_misses = 0;
+  // Spill-to-disk (Grace partitioning under memory pressure): partition
+  // files created, partitioning passes (initial spills + recursive
+  // repartitions), and page bytes moved through the temp-file layer. All
+  // zero when spilling is off or never triggered.
+  int64_t spill_partitions = 0;
+  int64_t spill_passes = 0;
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
 };
 
 // Per-execution context threaded through Open(). `params` carries the
@@ -96,6 +105,10 @@ struct ExecContext {
   // (BindingKeyCache); <= 0 disables caching. Like guard/profile this must
   // be propagated into every nested context so nested Applies cache too.
   int64_t subquery_cache_bytes = 0;
+  // Spill-to-disk scratch space (null = spilling off). Owned by the query
+  // runtime; shared by every nested and worker context of the same query so
+  // all spill files land in one per-query scratch dir under one disk budget.
+  TempFileManager* temp = nullptr;
 
   // Cancellation/deadline poll; OK when no guard is attached.
   Status Check() const { return guard ? guard->Check() : Status::OK(); }

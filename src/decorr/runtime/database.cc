@@ -12,6 +12,7 @@
 #include "decorr/qgm/print.h"
 #include "decorr/qgm/validate.h"
 #include "decorr/rewrite/prune.h"
+#include "decorr/storage/temp_file.h"
 
 namespace decorr {
 
@@ -86,6 +87,7 @@ bool FallbackEligible(const Status& st) {
     case StatusCode::kCancelled:
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:  // spill I/O failures must surface verbatim
       return false;
     default:
       return true;
@@ -207,6 +209,9 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
                                   : options.subquery_cache_bytes;
   planner_options.hoist_invariant_subplans = cache_bytes > 0;
   if (options.dop > 1) planner_options.dop = options.dop;
+  // Declared before the plan: operators hold SpillFiles, so the plan must be
+  // destroyed before the manager that owns their scratch directory.
+  std::unique_ptr<TempFileManager> temp_mgr;
   Planner planner(*catalog_, planner_options);
   DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
   if (options.verify) {
@@ -223,6 +228,13 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   ctx.guard = guard;
   ctx.profile = options.profile;
   ctx.subquery_cache_bytes = cache_bytes;
+  if (options.spill) {
+    temp_mgr = std::make_unique<TempFileManager>(options.temp_dir,
+                                                 options.spill_bytes);
+    // A missing or unwritable temp_dir fails here, before any operator runs.
+    DECORR_RETURN_IF_ERROR(temp_mgr->Open());
+    ctx.temp = temp_mgr.get();
+  }
   auto collected = CollectRows(plan.root.get(), &ctx);
   lap(&result.profile.exec_nanos);
   // Snapshot the operator metrics while the plan is still alive — even on

@@ -76,6 +76,15 @@ struct QueryOptions {
   // analyze_text). Phase timings are recorded regardless; this only turns on
   // the operator-level clock sampling.
   bool profile = false;
+  // Graceful degradation under memory pressure (DESIGN.md §12). When on,
+  // hash joins, hash aggregates, and DISTINCT react to a memory-budget trip
+  // by Grace-partitioning their build state to checksummed temp files under
+  // `temp_dir` (empty: $TMPDIR, else /tmp) instead of failing, bounded by
+  // the `spill_bytes` disk budget (0: unlimited). Off, budget trips surface
+  // verbatim as kResourceExhausted.
+  bool spill = false;
+  int64_t spill_bytes = 0;
+  std::string temp_dir;
 };
 
 struct QueryResult {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <map>
 
@@ -17,6 +18,69 @@
 
 namespace decorr {
 namespace {
+
+// Spill-to-disk coverage: a fact/dim join, a grouped aggregate, and a
+// DISTINCT, each run once unlimited and once under half its measured peak
+// with spilling on. Serial on purpose (even when the surrounding workload
+// runs at dop > 1): serial spill completion is deterministic — spill_test's
+// budget ladders pin that every rung from 30% to 90% of peak completes by
+// spilling — so the chaos sweeps can assert a clean run succeeds and a
+// faulted run surfaces the injected status verbatim. Half-peak budgets force
+// Grace partitioning in all three operators, putting the
+// exec.spill.*.partition and storage.tmpfile.* fault sites in reach.
+// `scratch` empty means the system temp dir; the leak-check test passes its
+// own directory so it can count leftover entries.
+Status RunSpillChaosSection(const std::string& scratch) {
+  Database db;
+  DECORR_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "fact",
+      {{"id", TypeId::kInt64, false},
+       {"grp", TypeId::kInt64, false},
+       {"val", TypeId::kInt64, false},
+       {"tag", TypeId::kString, false}},
+      /*primary_key=*/{0})));
+  std::vector<Row> facts;
+  for (int64_t i = 0; i < 512; ++i) {
+    facts.push_back(
+        {I(i), I(i % 96), I(i % 13), S("tag-" + std::to_string(i % 96))});
+  }
+  DECORR_RETURN_IF_ERROR(db.Insert("fact", facts));
+  DECORR_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "dim",
+      {{"g", TypeId::kInt64, false}, {"label", TypeId::kString, false}},
+      /*primary_key=*/{0})));
+  std::vector<Row> dims;
+  for (int64_t g = 0; g < 96; ++g) {
+    dims.push_back({I(g), S("dim-" + std::to_string(g))});
+  }
+  DECORR_RETURN_IF_ERROR(db.Insert("dim", dims));
+  DECORR_RETURN_IF_ERROR(db.AnalyzeAll());
+
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM fact f, dim d WHERE f.grp = d.g",
+        "SELECT COUNT(*) FROM "
+        "(SELECT grp, SUM(val) FROM fact GROUP BY grp) AS t(g, s)",
+        "SELECT COUNT(*) FROM (SELECT DISTINCT tag FROM fact) AS t(x)"}) {
+    QueryOptions unlimited;
+    unlimited.fallback = false;
+    DECORR_ASSIGN_OR_RETURN(QueryResult full, db.Execute(sql, unlimited));
+    QueryOptions bounded;
+    bounded.fallback = false;  // an injected fault must surface, not degrade
+    bounded.spill = true;
+    bounded.temp_dir = scratch;
+    bounded.limits.memory_budget_bytes = full.stats.peak_memory_bytes / 2;
+    DECORR_ASSIGN_OR_RETURN(QueryResult spilled, db.Execute(sql, bounded));
+    if (spilled.stats.spill_partitions <= 0) {
+      return Status::Internal(std::string("spill section never spilled: ") +
+                              sql);
+    }
+    if (spilled.rows.size() != 1 || full.rows.size() != 1 ||
+        !spilled.rows[0][0].Equals(full.rows[0][0])) {
+      return Status::Internal(std::string("spilled answer drifted: ") + sql);
+    }
+  }
+  return Status::OK();
+}
 
 // Builds the paper's EMP/DEPT database through the status-checked Database
 // API (MakeEmpDeptCatalog ignores statuses, which would swallow injected
@@ -138,6 +202,10 @@ Status RunChaosWorkload(int dop = 1) {
   DECORR_RETURN_IF_ERROR(run(
       "SELECT building FROM dept UNION ALL SELECT building FROM emp",
       Strategy::kNestedIteration));
+  // Bounded-memory spill runs (deliberately serial even at dop > 1 — see the
+  // section's comment) so the sweep reaches the temp-file and Grace-
+  // partitioning fault sites.
+  DECORR_RETURN_IF_ERROR(RunSpillChaosSection(/*scratch=*/""));
   return Status::OK();
 }
 
@@ -165,7 +233,13 @@ TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
   // magic run must reach the dedup-pruning pass and its runtime assertion.
   for (const char* required :
        {"exec.subqcache.lookup", "exec.subqcache.insert",
-        "rewrite.prune.dedup", "exec.uniqcheck"}) {
+        "rewrite.prune.dedup", "exec.uniqcheck",
+        // The spill section must reach Grace partitioning in all three
+        // spilling operators plus every layer of the temp-file stack.
+        "exec.spill.join.partition", "exec.spill.agg.partition",
+        "exec.spill.distinct.partition", "storage.tmpfile.create",
+        "storage.tmpfile.write", "storage.tmpfile.read",
+        "storage.tmpfile.corrupt"}) {
     ASSERT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
         << required << " never hit by the chaos workload";
   }
@@ -270,6 +344,61 @@ TEST_F(ChaosTest, SweepReachesEveryRegisteredSite) {
            for (const std::string& site : missing) joined += site + " ";
            return joined;
          }();
+}
+
+TEST_F(ChaosTest, SpillFaultsLeaveNoTempFilesBehind) {
+  // The sweeps above prove spill faults propagate verbatim; this pins the
+  // other half of the contract: wherever the injected fault lands in the
+  // spill stack, the scratch directory is empty afterwards. Cleanup is
+  // destructor-driven (SpillFile unlink + TempFileManager remove_all), so
+  // no error path may skip it.
+  namespace fs = std::filesystem;
+  const std::string scratch = ::testing::TempDir() + "/chaos_spill_scratch";
+  fs::remove_all(scratch);
+  ASSERT_TRUE(fs::create_directories(scratch));
+  auto count_entries = [&scratch] {
+    int n = 0;
+    for (const auto& entry : fs::directory_iterator(scratch)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  };
+  FaultInjector& fi = FaultInjector::Global();
+
+  fi.EnableRecording();
+  Status clean = RunSpillChaosSection(scratch);
+  ASSERT_TRUE(clean.ok()) << clean.ToString();
+  std::map<std::string, int64_t> hit_counts;
+  for (const std::string& site : fi.Sites()) {
+    hit_counts[site] = fi.HitCount(site);
+  }
+  fi.Reset();
+  ASSERT_EQ(count_entries(), 0) << "clean spill run leaked temp files";
+
+  for (const char* site :
+       {"exec.spill.join.partition", "exec.spill.agg.partition",
+        "exec.spill.distinct.partition", "storage.tmpfile.create",
+        "storage.tmpfile.write", "storage.tmpfile.read",
+        "storage.tmpfile.corrupt"}) {
+    ASSERT_GT(hit_counts[site], 0)
+        << site << " not reached by the spill section";
+    const Status injected = Status::Internal(std::string("chaos: ") + site);
+    for (int64_t skip : {int64_t{0}, hit_counts[site] / 2}) {
+      fi.Arm(site, injected, skip);
+      Status st = RunSpillChaosSection(scratch);
+      fi.Reset();
+      ASSERT_FALSE(st.ok())
+          << "fault at " << site << " (skip " << skip << ") was swallowed";
+      EXPECT_EQ(st.message(), injected.message())
+          << site << " (skip " << skip << ")";
+      EXPECT_EQ(count_entries(), 0)
+          << "temp files leaked after injected fault at " << site
+          << " (skip " << skip << ")";
+      if (skip == hit_counts[site] / 2) break;  // skip 0 == count/2 for 1-hit
+    }
+  }
+  fs::remove_all(scratch);
 }
 
 TEST_F(ChaosTest, CacheFaultsNeverYieldStaleOrPartialRows) {

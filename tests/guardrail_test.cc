@@ -54,6 +54,38 @@ TEST_F(GuardrailTest, MemoryBudgetExceeded) {
   ExpectIntact();
 }
 
+// Pin the spill-off contract: with QueryOptions::spill at its default
+// (false), a budget trip surfaces the verbatim kResourceExhausted — the
+// spill machinery must not engage, soften the message, or skew the
+// reported peak. A budget set at the measured peak must still pass.
+TEST_F(GuardrailTest, SpillOffBudgetTripsStayVerbatim) {
+  const std::string sql = "SELECT v, COUNT(*) FROM big GROUP BY v";
+  auto unlimited = db_.Execute(sql);
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  const int64_t peak = unlimited->stats.peak_memory_bytes;
+  ASSERT_GT(peak, 0);
+
+  QueryOptions fits;
+  fits.limits.memory_budget_bytes = peak;
+  auto ok = db_.Execute(sql, fits);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->stats.peak_memory_bytes, peak)
+      << "peak accounting drifted between identical runs";
+  EXPECT_LE(ok->stats.peak_memory_bytes, peak);
+
+  QueryOptions trips;
+  trips.limits.memory_budget_bytes = peak / 2;
+  auto r = db_.Execute(sql, trips);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("memory budget exceeded"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(r.status().message().find("spill"), std::string::npos)
+      << "spill-off trip mentions spilling: " << r.status().ToString();
+  ExpectIntact();
+}
+
 TEST_F(GuardrailTest, RowBudgetExceeded) {
   QueryOptions options;
   options.limits.row_budget = 5;
