@@ -36,6 +36,18 @@ case must report spilled_and_completed — a ladder where no rung ever
 both spilled and finished means graceful degradation silently stopped
 working.
 
+The Auto series gets one extra fresh-run gate: in every figure that
+records it, the cost-based pick's wall time must stay within
+--auto-tolerance (default 10%) of the best hand-picked strategy in the
+same figure, plus --auto-slack-ms of absolute grace (Auto's wall time
+includes the selector's trial rewrites and estimation — a constant
+cost that is irrelevant at bench scale but visible next to
+single-digit-millisecond figures) — a mis-costed pick is a planner
+bug, not machine noise. The comparison is within one run on one
+machine, so it needs no baseline (older baselines without the Auto
+series stay comparable); like the vs_ni ratios it is skipped when the
+best hand-picked time is below --ni-floor-ms.
+
 Usage:
   bench/check_bench_regression.py --baseline BENCH_figures.json \
       --fresh build/BENCH_fresh.json [--tolerance 0.25] [--ni-floor-ms 5.0]
@@ -80,6 +92,15 @@ def main():
                     help="allowed relative increase of the vs_ni ratio")
     ap.add_argument("--ni-floor-ms", type=float, default=5.0,
                     help="skip ratio checks when NI ran faster than this")
+    ap.add_argument("--auto-tolerance", type=float, default=0.10,
+                    help="allowed slowdown of Auto vs the best hand-picked "
+                         "strategy in the same fresh figure")
+    ap.add_argument("--auto-slack-ms", type=float, default=1.0,
+                    help="absolute grace on top of --auto-tolerance: the "
+                         "Auto series' wall time includes the selector's "
+                         "trial rewrites and estimation, a constant that is "
+                         "noise at bench scale but visible next to "
+                         "single-digit-millisecond figures")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -141,6 +162,44 @@ def main():
             else:
                 notes.append(
                     f"{tag}: vs_ni {b_ratio:.3f} -> {f_ratio:.3f} ok")
+
+    # Auto competitiveness gate (fresh run only — same machine, same run, so
+    # no baseline is needed): the cost-based pick must stay within
+    # --auto-tolerance of the best hand-picked strategy in each figure.
+    for fig_id in sorted(fresh_figs):
+        strats = strategies_by_name(fresh_figs[fig_id])
+        auto = strats.get("Auto")
+        if auto is None:
+            continue  # figure predates the Auto series
+        tag = f"{fig_id}/Auto"
+        if not auto.get("ok"):
+            errors.append(
+                f"{tag}: auto selection failed ({auto.get('error')}) — NI is "
+                f"always applicable, so Auto must never decline")
+            continue
+        hand = [s for name, s in strats.items()
+                if name != "Auto" and s.get("ok")]
+        if not hand:
+            continue
+        best = min(hand, key=lambda s: s.get("wall_ms", float("inf")))
+        best_ms = best.get("wall_ms", 0.0)
+        auto_ms = auto.get("wall_ms", 0.0)
+        if best_ms < args.ni_floor_ms:
+            notes.append(
+                f"{tag}: competitiveness check skipped (best hand-picked "
+                f"{best.get('strategy')} {best_ms:.2f} ms below "
+                f"{args.ni_floor_ms} ms floor)")
+            continue
+        if auto_ms > best_ms * (1.0 + args.auto_tolerance) + args.auto_slack_ms:
+            errors.append(
+                f"{tag}: {auto_ms:.2f} ms is >{args.auto_tolerance:.0%} "
+                f"slower than the best hand-picked strategy "
+                f"({best.get('strategy')} at {best_ms:.2f} ms) — the cost "
+                f"model mis-picked")
+        else:
+            notes.append(
+                f"{tag}: {auto_ms:.2f} ms vs best hand-picked "
+                f"{best.get('strategy')} {best_ms:.2f} ms ok")
 
     # NI+C correctness gate: every completed sweep level in the fresh run
     # must have returned exactly plain NI's rows. Hit rates and timings in

@@ -8,7 +8,8 @@
 // Meta commands:
 //   \load tpcd [sf]   load the TPC-D database at a scale factor
 //   \load empdept     load the paper's EMP/DEPT example
-//   \strategy X       ni | ni_cached | kim | dayal | ganski | mag | optmag
+//   \strategy X       ni | ni_cached | kim | dayal | ganski | mag | optmag |
+//                     auto (cost-based selection; EXPLAIN shows the pick)
 //   \dop N            degree of parallelism (1 = serial; >1 uses exchange
 //                     operators and the shared worker pool)
 //   \cache N          subquery memoization cache budget in bytes
@@ -78,6 +79,7 @@ bool ParseStrategy(const std::string& name, Strategy* out) {
   else if (name == "ganski") *out = Strategy::kGanskiWong;
   else if (name == "mag") *out = Strategy::kMagic;
   else if (name == "optmag") *out = Strategy::kOptMagic;
+  else if (name == "auto") *out = Strategy::kAuto;
   else return false;
   return true;
 }
@@ -127,7 +129,8 @@ int main() {
         std::string name;
         iss >> name;
         if (!ParseStrategy(name, &strategy)) {
-          std::printf("strategies: ni ni_cached kim dayal ganski mag optmag\n");
+          std::printf(
+              "strategies: ni ni_cached kim dayal ganski mag optmag auto\n");
         } else {
           std::printf("strategy = %s\n", StrategyName(strategy));
         }

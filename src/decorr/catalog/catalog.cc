@@ -15,8 +15,10 @@ Status Catalog::RegisterTable(TablePtr table) {
   }
   CatalogEntry entry;
   entry.stats = ComputeStats(*table);
+  entry.stats_version = table->version();
   entry.table = std::move(table);
   tables_.emplace(key, std::move(entry));
+  ++stats_epoch_;
   return Status::OK();
 }
 
@@ -32,7 +34,15 @@ Status Catalog::RefreshStats(const std::string& name) {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   it->second.stats = ComputeStats(*it->second.table);
+  it->second.stats_version = it->second.table->version();
+  ++stats_epoch_;
   return Status::OK();
+}
+
+bool Catalog::StatsStale(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return false;
+  return it->second.stats_version != it->second.table->version();
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {

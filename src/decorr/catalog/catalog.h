@@ -3,6 +3,7 @@
 #ifndef DECORR_CATALOG_CATALOG_H_
 #define DECORR_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,6 +21,9 @@ namespace decorr {
 struct CatalogEntry {
   TablePtr table;
   TableStats stats;
+  // Table::version() at the time `stats` was computed. When the table has
+  // been appended to since, the statistics are stale.
+  uint64_t stats_version = 0;
   // Indexes by name. Index names are case-insensitive, stored lowercased.
   std::map<std::string, std::shared_ptr<HashIndex>> indexes;
 };
@@ -54,11 +58,22 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  // True when `name`'s statistics were computed at an older data version
+  // than the table currently holds (rows appended since the last
+  // RegisterTable/RefreshStats). Unknown tables are not stale.
+  bool StatsStale(const std::string& name) const;
+
+  // Catalog-wide statistics epoch: bumped on every RegisterTable and
+  // RefreshStats. EXPLAIN surfaces it so a plan records which generation
+  // of statistics priced it.
+  uint64_t stats_epoch() const { return stats_epoch_; }
+
   std::string ToString() const;
 
  private:
   // Keyed by lowercased table name.
   std::map<std::string, CatalogEntry> tables_;
+  uint64_t stats_epoch_ = 0;
 };
 
 }  // namespace decorr

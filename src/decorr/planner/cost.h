@@ -1,0 +1,99 @@
+// Cost model for automatic strategy selection (Strategy::kAuto).
+//
+// Two layers, both derived from catalog statistics (Section 5 of the paper
+// shows the NI-vs-decorrelation winner is workload-dependent — invocation
+// counts and per-invocation access cost decide it):
+//
+//   * EstimateQueryBlocks — per-query-block cardinality, invocation-count
+//     and duplicate-factor estimates over a freshly bound (pristine) graph.
+//     These are the quantities tests/cost_model_test.cc holds to a q-error
+//     bound against actually executed counts, so estimator regressions fail
+//     loudly instead of silently flipping plan choices.
+//
+//   * ChooseStrategy — prices every strategy: NI and NI+C on the pristine
+//     graph, each rewrite method on a fresh trial binding that actually ran
+//     ApplyStrategy (so the paper's applicability limits apply themselves)
+//     and dedup pruning (so post-prune shapes are what gets priced), then
+//     picks the cheapest with deterministic tie-breaking toward the simpler
+//     strategy.
+#ifndef DECORR_PLANNER_COST_H_
+#define DECORR_PLANNER_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decorr/catalog/catalog.h"
+#include "decorr/common/status.h"
+#include "decorr/parser/ast.h"
+#include "decorr/qgm/qgm.h"
+#include "decorr/rewrite/strategy.h"
+
+namespace decorr {
+
+// Estimates for one subquery (E/A/S quantifier) or correlated-lateral block.
+struct BlockEstimate {
+  int box_id = -1;         // owner box of the block's quantifier
+  int quantifier_id = -1;  // the subquery / lateral quantifier
+  std::string alias;
+  QuantifierKind kind = QuantifierKind::kScalar;
+  bool correlated = false;
+  // Absolute Apply invocations under nested iteration (nested blocks are
+  // multiplied through their ancestors' invocation counts).
+  double invocations = 1.0;
+  // Estimated inner output rows per invocation.
+  double rows_per_invocation = 1.0;
+  // Expected distinct correlation bindings — NI+C executes the inner only
+  // this many times; the rest are cache hits.
+  double distinct_bindings = 1.0;
+  double cache_hit_rate = 0.0;  // 1 - distinct_bindings / invocations
+  // Estimated work of one inner execution, index-aware: an equality-covered
+  // index turns a scan into rows/ndv lookups (the fig5-vs-fig7 divide).
+  double invocation_cost = 1.0;
+};
+
+struct QueryEstimate {
+  double root_rows = 1.0;
+  std::vector<BlockEstimate> blocks;
+};
+
+// Block-level estimates for a bound, un-rewritten graph.
+Result<QueryEstimate> EstimateQueryBlocks(QueryGraph* graph,
+                                          const Catalog& catalog);
+
+// Total estimated execution cost of `graph` when run under `strategy`
+// (the strategy decides whether remaining correlated subqueries are priced
+// as cached and whether common subexpressions are materialized once).
+Result<double> EstimateGraphCost(QueryGraph* graph, const Catalog& catalog,
+                                 Strategy strategy,
+                                 int64_t subquery_cache_bytes);
+
+// One priced candidate of the auto selector.
+struct CandidateCost {
+  Strategy strategy = Strategy::kNestedIteration;
+  bool applicable = false;
+  double cost = 0.0;
+  std::string reason;  // why inapplicable; empty when applicable
+};
+
+struct AutoChoice {
+  Strategy chosen = Strategy::kNestedIteration;
+  double chosen_cost = 0.0;
+  std::vector<CandidateCost> candidates;  // in Strategy enum order
+  // EXPLAIN annotation lines: chosen strategy + per-candidate costs +
+  // per-block "strategy: X (est cost Y)" estimates.
+  std::vector<std::string> notes;
+};
+
+// Resolves Strategy::kAuto for the query `ast`. Trial rewrites that decline
+// with NotImplemented mark the candidate inapplicable; any other failure
+// (including injected faults) propagates verbatim so chaos tests observe it.
+// `subquery_cache_bytes == 0` disqualifies NI+C (caching is off).
+Result<AutoChoice> ChooseStrategy(const AstQuery& ast, const Catalog& catalog,
+                                  const DecorrelationOptions& decorr,
+                                  bool prune_dedup,
+                                  int64_t subquery_cache_bytes);
+
+}  // namespace decorr
+
+#endif  // DECORR_PLANNER_COST_H_

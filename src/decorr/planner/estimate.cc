@@ -68,11 +68,19 @@ double CardEstimator::PredicateSelectivity(const Box* box, const Expr& pred) {
     }
     return 0.2;
   }
+  if (pred.kind == ExprKind::kLike) {
+    // Pattern matches are far more selective than the generic 0.5 for
+    // complex predicates (the classic default for LIKE without pattern
+    // statistics). Getting this wrong cascades: TPC-D's `p_type LIKE
+    // '%BRASS'` keeps 1-in-5 parts, and overestimating the match set
+    // inflates every nested strategy's invocation count.
+    return pred.negated ? 0.9 : 0.1;
+  }
   const Expr* ref = SingleLocalRef(box, pred);
   if (ref == nullptr) return 0.5;  // complex / multi-quantifier predicate
   const Quantifier* q = box->graph()->FindQuantifier(ref->qid);
   const ColumnStats* stats = TraceBaseColumn(q->child, ref->col, nullptr);
-  if (pred.op == BinaryOp::kEq) {
+  if (pred.op == BinaryOp::kEq || pred.op == BinaryOp::kNullEq) {
     if (stats && stats->distinct_count > 0) {
       return 1.0 / static_cast<double>(stats->distinct_count);
     }
@@ -109,8 +117,12 @@ double CardEstimator::EstimateBoxRows(Box* box) {
                                                  : pred->children[0].get();
         const Expr* rhs = pred->children.size() > 1 ? pred->children[1].get()
                                                     : nullptr;
+        // <=> (NULL-safe equality, the magic rewrite's back-join operator)
+        // joins like = for cardinality purposes; missing it here inflates
+        // every decorrelated plan's row estimate by the join key's ndv.
         const bool is_equi_join =
-            pred->kind == ExprKind::kComparison && pred->op == BinaryOp::kEq &&
+            pred->kind == ExprKind::kComparison &&
+            (pred->op == BinaryOp::kEq || pred->op == BinaryOp::kNullEq) &&
             lhs && rhs && lhs->kind == ExprKind::kColumnRef &&
             rhs->kind == ExprKind::kColumnRef &&
             box->OwnsQuantifier(lhs->qid) && box->OwnsQuantifier(rhs->qid) &&
@@ -177,6 +189,20 @@ double CardEstimator::EstimateBoxRows(Box* box) {
 
 double CardEstimator::EstimateDistinct(Box* box, int col) {
   double rows = EstimateBoxRows(box);
+  if (box->kind() != BoxKind::kBaseTable &&
+      col < static_cast<int>(box->outputs.size())) {
+    // Recurse through pass-through columns so the distinct count is clamped
+    // by every intermediate box's cardinality, not just the base table's
+    // ndv: a magic set of 10k bindings projects p_partkey with at most 10k
+    // distinct values even when the parts table has 20k.
+    const Expr* expr = box->outputs[col].expr.get();
+    if (expr != nullptr && expr->kind == ExprKind::kColumnRef) {
+      const Quantifier* q = box->graph()->FindQuantifier(expr->qid);
+      if (q != nullptr) {
+        return std::min(EstimateDistinct(q->child, expr->col), rows);
+      }
+    }
+  }
   const ColumnStats* stats = TraceBaseColumn(box, col, nullptr);
   if (stats && stats->distinct_count > 0) {
     return std::min(static_cast<double>(stats->distinct_count), rows);

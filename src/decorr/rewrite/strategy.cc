@@ -24,6 +24,8 @@ const char* StrategyName(Strategy strategy) {
       return "Mag";
     case Strategy::kOptMagic:
       return "OptMag";
+    case Strategy::kAuto:
+      return "Auto";
   }
   return "?";
 }
@@ -51,6 +53,9 @@ Status ApplyStrategy(QueryGraph* graph, Strategy strategy,
       // OptMag differs at the planner level (the supplementary common
       // subexpression is materialized once instead of recomputed).
       return MagicDecorrelate(graph, catalog, options, on_step);
+    case Strategy::kAuto:
+      return Status::Internal(
+          "Auto must be resolved to a concrete strategy before rewrite");
   }
   return Status::Internal("unknown strategy");
 }

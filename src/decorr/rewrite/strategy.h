@@ -24,6 +24,10 @@ enum class Strategy {
   kGanskiWong,       // Ganski/Wong [GW87] (special case of magic)
   kMagic,            // magic decorrelation, supplementary recomputed (Mag)
   kOptMagic,         // magic + supplementary materialized once (OptMag)
+  // Auto: cost-based selection among the strategies above. Resolved to a
+  // concrete strategy per query by the planner's cost model before any
+  // rewrite runs (see planner/cost.h); ApplyStrategy never sees it.
+  kAuto,
 };
 
 const char* StrategyName(Strategy strategy);

@@ -9,6 +9,7 @@
 #include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/parser/parser.h"
+#include "decorr/planner/cost.h"
 #include "decorr/qgm/print.h"
 #include "decorr/qgm/validate.h"
 #include "decorr/rewrite/prune.h"
@@ -162,13 +163,44 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
                           Bind(*ast, *catalog_));
   lap(&result.profile.bind_nanos);
+  // Resolve Auto to a concrete strategy before anything downstream: the
+  // rewrite verifier, ApplyStrategy and the cache/prune carve-outs all key
+  // off the *effective* strategy.
+  QueryOptions opts = options;
+  std::vector<std::string> auto_notes;
+  if (options.strategy == Strategy::kAuto) {
+    // The estimates are only as good as the statistics: recompute any that
+    // predate rows appended since the last refresh, and record it.
+    std::vector<std::string> stats_notes;
+    for (const std::string& name : catalog_->TableNames()) {
+      if (!catalog_->StatsStale(name)) continue;
+      const uint64_t before = catalog_->stats_epoch();
+      DECORR_RETURN_IF_ERROR(catalog_->RefreshStats(name));
+      stats_notes.push_back(StrFormat(
+          "auto stats refreshed: %s (epoch %llu -> %llu)", name.c_str(),
+          static_cast<unsigned long long>(before),
+          static_cast<unsigned long long>(catalog_->stats_epoch())));
+    }
+    DECORR_ASSIGN_OR_RETURN(
+        AutoChoice choice,
+        ChooseStrategy(*ast, *catalog_, options.decorr, options.prune_dedup,
+                       options.subquery_cache_bytes));
+    opts.strategy = choice.chosen;
+    auto_notes = std::move(choice.notes);
+    auto_notes.insert(auto_notes.end(), stats_notes.begin(),
+                      stats_notes.end());
+    auto_notes.push_back(
+        StrFormat("auto stats epoch: %llu",
+                  static_cast<unsigned long long>(catalog_->stats_epoch())));
+    lap(&result.profile.rewrite_nanos);
+  }
   if (options.capture_qgm) {
     result.qgm_before = PrintQgm(bound->graph.get());
   }
   std::optional<RewriteVerifier> verifier;
   RewriteStepFn on_step;
-  if (options.verify) {
-    verifier.emplace(bound->graph.get(), options.strategy);
+  if (opts.verify) {
+    verifier.emplace(bound->graph.get(), opts.strategy);
     DECORR_RETURN_IF_ERROR(verifier->Begin());
     on_step = verifier->AsCallback();
   }
@@ -179,13 +211,13 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
     DECORR_RETURN_IF_ERROR(guard->Check());
     return inner ? inner(rule) : Status::OK();
   };
-  DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), options.strategy,
-                                       *catalog_, options.decorr, on_step));
+  DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), opts.strategy,
+                                       *catalog_, opts.decorr, on_step));
   // Dedup pruning runs after decorrelation, over the final graph. Plain NI
   // stays untouched for the same reason it never caches: it is the
   // paper-faithful baseline every other strategy is measured against.
-  if (options.prune_dedup &&
-      options.strategy != Strategy::kNestedIteration) {
+  if (opts.prune_dedup &&
+      opts.strategy != Strategy::kNestedIteration) {
     DECORR_RETURN_IF_ERROR(
         PruneRedundantDedup(bound->graph.get(), on_step));
   }
@@ -199,14 +231,14 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   lap(&result.profile.rewrite_nanos);
 
   PlannerOptions planner_options = options.planner;
-  if (options.strategy == Strategy::kOptMagic) {
+  if (opts.strategy == Strategy::kOptMagic) {
     planner_options.materialize_common_subexpressions = true;
   }
   // Subquery memoization is forced off under plain NI so the baseline stays
   // paper-faithful (and its plans, counters and goldens stay byte-identical).
-  const int64_t cache_bytes = options.strategy == Strategy::kNestedIteration
+  const int64_t cache_bytes = opts.strategy == Strategy::kNestedIteration
                                   ? 0
-                                  : options.subquery_cache_bytes;
+                                  : opts.subquery_cache_bytes;
   planner_options.hoist_invariant_subplans = cache_bytes > 0;
   if (options.dop > 1) planner_options.dop = options.dop;
   // Declared before the plan: operators hold SpillFiles, so the plan must be
@@ -218,6 +250,10 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
     DECORR_RETURN_IF_ERROR(VerifyPlan(*plan.root));
   }
   *prepared = true;
+  if (!auto_notes.empty()) {
+    plan.notes.insert(plan.notes.begin(), auto_notes.begin(),
+                      auto_notes.end());
+  }
   result.column_names = plan.column_names;
   result.plan_text = plan.ToString();
   lap(&result.profile.plan_nanos);

@@ -41,6 +41,10 @@ struct QueryLimits {
 };
 
 struct QueryOptions {
+  // Strategy::kAuto resolves per query: the cost model (planner/cost.h)
+  // prices every applicable strategy from catalog statistics and the chosen
+  // one (with its per-block estimates) is annotated into EXPLAIN. Stale
+  // statistics are refreshed before pricing.
   Strategy strategy = Strategy::kNestedIteration;
   DecorrelationOptions decorr;   // knobs for magic decorrelation
   PlannerOptions planner;

@@ -31,6 +31,7 @@ Status Table::AppendRow(const Row& row) {
     columns_[i].Append(row[i]);
   }
   ++num_rows_;
+  ++version_;
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #define DECORR_STORAGE_TABLE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,11 @@ class Table {
   const TableSchema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   int num_columns() const { return schema_.num_columns(); }
+
+  // Monotone data version: bumped on every successful AppendRow. Catalog
+  // entries remember the version their statistics were computed at, so
+  // stats computed before a data load are detectably stale.
+  uint64_t version() const { return version_; }
 
   // Appends a row. Fails if arity mismatches or a value is not coercible to
   // the column type.
@@ -40,6 +46,7 @@ class Table {
   TableSchema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  uint64_t version_ = 0;
 };
 
 using TablePtr = std::shared_ptr<Table>;

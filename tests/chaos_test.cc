@@ -143,11 +143,15 @@ Status RunChaosWorkload(int dop = 1) {
 
   // The paper example under every strategy (Apply, hash join, aggregation,
   // and all four rewrite families). NI+C puts the subquery-memoization
-  // fault sites (exec.subqcache.*) in reach — plain NI never caches.
+  // fault sites (exec.subqcache.*) in reach — plain NI never caches. The
+  // kAuto run reaches the cost-model sites (rewrite.auto.select,
+  // planner.cost.estimate); with fallback off an injected fault inside the
+  // selector — or inside any trial rewrite it prices — must surface
+  // verbatim, never be downgraded to "candidate inapplicable".
   for (Strategy s : {Strategy::kNestedIteration,
                      Strategy::kNestedIterationCached, Strategy::kKim,
                      Strategy::kDayal, Strategy::kGanskiWong, Strategy::kMagic,
-                     Strategy::kOptMagic}) {
+                     Strategy::kOptMagic, Strategy::kAuto}) {
     DECORR_RETURN_IF_ERROR(run(kPaperExampleQuery, s));
   }
   // Correlation on the outer table's PRIMARY KEY: the magic rewrite's
@@ -481,6 +485,33 @@ TEST_F(ChaosTest, RewriteFaultsRecoverViaFallback) {
     fi.Reset();
     ASSERT_TRUE(r.ok()) << site << ": " << r.status().ToString();
     EXPECT_FALSE(r->fallback_reason.empty()) << site;
+    std::vector<std::string> names;
+    for (const Row& row : r->rows) names.push_back(row[0].string_value());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names, PaperExampleAnswers()) << site;
+  }
+}
+
+TEST_F(ChaosTest, AutoSelectionFaultsFallBackToNestedIteration) {
+  // A fault anywhere in the cost-based selector — the selection entry point
+  // or the block estimator it drives — must not kill an auto query: the
+  // default fallback path re-runs under plain NI and records why, exactly
+  // as it does for a failed hand-picked rewrite.
+  FaultInjector& fi = FaultInjector::Global();
+  for (const char* site : {"rewrite.auto.select", "planner.cost.estimate"}) {
+    fi.Arm(site, Status::Internal(std::string("chaos: ") + site));
+    Database db(MakeEmpDeptCatalog());
+    QueryOptions automatic;
+    automatic.strategy = Strategy::kAuto;  // fallback defaults on
+    auto r = db.Execute(kPaperExampleQuery, automatic);
+    fi.Reset();
+    ASSERT_TRUE(r.ok()) << site << ": " << r.status().ToString();
+    EXPECT_FALSE(r->fallback_reason.empty()) << site;
+    EXPECT_NE(r->fallback_reason.find("Auto"), std::string::npos)
+        << site << ": " << r->fallback_reason;
+    EXPECT_NE(r->fallback_reason.find("fell back to nested iteration"),
+              std::string::npos)
+        << site << ": " << r->fallback_reason;
     std::vector<std::string> names;
     for (const Row& row : r->rows) names.push_back(row[0].string_value());
     std::sort(names.begin(), names.end());

@@ -2,7 +2,10 @@
 // queries (Figures 5-9). The EXPLAIN golden pins the physical plan shape;
 // the EXPLAIN ANALYZE golden pins the per-operator row counts and loop
 // counts (timings are normalized out via include_timing=false — everything
-// left is deterministic: fixed TPC-D seed, fixed scale factor).
+// left is deterministic: fixed TPC-D seed, fixed scale factor). The `_Auto`
+// goldens additionally pin the cost-based selector's choice and its
+// per-block "strategy: X (est cost Y)" annotations — a silent cost-model
+// drift that flips a pick shows up as a golden diff here.
 //
 // Regenerate after an intentional planner/rewrite change with:
 //   DECORR_UPDATE_GOLDEN=1 build/tests/explain_golden_test
@@ -110,6 +113,7 @@ void CheckFigure(const std::string& tag, bool indexes, const std::string& sql,
 TEST(ExplainGoldenTest, Fig5Query1Indexed) {
   CheckFigure("fig5_query1", true, TpcdQuery1(), Strategy::kNestedIteration);
   CheckFigure("fig5_query1", true, TpcdQuery1(), Strategy::kMagic);
+  CheckFigure("fig5_query1", true, TpcdQuery1(), Strategy::kAuto);
 }
 
 TEST(ExplainGoldenTest, Fig6Query1Variant) {
@@ -117,22 +121,28 @@ TEST(ExplainGoldenTest, Fig6Query1Variant) {
               Strategy::kNestedIteration);
   CheckFigure("fig6_query1_variant", true, TpcdQuery1Variant(),
               Strategy::kMagic);
+  CheckFigure("fig6_query1_variant", true, TpcdQuery1Variant(),
+              Strategy::kAuto);
 }
 
 TEST(ExplainGoldenTest, Fig7Query1NoIndexes) {
   CheckFigure("fig7_query1_noindex", false, TpcdQuery1(),
               Strategy::kNestedIteration);
   CheckFigure("fig7_query1_noindex", false, TpcdQuery1(), Strategy::kMagic);
+  CheckFigure("fig7_query1_noindex", false, TpcdQuery1(),
+              Strategy::kAuto);
 }
 
 TEST(ExplainGoldenTest, Fig8Query2) {
   CheckFigure("fig8_query2", true, TpcdQuery2(), Strategy::kNestedIteration);
   CheckFigure("fig8_query2", true, TpcdQuery2(), Strategy::kMagic);
+  CheckFigure("fig8_query2", true, TpcdQuery2(), Strategy::kAuto);
 }
 
 TEST(ExplainGoldenTest, Fig9Query3Union) {
   CheckFigure("fig9_query3", true, TpcdQuery3(), Strategy::kNestedIteration);
   CheckFigure("fig9_query3", true, TpcdQuery3(), Strategy::kMagic);
+  CheckFigure("fig9_query3", true, TpcdQuery3(), Strategy::kAuto);
 }
 
 // The rendered analyze tree annotates every operator line with rows and
