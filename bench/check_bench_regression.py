@@ -28,6 +28,11 @@ but every fresh case must report rows_match_unpruned — a pruned plan
 returning different rows than the unpruned plan means a derived key was
 wrong, which is a correctness bug, never noise.
 
+The batch_exec sections follow the same split: tuple/batch wall times
+and speedups are telemetry, but every fresh case must report
+rows_match_tuple — a vectorized run returning different rows than the
+tuple-at-a-time run is an execution correctness bug, never noise.
+
 The spill_sweep sections get the same treatment: wall times, slowdowns
 and spilled-bytes counters are telemetry, but every budget rung that
 completed must report rows_match_unbounded (a spilled run returning
@@ -219,6 +224,16 @@ def main():
             errors.append(
                 f"dedup_prune_sweep/{case.get('id')}: pruned rows diverge "
                 f"from unpruned (derived-key correctness bug)")
+
+    # Batch-execution correctness gate: a vectorized (batch_size=1024) run
+    # must return exactly the tuple-at-a-time run's row multiset. Wall times
+    # and speedups in the same sections are telemetry and are not compared.
+    for section in ("batch_exec", "batch_exec_noindex"):
+        for case in fresh.get(section, {}).get("cases", []):
+            if case.get("ok") and not case.get("rows_match_tuple", True):
+                errors.append(
+                    f"{section}/{case.get('id')}: vectorized rows diverge "
+                    f"from tuple mode (batch execution correctness bug)")
 
     # Spill correctness gate: every completed budget rung must return
     # exactly the unbounded run's rows, and each case's ladder must contain

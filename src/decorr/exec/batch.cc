@@ -1,0 +1,24 @@
+#include "decorr/exec/batch.h"
+
+#include <utility>
+
+namespace decorr {
+
+void Batch::Compact() {
+  if (!has_selection_) return;
+  for (auto& col : columns_) {
+    for (size_t i = 0; i < selection_.size(); ++i) {
+      // The in-place move is safe because the selection is ascending
+      // (selection_[i] >= i); guard the i == selection_[i] prefix, where a
+      // self-move would clobber the value.
+      const size_t src = static_cast<size_t>(selection_[i]);
+      if (src != i) col[i] = std::move(col[src]);
+    }
+    col.resize(selection_.size());
+  }
+  num_rows_ = static_cast<int>(selection_.size());
+  selection_.clear();
+  has_selection_ = false;
+}
+
+}  // namespace decorr

@@ -1,0 +1,130 @@
+// Columnar batch representation for vectorized execution (DESIGN.md §14).
+//
+// A Batch holds up to ~QueryOptions::batch_size rows column-wise
+// (columns_[c][r] is row r's value for column c) plus an optional selection
+// vector of live physical row indices. Filters narrow the selection instead
+// of copying survivors, so a fused scan→filter→project pipeline touches
+// each value once; Compact() materializes the selection when an operator
+// wants a dense batch back.
+//
+// NULLs are represented as ordinary Value::Null() entries — not a separate
+// validity bitmap — so a row round-tripped through a Batch is bit-for-bit
+// the Row the tuple-at-a-time path would have produced. That is what keeps
+// the `<=>` null-safe key paths (RowHash/RowEq group NULLs together)
+// byte-identical between batch and tuple mode.
+#ifndef DECORR_EXEC_BATCH_H_
+#define DECORR_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "decorr/common/value.h"
+
+namespace decorr {
+
+class Batch {
+ public:
+  // Shim/adapters fall back to this when no batch size was configured
+  // (e.g. a batch-native operator driven by a tuple-mode context).
+  static constexpr int kDefaultRows = 1024;
+
+  // Clears the batch and sets the column count. Column storage is reused
+  // across calls, so a steady-state pipeline allocates nothing per batch.
+  void Reset(int width) {
+    columns_.resize(static_cast<size_t>(width));
+    for (auto& col : columns_) col.clear();
+    selection_.clear();
+    has_selection_ = false;
+    num_rows_ = 0;
+  }
+
+  int width() const { return static_cast<int>(columns_.size()); }
+
+  // Physical rows stored, including rows filtered out by the selection.
+  int num_rows() const { return num_rows_; }
+
+  // Rows visible through the selection (== num_rows() when unfiltered).
+  int live_rows() const {
+    return has_selection_ ? static_cast<int>(selection_.size()) : num_rows_;
+  }
+
+  // Physical index of the i-th live row (0 <= i < live_rows()).
+  int row_index(int i) const {
+    return has_selection_ ? selection_[static_cast<size_t>(i)] : i;
+  }
+
+  bool has_selection() const { return has_selection_; }
+
+  // Replaces the selection with `sel` (ascending physical row indices). An
+  // already-filtered batch must translate through row_index() first; the
+  // EvalPredicateVector consumers in filter_project.cc do exactly that.
+  void SetSelection(std::vector<int32_t> sel) {
+    selection_ = std::move(sel);
+    has_selection_ = true;
+  }
+  void ClearSelection() {
+    selection_.clear();
+    has_selection_ = false;
+  }
+
+  std::vector<Value>& column(int c) { return columns_[static_cast<size_t>(c)]; }
+  const std::vector<Value>& column(int c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+
+  const Value& At(int c, int physical_row) const {
+    return columns_[static_cast<size_t>(c)][static_cast<size_t>(physical_row)];
+  }
+
+  // Appends one dense row (no selection bookkeeping; appending to a batch
+  // that already has a selection is a caller bug).
+  void AppendRow(const Row& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(row[c]);
+    ++num_rows_;
+  }
+  void AppendRow(Row&& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(std::move(row[c]));
+    }
+    ++num_rows_;
+  }
+
+  // Callers that build columns directly (fused scan, Project) append to
+  // column(c) and then declare the resulting dense row count.
+  void set_num_rows(int n) { num_rows_ = n; }
+
+  // Copies the i-th live row into *out (resized to width()).
+  void GetRow(int i, Row* out) const {
+    const int r = row_index(i);
+    out->resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      (*out)[c] = columns_[c][static_cast<size_t>(r)];
+    }
+  }
+
+  // Moves the i-th live row into *out, leaving the source entries
+  // moved-from. Only for single-pass drains that visit each live row once
+  // and Reset (or discard) the batch afterwards — which is exactly what the
+  // sequential batch→row adapters do.
+  void MoveRow(int i, Row* out) {
+    const int r = row_index(i);
+    out->resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      (*out)[c] = std::move(columns_[c][static_cast<size_t>(r)]);
+    }
+  }
+
+  // Rewrites the columns to hold only the live rows and drops the
+  // selection. No-op for unfiltered batches.
+  void Compact();
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  std::vector<int32_t> selection_;  // ascending physical row indices
+  bool has_selection_ = false;
+  int num_rows_ = 0;
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_EXEC_BATCH_H_

@@ -57,12 +57,16 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   left_eof_ = false;
   ResetSpillState();
 
-  // Build phase over the right child.
+  // Build phase over the right child; pulled batch-at-a-time when the
+  // context batches (the per-row key-eval/charging/spill logic is
+  // unchanged — only the fetch is vectorized).
   DECORR_RETURN_IF_ERROR(right_->Open(ctx));
+  BatchRowReader build_reader;
+  build_reader.Reset(right_.get(), ctx->batch_size);
   while (true) {
     Row row;
     bool eof = false;
-    Status st = right_->Next(&row, &eof);
+    Status st = build_reader.Next(&row, &eof);
     if (st.ok() && ctx->guard) st = ctx->guard->Check();
     if (!st.ok()) {
       right_->Close();
@@ -120,7 +124,9 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   right_->Close();
   metrics_.bytes_charged += charged_bytes_;
   if (spilling_) return SpillProbeSide(ctx);
-  return left_->Open(ctx);
+  DECORR_RETURN_IF_ERROR(left_->Open(ctx));
+  batch_probe_.Reset(left_.get(), ctx->batch_size);
+  return Status::OK();
 }
 
 void HashJoinOp::AddSpillWritten(int64_t bytes) {
@@ -498,9 +504,9 @@ Status HashJoinOp::NextImpl(Row* out, bool* eof) {
       *eof = true;
       return Status::OK();
     }
-    // Fetch the next probe row.
+    // Fetch the next probe row (batch-wise underneath when batching).
     bool child_eof = false;
-    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    DECORR_RETURN_IF_ERROR(batch_probe_.Next(&current_left_, &child_eof));
     if (child_eof) {
       left_eof_ = true;
       continue;
@@ -584,6 +590,7 @@ Status NestedLoopJoinOp::OpenImpl(ExecContext* ctx) {
   left_eof_ = false;
   right_cursor_ = right_rows_.size();  // force first left fetch
   emitted_match_ = true;
+  left_reader_.Reset(left_.get(), ctx->batch_size);
   return left_->Open(ctx);
 }
 
@@ -618,7 +625,7 @@ Status NestedLoopJoinOp::NextImpl(Row* out, bool* eof) {
       return Status::OK();
     }
     bool child_eof = false;
-    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    DECORR_RETURN_IF_ERROR(left_reader_.Next(&current_left_, &child_eof));
     if (child_eof) {
       left_eof_ = true;
       continue;
@@ -663,6 +670,7 @@ Status IndexJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   matches_ = nullptr;
   left_eof_ = false;
+  left_reader_.Reset(left_.get(), ctx->batch_size);
   return left_->Open(ctx);
 }
 
@@ -696,7 +704,7 @@ Status IndexJoinOp::NextImpl(Row* out, bool* eof) {
       return Status::OK();
     }
     bool child_eof = false;
-    DECORR_RETURN_IF_ERROR(left_->Next(&current_left_, &child_eof));
+    DECORR_RETURN_IF_ERROR(left_reader_.Next(&current_left_, &child_eof));
     if (child_eof) {
       left_eof_ = true;
       continue;

@@ -39,6 +39,7 @@ MetricsNode Collect(const Operator& op, std::string role) {
   node.spill_passes = m.spill_passes;
   node.spill_bytes_written = m.spill_bytes_written;
   node.spill_bytes_read = m.spill_bytes_read;
+  node.batches_out = m.batches_out;
 
   PlanIntrospection pi;
   op.Introspect(&pi);
@@ -86,6 +87,17 @@ void Render(const MetricsNode& node, int indent, bool include_timing,
         (long long)node.spill_bytes_written,
         (long long)node.spill_bytes_read);
   }
+  // Batch counters only appear once the operator actually produced batches
+  // (tuple-mode runs — and every committed golden — render byte-identically
+  // to before). Selectivity is rows_out over rows_in, the fraction that
+  // survived this operator.
+  if (node.batches_out > 0) {
+    *out += StrFormat(" batches=%lld", (long long)node.batches_out);
+    if (node.rows_in > 0) {
+      *out += StrFormat(" sel=%.3f", static_cast<double>(node.rows_out) /
+                                         static_cast<double>(node.rows_in));
+    }
+  }
   if (include_timing) {
     *out += StrFormat(" time=%.3fms", Ms(node.total_nanos));
     if (node.bytes_charged > 0) {
@@ -124,6 +136,14 @@ void NodeJson(JsonWriter* w, const MetricsNode& node) {
     w->Key("spill_passes").Int(node.spill_passes);
     w->Key("spill_bytes_written").Int(node.spill_bytes_written);
     w->Key("spill_bytes_read").Int(node.spill_bytes_read);
+  }
+  if (node.batches_out > 0) {
+    w->Key("batches_out").Int(node.batches_out);
+    if (node.rows_in > 0) {
+      w->Key("selectivity")
+          .Double(static_cast<double>(node.rows_out) /
+                  static_cast<double>(node.rows_in));
+    }
   }
   w->Key("children").BeginArray();
   for (const MetricsNode& child : node.children) NodeJson(w, child);

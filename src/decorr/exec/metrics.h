@@ -64,6 +64,11 @@ struct OperatorMetrics {
   int64_t spill_passes = 0;
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
+  // Vectorized execution: batches produced through NextBatch. Zero in
+  // tuple mode, so rendered output of unbatched runs (and every golden) is
+  // unchanged; the renderer derives per-operator selectivity from
+  // rows_out/rows_in when this is non-zero.
+  int64_t batches_out = 0;
 
   // Folds a worker clone's counters into this (coordinator-side) instance.
   // Exchange operators run one operator clone per worker, each with its own
@@ -90,6 +95,7 @@ struct OperatorMetrics {
     spill_passes += other.spill_passes;
     spill_bytes_written += other.spill_bytes_written;
     spill_bytes_read += other.spill_bytes_read;
+    batches_out += other.batches_out;
   }
 
   // Extrapolated total Next() time from the sampled calls.
@@ -130,6 +136,7 @@ struct MetricsNode {
   int64_t spill_passes = 0;
   int64_t spill_bytes_written = 0;
   int64_t spill_bytes_read = 0;
+  int64_t batches_out = 0;
 
   std::vector<MetricsNode> children;
 };

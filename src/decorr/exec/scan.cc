@@ -5,6 +5,7 @@
 #include "decorr/common/fault.h"
 #include "decorr/common/string_util.h"
 #include "decorr/expr/eval.h"
+#include "decorr/expr/eval_vector.h"
 
 namespace decorr {
 
@@ -21,6 +22,166 @@ std::vector<int> FilterColumns(const Expr* filter) {
     }
   }
   return cols;
+}
+
+// ---- Storage-level predicate fast path ----
+//
+// The repeated inner scans of a nested-iteration plan evaluate the same
+// small predicate (`col op constant/param`, conjunctions of those) over
+// every storage row. The batch evaluator would first materialize the
+// filter columns as Values; this path instead compares the table's typed
+// column vectors in place — no Value is constructed for rows that fail.
+// match[i] = 1 iff storage row begin+i passes; returns false to fall back
+// to the generic vector evaluator for shapes it does not handle.
+
+template <typename T>
+char ApplyCmp(BinaryOp op, const T& a, const T& b) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNullEq:  // operands are non-NULL here
+      return a == b ? 1 : 0;
+    case BinaryOp::kNe: return a != b ? 1 : 0;
+    case BinaryOp::kLt: return a < b ? 1 : 0;
+    case BinaryOp::kLe: return a <= b ? 1 : 0;
+    case BinaryOp::kGt: return a > b ? 1 : 0;
+    case BinaryOp::kGe: return a >= b ? 1 : 0;
+    default: return 0;  // unreachable: kComparison carries comparison ops
+  }
+}
+
+bool FixedOperand(const Expr& e, const Row* params, const Value** out) {
+  if (e.kind == ExprKind::kConstant) {
+    *out = &e.value;
+    return true;
+  }
+  if (e.kind == ExprKind::kParamRef && params != nullptr) {
+    *out = &(*params)[e.param];
+    return true;
+  }
+  return false;
+}
+
+bool EvalFilterOverStorage(const Expr& e, const Table& t, const Row* params,
+                           size_t begin, size_t chunk,
+                           std::vector<char>* match) {
+  switch (e.kind) {
+    case ExprKind::kComparison: {
+      const Expr* col_side = e.children[0].get();
+      const Expr* fixed_side = e.children[1].get();
+      BinaryOp op = e.op;
+      if (col_side->kind != ExprKind::kColumnRef) {
+        std::swap(col_side, fixed_side);
+        op = MirrorComparison(op);
+      }
+      if (col_side->kind != ExprKind::kColumnRef || col_side->slot < 0) {
+        return false;
+      }
+      const Value* fixed = nullptr;
+      if (!FixedOperand(*fixed_side, params, &fixed)) return false;
+      const Column& col = t.column(col_side->slot);
+      match->assign(chunk, 0);
+      if (fixed->is_null()) {
+        // NULL comparand: UNKNOWN for every row (never matches) — except
+        // the null-safe equal, which matches exactly the NULL rows.
+        if (op == BinaryOp::kNullEq) {
+          for (size_t i = 0; i < chunk; ++i) {
+            (*match)[i] = col.IsNull(begin + i) ? 1 : 0;
+          }
+        }
+        return true;
+      }
+      switch (col.type()) {
+        case TypeId::kInt64:
+          if (fixed->type() == TypeId::kInt64) {
+            const int64_t rv = fixed->int64_value();
+            for (size_t i = 0; i < chunk; ++i) {
+              if (!col.IsNull(begin + i)) {
+                (*match)[i] = ApplyCmp(op, col.Int64At(begin + i), rv);
+              }
+            }
+          } else if (fixed->type() == TypeId::kDouble) {
+            const double rv = fixed->double_value();
+            for (size_t i = 0; i < chunk; ++i) {
+              if (!col.IsNull(begin + i)) {
+                (*match)[i] = ApplyCmp(
+                    op, static_cast<double>(col.Int64At(begin + i)), rv);
+              }
+            }
+          } else {
+            return false;
+          }
+          return true;
+        case TypeId::kDouble: {
+          if (fixed->type() != TypeId::kInt64 &&
+              fixed->type() != TypeId::kDouble) {
+            return false;
+          }
+          const double rv = fixed->AsDouble();
+          for (size_t i = 0; i < chunk; ++i) {
+            if (!col.IsNull(begin + i)) {
+              (*match)[i] = ApplyCmp(op, col.DoubleAt(begin + i), rv);
+            }
+          }
+          return true;
+        }
+        case TypeId::kString: {
+          if (fixed->type() != TypeId::kString) return false;
+          const std::string& rv = fixed->string_value();
+          for (size_t i = 0; i < chunk; ++i) {
+            if (!col.IsNull(begin + i)) {
+              (*match)[i] = ApplyCmp(op, col.StringAt(begin + i), rv);
+            }
+          }
+          return true;
+        }
+        case TypeId::kBool: {
+          if (fixed->type() != TypeId::kBool) return false;
+          const int64_t rv = fixed->bool_value() ? 1 : 0;
+          for (size_t i = 0; i < chunk; ++i) {
+            if (!col.IsNull(begin + i)) {
+              (*match)[i] = ApplyCmp(
+                  op, static_cast<int64_t>(col.BoolAt(begin + i) ? 1 : 0), rv);
+            }
+          }
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+    case ExprKind::kIsNull: {
+      const Expr& child = *e.children[0];
+      if (child.kind != ExprKind::kColumnRef || child.slot < 0) return false;
+      const Column& col = t.column(child.slot);
+      match->resize(chunk);
+      for (size_t i = 0; i < chunk; ++i) {
+        const bool is_null = col.IsNull(begin + i);
+        (*match)[i] = (e.negated ? !is_null : is_null) ? 1 : 0;
+      }
+      return true;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      // In predicate context UNKNOWN has collapsed to 0 in each child,
+      // under which Kleene AND/OR reduce to & and |. NOT does not survive
+      // the collapse and falls back to the generic evaluator.
+      std::vector<char> right;
+      if (!EvalFilterOverStorage(*e.children[0], t, params, begin, chunk,
+                                 match) ||
+          !EvalFilterOverStorage(*e.children[1], t, params, begin, chunk,
+                                 &right)) {
+        return false;
+      }
+      if (e.kind == ExprKind::kAnd) {
+        for (size_t i = 0; i < chunk; ++i) (*match)[i] &= right[i];
+      } else {
+        for (size_t i = 0; i < chunk; ++i) (*match)[i] |= right[i];
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -65,6 +226,64 @@ Status SeqScanOp::NextImpl(Row* out, bool* eof) {
     return Status::OK();
   }
   *eof = true;
+  return Status::OK();
+}
+
+Status SeqScanOp::NextBatchImpl(Batch* out, bool* eof) {
+  DECORR_FAULT_POINT("exec.seqscan.next");
+  const size_t n = table_->num_rows();
+  const size_t target = static_cast<size_t>(batch_size());
+  out->Reset(output_width());
+  // Low-selectivity chunks may leave the output empty; keep scanning so a
+  // returned batch always carries at least one row.
+  while (cursor_ < n && out->num_rows() == 0) {
+    DECORR_RETURN_IF_ERROR(ctx_->Check());
+    const size_t chunk = std::min(target, n - cursor_);
+    ctx_->stats->rows_scanned += static_cast<int64_t>(chunk);
+    metrics_.rows_in_self += static_cast<int64_t>(chunk);
+    if (filter_ == nullptr) {
+      for (size_t c = 0; c < projection_.size(); ++c) {
+        std::vector<Value>& col = out->column(static_cast<int>(c));
+        for (size_t i = 0; i < chunk; ++i) {
+          col.push_back(table_->GetValue(cursor_ + i, projection_[c]));
+        }
+      }
+      out->set_num_rows(static_cast<int>(chunk));
+      cursor_ += chunk;
+      break;
+    }
+    // Predicate the whole chunk at once — directly over the typed column
+    // storage when the filter has a fast shape, else by loading only the
+    // columns the filter touches (same narrowing the tuple path's scratch
+    // row does) for the generic vector evaluator — then materialize the
+    // projection for survivors only.
+    if (!EvalFilterOverStorage(*filter_, *table_, ctx_->params, cursor_,
+                               chunk, &match_)) {
+      filter_batch_.Reset(table_->num_columns());
+      for (int c : filter_columns_) {
+        std::vector<Value>& col = filter_batch_.column(c);
+        col.reserve(chunk);
+        for (size_t i = 0; i < chunk; ++i) {
+          col.push_back(table_->GetValue(cursor_ + i, c));
+        }
+      }
+      filter_batch_.set_num_rows(static_cast<int>(chunk));
+      DECORR_RETURN_IF_ERROR(
+          EvalPredicateVector(*filter_, filter_batch_, ctx_->params, &match_));
+    }
+    int survivors = 0;
+    for (size_t i = 0; i < chunk; ++i) {
+      if (!match_[i]) continue;
+      ++survivors;
+      for (size_t c = 0; c < projection_.size(); ++c) {
+        out->column(static_cast<int>(c))
+            .push_back(table_->GetValue(cursor_ + i, projection_[c]));
+      }
+    }
+    out->set_num_rows(survivors);
+    cursor_ += chunk;
+  }
+  *eof = out->num_rows() == 0;
   return Status::OK();
 }
 
@@ -185,6 +404,22 @@ Status RowsScanOp::NextImpl(Row* out, bool* eof) {
   }
   ++metrics_.rows_in_self;
   *out = (*rows_)[cursor_++];
+  *eof = false;
+  return Status::OK();
+}
+
+Status RowsScanOp::NextBatchImpl(Batch* out, bool* eof) {
+  DECORR_RETURN_IF_ERROR(ctx_->Check());
+  out->Reset(width_);
+  const size_t n = rows_->size();
+  if (cursor_ >= n) {
+    *eof = true;
+    return Status::OK();
+  }
+  const size_t chunk = std::min(static_cast<size_t>(batch_size()), n - cursor_);
+  metrics_.rows_in_self += static_cast<int64_t>(chunk);
+  for (size_t i = 0; i < chunk; ++i) out->AppendRow((*rows_)[cursor_ + i]);
+  cursor_ += chunk;
   *eof = false;
   return Status::OK();
 }

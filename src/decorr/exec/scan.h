@@ -33,6 +33,10 @@ class SeqScanOp : public Operator {
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextImpl(Row* out, bool* eof) override;
+  // Fused scan+filter+project over one chunk of the table per call: filter
+  // columns load into a columnar scratch batch, the predicate runs
+  // vectorized, and only surviving rows materialize their projection.
+  Status NextBatchImpl(Batch* out, bool* eof) override;
   void CloseImpl() override;
 
  private:
@@ -41,6 +45,8 @@ class SeqScanOp : public Operator {
   ExprPtr filter_;
   std::vector<int> filter_columns_;  // table columns the filter touches
   Row scratch_;                      // full-width scratch row for the filter
+  Batch filter_batch_;               // columnar scratch (filter columns only)
+  std::vector<char> match_;          // vectorized predicate results
   ExecContext* ctx_ = nullptr;
   size_t cursor_ = 0;
 };
@@ -91,6 +97,7 @@ class RowsScanOp : public Operator {
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(Batch* out, bool* eof) override;
   void CloseImpl() override;
 
  private:

@@ -76,8 +76,6 @@ Value ArithmeticValues(BinaryOp op, TypeId result_type, const Value& lhs,
   return Value::Null();
 }
 
-namespace {
-
 // SQL LIKE: '%' matches any run (including empty), '_' any single
 // character; everything else is literal. Iterative matcher with the classic
 // last-star backtrack.
@@ -102,8 +100,6 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
   while (p < pattern.size() && pattern[p] == '%') ++p;
   return p == pattern.size();
 }
-
-}  // namespace
 
 Value Eval(const Expr& expr, const EvalContext& ctx) {
   switch (expr.kind) {

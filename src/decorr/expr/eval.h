@@ -34,6 +34,10 @@ Value CompareValues(BinaryOp op, const Value& lhs, const Value& rhs);
 Value ArithmeticValues(BinaryOp op, TypeId result_type, const Value& lhs,
                        const Value& rhs);
 
+// SQL LIKE matching ('%' any run, '_' any single character). Shared by the
+// scalar and the vectorized evaluator so both agree character-for-character.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
 }  // namespace decorr
 
 #endif  // DECORR_EXPR_EVAL_H_

@@ -1,0 +1,425 @@
+#include "decorr/expr/eval_vector.h"
+
+#include <cmath>
+
+#include "decorr/common/fault.h"
+#include "decorr/common/logging.h"
+#include "decorr/common/string_util.h"
+#include "decorr/expr/eval.h"
+
+namespace decorr {
+
+namespace {
+
+using Vec = std::vector<Value>;
+
+void EvalRec(const Expr& expr, const Batch& b, const Row* params, Vec* out) {
+  const int n = b.live_rows();
+  out->clear();
+  out->resize(static_cast<size_t>(n));
+  switch (expr.kind) {
+    case ExprKind::kConstant: {
+      for (int i = 0; i < n; ++i) (*out)[i] = expr.value;
+      return;
+    }
+    case ExprKind::kColumnRef: {
+      DECORR_CHECK_MSG(expr.slot >= 0, "unplanned column reference evaluated");
+      const std::vector<Value>& col = b.column(expr.slot);
+      for (int i = 0; i < n; ++i) (*out)[i] = col[b.row_index(i)];
+      return;
+    }
+    case ExprKind::kParamRef: {
+      DECORR_CHECK_MSG(params != nullptr, "parameter context missing");
+      const Value& v = (*params)[expr.param];
+      for (int i = 0; i < n; ++i) (*out)[i] = v;
+      return;
+    }
+    case ExprKind::kComparison: {
+      Vec lhs, rhs;
+      EvalRec(*expr.children[0], b, params, &lhs);
+      EvalRec(*expr.children[1], b, params, &rhs);
+      for (int i = 0; i < n; ++i) {
+        (*out)[i] = CompareValues(expr.op, lhs[i], rhs[i]);
+      }
+      return;
+    }
+    case ExprKind::kAnd: {
+      Vec lhs, rhs;
+      EvalRec(*expr.children[0], b, params, &lhs);
+      EvalRec(*expr.children[1], b, params, &rhs);
+      for (int i = 0; i < n; ++i) {
+        const Value& l = lhs[i];
+        const Value& r = rhs[i];
+        if (!l.is_null() && !l.bool_value()) {
+          (*out)[i] = Value::Bool(false);
+        } else if (!r.is_null() && !r.bool_value()) {
+          (*out)[i] = Value::Bool(false);
+        } else if (l.is_null() || r.is_null()) {
+          (*out)[i] = Value::Null();
+        } else {
+          (*out)[i] = Value::Bool(true);
+        }
+      }
+      return;
+    }
+    case ExprKind::kOr: {
+      Vec lhs, rhs;
+      EvalRec(*expr.children[0], b, params, &lhs);
+      EvalRec(*expr.children[1], b, params, &rhs);
+      for (int i = 0; i < n; ++i) {
+        const Value& l = lhs[i];
+        const Value& r = rhs[i];
+        if (!l.is_null() && l.bool_value()) {
+          (*out)[i] = Value::Bool(true);
+        } else if (!r.is_null() && r.bool_value()) {
+          (*out)[i] = Value::Bool(true);
+        } else if (l.is_null() || r.is_null()) {
+          (*out)[i] = Value::Null();
+        } else {
+          (*out)[i] = Value::Bool(false);
+        }
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      Vec v;
+      EvalRec(*expr.children[0], b, params, &v);
+      for (int i = 0; i < n; ++i) {
+        (*out)[i] =
+            v[i].is_null() ? Value::Null() : Value::Bool(!v[i].bool_value());
+      }
+      return;
+    }
+    case ExprKind::kArithmetic: {
+      Vec lhs, rhs;
+      EvalRec(*expr.children[0], b, params, &lhs);
+      EvalRec(*expr.children[1], b, params, &rhs);
+      for (int i = 0; i < n; ++i) {
+        (*out)[i] = ArithmeticValues(expr.op, expr.type, lhs[i], rhs[i]);
+      }
+      return;
+    }
+    case ExprKind::kNegate: {
+      Vec v;
+      EvalRec(*expr.children[0], b, params, &v);
+      for (int i = 0; i < n; ++i) {
+        if (v[i].is_null()) {
+          (*out)[i] = Value::Null();
+        } else if (v[i].type() == TypeId::kInt64) {
+          (*out)[i] = Value::Int64(-v[i].int64_value());
+        } else {
+          (*out)[i] = Value::Double(-v[i].AsDouble());
+        }
+      }
+      return;
+    }
+    case ExprKind::kIsNull: {
+      Vec v;
+      EvalRec(*expr.children[0], b, params, &v);
+      for (int i = 0; i < n; ++i) {
+        const bool is_null = v[i].is_null();
+        (*out)[i] = Value::Bool(expr.negated ? !is_null : is_null);
+      }
+      return;
+    }
+    case ExprKind::kInList: {
+      std::vector<Vec> items(expr.children.size());
+      for (size_t c = 0; c < expr.children.size(); ++c) {
+        EvalRec(*expr.children[c], b, params, &items[c]);
+      }
+      for (int i = 0; i < n; ++i) {
+        const Value& lhs = items[0][i];
+        if (lhs.is_null()) {
+          (*out)[i] = Value::Null();
+          continue;
+        }
+        bool matched = false;
+        bool saw_null = false;
+        for (size_t c = 1; c < expr.children.size(); ++c) {
+          const Value& item = items[c][i];
+          if (item.is_null()) {
+            saw_null = true;
+            continue;
+          }
+          if (lhs.Compare(item) == 0) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) {
+          (*out)[i] = Value::Bool(!expr.negated);
+        } else if (saw_null) {
+          (*out)[i] = Value::Null();  // x IN (..., NULL) is UNKNOWN
+        } else {
+          (*out)[i] = Value::Bool(expr.negated);
+        }
+      }
+      return;
+    }
+    case ExprKind::kLike: {
+      Vec lhs, pattern;
+      EvalRec(*expr.children[0], b, params, &lhs);
+      EvalRec(*expr.children[1], b, params, &pattern);
+      for (int i = 0; i < n; ++i) {
+        if (lhs[i].is_null() || pattern[i].is_null()) {
+          (*out)[i] = Value::Null();
+          continue;
+        }
+        const bool match =
+            LikeMatch(lhs[i].string_value(), pattern[i].string_value());
+        (*out)[i] = Value::Bool(expr.negated ? !match : match);
+      }
+      return;
+    }
+    case ExprKind::kCase: {
+      auto coerce = [&expr](const Value& v) {
+        if (expr.type == TypeId::kDouble && v.type() == TypeId::kInt64) {
+          return Value::Double(v.AsDouble());
+        }
+        return v;
+      };
+      std::vector<Vec> branches(expr.children.size());
+      for (size_t c = 0; c < expr.children.size(); ++c) {
+        EvalRec(*expr.children[c], b, params, &branches[c]);
+      }
+      const size_t pairs = expr.children.size() / 2;
+      const bool has_else = expr.children.size() % 2 == 1;
+      for (int i = 0; i < n; ++i) {
+        bool taken = false;
+        for (size_t p = 0; p < pairs; ++p) {
+          const Value& cond = branches[2 * p][i];
+          if (!cond.is_null() && cond.bool_value()) {
+            (*out)[i] = coerce(branches[2 * p + 1][i]);
+            taken = true;
+            break;
+          }
+        }
+        if (!taken) {
+          (*out)[i] = has_else ? coerce(branches.back()[i]) : Value::Null();
+        }
+      }
+      return;
+    }
+    case ExprKind::kFunction: {
+      std::vector<Vec> args(expr.children.size());
+      for (size_t c = 0; c < expr.children.size(); ++c) {
+        EvalRec(*expr.children[c], b, params, &args[c]);
+      }
+      switch (expr.func) {
+        case FuncKind::kCoalesce: {
+          for (int i = 0; i < n; ++i) {
+            (*out)[i] = Value::Null();
+            for (size_t c = 0; c < args.size(); ++c) {
+              if (!args[c][i].is_null()) {
+                (*out)[i] = args[c][i];
+                break;
+              }
+            }
+          }
+          return;
+        }
+        case FuncKind::kAbs: {
+          for (int i = 0; i < n; ++i) {
+            const Value& v = args[0][i];
+            if (v.is_null()) {
+              (*out)[i] = Value::Null();
+            } else if (v.type() == TypeId::kInt64) {
+              (*out)[i] = Value::Int64(std::abs(v.int64_value()));
+            } else {
+              (*out)[i] = Value::Double(std::fabs(v.AsDouble()));
+            }
+          }
+          return;
+        }
+        case FuncKind::kUpper: {
+          for (int i = 0; i < n; ++i) {
+            const Value& v = args[0][i];
+            (*out)[i] = v.is_null() ? Value::Null()
+                                    : Value::String(ToUpper(v.string_value()));
+          }
+          return;
+        }
+        case FuncKind::kLower: {
+          for (int i = 0; i < n; ++i) {
+            const Value& v = args[0][i];
+            (*out)[i] = v.is_null() ? Value::Null()
+                                    : Value::String(ToLower(v.string_value()));
+          }
+          return;
+        }
+        case FuncKind::kLength: {
+          for (int i = 0; i < n; ++i) {
+            const Value& v = args[0][i];
+            (*out)[i] = v.is_null() ? Value::Null()
+                                    : Value::Int64(static_cast<int64_t>(
+                                          v.string_value().size()));
+          }
+          return;
+        }
+      }
+      return;
+    }
+    case ExprKind::kAggregate:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kInSubquery:
+    case ExprKind::kQuantifiedComparison:
+      DECORR_CHECK_MSG(false,
+                       "aggregate/subquery node reached the evaluator; the "
+                       "planner must eliminate these");
+      return;
+  }
+}
+
+// ---- Allocation-free predicate fast path ----
+//
+// The fused scan/filter loop evaluates the same small predicate shapes —
+// `col op constant/param`, conjunctions of those — over every chunk of
+// every scan. Going through EvalRec would materialize a Value vector per
+// node per chunk; the fast path instead binds each comparison operand to
+// either a batch column or a single fixed Value and writes predicate
+// truth (UNKNOWN already collapsed to 0) straight into the char vector.
+
+// A comparison operand: per-row batch column, or one value for all rows.
+struct LeafRef {
+  const std::vector<Value>* col = nullptr;
+  const Value* fixed = nullptr;
+};
+
+bool BindLeaf(const Expr& e, const Batch& b, const Row* params,
+              LeafRef* out) {
+  switch (e.kind) {
+    case ExprKind::kConstant:
+      out->fixed = &e.value;
+      return true;
+    case ExprKind::kColumnRef:
+      if (e.slot < 0) return false;
+      out->col = &b.column(e.slot);
+      return true;
+    case ExprKind::kParamRef:
+      if (params == nullptr) return false;
+      out->fixed = &(*params)[e.param];
+      return true;
+    default:
+      return false;
+  }
+}
+
+// CompareValues collapsed to predicate truth: NULL operands yield UNKNOWN
+// which never matches (except under the null-safe kNullEq).
+char PredCompare(BinaryOp op, const Value& l, const Value& r) {
+  if (op == BinaryOp::kNullEq) {
+    if (l.is_null() || r.is_null()) {
+      return l.is_null() && r.is_null() ? 1 : 0;
+    }
+    return l.Compare(r) == 0 ? 1 : 0;
+  }
+  if (l.is_null() || r.is_null()) return 0;
+  const int cmp = l.Compare(r);
+  switch (op) {
+    case BinaryOp::kEq: return cmp == 0;
+    case BinaryOp::kNe: return cmp != 0;
+    case BinaryOp::kLt: return cmp < 0;
+    case BinaryOp::kLe: return cmp <= 0;
+    case BinaryOp::kGt: return cmp > 0;
+    case BinaryOp::kGe: return cmp >= 0;
+    default:
+      return 0;  // unreachable: kComparison nodes carry comparison ops
+  }
+}
+
+// Returns true when `expr` was evaluated without touching EvalRec. Handles
+// comparisons over leaf operands, IS [NOT] NULL on a column, and AND/OR
+// over fast-evaluable children — in predicate context UNKNOWN collapses to
+// 0 in each child, under which Kleene AND/OR reduce to plain & and |
+// (AND is true iff both sides are true; OR iff either is). NOT does not
+// survive the collapse (NOT UNKNOWN is UNKNOWN, not true), so it falls
+// back to the general evaluator.
+bool FastPred(const Expr& expr, const Batch& b, const Row* params,
+              std::vector<char>* out) {
+  const int n = b.live_rows();
+  switch (expr.kind) {
+    case ExprKind::kComparison: {
+      LeafRef lhs, rhs;
+      if (!BindLeaf(*expr.children[0], b, params, &lhs) ||
+          !BindLeaf(*expr.children[1], b, params, &rhs)) {
+        return false;
+      }
+      out->resize(static_cast<size_t>(n));
+      if (!b.has_selection()) {
+        for (int i = 0; i < n; ++i) {
+          const Value& l = lhs.col ? (*lhs.col)[static_cast<size_t>(i)]
+                                   : *lhs.fixed;
+          const Value& r = rhs.col ? (*rhs.col)[static_cast<size_t>(i)]
+                                   : *rhs.fixed;
+          (*out)[static_cast<size_t>(i)] = PredCompare(expr.op, l, r);
+        }
+      } else {
+        for (int i = 0; i < n; ++i) {
+          const size_t phys = static_cast<size_t>(b.row_index(i));
+          const Value& l = lhs.col ? (*lhs.col)[phys] : *lhs.fixed;
+          const Value& r = rhs.col ? (*rhs.col)[phys] : *rhs.fixed;
+          (*out)[static_cast<size_t>(i)] = PredCompare(expr.op, l, r);
+        }
+      }
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      const Expr& child = *expr.children[0];
+      if (child.kind != ExprKind::kColumnRef || child.slot < 0) return false;
+      const std::vector<Value>& col = b.column(child.slot);
+      out->resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const bool is_null = col[static_cast<size_t>(b.row_index(i))].is_null();
+        (*out)[static_cast<size_t>(i)] =
+            (expr.negated ? !is_null : is_null) ? 1 : 0;
+      }
+      return true;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<char> right;
+      if (!FastPred(*expr.children[0], b, params, out) ||
+          !FastPred(*expr.children[1], b, params, &right)) {
+        return false;
+      }
+      if (expr.kind == ExprKind::kAnd) {
+        for (int i = 0; i < n; ++i) {
+          (*out)[static_cast<size_t>(i)] &= right[static_cast<size_t>(i)];
+        }
+      } else {
+        for (int i = 0; i < n; ++i) {
+          (*out)[static_cast<size_t>(i)] |= right[static_cast<size_t>(i)];
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status EvalVector(const Expr& expr, const Batch& batch, const Row* params,
+                  std::vector<Value>* out) {
+  DECORR_FAULT_POINT("exec.batch.eval");
+  EvalRec(expr, batch, params, out);
+  return Status::OK();
+}
+
+Status EvalPredicateVector(const Expr& expr, const Batch& batch,
+                           const Row* params, std::vector<char>* out) {
+  DECORR_FAULT_POINT("exec.batch.eval");
+  if (FastPred(expr, batch, params, out)) return Status::OK();
+  Vec values;
+  EvalRec(expr, batch, params, &values);
+  out->clear();
+  out->resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    (*out)[i] = !values[i].is_null() && values[i].bool_value() ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace decorr

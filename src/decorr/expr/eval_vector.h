@@ -1,0 +1,42 @@
+// Columnar expression evaluation over whole Batches (DESIGN.md §14).
+//
+// One recursive walk of the expression tree per batch (instead of per row):
+// each node materializes a vector of results for the batch's live rows, so
+// the tree-walk dispatch, the EvalContext setup and the virtual-call
+// overhead of the tuple path are amortized across ~batch_size rows. Every
+// per-element kernel is the scalar one (CompareValues / ArithmeticValues /
+// LikeMatch / the same Kleene combines), so batch results are value-exact
+// with Eval() — including 3VL NULL strictness and `<=>` never returning
+// NULL. Short-circuit differences cannot be observed: Eval() is total
+// (numeric edge cases yield NULL, never an error), so evaluating both sides
+// of AND/OR — or every CASE branch — and combining per element produces the
+// rows the short-circuiting scalar path produces.
+//
+// Depends on exec/batch.h for the Batch container only (plain column
+// vectors over common/value.h — no operator machinery).
+#ifndef DECORR_EXPR_EVAL_VECTOR_H_
+#define DECORR_EXPR_EVAL_VECTOR_H_
+
+#include <vector>
+
+#include "decorr/common/status.h"
+#include "decorr/common/value.h"
+#include "decorr/exec/batch.h"
+#include "decorr/expr/expr.h"
+
+namespace decorr {
+
+// Evaluates a planned scalar expression for every live row of `batch`
+// (honoring its selection vector): (*out)[i] is the value for live row i.
+// Carries the exec.batch.eval fault site.
+Status EvalVector(const Expr& expr, const Batch& batch, const Row* params,
+                  std::vector<Value>* out);
+
+// Predicate form: (*out)[i] is non-zero iff the expression is TRUE for live
+// row i (NULL/UNKNOWN and FALSE both reject, exactly like EvalPredicate).
+Status EvalPredicateVector(const Expr& expr, const Batch& batch,
+                           const Row* params, std::vector<char>* out);
+
+}  // namespace decorr
+
+#endif  // DECORR_EXPR_EVAL_VECTOR_H_

@@ -264,6 +264,7 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   ctx.guard = guard;
   ctx.profile = options.profile;
   ctx.subquery_cache_bytes = cache_bytes;
+  ctx.batch_size = options.batch_size;
   if (options.spill) {
     temp_mgr = std::make_unique<TempFileManager>(options.temp_dir,
                                                  options.spill_bytes);

@@ -89,6 +89,11 @@ struct QueryOptions {
   bool spill = false;
   int64_t spill_bytes = 0;
   std::string temp_dir;
+  // Vectorized execution (DESIGN.md §14): rows per Batch pulled through
+  // Operator::NextBatch. 0 keeps the tuple-at-a-time engine byte-identical
+  // to before; 1024 is the intended production size. Changes execution
+  // only — plan shape (EXPLAIN) is identical either way.
+  int batch_size = 0;
 };
 
 struct QueryResult {
