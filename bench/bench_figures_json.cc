@@ -46,6 +46,10 @@ int main(int argc, char** argv) {
   WriteParallel(w);
   w.Key("parallel_measured");
   WriteParallelMeasured(w, TpcdDb());
+  // Before Figure 7: the served runs and their single-session reference
+  // must see the same (fully indexed) catalog regime.
+  w.Key("server_throughput");
+  WriteServerThroughput(w, TpcdDb());
   // Last: mutates the shared database (drops partsupp indexes).
   w.Key("figures_noindex").BeginArray();
   WriteFigure(w, Fig7Database(), Fig7Spec());

@@ -41,6 +41,15 @@ case must report spilled_and_completed — a ladder where no rung ever
 both spilled and finished means graceful degradation silently stopped
 working.
 
+The server_throughput section (serving layer, DESIGN.md §15) follows
+the same split: qps, wall times and admission counters are telemetry
+(older baselines without the section stay comparable), but every fresh
+client-count point must report rows_match_single — a served result
+diverging from the single-session reference is an isolation or
+plan-cache correctness bug, never noise — and at least one point must
+record plan-cache hits, since a cache that never hits means the shared
+plan cache silently stopped amortizing anything.
+
 The Auto series gets one extra fresh-run gate: in every figure that
 records it, the cost-based pick's wall time must stay within
 --auto-tolerance (default 10%) of the best hand-picked strategy in the
@@ -259,6 +268,30 @@ def main():
                 errors.append(
                     f"{section}/{case.get('id')}: no budget rung both "
                     f"spilled and completed (graceful degradation broken)")
+
+    # Serving-layer correctness gate: every client-count point must have
+    # returned exactly the single-session reference rows, and the shared
+    # plan cache must have produced hits somewhere in the section. The qps,
+    # wall-time and admission-counter telemetry is machine-dependent and is
+    # not compared.
+    server = fresh.get("server_throughput")
+    if server is not None:
+        total_hits = 0
+        for point in server.get("clients", []):
+            tag = f"server_throughput/clients={point.get('clients')}"
+            if not point.get("ok"):
+                errors.append(f"{tag}: served run failed "
+                              f"({point.get('error')})")
+                continue
+            if not point.get("rows_match_single", True):
+                errors.append(
+                    f"{tag}: served rows diverge from the single-session "
+                    f"reference (serving-layer correctness bug)")
+            total_hits += point.get("plan_cache_hits", 0)
+        if server.get("clients") and total_hits <= 0:
+            errors.append(
+                "server_throughput: no plan-cache hits at any client count "
+                "(shared plan cache stopped amortizing)")
 
     for note in notes:
         print(f"[bench-check] {note}")

@@ -13,6 +13,8 @@
 
 #include "bench/bench_util.h"
 #include "decorr/parallel/parallel.h"
+#include "decorr/server/server.h"
+#include "decorr/server/session.h"
 #include "decorr/tpcd/queries.h"
 
 namespace decorr {
@@ -827,6 +829,147 @@ inline void WriteParallelMeasured(JsonWriter& w, Database& db) {
                  error.empty()
                      ? StrFormat("%.2f ms exec, %zu rows", best_exec_ms,
                                  rows).c_str()
+                     : error.c_str());
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+// ---- Serving-layer throughput (DESIGN.md §15) ----
+//
+// N client threads share one Server over the TPC-D catalog, each looping a
+// mixed workload of the four figure queries under their hot strategies.
+// Correctness is the gate: every served result's row multiset must equal
+// the single-session reference computed up front (rows_match_single), and
+// after the warm-up pass the shared plan cache must be producing hits.
+// Wall time and qps are telemetry — on a 1-core container N>1 buys no
+// speedup, so the regression checker ignores them and compares only the
+// row-identity and hit-rate facts. Must run before Figure 7 drops the
+// partsupp indexes: the reference and the served runs need one regime.
+
+struct ServerWorkloadCase {
+  const char* id;
+  std::string sql;
+  Strategy strategy;
+};
+
+inline std::vector<ServerWorkloadCase> ServerWorkload() {
+  return {{"fig5_mag", TpcdQuery1(), Strategy::kMagic},
+          {"fig6_mag", TpcdQuery1Variant(), Strategy::kMagic},
+          {"fig8_optmag", TpcdQuery2(), Strategy::kOptMagic},
+          {"fig9_mag", TpcdQuery3(), Strategy::kMagic}};
+}
+
+inline void WriteServerThroughput(JsonWriter& w, Database& db) {
+  std::fprintf(stderr, "[bench] server throughput (shared plan cache)\n");
+  const std::vector<ServerWorkloadCase> workload = ServerWorkload();
+
+  // Single-session reference multisets, computed on the plain Database.
+  std::vector<std::vector<std::string>> reference(workload.size());
+  std::vector<std::string> reference_error(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QueryOptions options;
+    options.strategy = workload[i].strategy;
+    options.fallback = false;
+    auto result = db.Execute(workload[i].sql, options);
+    if (result.ok()) {
+      reference[i] = SpillRowMultiset(result->rows);
+    } else {
+      reference_error[i] = result.status().ToString();
+    }
+  }
+
+  w.BeginObject();
+  w.Key("workload").BeginArray();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    w.BeginObject();
+    w.Key("id").String(workload[i].id);
+    w.Key("strategy").String(StrategyName(workload[i].strategy));
+    w.Key("ok").Bool(reference_error[i].empty());
+    if (reference_error[i].empty()) {
+      w.Key("reference_rows").Int(static_cast<int64_t>(reference[i].size()));
+    } else {
+      w.Key("error").String(reference_error[i]);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  constexpr int kPasses = 3;
+  w.Key("clients").BeginArray();
+  for (int clients : {1, 4, 8}) {
+    // Fresh server per point: plan-cache and admission counters then
+    // describe exactly this client count's run.
+    ServerOptions server_options;
+    server_options.max_concurrent_queries = 4;  // N=8 exercises the queue
+    Server server(server_options, db.shared_catalog());
+
+    std::vector<std::string> thread_errors(static_cast<size_t>(clients));
+    std::vector<int64_t> thread_queries(static_cast<size_t>(clients), 0);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        auto session = server.Connect(StrFormat("bench-%d", t));
+        for (int pass = 0; pass < kPasses; ++pass) {
+          for (size_t q = 0; q < workload.size(); ++q) {
+            // Rotate the starting query per thread so concurrent clients
+            // collide on different fingerprints, not in lockstep.
+            const size_t pick = (q + static_cast<size_t>(t)) % workload.size();
+            if (!reference_error[pick].empty()) continue;
+            QueryOptions options;
+            options.strategy = workload[pick].strategy;
+            options.fallback = false;
+            auto result = session->Execute(workload[pick].sql, options);
+            if (!result.ok()) {
+              thread_errors[t] = StrFormat(
+                  "%s: %s", workload[pick].id,
+                  result.status().ToString().c_str());
+              return;
+            }
+            if (SpillRowMultiset(result->rows) != reference[pick]) {
+              thread_errors[t] = StrFormat(
+                  "%s: served rows diverge from single-session reference",
+                  workload[pick].id);
+              return;
+            }
+            ++thread_queries[t];
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+
+    std::string error;
+    int64_t total_queries = 0;
+    for (int t = 0; t < clients; ++t) {
+      if (error.empty() && !thread_errors[t].empty()) error = thread_errors[t];
+      total_queries += thread_queries[t];
+    }
+    const ServerStats stats = server.stats();
+
+    w.BeginObject();
+    w.Key("clients").Int(clients);
+    w.Key("ok").Bool(error.empty());
+    if (!error.empty()) w.Key("error").String(error);
+    w.Key("rows_match_single").Bool(error.empty());
+    w.Key("queries").Int(total_queries);
+    w.Key("wall_ms").Double(wall_ms);
+    w.Key("qps").Double(wall_ms > 0 ? total_queries / (wall_ms / 1e3) : 0.0);
+    w.Key("admitted").Int(stats.admitted);
+    w.Key("queued").Int(stats.queued);
+    w.Key("plan_cache_hits").Int(stats.plan_cache.hits);
+    w.Key("plan_cache_misses").Int(stats.plan_cache.misses);
+    w.EndObject();
+    std::fprintf(stderr,
+                 "[bench]   clients=%d %s\n", clients,
+                 error.empty()
+                     ? StrFormat("%lld queries, %.2f ms, %lld cache hits",
+                                 (long long)total_queries, wall_ms,
+                                 (long long)stats.plan_cache.hits).c_str()
                      : error.c_str());
   }
   w.EndArray();

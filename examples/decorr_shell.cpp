@@ -1,4 +1,5 @@
-// Interactive SQL shell over the decorr engine.
+// Interactive SQL shell over the decorr serving layer: one Server (shared
+// plan cache, admission controller) with a single interactive session.
 //
 //   $ ./build/examples/decorr_shell
 //   decorr> \load tpcd 0.01
@@ -21,8 +22,11 @@
 //                     trips (DISK_BYTES bounds scratch space; 0 = unlimited)
 //   \explain SQL      show the physical plan instead of executing
 //   \analyze SQL      execute with profiling; show per-operator rows/time
+//                     (repeats annotate "plan cache: hit" in the summary)
 //   \qgm SQL          show the query graph before/after the rewrite
 //   \tables           list tables
+//   \sessions         list server sessions and their counters
+//   \plancache        show shared plan-cache contents and hit/miss counters
 //   \timing on|off    toggle wall-clock reporting
 //   \quit
 #include <chrono>
@@ -33,6 +37,8 @@
 #include <string>
 
 #include "decorr/runtime/database.h"
+#include "decorr/server/server.h"
+#include "decorr/server/session.h"
 #include "decorr/tpcd/tpcd.h"
 
 using namespace decorr;
@@ -87,7 +93,8 @@ bool ParseStrategy(const std::string& name, Strategy* out) {
 }  // namespace
 
 int main() {
-  Database db;
+  Server server;
+  std::shared_ptr<Session> session = server.Connect("shell");
   Strategy strategy = Strategy::kMagic;
   int dop = 1;
   long long cache_bytes = kDefaultSubqueryCacheBytes;
@@ -119,9 +126,10 @@ int main() {
           TpcdConfig config;
           double sf = 0.01;
           if (iss >> sf) config.scale_factor = sf;
-          st = LoadTpcd(&db, config);
+          st = server.Mutate(
+              [&config](Database& db) { return LoadTpcd(&db, config); });
         } else if (what == "empdept") {
-          st = LoadEmpDept(&db);
+          st = server.Mutate([](Database& db) { return LoadEmpDept(&db); });
         } else {
           std::printf("usage: \\load tpcd [sf] | \\load empdept\n");
         }
@@ -187,7 +195,11 @@ int main() {
           std::printf("usage: \\spill on|off [DISK_BYTES]\n");
         }
       } else if (cmd == "tables") {
-        std::printf("%s", db.catalog().ToString().c_str());
+        std::printf("%s", server.catalog().ToString().c_str());
+      } else if (cmd == "sessions") {
+        std::printf("%s", server.DescribeSessions().c_str());
+      } else if (cmd == "plancache") {
+        std::printf("%s", server.DescribePlanCache().c_str());
       } else if (cmd == "timing") {
         std::string v;
         iss >> v;
@@ -203,7 +215,7 @@ int main() {
         options.spill = spill;
         options.spill_bytes = spill_bytes;
         options.batch_size = batch_size;
-        auto result = db.ExplainAnalyze(sql, options);
+        auto result = session->ExplainAnalyze(sql, options);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
         } else {
@@ -218,7 +230,7 @@ int main() {
         options.dop = dop;
         options.subquery_cache_bytes = cache_bytes;
         options.capture_qgm = (cmd == "qgm");
-        auto result = db.Explain(sql, options);
+        auto result = session->Explain(sql, options);
         if (!result.ok()) {
           std::printf("%s\n", result.status().ToString().c_str());
         } else if (cmd == "qgm") {
@@ -251,7 +263,7 @@ int main() {
     options.spill_bytes = spill_bytes;
     options.batch_size = batch_size;
     const auto start = std::chrono::steady_clock::now();
-    auto result = db.Execute(buffer, options);
+    auto result = session->Execute(buffer, options);
     const auto stop = std::chrono::steady_clock::now();
     buffer.clear();
     if (!result.ok()) {

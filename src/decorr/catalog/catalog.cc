@@ -18,7 +18,7 @@ Status Catalog::RegisterTable(TablePtr table) {
   entry.stats_version = table->version();
   entry.table = std::move(table);
   tables_.emplace(key, std::move(entry));
-  ++stats_epoch_;
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -33,9 +33,15 @@ Status Catalog::RefreshStats(const std::string& name) {
   DECORR_FAULT_POINT("catalog.refresh_stats");
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  // Freshness gate: nothing changed since the last computation, so the
+  // recompute would be byte-identical. Skipping the epoch bump too keeps
+  // cached plans valid (see the header comment).
+  if (it->second.stats_version == it->second.table->version()) {
+    return Status::OK();
+  }
   it->second.stats = ComputeStats(*it->second.table);
   it->second.stats_version = it->second.table->version();
-  ++stats_epoch_;
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

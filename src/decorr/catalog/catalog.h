@@ -3,6 +3,7 @@
 #ifndef DECORR_CATALOG_CATALOG_H_
 #define DECORR_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,7 +41,11 @@ class Catalog {
   // Drops a table (and its indexes).
   Status DropTable(const std::string& name);
 
-  // Recomputes statistics (call after bulk-appending rows).
+  // Recomputes statistics (call after bulk-appending rows). A no-op when the
+  // statistics are already fresh (computed at the table's current version):
+  // recomputing from unchanged data would yield identical statistics, and
+  // the skipped epoch bump keeps cached plans priced at the current epoch
+  // valid — periodic ANALYZE must not wipe the server's plan cache.
   Status RefreshStats(const std::string& name);
 
   Result<TablePtr> GetTable(const std::string& name) const;
@@ -63,17 +68,21 @@ class Catalog {
   // RegisterTable/RefreshStats). Unknown tables are not stale.
   bool StatsStale(const std::string& name) const;
 
-  // Catalog-wide statistics epoch: bumped on every RegisterTable and
-  // RefreshStats. EXPLAIN surfaces it so a plan records which generation
-  // of statistics priced it.
-  uint64_t stats_epoch() const { return stats_epoch_; }
+  // Catalog-wide statistics epoch: bumped on every RegisterTable and every
+  // RefreshStats that actually recomputed. EXPLAIN surfaces it so a plan
+  // records which generation of statistics priced it, and the server's plan
+  // cache invalidates entries whose epoch no longer matches. Atomic so
+  // concurrent readers may poll it while a Mutate-side refresh bumps it.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
 
   std::string ToString() const;
 
  private:
   // Keyed by lowercased table name.
   std::map<std::string, CatalogEntry> tables_;
-  uint64_t stats_epoch_ = 0;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace decorr

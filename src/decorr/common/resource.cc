@@ -22,12 +22,19 @@ Status MemoryTracker::Charge(int64_t bytes) {
   while (now > p &&
          !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
   }
+  Status st = Status::OK();
   if (budget_ > 0 && now > budget_) {
-    return Status::ResourceExhausted(
-        StrFormat("memory budget exceeded: %lld bytes used, budget %lld",
-                  (long long)now, (long long)budget_));
+    st = Status::ResourceExhausted(
+        StrFormat("%s budget exceeded: %lld bytes used, budget %lld",
+                  scope_.c_str(), (long long)now, (long long)budget_));
   }
-  return Status::OK();
+  if (parent_ != nullptr) {
+    // Mirror into the aggregate tracker whether or not the local budget
+    // tripped, so Release stays symmetric at both levels.
+    Status parent_st = parent_->Charge(bytes);
+    if (st.ok()) st = std::move(parent_st);
+  }
+  return st;
 }
 
 void MemoryTracker::Release(int64_t bytes) {
@@ -37,6 +44,7 @@ void MemoryTracker::Release(int64_t bytes) {
   // tolerated; concurrent charge/release pairs are symmetric so the clamp
   // never fires for them.
   if (now < 0) used_.store(0, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
 }
 
 bool CancellationToken::Poll() {
@@ -68,6 +76,16 @@ Status ResourceGuard::Check() {
         std::chrono::steady_clock::now() >= deadline_) {
       return Status::DeadlineExceeded("query deadline exceeded");
     }
+  }
+  return Status::OK();
+}
+
+Status ResourceGuard::CheckNow() {
+  if (cancel_ && cancel_->Poll()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("query deadline exceeded");
   }
   return Status::OK();
 }

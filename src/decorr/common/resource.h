@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "decorr/common/status.h"
 #include "decorr/common/value.h"
@@ -43,8 +44,20 @@ class MemoryTracker {
   void set_budget(int64_t bytes) { budget_ = bytes; }
   int64_t budget() const { return budget_; }
 
-  // Adds `bytes`; kResourceExhausted when the budget would be exceeded
-  // (the charge is still recorded so callers may release symmetrically).
+  // Names the budget in trip messages ("memory budget exceeded: ..." by
+  // default). The server's aggregate tracker sets "server memory" so a
+  // collective trip is distinguishable from a per-query one.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+
+  // Chains this tracker under an aggregate parent: every Charge/Release is
+  // mirrored there, so concurrent per-query trackers draw down one shared
+  // (server-wide) budget collectively. Configuration, single-writer: set
+  // before execution starts. The parent must outlive this tracker.
+  void set_parent(MemoryTracker* parent) { parent_ = parent; }
+
+  // Adds `bytes`; kResourceExhausted when this budget or the parent's would
+  // be exceeded (the charge is still recorded in both so callers may release
+  // symmetrically; this tracker's own trip wins when both fire).
   Status Charge(int64_t bytes);
   void Release(int64_t bytes);
 
@@ -53,6 +66,8 @@ class MemoryTracker {
 
  private:
   int64_t budget_ = 0;
+  std::string scope_ = "memory";
+  MemoryTracker* parent_ = nullptr;
   std::atomic<int64_t> used_{0};
   std::atomic<int64_t> peak_{0};
 };
@@ -101,6 +116,12 @@ class ResourceGuard {
 
   // Cancellation / deadline check; called once per row in operator loops.
   Status Check();
+
+  // Unstrided check: polls the token and samples the deadline clock
+  // unconditionally. For infrequent, latency-sensitive call sites (the
+  // server's admission queue) where stride sampling would let a deadline
+  // slip by kDeadlineStride wakeups.
+  Status CheckNow();
 
   Status ChargeRows(int64_t n);
   Status ChargeMemory(int64_t bytes) { return memory_.Charge(bytes); }

@@ -170,10 +170,12 @@ std::string MetricsNodeToJson(const MetricsNode& node) {
 }
 
 std::string QueryProfile::PhaseSummary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "parse=%.3fms bind=%.3fms rewrite=%.3fms plan=%.3fms exec=%.3fms",
       Ms(parse_nanos), Ms(bind_nanos), Ms(rewrite_nanos), Ms(plan_nanos),
       Ms(exec_nanos));
+  if (plan_cache_hit) out += " (plan cache: hit)";
+  return out;
 }
 
 std::string QueryProfile::ToJson() const {
@@ -186,6 +188,7 @@ std::string QueryProfile::ToJson() const {
   w.Key("plan_ms").Double(Ms(plan_nanos));
   w.Key("exec_ms").Double(Ms(exec_nanos));
   w.Key("total_ms").Double(Ms(TotalNanos()));
+  w.Key("plan_cache_hit").Bool(plan_cache_hit);
   w.EndObject();
   if (enabled) {
     w.Key("plan").Raw(MetricsNodeToJson(plan));

@@ -163,6 +163,12 @@ struct QueryProfile {
   int64_t rewrite_nanos = 0;  // strategy rewrite incl. verification steps
   int64_t plan_nanos = 0;
   int64_t exec_nanos = 0;
+
+  // True when the server's plan cache served the prepared (bound + rewritten
+  // + costed) graph: parse/bind/rewrite never ran, so their nanos are
+  // exactly zero. Annotated in the EXPLAIN ANALYZE phase summary only —
+  // EXPLAIN output stays byte-identical to a cold plan.
+  bool plan_cache_hit = false;
   int64_t TotalNanos() const {
     return parse_nanos + bind_nanos + rewrite_nanos + plan_nanos + exec_nanos;
   }

@@ -156,6 +156,61 @@ std::vector<Quantifier*> QueryGraph::UsesOf(const Box* box) const {
   return out;
 }
 
+std::unique_ptr<QueryGraph> QueryGraph::Clone() const {
+  auto copy = std::make_unique<QueryGraph>();
+  std::map<int, Box*> box_by_id;
+  for (const std::unique_ptr<Box>& box : boxes_) {
+    copy->boxes_.push_back(
+        std::make_unique<Box>(copy.get(), box->id(), box->kind()));
+    Box* nb = copy->boxes_.back().get();
+    nb->role = box->role;
+    nb->label = box->label;
+    nb->outputs.reserve(box->outputs.size());
+    for (const OutputColumn& out : box->outputs) {
+      nb->outputs.push_back(
+          {out.name, out.expr ? out.expr->Clone() : nullptr});
+    }
+    nb->predicates.reserve(box->predicates.size());
+    for (const ExprPtr& pred : box->predicates) {
+      nb->predicates.push_back(pred->Clone());
+    }
+    nb->distinct = box->distinct;
+    nb->null_padded_qid = box->null_padded_qid;
+    nb->group_by.reserve(box->group_by.size());
+    for (const ExprPtr& key : box->group_by) {
+      nb->group_by.push_back(key->Clone());
+    }
+    nb->union_all = box->union_all;
+    nb->table = box->table;
+    nb->dco_magic_qid = box->dco_magic_qid;
+    nb->dco_child_qid = box->dco_child_qid;
+    nb->dedup_pruned = box->dedup_pruned;
+    nb->dedup_check = box->dedup_check;
+    nb->dedup_key = box->dedup_key;
+    box_by_id.emplace(box->id(), nb);
+  }
+  for (const auto& [qid, q] : quantifiers_) {
+    auto nq = std::make_unique<Quantifier>();
+    nq->id = q->id;
+    nq->kind = q->kind;
+    nq->alias = q->alias;
+    nq->child = box_by_id.at(q->child->id());
+    copy->quantifiers_.emplace(qid, std::move(nq));
+  }
+  // Re-attach each owner's quantifiers in their original order — it fixes
+  // join order, and with it the planned operator layout.
+  for (const std::unique_ptr<Box>& box : boxes_) {
+    Box* nb = box_by_id.at(box->id());
+    for (const Quantifier* q : box->quantifiers()) {
+      nb->AttachQuantifier(copy->quantifiers_.at(q->id).get());
+    }
+  }
+  if (root_ != nullptr) copy->root_ = box_by_id.at(root_->id());
+  copy->next_box_id_ = next_box_id_;
+  copy->next_qid_ = next_qid_;
+  return copy;
+}
+
 void QueryGraph::GarbageCollect() {
   std::set<const Box*> live;
   std::vector<const Box*> stack = {root_};

@@ -181,6 +181,15 @@ class QueryGraph {
   // Drops boxes unreachable from the root (after rewrites).
   void GarbageCollect();
 
+  // Deep copy preserving box ids, quantifier ids and quantifier attachment
+  // order, so a clone binds, validates and plans byte-identically to the
+  // original (expressions address quantifiers by id; the planner's display
+  // names embed box ids). Expressions are cloned; base-table TablePtrs are
+  // shared — tables are read-only during query evaluation. Planning mutates
+  // a graph destructively, so the plan cache stores a prepared graph and
+  // clones it per execution.
+  std::unique_ptr<QueryGraph> Clone() const;
+
  private:
   Box* root_ = nullptr;
   std::vector<std::unique_ptr<Box>> boxes_;

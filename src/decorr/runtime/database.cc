@@ -75,12 +75,7 @@ Result<QueryResult> Database::ExplainAnalyze(const std::string& sql,
   return Run(sql, options, /*execute=*/true);
 }
 
-namespace {
-
-// Prepare-phase failures eligible for the nested-iteration fallback: errors
-// a different strategy can plausibly avoid. Input errors (parse/bind/missing
-// table) and guardrail trips would recur identically under NI.
-bool FallbackEligible(const Status& st) {
+bool NiFallbackEligible(const Status& st) {
   switch (st.code()) {
     case StatusCode::kParseError:
     case StatusCode::kBindError:
@@ -95,7 +90,23 @@ bool FallbackEligible(const Status& st) {
   }
 }
 
-}  // namespace
+PreparedQuery PreparedQuery::Clone() const {
+  PreparedQuery out;
+  out.bound = std::make_unique<BoundQuery>();
+  out.bound->graph = bound->graph->Clone();
+  out.bound->order_by = bound->order_by;
+  out.bound->limit = bound->limit;
+  out.requested = requested;
+  out.effective = effective;
+  out.auto_notes = auto_notes;
+  out.qgm_before = qgm_before;
+  out.qgm_after = qgm_after;
+  out.parse_nanos = parse_nanos;
+  out.bind_nanos = bind_nanos;
+  out.rewrite_nanos = rewrite_nanos;
+  out.stats_epoch = stats_epoch;
+  return out;
+}
 
 Result<QueryResult> Database::Run(const std::string& sql,
                                   const QueryOptions& options, bool execute) {
@@ -119,7 +130,7 @@ Result<QueryResult> Database::Run(const std::string& sql,
       RunOnce(sql, options, execute, &guard, &prepared);
   if (!result.ok() && options.fallback && !prepared &&
       options.strategy != Strategy::kNestedIteration &&
-      FallbackEligible(result.status())) {
+      NiFallbackEligible(result.status())) {
     const Status failure = result.status();
     QueryOptions ni = options;
     ni.strategy = Strategy::kNestedIteration;
@@ -145,11 +156,20 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
                                       bool execute, ResourceGuard* guard,
                                       bool* prepared) {
   *prepared = false;
-  QueryResult result;
-  result.profile.enabled = options.profile;
+  DECORR_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(sql, options, guard));
+  return RunPrepared(std::move(pq), options, execute, guard,
+                     /*plan_cache_hit=*/false, prepared);
+}
+
+Result<PreparedQuery> Database::Prepare(const std::string& sql,
+                                        const QueryOptions& options,
+                                        ResourceGuard* guard,
+                                        bool refresh_stale_stats) {
+  PreparedQuery out;
+  out.requested = options.strategy;
   int64_t mark = NowNanos();
-  // Phase clock: each Lap() charges the time since the previous mark to one
-  // QueryProfile field.
+  // Phase clock: each lap() charges the time since the previous mark to one
+  // PreparedQuery phase field.
   auto lap = [&mark](int64_t* phase_nanos) {
     const int64_t now = NowNanos();
     *phase_nanos += now - mark;
@@ -159,48 +179,52 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
   // logical fault site for "SQL text -> bound QGM", whichever entry point.
   DECORR_FAULT_POINT("runtime.parse_bind");
   DECORR_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
-  lap(&result.profile.parse_nanos);
+  lap(&out.parse_nanos);
   DECORR_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
                           Bind(*ast, *catalog_));
-  lap(&result.profile.bind_nanos);
+  lap(&out.bind_nanos);
   // Resolve Auto to a concrete strategy before anything downstream: the
   // rewrite verifier, ApplyStrategy and the cache/prune carve-outs all key
   // off the *effective* strategy.
-  QueryOptions opts = options;
-  std::vector<std::string> auto_notes;
+  Strategy effective = options.strategy;
   if (options.strategy == Strategy::kAuto) {
     // The estimates are only as good as the statistics: recompute any that
-    // predate rows appended since the last refresh, and record it.
+    // predate rows appended since the last refresh, and record it. (The
+    // server pre-refreshes under its exclusive lock and passes
+    // refresh_stale_stats=false, keeping this path read-only there.)
     std::vector<std::string> stats_notes;
-    for (const std::string& name : catalog_->TableNames()) {
-      if (!catalog_->StatsStale(name)) continue;
-      const uint64_t before = catalog_->stats_epoch();
-      DECORR_RETURN_IF_ERROR(catalog_->RefreshStats(name));
-      stats_notes.push_back(StrFormat(
-          "auto stats refreshed: %s (epoch %llu -> %llu)", name.c_str(),
-          static_cast<unsigned long long>(before),
-          static_cast<unsigned long long>(catalog_->stats_epoch())));
+    if (refresh_stale_stats) {
+      for (const std::string& name : catalog_->TableNames()) {
+        if (!catalog_->StatsStale(name)) continue;
+        const uint64_t before = catalog_->stats_epoch();
+        DECORR_RETURN_IF_ERROR(catalog_->RefreshStats(name));
+        stats_notes.push_back(StrFormat(
+            "auto stats refreshed: %s (epoch %llu -> %llu)", name.c_str(),
+            static_cast<unsigned long long>(before),
+            static_cast<unsigned long long>(catalog_->stats_epoch())));
+      }
     }
     DECORR_ASSIGN_OR_RETURN(
         AutoChoice choice,
         ChooseStrategy(*ast, *catalog_, options.decorr, options.prune_dedup,
                        options.subquery_cache_bytes));
-    opts.strategy = choice.chosen;
-    auto_notes = std::move(choice.notes);
-    auto_notes.insert(auto_notes.end(), stats_notes.begin(),
-                      stats_notes.end());
-    auto_notes.push_back(
+    effective = choice.chosen;
+    out.auto_notes = std::move(choice.notes);
+    out.auto_notes.insert(out.auto_notes.end(), stats_notes.begin(),
+                          stats_notes.end());
+    out.auto_notes.push_back(
         StrFormat("auto stats epoch: %llu",
                   static_cast<unsigned long long>(catalog_->stats_epoch())));
-    lap(&result.profile.rewrite_nanos);
+    lap(&out.rewrite_nanos);
   }
+  out.effective = effective;
   if (options.capture_qgm) {
-    result.qgm_before = PrintQgm(bound->graph.get());
+    out.qgm_before = PrintQgm(bound->graph.get());
   }
   std::optional<RewriteVerifier> verifier;
   RewriteStepFn on_step;
-  if (opts.verify) {
-    verifier.emplace(bound->graph.get(), opts.strategy);
+  if (options.verify) {
+    verifier.emplace(bound->graph.get(), effective);
     DECORR_RETURN_IF_ERROR(verifier->Begin());
     on_step = verifier->AsCallback();
   }
@@ -211,13 +235,12 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
     DECORR_RETURN_IF_ERROR(guard->Check());
     return inner ? inner(rule) : Status::OK();
   };
-  DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), opts.strategy,
-                                       *catalog_, opts.decorr, on_step));
+  DECORR_RETURN_IF_ERROR(ApplyStrategy(bound->graph.get(), effective,
+                                       *catalog_, options.decorr, on_step));
   // Dedup pruning runs after decorrelation, over the final graph. Plain NI
   // stays untouched for the same reason it never caches: it is the
   // paper-faithful baseline every other strategy is measured against.
-  if (opts.prune_dedup &&
-      opts.strategy != Strategy::kNestedIteration) {
+  if (options.prune_dedup && effective != Strategy::kNestedIteration) {
     DECORR_RETURN_IF_ERROR(
         PruneRedundantDedup(bound->graph.get(), on_step));
   }
@@ -226,33 +249,60 @@ Result<QueryResult> Database::RunOnce(const std::string& sql,
     DECORR_RETURN_IF_ERROR(verifier->Finish());
   }
   if (options.capture_qgm) {
-    result.qgm_after = PrintQgm(bound->graph.get());
+    out.qgm_after = PrintQgm(bound->graph.get());
   }
-  lap(&result.profile.rewrite_nanos);
+  lap(&out.rewrite_nanos);
+  out.stats_epoch = catalog_->stats_epoch();
+  out.bound = std::move(bound);
+  return out;
+}
+
+Result<QueryResult> Database::RunPrepared(PreparedQuery prepared,
+                                          const QueryOptions& options,
+                                          bool execute, ResourceGuard* guard,
+                                          bool plan_cache_hit,
+                                          bool* plan_ready) {
+  if (plan_ready != nullptr) *plan_ready = false;
+  QueryResult result;
+  result.profile.enabled = options.profile;
+  result.profile.parse_nanos = prepared.parse_nanos;
+  result.profile.bind_nanos = prepared.bind_nanos;
+  result.profile.rewrite_nanos = prepared.rewrite_nanos;
+  result.profile.plan_cache_hit = plan_cache_hit;
+  result.qgm_before = std::move(prepared.qgm_before);
+  result.qgm_after = std::move(prepared.qgm_after);
+  int64_t mark = NowNanos();
+  auto lap = [&mark](int64_t* phase_nanos) {
+    const int64_t now = NowNanos();
+    *phase_nanos += now - mark;
+    mark = now;
+  };
 
   PlannerOptions planner_options = options.planner;
-  if (opts.strategy == Strategy::kOptMagic) {
+  if (prepared.effective == Strategy::kOptMagic) {
     planner_options.materialize_common_subexpressions = true;
   }
   // Subquery memoization is forced off under plain NI so the baseline stays
   // paper-faithful (and its plans, counters and goldens stay byte-identical).
-  const int64_t cache_bytes = opts.strategy == Strategy::kNestedIteration
-                                  ? 0
-                                  : opts.subquery_cache_bytes;
+  const int64_t cache_bytes =
+      prepared.effective == Strategy::kNestedIteration
+          ? 0
+          : options.subquery_cache_bytes;
   planner_options.hoist_invariant_subplans = cache_bytes > 0;
   if (options.dop > 1) planner_options.dop = options.dop;
   // Declared before the plan: operators hold SpillFiles, so the plan must be
   // destroyed before the manager that owns their scratch directory.
   std::unique_ptr<TempFileManager> temp_mgr;
   Planner planner(*catalog_, planner_options);
-  DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.PlanQuery(*bound));
+  DECORR_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                          planner.PlanQuery(*prepared.bound));
   if (options.verify) {
     DECORR_RETURN_IF_ERROR(VerifyPlan(*plan.root));
   }
-  *prepared = true;
-  if (!auto_notes.empty()) {
-    plan.notes.insert(plan.notes.begin(), auto_notes.begin(),
-                      auto_notes.end());
+  if (plan_ready != nullptr) *plan_ready = true;
+  if (!prepared.auto_notes.empty()) {
+    plan.notes.insert(plan.notes.begin(), prepared.auto_notes.begin(),
+                      prepared.auto_notes.end());
   }
   result.column_names = plan.column_names;
   result.plan_text = plan.ToString();

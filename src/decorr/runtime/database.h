@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "decorr/binder/binder.h"
 #include "decorr/catalog/catalog.h"
+#include "decorr/common/resource.h"
 #include "decorr/exec/metrics.h"
 #include "decorr/exec/operator.h"
 #include "decorr/planner/planner.h"
@@ -96,6 +98,42 @@ struct QueryOptions {
   int batch_size = 0;
 };
 
+// A query carried through the front-end phases — parse, bind, kAuto cost
+// selection, strategy rewrite, dedup pruning, validation — but not yet
+// planned. This is the unit the server's plan cache stores: everything the
+// fingerprinted QueryOptions determine is already folded in, and what
+// remains (planning + execution) is per-run. Planning mutates the graph
+// destructively, so a cached PreparedQuery is Clone()d per execution.
+struct PreparedQuery {
+  std::unique_ptr<BoundQuery> bound;
+  Strategy requested = Strategy::kNestedIteration;
+  // The concrete strategy after kAuto resolution (== requested otherwise);
+  // planner carve-outs (OptMag materialization, the NI cache ban) key off
+  // this.
+  Strategy effective = Strategy::kNestedIteration;
+  std::vector<std::string> auto_notes;  // cost-selector EXPLAIN annotations
+  std::string qgm_before;               // filled when capture_qgm
+  std::string qgm_after;
+  // Front-end phase timings, carried into QueryProfile by RunPrepared. A
+  // plan-cache hit path zeroes them: the phases genuinely did not run.
+  int64_t parse_nanos = 0;
+  int64_t bind_nanos = 0;
+  int64_t rewrite_nanos = 0;
+  // Catalog statistics epoch this query was prepared (and, for kAuto,
+  // costed) at. A cache entry whose epoch trails the catalog is stale.
+  uint64_t stats_epoch = 0;
+
+  // Deep copy (graph clone included).
+  PreparedQuery Clone() const;
+};
+
+// True when a prepare-phase failure with this status may transparently fall
+// back to nested iteration: errors a different strategy can plausibly avoid.
+// Input errors (parse/bind/missing table) and guardrail trips would recur
+// identically under NI and surface verbatim. Shared by Database::Run and the
+// server's cached execution path.
+bool NiFallbackEligible(const Status& st);
+
 struct QueryResult {
   std::vector<Row> rows;
   std::vector<std::string> column_names;
@@ -121,6 +159,9 @@ class Database {
 
   Catalog& catalog() { return *catalog_; }
   const Catalog& catalog() const { return *catalog_; }
+  // Shared ownership of the catalog, for façades (the server) layered over
+  // the same tables.
+  const std::shared_ptr<Catalog>& shared_catalog() const { return catalog_; }
 
   // Creates an empty table.
   Status CreateTable(const TableSchema& schema);
@@ -152,6 +193,28 @@ class Database {
   // and result.profile the structured form.
   Result<QueryResult> ExplainAnalyze(const std::string& sql,
                                      QueryOptions options = {});
+
+  // Front-end only: parse, bind, resolve kAuto (refreshing stale statistics
+  // first unless `refresh_stale_stats` is off — the server pre-refreshes
+  // under its exclusive lock so this stays read-only under concurrency),
+  // apply the strategy rewrite, prune, validate. The result can be handed to
+  // RunPrepared — or cached and cloned per run. `guard` is polled between
+  // rewrite steps.
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                const QueryOptions& options,
+                                ResourceGuard* guard,
+                                bool refresh_stale_stats = true);
+
+  // Back-end: plan (and verify) `prepared`, then execute. Consumes
+  // `prepared` — planning mutates the graph. `plan_cache_hit` only annotates
+  // the profile / EXPLAIN ANALYZE output; EXPLAIN text is identical either
+  // way. `*plan_ready` (optional) flips to true once the plan has been
+  // verified, i.e. execution is about to begin — the point past which the NI
+  // fallback no longer applies.
+  Result<QueryResult> RunPrepared(PreparedQuery prepared,
+                                  const QueryOptions& options, bool execute,
+                                  ResourceGuard* guard, bool plan_cache_hit,
+                                  bool* plan_ready = nullptr);
 
  private:
   Result<QueryResult> Run(const std::string& sql, const QueryOptions& options,

@@ -1,0 +1,103 @@
+#include "decorr/server/session.h"
+
+#include <utility>
+
+namespace decorr {
+
+Session::Session(Server* server, int id, std::string name)
+    : server_(server),
+      id_(id),
+      name_(std::move(name)),
+      cancel_(std::make_shared<CancellationToken>()) {}
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  return Run(sql, options_, RunMode::kExecute);
+}
+Result<QueryResult> Session::Execute(const std::string& sql,
+                                     QueryOptions opts) {
+  return Run(sql, std::move(opts), RunMode::kExecute);
+}
+Result<QueryResult> Session::Explain(const std::string& sql) {
+  return Run(sql, options_, RunMode::kExplain);
+}
+Result<QueryResult> Session::Explain(const std::string& sql,
+                                     QueryOptions opts) {
+  return Run(sql, std::move(opts), RunMode::kExplain);
+}
+Result<QueryResult> Session::ExplainAnalyze(const std::string& sql) {
+  return Run(sql, options_, RunMode::kExplainAnalyze);
+}
+Result<QueryResult> Session::ExplainAnalyze(const std::string& sql,
+                                            QueryOptions opts) {
+  return Run(sql, std::move(opts), RunMode::kExplainAnalyze);
+}
+
+Result<QueryResult> Session::Run(const std::string& sql, QueryOptions opts,
+                                 RunMode mode) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_add(1, std::memory_order_relaxed);
+  Result<QueryResult> result =
+      server_->RunForSession(this, sql, std::move(opts), mode);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    last_error_ = result.status().ToString();
+  }
+  return result;
+}
+
+Status Session::Prepare(const std::string& name, const std::string& sql) {
+  // Full front-end + plan, no execution: validates the statement and (when
+  // the server caches plans) leaves the prepared graph in the shared cache,
+  // which is what later ExecutePrepared calls hit.
+  Result<QueryResult> r = Run(sql, options_, RunMode::kExplain);
+  if (!r.ok()) return r.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_[name] = sql;
+  return Status::OK();
+}
+
+Result<QueryResult> Session::ExecutePrepared(const std::string& name) {
+  std::string sql;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::NotFound("no prepared statement: " + name);
+    }
+    sql = it->second;
+  }
+  return Execute(sql);
+}
+
+std::vector<std::string> Session::PreparedNames() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(prepared_.size());
+  for (const auto& [name, sql] : prepared_) {
+    (void)sql;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Session::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancel_->Cancel();
+  // In-flight queries keep the tripped token (they surface kCancelled);
+  // subsequent queries start clean.
+  cancel_ = std::make_shared<CancellationToken>();
+}
+
+std::shared_ptr<CancellationToken> Session::cancel_token() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancel_;
+}
+
+std::string Session::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+}  // namespace decorr

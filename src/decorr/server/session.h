@@ -1,0 +1,87 @@
+// One client's connection to a Server: per-session default QueryOptions, a
+// cancellation handle covering in-flight queries, cumulative counters, and
+// named prepared statements.
+//
+// Sessions are single-client: one thread (or one strictly serialized
+// client) per session. Different sessions run fully concurrently. Mutate
+// options() between queries, not during one.
+#ifndef DECORR_SERVER_SESSION_H_
+#define DECORR_SERVER_SESSION_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "decorr/runtime/database.h"
+#include "decorr/server/server.h"
+
+namespace decorr {
+
+class Session {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Per-session defaults, applied by the overloads that take no options.
+  QueryOptions& options() { return options_; }
+  const QueryOptions& options() const { return options_; }
+
+  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql, QueryOptions opts);
+  Result<QueryResult> Explain(const std::string& sql);
+  Result<QueryResult> Explain(const std::string& sql, QueryOptions opts);
+  Result<QueryResult> ExplainAnalyze(const std::string& sql);
+  Result<QueryResult> ExplainAnalyze(const std::string& sql,
+                                     QueryOptions opts);
+
+  // Named prepared statements. Prepare validates the statement and warms
+  // the server's shared plan cache under the session's current options —
+  // the cache is the amortization vehicle, so repeated ExecutePrepared
+  // calls skip the front-end phases, and a statement whose statistics moved
+  // is transparently re-prepared by the epoch check.
+  Status Prepare(const std::string& name, const std::string& sql);
+  Result<QueryResult> ExecutePrepared(const std::string& name);
+  std::vector<std::string> PreparedNames() const;
+
+  // Cancels every in-flight query of this session (they surface
+  // kCancelled) and arms a fresh token for subsequent ones. Queries that
+  // pass an explicit QueryLimits::cancel keep their own token instead.
+  void Cancel();
+
+  int64_t queries() const { return queries_.load(std::memory_order_relaxed); }
+  int64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  int active() const { return active_.load(std::memory_order_relaxed); }
+  std::string last_error() const;
+
+ private:
+  friend class Server;
+  Session(Server* server, int id, std::string name);
+
+  Result<QueryResult> Run(const std::string& sql, QueryOptions opts,
+                          RunMode mode);
+  std::shared_ptr<CancellationToken> cancel_token() const;
+
+  Server* server_;
+  const int id_;
+  const std::string name_;
+  QueryOptions options_;
+
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int> active_{0};
+
+  mutable std::mutex mu_;
+  std::shared_ptr<CancellationToken> cancel_;  // guarded by mu_
+  std::string last_error_;                     // guarded by mu_
+  std::map<std::string, std::string> prepared_;  // name -> SQL, guarded by mu_
+};
+
+}  // namespace decorr
+
+#endif  // DECORR_SERVER_SESSION_H_

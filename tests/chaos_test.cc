@@ -14,6 +14,8 @@
 #include "decorr/common/fault.h"
 #include "decorr/runtime/csv.h"
 #include "decorr/runtime/database.h"
+#include "decorr/server/server.h"
+#include "decorr/server/session.h"
 #include "tests/test_util.h"
 
 namespace decorr {
@@ -235,6 +237,52 @@ Status RunChaosWorkload(int dop = 1) {
   // section's comment) so the sweep reaches the temp-file and Grace-
   // partitioning fault sites.
   DECORR_RETURN_IF_ERROR(RunSpillChaosSection(/*scratch=*/""));
+  // Serving-layer section: the same EMP/DEPT shape through a Server so the
+  // sweep reaches the admission and plan-cache fault sites (server.admit,
+  // server.plancache.lookup, server.plancache.insert). The statement runs
+  // twice — the first pass misses and inserts, the second hits — so both
+  // cache paths are armed. fallback stays off: an injected status must
+  // surface verbatim through session -> server -> database.
+  {
+    Server server;
+    DECORR_RETURN_IF_ERROR(server.Mutate([](Database& sdb) {
+      DECORR_RETURN_IF_ERROR(sdb.CreateTable(TableSchema(
+          "dept",
+          {{"name", TypeId::kString, false},
+           {"budget", TypeId::kInt64, false},
+           {"num_emps", TypeId::kInt64, false},
+           {"building", TypeId::kInt64, false}},
+          /*primary_key=*/{0})));
+      DECORR_RETURN_IF_ERROR(sdb.CreateTable(TableSchema(
+          "emp",
+          {{"emp_id", TypeId::kInt64, false},
+           {"name", TypeId::kString, false},
+           {"building", TypeId::kInt64, false},
+           {"salary", TypeId::kInt64, false}},
+          /*primary_key=*/{0})));
+      DECORR_RETURN_IF_ERROR(
+          sdb.Insert("dept", {{S("math"), I(5000), I(4), I(10)},
+                              {S("cs"), I(8000), I(6), I(10)},
+                              {S("physics"), I(500), I(1), I(30)}}));
+      DECORR_RETURN_IF_ERROR(sdb.Insert("emp", {{I(1), S("ann"), I(10), I(50)},
+                                                {I(2), S("bob"), I(10), I(60)},
+                                                {I(3), S("cat"), I(10), I(70)}}));
+      return sdb.AnalyzeAll();
+    }));
+    std::shared_ptr<Session> session = server.Connect("chaos");
+    QueryOptions options;
+    options.strategy = Strategy::kMagic;
+    options.dop = dop;
+    options.fallback = false;  // an injected fault must surface, not degrade
+    options.planner.check_derived_keys = true;
+    for (int pass = 0; pass < 2; ++pass) {
+      DECORR_ASSIGN_OR_RETURN(QueryResult served,
+                              session->Execute(kPaperExampleQuery, options));
+      if (served.rows.size() != 3) {
+        return Status::Internal("server section row count");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -268,7 +316,11 @@ TEST_F(ChaosTest, SweepInjectsAtEverySiteAndPropagatesCleanly) {
         "exec.spill.join.partition", "exec.spill.agg.partition",
         "exec.spill.distinct.partition", "storage.tmpfile.create",
         "storage.tmpfile.write", "storage.tmpfile.read",
-        "storage.tmpfile.corrupt"}) {
+        "storage.tmpfile.corrupt",
+        // The serving-layer section must reach admission and both plan-cache
+        // paths, or server faults are never proven to propagate.
+        "server.admit", "server.plancache.lookup",
+        "server.plancache.insert"}) {
     ASSERT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
         << required << " never hit by the chaos workload";
   }

@@ -20,6 +20,8 @@
 
 #include "decorr/exec/metrics.h"
 #include "decorr/runtime/database.h"
+#include "decorr/server/server.h"
+#include "decorr/server/session.h"
 #include "decorr/tpcd/queries.h"
 #include "decorr/tpcd/tpcd.h"
 
@@ -227,6 +229,80 @@ TEST(ExplainGoldenTest, BatchModeLeavesGoldenPlansInvariant) {
   }
   // All 5 figures batch under all 3 strategies; vacuous otherwise.
   EXPECT_EQ(batched_analyzes, 15);
+}
+
+// The plan cache must be EXPLAIN-invisible: for every committed golden
+// variant, a served EXPLAIN — cold (miss + insert) and warm (hit) through a
+// Server over the same catalog — is byte-identical to the Database EXPLAIN
+// the goldens were generated from, and the warm timing-free ANALYZE tree
+// matches the cold one. The hit may only ever show in the EXPLAIN ANALYZE
+// phase summary ("plan cache: hit"), never in the plan text.
+TEST(ExplainGoldenTest, CachedPlansLeaveGoldenExplainInvariant) {
+  struct FigureCase {
+    const char* tag;
+    bool indexes;
+    std::string sql;
+  };
+  const FigureCase kFigures[] = {
+      {"fig5_query1", true, TpcdQuery1()},
+      {"fig6_query1_variant", true, TpcdQuery1Variant()},
+      {"fig8_query2", true, TpcdQuery2()},
+      {"fig9_query3", true, TpcdQuery3()},
+      {"fig7_query1_noindex", false, TpcdQuery1()},
+  };
+  static const Strategy kStrategies[] = {Strategy::kNestedIteration,
+                                         Strategy::kMagic, Strategy::kAuto};
+  int warm_hits = 0;
+  for (const FigureCase& fig : kFigures) {
+    Database& db = GoldenDb(fig.indexes);
+    Server server({}, db.shared_catalog());
+    auto session = server.Connect();
+    for (Strategy strategy : kStrategies) {
+      QueryOptions options;
+      options.strategy = strategy;
+      options.fallback = false;
+      options.planner.check_derived_keys = false;
+
+      auto reference = db.Explain(fig.sql, options);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      auto cold = session->Explain(fig.sql, options);
+      auto warm = session->Explain(fig.sql, options);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      EXPECT_FALSE(cold->profile.plan_cache_hit);
+      EXPECT_TRUE(warm->profile.plan_cache_hit)
+          << fig.tag << "/" << StrategyName(strategy);
+      if (warm->profile.plan_cache_hit) ++warm_hits;
+      EXPECT_EQ(cold->plan_text, reference->plan_text)
+          << fig.tag << "/" << StrategyName(strategy)
+          << ": served cold EXPLAIN diverged from the golden pipeline";
+      EXPECT_EQ(warm->plan_text, reference->plan_text)
+          << fig.tag << "/" << StrategyName(strategy)
+          << ": cache hit changed EXPLAIN output";
+
+      // The fingerprint ignores the profile flag, so this ANALYZE is served
+      // from the entry the Explains above warmed — a hit by construction.
+      auto ref_analyze = db.ExplainAnalyze(fig.sql, options);
+      auto served_analyze = session->ExplainAnalyze(fig.sql, options);
+      ASSERT_TRUE(ref_analyze.ok()) << ref_analyze.status().ToString();
+      ASSERT_TRUE(served_analyze.ok()) << served_analyze.status().ToString();
+      EXPECT_TRUE(served_analyze->profile.plan_cache_hit);
+      EXPECT_EQ(RenderMetricsTree(served_analyze->profile.plan,
+                                  /*include_timing=*/false),
+                RenderMetricsTree(ref_analyze->profile.plan,
+                                  /*include_timing=*/false))
+          << fig.tag << "/" << StrategyName(strategy)
+          << ": cache hit changed the ANALYZE tree";
+      EXPECT_NE(served_analyze->analyze_text.find("plan cache: hit"),
+                std::string::npos)
+          << fig.tag << "/" << StrategyName(strategy)
+          << ": hit not annotated in the phase summary";
+      EXPECT_EQ(served_analyze->plan_text.find("plan cache"),
+                std::string::npos)
+          << fig.tag << "/" << StrategyName(strategy);
+    }
+  }
+  EXPECT_EQ(warm_hits, 15);  // every figure/strategy pair actually hit
 }
 
 // The rendered analyze tree annotates every operator line with rows and

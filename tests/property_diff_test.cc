@@ -24,174 +24,11 @@
 #include "decorr/common/rng.h"
 #include "decorr/common/string_util.h"
 #include "decorr/runtime/database.h"
+#include "tests/property_diff_corpus.h"
 #include "tests/test_util.h"
 
 namespace decorr {
 namespace {
-
-std::vector<std::string> Canon(const QueryResult& r) {
-  std::vector<std::string> rows;
-  for (const Row& row : r.rows) rows.push_back(RowToString(row));
-  std::sort(rows.begin(), rows.end());
-  return rows;
-}
-
-// Small-domain, NULL-heavy random database: values live in [0, 60] and
-// buildings in a handful of slots so correlations both hit and miss; every
-// correlatable column is nullable and NULL about a quarter of the time.
-// Tables stay tiny (<= 25 rows) so depth-3 nested iteration — and the
-// ASan/UBSan build — finish quickly.
-std::shared_ptr<Catalog> MakeNullHeavyCatalog(uint64_t seed) {
-  Rng rng(seed * 1000003);
-  auto catalog = std::make_shared<Catalog>();
-  const int64_t buildings = rng.Uniform(2, 8);
-  auto nullable_building = [&rng, buildings]() -> Value {
-    // Occasionally out of range: buildings with no occupants on one side.
-    return rng.Bernoulli(0.25) ? N() : I(rng.Uniform(0, buildings + 2));
-  };
-
-  // `budget` carries a declared UNIQUE constraint (and the generated values
-  // honor it): queries whose subquery correlates on d.budget hand the magic
-  // rewrite a binding set covering a dept key, so the dedup-pruning pass has
-  // prunable shapes to find — and the forced-on UniquenessCheckOp has a
-  // derived key to validate — inside the randomized sweeps.
-  TableSchema dept_schema("dept",
-                          {{"name", TypeId::kString, false},
-                           {"budget", TypeId::kInt64, false},
-                           {"num_emps", TypeId::kInt64, false},
-                           {"building", TypeId::kInt64, true}},
-                          {0});
-  dept_schema.AddUniqueKey({1});
-  auto dept = std::make_shared<Table>(std::move(dept_schema));
-  const int64_t num_depts = rng.Uniform(3, 12);
-  std::vector<int64_t> budgets(60);
-  for (int64_t i = 0; i < 60; ++i) budgets[i] = i;
-  for (int64_t i = 0; i < num_depts; ++i) {
-    // Distinct budgets: draw without replacement from [0, 60).
-    const int64_t pick = rng.Uniform(i, 59);
-    std::swap(budgets[i], budgets[pick]);
-    EXPECT_TRUE(dept->AppendRow({S(StrFormat("d%lld", (long long)i)),
-                                 I(budgets[i]), I(rng.Uniform(0, 8)),
-                                 nullable_building()})
-                    .ok());
-  }
-  EXPECT_TRUE(catalog->RegisterTable(dept).ok());
-
-  auto emp = std::make_shared<Table>(
-      TableSchema("emp",
-                  {{"emp_id", TypeId::kInt64, false},
-                   {"building", TypeId::kInt64, true},
-                   {"salary", TypeId::kInt64, true}},
-                  {0}));
-  const int64_t num_emps = rng.Uniform(0, 25);
-  for (int64_t i = 0; i < num_emps; ++i) {
-    EXPECT_TRUE(emp->AppendRow({I(i), nullable_building(),
-                                rng.Bernoulli(0.3) ? N()
-                                                   : I(rng.Uniform(0, 60))})
-                    .ok());
-  }
-  EXPECT_TRUE(catalog->RegisterTable(emp).ok());
-
-  auto proj = std::make_shared<Table>(
-      TableSchema("proj",
-                  {{"proj_id", TypeId::kInt64, false},
-                   {"building", TypeId::kInt64, true},
-                   {"cost", TypeId::kInt64, true}},
-                  {0}));
-  const int64_t num_projs = rng.Uniform(0, 18);
-  for (int64_t i = 0; i < num_projs; ++i) {
-    EXPECT_TRUE(proj->AppendRow({I(i), nullable_building(),
-                                 rng.Bernoulli(0.3) ? N()
-                                                    : I(rng.Uniform(0, 60))})
-                    .ok());
-  }
-  EXPECT_TRUE(catalog->RegisterTable(proj).ok());
-  return catalog;
-}
-
-// Recursive correlated-query generator. Every subquery correlates on
-// `building`; nesting attaches a further correlated predicate to the inner
-// block's WHERE clause.
-class DiffQueryGen {
- public:
-  explicit DiffQueryGen(Rng* rng) : rng_(rng) {}
-
-  std::string RandomQuery() {
-    alias_ = 0;
-    const char* num_col = rng_->Bernoulli(0.5) ? "num_emps" : "budget";
-    return StrFormat("SELECT d.name FROM dept d WHERE %s",
-                     Predicate("d", num_col, /*depth=*/3).c_str());
-  }
-
- private:
-  struct InnerTable {
-    const char* table;
-    const char* val;  // the numeric/nullable value column
-  };
-
-  const char* Cmp() {
-    static const char* kCmps[] = {">", "<", ">=", "<=", "=", "<>"};
-    return kCmps[rng_->Uniform(0, 5)];
-  }
-
-  // One predicate over `outer`.{num_col, building} containing a subquery;
-  // up to `depth` levels of subqueries may hang below it.
-  std::string Predicate(const std::string& outer, const std::string& num_col,
-                        int depth) {
-    static const InnerTable kInner[] = {{"emp", "salary"}, {"proj", "cost"}};
-    const InnerTable& t = kInner[rng_->Uniform(0, 1)];
-    const std::string a = StrFormat("t%d", ++alias_);
-
-    std::string where =
-        StrFormat("%s.building = %s.building", a.c_str(), outer.c_str());
-    if (rng_->Bernoulli(0.4)) {
-      where += StrFormat(" AND %s.%s %s %lld", a.c_str(), t.val, Cmp(),
-                         (long long)rng_->Uniform(0, 60));
-    }
-    if (outer == "d" && rng_->Bernoulli(0.35)) {
-      // Extra correlation on dept's UNIQUE budget column: the magic binding
-      // set then covers a dept key, making the rewrite's DISTINCT provably
-      // redundant — the shapes the dedup-pruning sweep must exercise.
-      where += StrFormat(" AND %s.%s %s d.budget", a.c_str(), t.val, Cmp());
-    }
-    if (depth > 1 && rng_->Bernoulli(0.45)) {
-      where += " AND " + Predicate(a, t.val, depth - 1);
-    }
-
-    switch (rng_->Uniform(0, 3)) {
-      case 0: {  // aggregate comparison — includes the COUNT-bug shapes
-        std::string agg;
-        switch (rng_->Uniform(0, 5)) {
-          case 0: agg = "COUNT(*)"; break;
-          case 1: agg = StrFormat("COUNT(%s.%s)", a.c_str(), t.val); break;
-          case 2: agg = StrFormat("SUM(%s.%s)", a.c_str(), t.val); break;
-          case 3: agg = StrFormat("MIN(%s.%s)", a.c_str(), t.val); break;
-          default: agg = StrFormat("AVG(%s.%s)", a.c_str(), t.val); break;
-        }
-        return StrFormat("%s.%s %s (SELECT %s FROM %s %s WHERE %s)",
-                         outer.c_str(), num_col.c_str(), Cmp(), agg.c_str(), t.table,
-                         a.c_str(), where.c_str());
-      }
-      case 1:  // [NOT] EXISTS
-        return StrFormat("%sEXISTS (SELECT 1 FROM %s %s WHERE %s)",
-                         rng_->Bernoulli(0.35) ? "NOT " : "", t.table,
-                         a.c_str(), where.c_str());
-      case 2:  // [NOT] IN over the correlated value column
-        return StrFormat("%s.%s %sIN (SELECT %s.%s FROM %s %s WHERE %s)",
-                         outer.c_str(), num_col.c_str(),
-                         rng_->Bernoulli(0.35) ? "NOT " : "", a.c_str(),
-                         t.val, t.table, a.c_str(), where.c_str());
-      default:  // quantified comparison
-        return StrFormat("%s.%s %s %s (SELECT %s.%s FROM %s %s WHERE %s)",
-                         outer.c_str(), num_col.c_str(), Cmp(),
-                         rng_->Bernoulli(0.5) ? "ANY" : "ALL", a.c_str(),
-                         t.val, t.table, a.c_str(), where.c_str());
-    }
-  }
-
-  Rng* rng_;
-  int alias_ = 0;
-};
 
 TEST(PropertyDiffTest, RandomizedSweepAllStrategiesMatchNestedIteration) {
   constexpr uint64_t kDatabases = 8;
